@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment once (via ``benchmark.pedantic`` so pytest-benchmark records the
+wall-clock cost of regenerating the artifact), prints the resulting series /
+rows, and asserts the qualitative properties the paper reports (orderings,
+crossovers, gains) hold.  Absolute numbers are not expected to match the paper
+— the substrate is a behavioural simulator and the DNNs are scaled-down
+analogues — but the *shape* of every result is checked.
+
+Settings are intentionally small (few epochs, few sweep points) so the whole
+harness completes in minutes on a laptop-class CPU; every experiment function
+accepts larger budgets for a higher-fidelity run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.models import build_model_with_dataset
+from repro.nn.training import Trainer
+
+#: epochs used to train baselines inside benchmarks (small but converged).
+BASELINE_EPOCHS = 4
+
+
+def run_once(benchmark, experiment, *args, **kwargs):
+    """Run ``experiment`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(experiment, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_header(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+@pytest.fixture(scope="session")
+def trained_lenet():
+    network, dataset, spec = build_model_with_dataset("lenet", seed=0)
+    Trainer(network, dataset, spec.training_config(epochs=BASELINE_EPOCHS)).fit()
+    return network, dataset, spec
+
+
+@pytest.fixture(scope="session")
+def trained_resnet():
+    network, dataset, spec = build_model_with_dataset("resnet101", seed=0)
+    Trainer(network, dataset, spec.training_config(epochs=BASELINE_EPOCHS)).fit()
+    return network, dataset, spec

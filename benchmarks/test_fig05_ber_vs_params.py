@@ -1,0 +1,65 @@
+"""Figure 5: BER vs supply voltage and vs tRCD, per data pattern, three vendors.
+
+Paper result: BER grows steeply (orders of magnitude) as VDD or tRCD shrink;
+the curves depend on the stored data pattern — 1-heavy patterns (0xFF) fail
+more under reduced voltage, 0-heavy patterns (0x00) fail more under reduced
+tRCD — and the three vendors differ substantially.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig05_ber_vs_parameters
+from repro.analysis.reporting import format_multi_series
+
+from benchmarks.conftest import print_header, run_once
+
+VOLTAGES = (1.05, 1.10, 1.15, 1.20, 1.25)
+TRCD_VALUES = (2.5, 5.0, 7.5, 10.0)
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_ber_vs_voltage_and_trcd(benchmark):
+    data = run_once(
+        benchmark, fig05_ber_vs_parameters,
+        vendors=("A", "B", "C"), voltages=VOLTAGES, trcd_values_ns=TRCD_VALUES,
+        rows_to_profile=8, trials=4,
+    )
+
+    print_header("Figure 5: BER vs VDD / tRCD per data pattern")
+    for vendor in ("A", "B", "C"):
+        curves = {f"0x{p:02X}": series for p, series in data["voltage"][vendor].items()}
+        print(format_multi_series(curves, title=f"Vendor {vendor}: BER vs VDD (V)",
+                                  x_label="VDD", float_format="{:.2e}"))
+        curves = {f"0x{p:02X}": series for p, series in data["trcd"][vendor].items()}
+        print(format_multi_series(curves, title=f"Vendor {vendor}: BER vs tRCD (ns)",
+                                  x_label="tRCD", float_format="{:.2e}"))
+
+    for vendor in ("A", "B", "C"):
+        voltage_curves = data["voltage"][vendor]
+        trcd_curves = data["trcd"][vendor]
+
+        # BER decreases monotonically as voltage rises back toward nominal.
+        for pattern, series in voltage_curves.items():
+            ordered = [series[v] for v in sorted(series)]
+            assert all(b2 <= b1 + 1e-9 for b1, b2 in zip(ordered, ordered[1:])), \
+                f"vendor {vendor} pattern {pattern}: BER not decreasing with VDD"
+        # BER decreases monotonically as tRCD grows back toward nominal.
+        for pattern, series in trcd_curves.items():
+            ordered = [series[t] for t in sorted(series)]
+            assert all(b2 <= b1 + 1e-9 for b1, b2 in zip(ordered, ordered[1:]))
+
+        # Data-pattern dependence (the Error Model 3 motivation): 0xFF fails
+        # more than 0x00 under voltage reduction, and vice versa under tRCD.
+        lowest_v = min(VOLTAGES)
+        assert voltage_curves[0xFF][lowest_v] > voltage_curves[0x00][lowest_v]
+        lowest_t = min(TRCD_VALUES)
+        assert trcd_curves[0x00][lowest_t] > trcd_curves[0xFF][lowest_t]
+
+        # The sweep spans orders of magnitude.
+        worst = voltage_curves[0xFF][lowest_v]
+        best = voltage_curves[0xFF][max(VOLTAGES)]
+        assert worst > max(best, 1e-9) * 10
+
+    # Vendors differ at the most aggressive voltage.
+    worst_case = {v: data["voltage"][v][0xFF][min(VOLTAGES)] for v in ("A", "B", "C")}
+    assert len({round(b, 6) for b in worst_case.values()}) >= 2

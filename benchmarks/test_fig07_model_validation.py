@@ -1,0 +1,50 @@
+"""Figure 7: DNN accuracy on the real (simulated) device vs the fitted error model.
+
+Paper result: the accuracy predicted by injecting errors from the fitted error
+model tracks the accuracy measured on the real approximate DRAM module closely
+across the voltage sweep, for modules from multiple vendors.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig07_model_validation
+from repro.analysis.reporting import format_multi_series
+
+from benchmarks.conftest import BASELINE_EPOCHS, print_header, run_once
+
+VOLTAGES = (1.05, 1.15, 1.25, 1.35)
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_error_model_validation(benchmark):
+    data = run_once(
+        benchmark, fig07_model_validation,
+        model_name="lenet", vendors=("A", "B"), voltages=VOLTAGES,
+        epochs=BASELINE_EPOCHS,
+    )
+
+    print_header("Figure 7: accuracy on device vs fitted error model (LeNet)")
+    for vendor, curves in data.items():
+        print(format_multi_series(
+            {"device": curves["device"], "error model": curves["error_model"]},
+            title=f"Vendor {vendor} (fitted Error Model {curves['model_id']})",
+            x_label="VDD", float_format="{:.3f}"))
+
+    for vendor, curves in data.items():
+        device_curve = curves["device"]
+        model_curve = curves["error_model"]
+
+        # Both curves recover full accuracy at nominal voltage and degrade at
+        # the most aggressive voltage.
+        assert device_curve[1.35] > 0.9
+        assert model_curve[1.35] > 0.9
+        assert device_curve[1.05] < device_curve[1.35]
+
+        # The error model tracks the device: mean absolute accuracy gap across
+        # the sweep stays small (the paper's curves overlap within error bars).
+        gaps = [abs(device_curve[v] - model_curve[v]) for v in VOLTAGES]
+        assert sum(gaps) / len(gaps) < 0.15, f"vendor {vendor}: model does not track device"
+
+        # Accuracy is monotonically non-increasing as voltage drops.
+        ordered = [device_curve[v] for v in sorted(VOLTAGES)]
+        assert all(a <= b + 0.05 for a, b in zip(ordered, ordered[1:]))

@@ -1,0 +1,86 @@
+"""Figures 9 and 10: curricular retraining on the device and its ablations.
+
+Paper results reproduced in shape:
+
+* Figure 9 — the boosted (curricular-retrained) LeNet sustains accuracy at
+  voltage / tRCD reductions where the baseline has already collapsed; at
+  nominal parameters both are equivalent.
+* Figure 10 (left) — retraining with a good-fit error model shifts the
+  accuracy-vs-BER curve to the right, while a poor-fit model helps far less.
+* Figure 10 (right) — curricular retraining avoids the degradation that
+  immediate full-rate (non-curricular) injection can cause.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig09_boosted_on_device, fig10_retraining_ablation
+from repro.analysis.reporting import format_multi_series
+
+from benchmarks.conftest import BASELINE_EPOCHS, print_header, run_once
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_boosted_vs_baseline_on_device(benchmark):
+    data = run_once(
+        benchmark, fig09_boosted_on_device,
+        model_name="lenet", vendor="A",
+        voltages=(1.05, 1.15, 1.25, 1.35),
+        trcd_values_ns=(2.5, 5.0, 7.5, 12.5),
+        retrain_epochs=8, epochs=BASELINE_EPOCHS,
+    )
+
+    print_header("Figure 9: LeNet baseline vs boosted accuracy on the device")
+    print(format_multi_series(data["voltage"], title="accuracy vs VDD (V)",
+                              x_label="VDD", float_format="{:.3f}"))
+    print(format_multi_series(data["trcd"], title="accuracy vs tRCD (ns)",
+                              x_label="tRCD", float_format="{:.3f}"))
+
+    voltage = data["voltage"]
+    trcd = data["trcd"]
+
+    # At nominal parameters both networks are accurate.
+    assert voltage["baseline"][1.35] > 0.9
+    assert voltage["boosted"][1.35] > 0.9
+    assert trcd["baseline"][12.5] > 0.9
+
+    # The boosted network extends the usable range: averaged over the reduced
+    # operating points it beats the baseline, and it is strictly better at at
+    # least one reduced point on each sweep.
+    reduced_v = [v for v in voltage["baseline"] if v < 1.35]
+    assert sum(voltage["boosted"][v] - voltage["baseline"][v] for v in reduced_v) > 0
+    assert any(voltage["boosted"][v] > voltage["baseline"][v] + 0.03 for v in reduced_v)
+    reduced_t = [t for t in trcd["baseline"] if t < 12.5]
+    assert sum(trcd["boosted"][t] - trcd["baseline"][t] for t in reduced_t) >= 0
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_fit_quality_and_curriculum(benchmark):
+    data = run_once(
+        benchmark, fig10_retraining_ablation,
+        model_name="lenet", bers=(1e-3, 5e-3, 1e-2, 5e-2),
+        target_ber=1e-2, retrain_epochs=8, epochs=BASELINE_EPOCHS,
+    )
+
+    print_header("Figure 10: error-model fit quality and curricular-vs-flat retraining")
+    print(format_multi_series(data["fit_quality"], title="left: fit quality",
+                              x_label="BER", float_format="{:.3f}"))
+    print(format_multi_series(data["curriculum"], title="right: curriculum",
+                              x_label="BER", float_format="{:.3f}"))
+
+    fit = data["fit_quality"]
+    target = 1e-2
+
+    def area(curve):
+        return sum(curve.values())
+
+    # Retraining with the good-fit model beats the baseline at the target BER
+    # and overall; the poor-fit model helps less than the good-fit one.
+    assert fit["good_fit"][target] > fit["baseline"][target]
+    assert area(fit["good_fit"]) >= area(fit["poor_fit"]) - 0.05
+    assert area(fit["good_fit"]) > area(fit["baseline"])
+
+    curriculum = data["curriculum"]
+    # Curricular retraining is at least as good as flat full-rate retraining
+    # and clearly better than no retraining at the target BER.
+    assert curriculum["curricular"][target] > curriculum["baseline"][target]
+    assert area(curriculum["curricular"]) >= area(curriculum["non_curricular"]) - 0.1

@@ -1,0 +1,87 @@
+"""Figures 13-14: CPU DRAM-energy reduction and speedup per workload.
+
+Paper results reproduced in shape:
+
+* Figure 13 — DRAM energy savings of roughly 20-40% for most workloads (paper
+  average 21%, up to 29% for YOLO/VGG) and clearly less for SqueezeNet, whose
+  small tolerable BER only permits a small voltage reduction; FP32 and int8
+  savings are roughly equal (the voltage reduction is similar).
+* Figure 14 — the YOLO family, being latency-bound, gets the largest speedups
+  (paper: up to 17%); SqueezeNet and ResNet get almost none; EDEN's speedup is
+  a large fraction of the ideal tRCD=0 speedup.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig13_fig14_cpu
+from repro.analysis.reporting import format_table
+from repro.arch.system import geometric_mean
+
+from benchmarks.conftest import print_header, run_once
+
+MODELS = ("yolo-tiny", "yolo", "resnet101", "vgg16", "squeezenet1.1", "densenet201")
+
+
+@pytest.fixture(scope="module")
+def cpu_results():
+    return fig13_fig14_cpu(models=MODELS, precisions=(32, 8))
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_cpu_dram_energy_reduction(benchmark):
+    results = run_once(benchmark, fig13_fig14_cpu, models=MODELS, precisions=(32, 8))
+
+    print_header("Figure 13: CPU DRAM energy reduction per workload")
+    print(format_table(
+        ["model", "FP32 saving", "int8 saving"],
+        [(m, f"{100 * results[m][32]['energy_reduction']:.1f}%",
+          f"{100 * results[m][8]['energy_reduction']:.1f}%") for m in MODELS],
+    ))
+    fp32_savings = {m: results[m][32]["energy_reduction"] for m in MODELS}
+    gmean = 1 - geometric_mean([1 - s for s in fp32_savings.values()])
+    print(f"Gmean FP32 energy saving: {100 * gmean:.1f}%  (paper: 21%)")
+
+    # Meaningful average savings, in the paper's ballpark.
+    assert 0.10 < gmean < 0.45
+
+    # YOLO and VGG are among the biggest savers; SqueezeNet is the smallest
+    # (its tiny tolerable BER permits only a small voltage reduction).
+    assert fp32_savings["squeezenet1.1"] == min(fp32_savings.values())
+    assert fp32_savings["yolo"] > fp32_savings["squeezenet1.1"] + 0.10
+    assert fp32_savings["vgg16"] > fp32_savings["squeezenet1.1"] + 0.10
+
+    # FP32 and int8 savings are close for models whose reductions match.
+    for model in ("resnet101", "vgg16", "squeezenet1.1"):
+        assert abs(results[model][32]["energy_reduction"]
+                   - results[model][8]["energy_reduction"]) < 0.08
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_cpu_speedup(benchmark, cpu_results):
+    results = run_once(benchmark, fig13_fig14_cpu, models=MODELS, precisions=(32,))
+
+    print_header("Figure 14: CPU speedup (EDEN vs ideal tRCD=0)")
+    print(format_table(
+        ["model", "EDEN speedup", "ideal tRCD=0"],
+        [(m, f"{100 * (results[m][32]['speedup'] - 1):.1f}%",
+          f"{100 * (results[m][32]['ideal_trcd_speedup'] - 1):.1f}%") for m in MODELS],
+    ))
+    speedups = {m: results[m][32]["speedup"] for m in MODELS}
+    ideals = {m: results[m][32]["ideal_trcd_speedup"] for m in MODELS}
+    gmean_speedup = geometric_mean(list(speedups.values())) - 1
+    gmean_ideal = geometric_mean(list(ideals.values())) - 1
+    print(f"Gmean speedup: {100 * gmean_speedup:.1f}%  (paper: 8%), "
+          f"ideal: {100 * gmean_ideal:.1f}%  (paper: 10%)")
+
+    # Latency-bound YOLO family wins; SqueezeNet and ResNet see almost nothing.
+    assert speedups["yolo"] == max(speedups.values())
+    assert speedups["yolo"] > 1.05
+    assert speedups["yolo-tiny"] > 1.03
+    assert speedups["squeezenet1.1"] < 1.02
+    assert speedups["resnet101"] < 1.02
+
+    # EDEN's speedup never exceeds the ideal-tRCD bound, and overall the gmean
+    # sits within the ideal's envelope (paper: 8% vs 10%).
+    for model in MODELS:
+        assert speedups[model] <= ideals[model] + 1e-9
+    assert 0.0 < gmean_speedup <= gmean_ideal

@@ -1,0 +1,90 @@
+"""Section 7.2: GPU and DNN-accelerator (Eyeriss, TPU) results, plus Tables 4-6.
+
+Paper results reproduced in shape:
+
+* GPU — ~37% average DRAM energy reduction for the YOLO family; small speedups
+  (average 2.7%, max 5.5%) because warps hide most DRAM latency;
+* Eyeriss / TPU — ~31-32% DRAM energy reduction with DDR4 and ~21-27% with
+  LPDDR3, and *no* speedup from tRCD reduction because the accelerators'
+  prefetch-friendly access patterns hide activation latency entirely;
+* Tables 4-6 — the simulated platform configurations.
+"""
+
+import pytest
+
+from repro.analysis.figures import sec72_accelerators, sec72_gpu
+from repro.analysis.reporting import format_table
+from repro.analysis.tables import system_configurations
+from repro.arch.system import geometric_mean
+
+from benchmarks.conftest import print_header, run_once
+
+
+@pytest.mark.benchmark(group="sec72-gpu")
+def test_sec72_gpu_energy_and_speedup(benchmark):
+    results = run_once(benchmark, sec72_gpu, models=("yolo", "yolo-tiny"), precisions=(32, 8))
+
+    print_header("Section 7.2: GPU (Titan-X class) results")
+    rows = []
+    for model, per_bits in results.items():
+        for bits, metrics in per_bits.items():
+            rows.append((model, bits, f"{100 * metrics['energy_reduction']:.1f}%",
+                         f"{100 * (metrics['speedup'] - 1):.1f}%"))
+    print(format_table(["model", "bits", "energy saved", "speedup"], rows))
+
+    fp32 = {m: results[m][32] for m in results}
+    average_saving = 1 - geometric_mean([1 - v["energy_reduction"] for v in fp32.values()])
+    print(f"average FP32 DRAM energy saving: {100 * average_saving:.1f}% (paper: 37%)")
+
+    # Large energy savings, small speedups — the GPU hides latency.
+    assert 0.25 < average_saving < 0.50
+    for model, metrics in fp32.items():
+        assert metrics["energy_reduction"] > 0.25
+        assert 1.0 <= metrics["speedup"] < 1.10
+        assert metrics["speedup"] - 1.0 < metrics["energy_reduction"]
+
+
+@pytest.mark.benchmark(group="sec72-accel")
+def test_sec72_eyeriss_and_tpu(benchmark):
+    results = run_once(benchmark, sec72_accelerators)
+
+    print_header("Section 7.2: Eyeriss / TPU accelerator results (int8)")
+    rows = []
+    for accelerator, per_memory in results.items():
+        for memory_type, per_model in per_memory.items():
+            for model, metrics in per_model.items():
+                rows.append((accelerator, memory_type, model,
+                             f"{100 * metrics['energy_reduction']:.1f}%",
+                             f"{100 * (metrics['speedup'] - 1):.1f}%"))
+    print(format_table(["accelerator", "memory", "model", "energy saved", "speedup"], rows))
+
+    for accelerator in ("eyeriss", "tpu"):
+        ddr4 = results[accelerator]["DDR4-2400"]
+        average = sum(m["energy_reduction"] for m in ddr4.values()) / len(ddr4)
+        # Paper: ~31-32% DRAM energy savings with DDR4.
+        assert 0.20 < average < 0.45
+        # No speedup from tRCD reduction on accelerators.
+        for metrics in ddr4.values():
+            assert metrics["speedup"] == pytest.approx(1.0, abs=1e-9)
+        # LPDDR3 savings are positive as well.
+        lpddr3 = results[accelerator]["LPDDR3-1600"]
+        assert all(m["energy_reduction"] > 0.15 for m in lpddr3.values())
+
+
+@pytest.mark.benchmark(group="tables456")
+def test_tables_4_5_6_system_configurations(benchmark):
+    rows = run_once(benchmark, system_configurations)
+
+    print_header("Tables 4-6: simulated platform configurations")
+    print(format_table(
+        ["platform", "name", "compute units", "frequency (GHz)", "memory"],
+        [(r["platform"], r["name"], r["compute_units"], r["frequency_ghz"], r["memory"])
+         for r in rows],
+    ))
+
+    by_platform = {r["platform"]: r for r in rows}
+    assert by_platform["CPU"]["compute_units"] == 2            # Table 4: 2 cores
+    assert by_platform["GPU"]["compute_units"] == 28           # Table 5: 28 SMs
+    assert by_platform["Eyeriss"]["compute_units"] == 12 * 14  # Table 6
+    assert by_platform["TPU"]["compute_units"] == 256 * 256    # Table 6
+    assert by_platform["GPU"]["memory"] == "GDDR5"

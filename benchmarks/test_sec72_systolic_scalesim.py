@@ -1,0 +1,70 @@
+"""Section 7.2 cross-check: Eyeriss / TPU via the SCALE-Sim-style systolic simulator.
+
+The headline accelerator numbers come from the analytical models in
+:mod:`repro.arch.accelerator`; this benchmark regenerates them with the
+dataflow-level systolic simulator (:mod:`repro.systolic`) running the paper's
+actual AlexNet and YOLO-Tiny layer dimensions, and checks the two Section-7.2
+findings: ~30% DRAM energy reduction from reduced VDD, and no speedup from
+reduced tRCD.
+"""
+
+import pytest
+
+from repro.dram.timing import NOMINAL_DDR4_TIMING
+from repro.dram.voltage import VoltageDomain
+from repro.systolic import (
+    PAPER_ACCELERATOR_WORKLOADS,
+    SYSTOLIC_PRESETS,
+    SystolicSimulator,
+)
+
+from benchmarks.conftest import print_header, run_once
+
+#: Table 3 int8 operating points for the two accelerator workloads.
+OPERATING_POINTS = {
+    "alexnet": {"vdd": 1.35 - 0.30, "delta_trcd_ns": 4.5},
+    "yolo-tiny": {"vdd": 1.35 - 0.30, "delta_trcd_ns": 4.5},
+}
+
+
+def _experiment():
+    rows = []
+    for accelerator, config in SYSTOLIC_PRESETS.items():
+        simulator = SystolicSimulator(config)
+        for workload, shapes in PAPER_ACCELERATOR_WORKLOADS.items():
+            point = OPERATING_POINTS[workload]
+            reduction = simulator.energy_reduction(
+                shapes, VoltageDomain(vdd=point["vdd"]))
+            speedup = simulator.speedup_from_trcd(
+                shapes, NOMINAL_DDR4_TIMING.with_reduced_trcd(point["delta_trcd_ns"]))
+            result = simulator.simulate(shapes)
+            rows.append({
+                "accelerator": accelerator,
+                "workload": workload,
+                "energy_reduction": reduction,
+                "trcd_speedup": speedup,
+                "execution_time_ms": result.execution_time_ms,
+                "dram_mb": (result.dram_read_bytes + result.dram_write_bytes) / 1e6,
+            })
+    return rows
+
+
+@pytest.mark.benchmark(group="accelerators")
+def test_systolic_eyeriss_tpu_energy_and_speedup(benchmark):
+    rows = run_once(benchmark, _experiment)
+
+    print_header("Section 7.2 via the systolic simulator (Eyeriss / TPU, int8)")
+    for row in rows:
+        print(f"{row['accelerator']:>8s} {row['workload']:<10s} "
+              f"DRAM energy reduction {row['energy_reduction'] * 100:5.1f}%  "
+              f"tRCD speedup {row['trcd_speedup']:.4f}  "
+              f"time {row['execution_time_ms']:8.2f} ms  "
+              f"DRAM traffic {row['dram_mb']:7.1f} MB")
+
+    for row in rows:
+        # Paper: 31-34% DRAM energy savings on Eyeriss/TPU with DDR4.
+        assert 0.15 < row["energy_reduction"] < 0.45
+        # Paper: "Eyeriss and TPU exhibit no speedup from reducing tRCD."
+        assert row["trcd_speedup"] == pytest.approx(1.0, abs=0.02)
+    # Both accelerators and both workloads are covered.
+    assert len(rows) == len(SYSTOLIC_PRESETS) * len(PAPER_ACCELERATOR_WORKLOADS)

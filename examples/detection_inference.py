@@ -1,0 +1,120 @@
+"""Example: detection-style inference (YOLO analogue) on approximate DRAM.
+
+The paper's detection workloads (YOLO / YOLO-Tiny, Table 1) are scored with
+mean average precision, and their post-processing — confidence thresholding,
+IoU thresholding and non-maximum suppression — is exactly the code the paper
+blames for their DRAM-latency sensitivity.  This example runs that pipeline
+end to end on the synthetic detection dataset:
+
+1. build ground truth and a "prediction grid" per image (the output a
+   detection head would produce);
+2. store the grids in approximate DRAM by injecting bit errors with EDEN's
+   Error Model 0 at increasing BERs;
+3. decode boxes, threshold, run NMS, and score mAP with and without EDEN's
+   implausible-value correction.
+
+The mAP-vs-BER curve shows the same shape as the accuracy curves of the
+classification networks: flat until ~1e-3, then collapsing at ~1e-2.  It also
+shows where implausible-value correction matters: the detection head's own
+logistic squashing already neutralises exploded values at the very end of the
+network, so zeroing there mostly removes detections — the correction earns its
+keep on weights and feature maps *inside* the network (see the curricular
+retraining examples and the ablation benchmarks), not on post-processed
+outputs.
+
+Run with:  python examples/detection_inference.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.dram.error_models import DramLayout, make_error_model
+from repro.dram.injection import inject_bit_errors
+from repro.nn.detection import (
+    Box,
+    decode_grid_predictions,
+    mean_average_precision,
+    non_maximum_suppression,
+    synthetic_detection_dataset,
+)
+
+GRID_SIZE = 8
+NUM_CLASSES = 3
+BERS = (0.0, 1e-4, 1e-3, 1e-2, 5e-2)
+
+
+def build_prediction_grids(annotations, noise=0.05, seed=0):
+    """Produce a near-perfect prediction grid per image from its ground truth."""
+    rng = np.random.default_rng(seed)
+    grids = []
+    for boxes in annotations:
+        grid = np.full((5 + NUM_CLASSES, GRID_SIZE, GRID_SIZE), -8.0, dtype=np.float32)
+        for box in boxes:
+            cx = (box.x_min + box.x_max) / 2.0
+            cy = (box.y_min + box.y_max) / 2.0
+            col = min(GRID_SIZE - 1, int(cx * GRID_SIZE))
+            row = min(GRID_SIZE - 1, int(cy * GRID_SIZE))
+            grid[0, row, col] = 8.0                                  # objectness
+            grid[1, row, col] = _logit(cx * GRID_SIZE - col, noise, rng)
+            grid[2, row, col] = _logit(cy * GRID_SIZE - row, noise, rng)
+            grid[3, row, col] = _logit(box.width, noise, rng)
+            grid[4, row, col] = _logit(box.height, noise, rng)
+            grid[5 + box.class_id, row, col] = 6.0
+        grids.append(grid)
+    return grids
+
+
+def _logit(value, noise, rng):
+    value = float(np.clip(value + rng.normal(0.0, noise), 1e-3, 1.0 - 1e-3))
+    return float(np.log(value / (1.0 - value)))
+
+
+def zero_implausible(grid, bound=50.0):
+    """EDEN's correction: zero any loaded value outside the plausible range."""
+    corrected = grid.copy()
+    corrected[np.abs(corrected) > bound] = 0.0
+    return corrected
+
+
+def evaluate(grids, annotations, ber, correct=False, seed=0):
+    error_model = make_error_model(0, ber, seed=seed) if ber > 0 else None
+    layout = DramLayout()
+    predictions = []
+    for index, grid in enumerate(grids):
+        noisy = grid
+        if error_model is not None:
+            rng = np.random.default_rng(seed * 1_000 + index)
+            noisy = inject_bit_errors(grid.ravel(), 32, error_model, layout,
+                                      rng).reshape(grid.shape)
+        if correct:
+            noisy = zero_implausible(noisy)
+        boxes = decode_grid_predictions(noisy, confidence=0.4)
+        predictions.append(non_maximum_suppression(boxes, iou_threshold=0.5))
+    return mean_average_precision(predictions, annotations, iou_threshold=0.3)
+
+
+def main() -> None:
+    images, annotations = synthetic_detection_dataset(
+        num_images=24, grid_size=GRID_SIZE, num_classes=NUM_CLASSES, seed=1)
+    grids = build_prediction_grids(annotations)
+    print(f"synthetic detection set: {images.shape[0]} images, "
+          f"{sum(len(a) for a in annotations)} objects")
+
+    rows = []
+    for ber in BERS:
+        plain = evaluate(grids, annotations, ber, correct=False)
+        corrected = evaluate(grids, annotations, ber, correct=True)
+        rows.append((f"{ber:.0e}" if ber else "0", f"{plain:.3f}", f"{corrected:.3f}"))
+    print(format_table(
+        ["bit error rate", "mAP (no correction)", "mAP (implausible values zeroed)"],
+        rows, title="Detection quality vs DRAM bit error rate (Error Model 0)"))
+    print("\nThe detector tolerates BERs up to ~1e-3 and collapses around 1e-2, the same "
+          "shape as the classification accuracy curves.  Because the head's logistic "
+          "squashing already bounds exploded values, zeroing at this late stage mostly "
+          "deletes detections; EDEN applies the correction to weights and feature maps "
+          "inside the network, where the ablation benchmarks show it raises the tolerable "
+          "BER by orders of magnitude.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Characterize an approximate DRAM device and fit EDEN's error models.
+
+Reproduces the device-side half of the paper (Sections 4 and 6.2):
+
+* sweep the supply voltage and tRCD of three vendors' modules with the
+  SoftMC-style profiler and print the BER curves per stored data pattern
+  (the data behind Figure 5);
+* fit the four EDEN error models to one operating point of each vendor and
+  show which model the MLE selection picks;
+* validate the selected model by comparing the DNN accuracy it predicts with
+  the accuracy measured when the DNN's tensors are actually served from the
+  device (the Figure 7 experiment).
+
+Run with:  python examples/device_characterization.py
+"""
+
+from repro.analysis.figures import PROFILING_GEOMETRY, fig07_model_validation
+from repro.analysis.reporting import format_multi_series
+from repro.core.offload import profile_and_fit
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+from repro.dram.profiler import DEFAULT_PATTERNS, SoftMCProfiler
+
+
+def sweep_vendor(vendor: str) -> None:
+    device = ApproximateDram(vendor, geometry=PROFILING_GEOMETRY, seed=1)
+    profiler = SoftMCProfiler(device, rows_to_profile=8, trials=4, seed=0)
+
+    voltage_curves = {}
+    for pattern in DEFAULT_PATTERNS:
+        voltage_curves[f"0x{pattern:02X}"] = {}
+    for vdd in (1.05, 1.10, 1.15, 1.20, 1.25):
+        profile = profiler.profile(
+            DramOperatingPoint.from_reductions(delta_vdd=device.nominal_vdd - vdd))
+        for pattern in DEFAULT_PATTERNS:
+            voltage_curves[f"0x{pattern:02X}"][vdd] = profile.ber_for_pattern(pattern)
+    print(format_multi_series(voltage_curves, title=f"\nVendor {vendor}: BER vs VDD (V)",
+                              x_label="VDD", float_format="{:.2e}"))
+
+    trcd_curves = {f"0x{p:02X}": {} for p in DEFAULT_PATTERNS}
+    for trcd in (2.5, 5.0, 7.5, 10.0):
+        profile = profiler.profile(
+            DramOperatingPoint.from_reductions(
+                delta_trcd_ns=device.nominal_timing.trcd_ns - trcd))
+        for pattern in DEFAULT_PATTERNS:
+            trcd_curves[f"0x{pattern:02X}"][trcd] = profile.ber_for_pattern(pattern)
+    print(format_multi_series(trcd_curves, title=f"Vendor {vendor}: BER vs tRCD (ns)",
+                              x_label="tRCD", float_format="{:.2e}"))
+
+    # Fit and select an error model at one aggressive operating point.
+    op_point = DramOperatingPoint.from_reductions(delta_vdd=0.25)
+    fitted = profile_and_fit(device, op_point, rows_to_profile=16, trials=5, seed=0)
+    print(f"Vendor {vendor}: selected Error Model {fitted.model.model_id} "
+          f"with parameters {fitted.model.parameters()}")
+
+
+def main() -> None:
+    print("=== SoftMC-style reduced-parameter characterization (Figure 5) ===")
+    for vendor in ("A", "B", "C"):
+        sweep_vendor(vendor)
+
+    print("\n=== Error-model validation against the device (Figure 7) ===")
+    validation = fig07_model_validation(model_name="lenet", vendors=("A",),
+                                        voltages=(1.05, 1.15, 1.25, 1.35), epochs=4)
+    for vendor, curves in validation.items():
+        print(format_multi_series(
+            {"device": curves["device"], "error model": curves["error_model"]},
+            title=f"Vendor {vendor}: LeNet accuracy, device vs fitted Error Model "
+                  f"{curves['model_id']}",
+            x_label="VDD", float_format="{:.3f}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: run the full EDEN flow on one DNN and one approximate DRAM module.
+
+This example walks through the three EDEN steps end to end:
+
+1. train a baseline DNN (a LeNet analogue on the synthetic CIFAR-10 stand-in);
+2. boost its error tolerance with curricular retraining against an error model
+   fitted to the target approximate DRAM device;
+3. characterize the maximum tolerable bit error rate and translate it into the
+   DRAM voltage / tRCD reductions the device can run at;
+
+and finally estimates the DRAM energy saving and speedup those reductions buy
+on a CPU inference platform.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.arch.system import Platform, evaluate_platform
+from repro.core.config import AccuracyTarget, EdenConfig
+from repro.core.pipeline import Eden
+from repro.dram.device import ApproximateDram
+from repro.dram.geometry import DramGeometry
+from repro.nn.models import build_model_with_dataset
+from repro.nn.training import Trainer
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ step 0
+    # Train the baseline DNN on reliable DRAM.
+    print("=== Training the baseline DNN (LeNet analogue) ===")
+    network, dataset, spec = build_model_with_dataset("lenet", seed=0)
+    history = Trainer(network, dataset, spec.training_config()).fit()
+    print(f"baseline validation accuracy: {history.final_score:.3f}")
+
+    # ------------------------------------------------------------------ step 1-3
+    # Run EDEN against an approximate DRAM device from vendor A.  The pipeline
+    # profiles the device, fits one of the four error models, runs curricular
+    # retraining, characterizes the boosted DNN and picks DRAM parameters.
+    print("\n=== Running the EDEN flow against approximate DRAM (vendor A) ===")
+    device = ApproximateDram(
+        "A", geometry=DramGeometry(row_size_bytes=512, subarrays_per_bank=4,
+                                   rows_per_subarray=64), seed=1,
+    )
+    eden = Eden(
+        accuracy_target=AccuracyTarget.within_one_percent(),
+        config=EdenConfig(retrain_epochs=6, evaluation_repeats=1,
+                          ber_search_steps=9, max_outer_iterations=1, seed=0),
+    )
+    result = eden.run(network, dataset, device)
+    print(result.summary())
+
+    # ------------------------------------------------------------------ system level
+    # What do those DRAM parameter reductions buy on a CPU inference platform?
+    print("\n=== System-level impact on a CPU inference platform ===")
+    platform_result = evaluate_platform(
+        Platform.CPU, "lenet", result.delta_vdd, result.delta_trcd_ns,
+    )
+    print(f"DRAM energy reduction : {platform_result.energy_reduction_percent:.1f}%")
+    print(f"speedup               : {platform_result.speedup_percent:.1f}%")
+    print(f"ideal-tRCD speedup    : {100 * (platform_result.ideal_trcd_speedup - 1):.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Analysis helpers: parameter sweeps and regeneration of the paper's artifacts.
+
+* :mod:`repro.analysis.sweep`     — voltage / tRCD / BER sweep utilities;
+* :mod:`repro.analysis.figures`   — data series for each figure of the paper;
+* :mod:`repro.analysis.tables`    — structured rows for each table;
+* :mod:`repro.analysis.reporting` — plain-text rendering used by the examples
+  and the benchmark harness (no plotting dependencies are available offline).
+"""
+
+from repro.analysis.sweep import ber_sweep, trcd_sweep, voltage_sweep_points
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = [
+    "ber_sweep",
+    "trcd_sweep",
+    "voltage_sweep_points",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,391 @@
+"""Regeneration of the paper's figures as numeric data series.
+
+Each function returns the data behind one figure (nested dictionaries keyed by
+curve name and x value), so the benchmark harness can print the series and
+assert on the qualitative shape the paper reports (orderings, crossovers,
+monotonic collapse, retraining gains) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.sweep import accuracy_on_device, ber_sweep, trcd_sweep, voltage_sweep_points
+from repro.core.boosting import curricular_retrain, non_curricular_retrain
+from repro.core.characterization import fine_grained_characterization
+from repro.core.config import AccuracyTarget, EdenConfig
+from repro.core.correction import ImplausibleValueCorrector, ThresholdStore
+from repro.core.mapping import fine_grained_mapping
+from repro.core.offload import profile_and_fit
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+from repro.dram.error_models import UniformErrorModel, make_error_model
+from repro.dram.geometry import DramGeometry, PartitionLevel
+from repro.dram.partitions import PartitionTable
+from repro.dram.profiler import DEFAULT_PATTERNS, SoftMCProfiler
+from repro.dram.vendors import VENDOR_PROFILES
+from repro.nn.models import build_model_with_dataset, get_spec
+from repro.nn.quantization import QuantizedLoadTransform
+from repro.nn.training import Trainer
+from repro.nn.tensor import DataKind
+
+#: small geometry used whenever a figure needs device profiling (keeps the
+#: SoftMC-style sweeps fast while preserving many rows per bank).
+PROFILING_GEOMETRY = DramGeometry(row_size_bytes=512, subarrays_per_bank=4,
+                                  rows_per_subarray=64)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: BER vs supply voltage / tRCD per data pattern, three vendors
+# ---------------------------------------------------------------------------
+
+def fig05_ber_vs_parameters(vendors: Sequence[str] = ("A", "B", "C"),
+                            patterns: Sequence[int] = DEFAULT_PATTERNS,
+                            voltages: Sequence[float] = (1.05, 1.10, 1.15, 1.20, 1.25, 1.30),
+                            trcd_values_ns: Sequence[float] = (2.5, 5.0, 7.5, 10.0),
+                            rows_to_profile: int = 8, trials: int = 4,
+                            seed: int = 0) -> Dict:
+    """{"voltage"|"trcd": {vendor: {pattern: {x: BER}}}}."""
+    result = {"voltage": {}, "trcd": {}}
+    for vendor in vendors:
+        device = ApproximateDram(vendor, geometry=PROFILING_GEOMETRY, seed=seed)
+        profiler = SoftMCProfiler(device, rows_to_profile=rows_to_profile,
+                                  trials=trials, seed=seed)
+        voltage_curves: Dict[int, Dict[float, float]] = {p: {} for p in patterns}
+        for vdd in voltages:
+            profile = profiler.profile(
+                DramOperatingPoint.from_reductions(delta_vdd=device.nominal_vdd - vdd),
+                patterns=patterns,
+            )
+            for pattern in patterns:
+                voltage_curves[pattern][vdd] = profile.ber_for_pattern(pattern)
+        result["voltage"][vendor] = voltage_curves
+
+        trcd_curves: Dict[int, Dict[float, float]] = {p: {} for p in patterns}
+        for trcd in trcd_values_ns:
+            profile = profiler.profile(
+                DramOperatingPoint.from_reductions(
+                    delta_trcd_ns=device.nominal_timing.trcd_ns - trcd),
+                patterns=patterns,
+            )
+            for pattern in patterns:
+                trcd_curves[pattern][trcd] = profile.ber_for_pattern(pattern)
+        result["trcd"][vendor] = trcd_curves
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: error-model validation against the (simulated) real device
+# ---------------------------------------------------------------------------
+
+def fig07_model_validation(model_name: str = "lenet",
+                           vendors: Sequence[str] = ("A", "B", "C"),
+                           voltages: Sequence[float] = (1.05, 1.15, 1.25, 1.35),
+                           epochs: Optional[int] = None,
+                           seed: int = 0) -> Dict:
+    """{vendor: {"device": {V: acc}, "error_model": {V: acc}, "model_id": id}}."""
+    spec = get_spec(model_name)
+    network, dataset, _ = build_model_with_dataset(model_name, seed=seed)
+    Trainer(network, dataset, spec.training_config(epochs=epochs)).fit()
+    thresholds = ThresholdStore.from_network(network, dataset.train_x)
+    corrector = ImplausibleValueCorrector(thresholds)
+
+    result: Dict[str, Dict] = {}
+    for vendor in vendors:
+        device = ApproximateDram(vendor, geometry=PROFILING_GEOMETRY, seed=seed + 1)
+        op_points = voltage_sweep_points(device, voltages)
+
+        device_curve_raw = accuracy_on_device(
+            network, dataset, device, op_points, corrector=corrector,
+            metric=spec.metric, seed=seed,
+        )
+        device_curve = {op.vdd: acc for op, acc in device_curve_raw.items()}
+
+        model_curve: Dict[float, float] = {}
+        fitted_id = 0
+        for op_point in op_points:
+            if device.expected_ber(op_point) <= 0:
+                fitted_model = UniformErrorModel(0.0, 0.0, seed=seed)
+            else:
+                fitted = profile_and_fit(device, op_point, rows_to_profile=8,
+                                         trials=4, seed=seed)
+                fitted_model, fitted_id = fitted.model, fitted.model_id
+            curve = ber_sweep(network, dataset, fitted_model,
+                              [max(fitted_model.expected_ber(), 1e-12)],
+                              corrector=corrector, metric=spec.metric, seed=seed)
+            model_curve[op_point.vdd] = list(curve.values())[0]
+        result[vendor] = {
+            "device": device_curve,
+            "error_model": model_curve,
+            "model_id": fitted_id,
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: accuracy vs BER across error models and precisions
+# ---------------------------------------------------------------------------
+
+def fig08_error_model_sensitivity(model_name: str = "resnet101",
+                                  bers: Sequence[float] = (1e-4, 1e-3, 1e-2, 5e-2, 1e-1),
+                                  precisions: Sequence[int] = (4, 8, 16, 32),
+                                  error_model_ids: Sequence[int] = (0, 1, 2, 3),
+                                  epochs: Optional[int] = None,
+                                  with_correction: bool = False,
+                                  seed: int = 0) -> Dict:
+    """{error_model_id: {bits: {BER: accuracy}}} for the baseline (unboosted) DNN.
+
+    ``with_correction`` is off by default because Figure 8 studies the *raw*
+    error tolerance of the baseline DNNs (Section 6.3), including the accuracy
+    collapse from implausible FP32 values.
+    """
+    spec = get_spec(model_name)
+    network, dataset, _ = build_model_with_dataset(model_name, seed=seed)
+    Trainer(network, dataset, spec.training_config(epochs=epochs)).fit()
+    corrector = None
+    if with_correction:
+        corrector = ImplausibleValueCorrector(
+            ThresholdStore.from_network(network, dataset.train_x)
+        )
+
+    result: Dict[int, Dict[int, Dict[float, float]]] = {}
+    for model_id in error_model_ids:
+        error_model = make_error_model(model_id, 1e-3, seed=seed)
+        result[model_id] = {}
+        for bits in precisions:
+            if bits == 4 and not spec.supports_int4:
+                continue
+            result[model_id][bits] = ber_sweep(
+                network, dataset, error_model, bers, bits=bits,
+                corrector=corrector, metric=spec.metric, seed=seed,
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: baseline vs boosted accuracy on the (simulated) real device
+# ---------------------------------------------------------------------------
+
+def fig09_boosted_on_device(model_name: str = "lenet",
+                            vendor: str = "A",
+                            voltages: Sequence[float] = (1.05, 1.15, 1.25, 1.35),
+                            trcd_values_ns: Sequence[float] = (2.5, 5.0, 7.5, 10.0, 12.5),
+                            retrain_epochs: int = 8,
+                            epochs: Optional[int] = None,
+                            seed: int = 0) -> Dict:
+    """{"voltage"|"trcd": {"baseline": {x: acc}, "boosted": {x: acc}}}."""
+    spec = get_spec(model_name)
+    network, dataset, _ = build_model_with_dataset(model_name, seed=seed)
+    Trainer(network, dataset, spec.training_config(epochs=epochs)).fit()
+    thresholds = ThresholdStore.from_network(network, dataset.train_x)
+    corrector = ImplausibleValueCorrector(thresholds)
+
+    device = ApproximateDram(vendor, geometry=PROFILING_GEOMETRY, seed=seed + 1)
+    config = EdenConfig(retrain_epochs=retrain_epochs, evaluation_repeats=1, seed=seed)
+
+    # Boost against the error model fitted at an aggressive operating point.
+    boost_op = DramOperatingPoint.from_reductions(delta_vdd=0.25)
+    fitted = profile_and_fit(device, boost_op, rows_to_profile=8, trials=4, seed=seed)
+    target_ber = max(fitted.model.expected_ber() * 4.0, 1e-3)
+    boost = curricular_retrain(network, dataset, fitted.model, target_ber, config, thresholds)
+    boosted = boost.network
+
+    result: Dict[str, Dict[str, Dict[float, float]]] = {"voltage": {}, "trcd": {}}
+
+    voltage_ops = voltage_sweep_points(device, voltages)
+    for label, net in (("baseline", network), ("boosted", boosted)):
+        curve = accuracy_on_device(net, dataset, device, voltage_ops,
+                                   corrector=corrector, metric=spec.metric, seed=seed)
+        result["voltage"][label] = {op.vdd: acc for op, acc in curve.items()}
+
+    trcd_ops = trcd_sweep(device, trcd_values_ns)
+    for label, net in (("baseline", network), ("boosted", boosted)):
+        curve = accuracy_on_device(net, dataset, device, trcd_ops,
+                                   corrector=corrector, metric=spec.metric, seed=seed)
+        result["trcd"][label] = {op.trcd_ns: acc for op, acc in curve.items()}
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: good-fit vs poor-fit error model; curricular vs non-curricular
+# ---------------------------------------------------------------------------
+
+def fig10_retraining_ablation(model_name: str = "lenet",
+                              bers: Sequence[float] = (1e-3, 5e-3, 1e-2, 5e-2),
+                              target_ber: float = 1e-2,
+                              retrain_epochs: int = 8,
+                              epochs: Optional[int] = None,
+                              seed: int = 0) -> Dict:
+    """Left panel: baseline / poor-fit retrain / good-fit retrain accuracy-vs-BER.
+    Right panel: baseline / non-curricular / curricular accuracy-vs-BER."""
+    spec = get_spec(model_name)
+    network, dataset, _ = build_model_with_dataset(model_name, seed=seed)
+    Trainer(network, dataset, spec.training_config(epochs=epochs)).fit()
+    thresholds = ThresholdStore.from_network(network, dataset.train_x)
+    corrector = ImplausibleValueCorrector(thresholds)
+    config = EdenConfig(retrain_epochs=retrain_epochs, evaluation_repeats=1, seed=seed)
+
+    # The device is dominated by data-dependent 1->0 flips; the good-fit model
+    # is Error Model 3 with the same bias, the poor-fit model has the bias
+    # reversed (errors land on the wrong bit values during retraining).
+    good_fit = make_error_model(3, target_ber, seed=seed)
+    poor_fit = make_error_model(1, target_ber, seed=seed + 5)
+    evaluation_model = good_fit
+
+    def sweep(net) -> Dict[float, float]:
+        return ber_sweep(net, dataset, evaluation_model, bers, corrector=corrector,
+                         metric=spec.metric, seed=seed)
+
+    good_boost = curricular_retrain(network, dataset, good_fit, target_ber, config, thresholds)
+    poor_boost = curricular_retrain(network, dataset, poor_fit, target_ber, config, thresholds)
+    noncurricular = non_curricular_retrain(network, dataset, good_fit, target_ber, config,
+                                           thresholds)
+    return {
+        "fit_quality": {
+            "baseline": sweep(network),
+            "poor_fit": sweep(poor_boost.network),
+            "good_fit": sweep(good_boost.network),
+        },
+        "curriculum": {
+            "baseline": sweep(network),
+            "non_curricular": sweep(noncurricular.network),
+            "curricular": sweep(good_boost.network),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figures 11-12: fine-grained characterization and mapping
+# ---------------------------------------------------------------------------
+
+def fig11_fine_characterization(model_name: str = "resnet101",
+                                epochs: Optional[int] = None,
+                                config: Optional[EdenConfig] = None,
+                                seed: int = 0):
+    """Per-IFM/weight tolerable BER of the model (returns the FineCharacterization)."""
+    spec = get_spec(model_name)
+    network, dataset, _ = build_model_with_dataset(model_name, seed=seed)
+    Trainer(network, dataset, spec.training_config(epochs=epochs)).fit()
+    config = config or EdenConfig(evaluation_repeats=1, fine_max_rounds=4,
+                                  fine_validation_fraction=0.5, seed=seed)
+    error_model = make_error_model(0, 1e-3, seed=seed)
+    fine = fine_grained_characterization(
+        network, dataset, error_model, AccuracyTarget.within_one_percent(),
+        config=config, metric=spec.metric,
+    )
+    return fine
+
+
+def fig12_fine_mapping(fine, num_partitions: int = 16,
+                       voltage_levels: Sequence[float] = (1.05, 1.15, 1.25, 1.325),
+                       seed: int = 0) -> Dict:
+    """Map a fine characterization onto partitions at four voltage levels.
+
+    Returns {"mapping": FineMapping, "partition_voltages": {...},
+    "tensor_voltage": {tensor: vdd}} — the data behind Figure 12.
+    """
+    device = ApproximateDram("A", seed=seed)
+    op_bers = {}
+    for vdd in voltage_levels:
+        op = DramOperatingPoint.from_reductions(delta_vdd=device.nominal_vdd - vdd)
+        op_bers[op] = device.expected_ber(op)
+    total_bytes = sum(spec.size_bytes for spec in fine.specs)
+    partition_size = max(64 * 1024, int(total_bytes / max(num_partitions // 2, 1)) + 1)
+    table = PartitionTable.synthetic(num_partitions, partition_size, op_bers,
+                                     spread=0.25, seed=seed)
+    mapping = fine_grained_mapping(fine, table)
+    tensor_voltage = {
+        tensor: mapping.operating_points[pid].vdd
+        for tensor, pid in mapping.assignments.items()
+    }
+    return {
+        "mapping": mapping,
+        "partition_voltages": {pid: op.vdd for pid, op in mapping.operating_points.items()},
+        "tensor_voltage": tensor_voltage,
+        "partition_bers": {op.vdd: ber for op, ber in op_bers.items()},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figures 13-14 and Section 7.2: system-level results
+# ---------------------------------------------------------------------------
+
+def fig13_fig14_cpu(operating_points: Optional[Dict[str, Dict[str, float]]] = None,
+                    models: Sequence[str] = ("yolo-tiny", "yolo", "resnet101", "vgg16",
+                                             "squeezenet1.1", "densenet201"),
+                    precisions: Sequence[int] = (32, 8)) -> Dict:
+    """CPU DRAM-energy reduction (Fig. 13) and speedup (Fig. 14) per model/precision."""
+    from repro.analysis.tables import PAPER_TABLE3_FP32, PAPER_TABLE3_INT8
+    from repro.arch.system import Platform, evaluate_platform
+
+    result: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for name in models:
+        result[name] = {}
+        for bits in precisions:
+            if operating_points is not None:
+                point = operating_points[name]
+            else:
+                point = (PAPER_TABLE3_FP32 if bits == 32 else PAPER_TABLE3_INT8)[name]
+            platform_result = evaluate_platform(
+                Platform.CPU, name, point["delta_vdd"], point["delta_trcd_ns"], bits=bits,
+            )
+            result[name][bits] = {
+                "energy_reduction": platform_result.energy_reduction,
+                "speedup": platform_result.speedup,
+                "ideal_trcd_speedup": platform_result.ideal_trcd_speedup,
+            }
+    return result
+
+
+def sec72_gpu(models: Sequence[str] = ("yolo", "yolo-tiny"),
+              precisions: Sequence[int] = (32, 8)) -> Dict:
+    """GPU DRAM-energy reduction and speedup (Section 7.2)."""
+    from repro.analysis.tables import PAPER_TABLE3_FP32, PAPER_TABLE3_INT8
+    from repro.arch.system import Platform, evaluate_platform
+
+    result: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for name in models:
+        result[name] = {}
+        for bits in precisions:
+            point = (PAPER_TABLE3_FP32 if bits == 32 else PAPER_TABLE3_INT8)[name]
+            r = evaluate_platform(Platform.GPU, name, point["delta_vdd"],
+                                  point["delta_trcd_ns"], bits=bits)
+            result[name][bits] = {
+                "energy_reduction": r.energy_reduction,
+                "speedup": r.speedup,
+                "ideal_trcd_speedup": r.ideal_trcd_speedup,
+            }
+    return result
+
+
+def sec72_accelerators(models: Sequence[str] = ("alexnet", "yolo-tiny"),
+                       memory_types: Sequence[str] = ("DDR4-2400", "LPDDR3-1600")) -> Dict:
+    """Eyeriss / TPU DRAM-energy reduction with DDR4 and LPDDR3 (Section 7.2)."""
+    from repro.analysis.tables import PAPER_TABLE3_INT8
+    from repro.arch.accelerator import AcceleratorModel, EYERISS_CONFIG, TPU_CONFIG
+    from repro.arch.traffic import workload_for
+    from repro.dram.device import DramOperatingPoint
+
+    lpddr_bandwidth = 12.8
+    result: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for accel_name, base_config in (("eyeriss", EYERISS_CONFIG), ("tpu", TPU_CONFIG)):
+        result[accel_name] = {}
+        for memory_type in memory_types:
+            config = base_config
+            if memory_type != base_config.memory_type:
+                config = base_config.with_memory(memory_type, lpddr_bandwidth)
+            model = AcceleratorModel(config)
+            for workload_name in models:
+                point = PAPER_TABLE3_INT8[workload_name]
+                workload = workload_for(workload_name, bits=8)
+                eden_op = DramOperatingPoint.from_reductions(
+                    delta_vdd=point["delta_vdd"], delta_trcd_ns=point["delta_trcd_ns"],
+                )
+                reduction = model.dram_energy_reduction(workload, eden_op)
+                speedup = model.speedup(workload, eden_op)
+                result[accel_name].setdefault(memory_type, {})[workload_name] = {
+                    "energy_reduction": reduction,
+                    "speedup": speedup,
+                }
+    return result

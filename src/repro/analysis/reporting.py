@@ -1,0 +1,63 @@
+"""Plain-text rendering of tables and data series.
+
+No plotting libraries are available offline, so every figure is regenerated as
+the numeric series behind it and every table as aligned text rows; the
+benchmark harness prints these so the reproduction can be compared with the
+paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "",
+                 float_format: str = "{:.4g}") -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping, title: str = "", x_label: str = "x",
+                  y_label: str = "y", float_format: str = "{:.4g}") -> str:
+    """Render an {x: y} mapping (one curve of a figure) as two aligned columns."""
+    rows = [(k, v) for k, v in series.items()]
+    return format_table([x_label, y_label], rows, title=title, float_format=float_format)
+
+
+def format_multi_series(curves: Mapping[str, Mapping], title: str = "",
+                        x_label: str = "x", float_format: str = "{:.4g}") -> str:
+    """Render {curve_name: {x: y}} as one table with a column per curve."""
+    all_x: List = sorted({x for series in curves.values() for x in series})
+    headers = [x_label] + list(curves)
+    rows = []
+    for x in all_x:
+        row = [x]
+        for name in curves:
+            value = curves[name].get(x, "")
+            row.append(value)
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)

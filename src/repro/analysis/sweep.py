@@ -1,0 +1,89 @@
+"""Parameter sweep utilities shared by figures, examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+from repro.dram.error_models import ErrorModel
+from repro.dram.injection import BitErrorInjector
+from repro.nn.datasets import Dataset
+from repro.nn.metrics import evaluate
+from repro.nn.network import Network
+
+
+def voltage_sweep_points(device: ApproximateDram,
+                         voltages: Sequence[float]) -> List[DramOperatingPoint]:
+    """Operating points at each supply voltage (nominal timing)."""
+    return [
+        DramOperatingPoint.from_reductions(
+            delta_vdd=device.nominal_vdd - vdd,
+            nominal_vdd=device.nominal_vdd, nominal_timing=device.nominal_timing,
+        )
+        for vdd in voltages
+    ]
+
+
+def trcd_sweep(device: ApproximateDram,
+               trcd_values_ns: Sequence[float]) -> List[DramOperatingPoint]:
+    """Operating points at each tRCD (nominal voltage)."""
+    return [
+        DramOperatingPoint.from_reductions(
+            delta_trcd_ns=device.nominal_timing.trcd_ns - trcd,
+            nominal_vdd=device.nominal_vdd, nominal_timing=device.nominal_timing,
+        )
+        for trcd in trcd_values_ns
+    ]
+
+
+def ber_sweep(network: Network, dataset: Dataset, error_model: ErrorModel,
+              bers: Sequence[float], bits: int = 32, corrector=None,
+              repeats: int = 1, metric: str = "accuracy",
+              seed: int = 0) -> Dict[float, float]:
+    """Accuracy of ``network`` at each bit error rate (the Figure 8/10 x-axis)."""
+    results: Dict[float, float] = {}
+    previous = network.fault_injector
+    try:
+        for ber in bers:
+            scores = []
+            for repeat in range(repeats):
+                injector = BitErrorInjector(
+                    error_model.with_ber(ber), bits=bits, corrector=corrector,
+                    seed=seed + repeat,
+                )
+                network.set_fault_injector(injector)
+                scores.append(
+                    evaluate(network, dataset.val_x, dataset.val_y, metric=metric)
+                )
+            results[float(ber)] = float(np.mean(scores))
+    finally:
+        network.set_fault_injector(previous)
+    return results
+
+
+def accuracy_on_device(network: Network, dataset: Dataset, device: ApproximateDram,
+                       op_points: Sequence[DramOperatingPoint], bits: int = 32,
+                       corrector=None, metric: str = "accuracy",
+                       seed: int = 0) -> Dict[DramOperatingPoint, float]:
+    """Accuracy of ``network`` when its tensors are read from ``device``.
+
+    Used for the real-DRAM experiments (Figures 7 and 9): every weight/IFM
+    load goes through the behavioural device at the given operating point.
+    """
+    from repro.dram.injection import DeviceBackedInjector
+
+    results: Dict[DramOperatingPoint, float] = {}
+    previous = network.fault_injector
+    try:
+        for op_point in op_points:
+            injector = DeviceBackedInjector(device, op_point, bits=bits,
+                                            corrector=corrector, seed=seed)
+            network.set_fault_injector(injector)
+            results[op_point] = float(
+                evaluate(network, dataset.val_x, dataset.val_y, metric=metric)
+            )
+    finally:
+        network.set_fault_injector(previous)
+    return results

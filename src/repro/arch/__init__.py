@@ -1,0 +1,41 @@
+"""System-level evaluation substrate (paper Section 7).
+
+The paper evaluates EDEN's DRAM parameter reductions on four platforms —
+a multi-core OoO CPU (ZSim + Ramulator + DRAMPower), a Titan-X-class GPU
+(GPGPU-Sim + GPUWattch) and two DNN accelerators (Eyeriss and a TPU, via
+SCALE-Sim + DRAMPower).  This package provides analytical stand-ins for those
+simulators: each platform model consumes a workload descriptor (DRAM traffic,
+compute work, latency sensitivity), a DRAM operating point (ΔVDD, ΔtRCD) and
+produces execution time and DRAM energy, from which the benchmark harness
+regenerates Figures 13-14 and the Section 7.2 results.
+"""
+
+from repro.arch.traffic import WorkloadDescriptor, PAPER_WORKLOADS, workload_for
+from repro.arch.cache import CacheHierarchy, CacheLevel
+from repro.arch.memory_controller import BoundingLogic, MemoryControllerConfig
+from repro.arch.cpu import CpuConfig, CpuModel, CpuRunResult
+from repro.arch.gpu import GpuConfig, GpuModel
+from repro.arch.accelerator import AcceleratorConfig, AcceleratorModel, EYERISS_CONFIG, TPU_CONFIG
+from repro.arch.system import PlatformResult, evaluate_platform, geometric_mean
+
+__all__ = [
+    "WorkloadDescriptor",
+    "PAPER_WORKLOADS",
+    "workload_for",
+    "CacheHierarchy",
+    "CacheLevel",
+    "BoundingLogic",
+    "MemoryControllerConfig",
+    "CpuConfig",
+    "CpuModel",
+    "CpuRunResult",
+    "GpuConfig",
+    "GpuModel",
+    "AcceleratorConfig",
+    "AcceleratorModel",
+    "EYERISS_CONFIG",
+    "TPU_CONFIG",
+    "PlatformResult",
+    "evaluate_platform",
+    "geometric_mean",
+]

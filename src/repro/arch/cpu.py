@@ -1,0 +1,159 @@
+"""Analytical multi-core CPU performance and DRAM-energy model (paper Section 7.1).
+
+Stands in for the paper's ZSim + Ramulator + DRAMPower stack.  The model
+splits an inference into
+
+* a compute/bandwidth component — MACs over the cores' throughput, or the
+  DRAM-bandwidth-limited streaming time, whichever is larger; and
+* an exposed-latency component — the fraction of DRAM accesses that neither
+  the stream prefetchers nor the out-of-order window can hide (dominated by
+  the workload's random-access fraction), each paying the row-miss or row-hit
+  latency, overlapped by the memory-level parallelism of the core.
+
+Reducing tRCD shrinks the row-miss portion of the exposed latency (this is
+EDEN's CPU speedup); reducing VDD scales the DRAM dynamic energy; shorter
+execution also trims background/refresh energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arch.cache import CacheHierarchy
+from repro.arch.traffic import WorkloadDescriptor
+from repro.dram.device import DramOperatingPoint
+from repro.dram.energy import DramEnergyModel, EnergyBreakdown, TrafficProfile
+from repro.dram.timing import TimingParameters
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Simulated CPU configuration (paper Table 4)."""
+
+    name: str = "2-core OoO @ 4 GHz"
+    cores: int = 2
+    frequency_ghz: float = 4.0
+    issue_width: int = 4
+    macs_per_cycle_per_core: float = 16.0    # SIMD FMA throughput
+    memory_type: str = "DDR4-2133"
+    channels: int = 2
+    peak_dram_bandwidth_gbps: float = 34.0   # 2 channels of DDR4-2133
+    sequential_mlp: float = 4.0              # overlapped outstanding streaming misses
+    random_mlp: float = 2.0                  # dependent/irregular accesses overlap poorly
+    prefetcher_coverage: float = 0.90        # fraction of sequential misses hidden
+    random_access_bytes: float = 8.0         # useful bytes per irregular DRAM access
+    frontend_overhead: float = 0.10          # non-MAC work (activation, bookkeeping)
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.frequency_ghz <= 0:
+            raise ValueError("cores and frequency must be positive")
+        if not 0.0 <= self.prefetcher_coverage <= 1.0:
+            raise ValueError("prefetcher_coverage must be in [0, 1]")
+
+
+@dataclass
+class CpuRunResult:
+    """Execution time and DRAM energy of one inference on the CPU model."""
+
+    execution_time_s: float
+    compute_time_s: float
+    bandwidth_time_s: float
+    exposed_latency_s: float
+    traffic: TrafficProfile
+    dram_energy: EnergyBreakdown
+
+    @property
+    def dram_energy_mj(self) -> float:
+        return self.dram_energy.total_mj
+
+
+class CpuModel:
+    """Evaluates a workload on the CPU at a DRAM operating point."""
+
+    def __init__(self, config: Optional[CpuConfig] = None,
+                 cache: Optional[CacheHierarchy] = None):
+        self.config = config or CpuConfig()
+        self.cache = cache or CacheHierarchy()
+        self.energy_model = DramEnergyModel(self.config.memory_type)
+
+    # -- timing --------------------------------------------------------------------
+    def _compute_time_s(self, workload: WorkloadDescriptor) -> float:
+        config = self.config
+        throughput = config.cores * config.frequency_ghz * 1e9 * config.macs_per_cycle_per_core
+        return workload.macs / throughput * (1.0 + config.frontend_overhead)
+
+    def _bandwidth_time_s(self, dram_bytes: float) -> float:
+        return dram_bytes / (self.config.peak_dram_bandwidth_gbps * 1e9)
+
+    def _exposed_latency_s(self, workload: WorkloadDescriptor, dram_bytes: float,
+                           timing: TimingParameters) -> float:
+        """Latency of DRAM accesses that stall the core.
+
+        Streaming (sequential) accesses are mostly covered by the stream
+        prefetchers and overlap well in the OoO window; irregular accesses
+        (e.g. YOLO's non-maximum-suppression / thresholding indexing, paper
+        Section 7.1) defeat the prefetchers, use only a few bytes of each
+        fetched line and form dependent chains that barely overlap — they are
+        what makes a workload latency-bound.
+        """
+        config = self.config
+        hit_rate = workload.row_buffer_hit_rate
+        per_miss_ns = (
+            (1.0 - hit_rate) * timing.row_miss_latency_ns + hit_rate * timing.row_hit_latency_ns
+        )
+
+        sequential_bytes = dram_bytes * (1.0 - workload.random_access_fraction)
+        random_bytes = dram_bytes * workload.random_access_fraction
+
+        sequential_misses = sequential_bytes / 64.0
+        sequential_stall = (
+            sequential_misses * (1.0 - config.prefetcher_coverage)
+            * per_miss_ns / config.sequential_mlp
+        )
+        random_misses = random_bytes / config.random_access_bytes
+        random_stall = random_misses * per_miss_ns / config.random_mlp
+        return (sequential_stall + random_stall) * 1e-9
+
+    def run(self, workload: WorkloadDescriptor,
+            op_point: Optional[DramOperatingPoint] = None) -> CpuRunResult:
+        """One inference at the given DRAM operating point (nominal if omitted)."""
+        op_point = op_point or DramOperatingPoint.nominal()
+        dram_bytes = self.cache.dram_bytes(workload)
+        read_fraction = workload.read_bytes / max(workload.total_bytes, 1.0)
+
+        compute_s = self._compute_time_s(workload)
+        bandwidth_s = self._bandwidth_time_s(dram_bytes)
+        exposed_s = self._exposed_latency_s(workload, dram_bytes, op_point.timing)
+        execution_s = max(compute_s, bandwidth_s) + exposed_s
+
+        misses = dram_bytes / 64.0
+        traffic = TrafficProfile(
+            reads_bytes=dram_bytes * read_fraction,
+            writes_bytes=dram_bytes * (1.0 - read_fraction),
+            row_activations=misses * (1.0 - workload.row_buffer_hit_rate),
+            execution_time_ms=execution_s * 1e3,
+        )
+        energy = self.energy_model.energy(traffic, voltage=op_point.voltage)
+        return CpuRunResult(
+            execution_time_s=execution_s,
+            compute_time_s=compute_s,
+            bandwidth_time_s=bandwidth_s,
+            exposed_latency_s=exposed_s,
+            traffic=traffic,
+            dram_energy=energy,
+        )
+
+    # -- headline metrics -----------------------------------------------------------
+    def speedup(self, workload: WorkloadDescriptor, eden_op: DramOperatingPoint,
+                baseline_op: Optional[DramOperatingPoint] = None) -> float:
+        baseline = self.run(workload, baseline_op)
+        eden = self.run(workload, eden_op)
+        return baseline.execution_time_s / eden.execution_time_s
+
+    def dram_energy_reduction(self, workload: WorkloadDescriptor,
+                              eden_op: DramOperatingPoint,
+                              baseline_op: Optional[DramOperatingPoint] = None) -> float:
+        baseline = self.run(workload, baseline_op)
+        eden = self.run(workload, eden_op)
+        return 1.0 - eden.dram_energy.total_nj / baseline.dram_energy.total_nj

@@ -1,0 +1,91 @@
+"""Memory-controller support for EDEN (paper Section 5).
+
+Three pieces of hardware support make EDEN deployable:
+
+* **Bounding logic** — a one-cycle comparator on every load that zeroes
+  implausible values (the hardware realization of
+  :class:`repro.core.correction.ImplausibleValueCorrector`).
+* **Coarse-grained mapping support** — the ability to change the module-wide
+  voltage and timing parameters at run time rather than only at boot.
+* **Fine-grained mapping support** — per-partition voltage (Voltron-style
+  bank-granularity power delivery) and timing parameters, plus the metadata
+  to track which partition runs at which point (the paper budgets 8 bits of
+  voltage step + 4 bits of tRCD per partition, ≤2KB for subarray granularity
+  on an 8GB module).
+
+This module provides the cost/latency accounting for those pieces and a small
+:class:`MemoryControllerConfig` the platform models consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dram.device import DramOperatingPoint
+from repro.dram.geometry import DramGeometry, PartitionLevel
+
+#: metadata bits per partition: 8-bit voltage step + 4-bit tRCD code (paper §5).
+VOLTAGE_METADATA_BITS = 8
+TRCD_METADATA_BITS = 4
+METADATA_BITS_PER_PARTITION = VOLTAGE_METADATA_BITS + TRCD_METADATA_BITS
+
+#: the paper bounds useful partition counts at 2^10 (most DNNs have <=1024
+#: distinct error-resilient data types).
+MAX_USEFUL_PARTITIONS = 1 << 10
+
+
+@dataclass(frozen=True)
+class BoundingLogic:
+    """The implausible-value bounding logic added to the memory controller."""
+
+    latency_cycles: int = 1
+    comparators: int = 2          # upper and lower bound compare
+    threshold_registers: int = 2
+
+    def added_load_latency_cycles(self, enabled: bool = True) -> int:
+        """Extra cycles added to each DNN load when correction is enabled."""
+        return self.latency_cycles if enabled else 0
+
+
+@dataclass
+class MemoryControllerConfig:
+    """Capabilities and bookkeeping of an EDEN-enabled memory controller."""
+
+    geometry: DramGeometry = field(default_factory=DramGeometry)
+    supports_runtime_parameter_change: bool = True
+    partition_level: PartitionLevel = PartitionLevel.BANK
+    bounding_logic: BoundingLogic = field(default_factory=BoundingLogic)
+    partition_op_points: Dict[int, DramOperatingPoint] = field(default_factory=dict)
+
+    # -- metadata accounting ---------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return min(self.geometry.num_partitions(self.partition_level), MAX_USEFUL_PARTITIONS)
+
+    @property
+    def metadata_bytes(self) -> int:
+        """Bytes of controller metadata to track per-partition parameters."""
+        return (self.num_partitions * METADATA_BITS_PER_PARTITION + 7) // 8
+
+    # -- partition parameter management -----------------------------------------------
+    def set_partition_op_point(self, partition_id: int, op_point: DramOperatingPoint) -> None:
+        if not self.supports_runtime_parameter_change:
+            raise RuntimeError(
+                "this memory controller cannot change DRAM parameters at run time"
+            )
+        if not 0 <= partition_id < self.geometry.num_partitions(self.partition_level):
+            raise ValueError(f"partition {partition_id} out of range")
+        self.partition_op_points[partition_id] = op_point
+
+    def op_point_for(self, partition_id: int,
+                     default: Optional[DramOperatingPoint] = None) -> DramOperatingPoint:
+        return self.partition_op_points.get(partition_id, default or DramOperatingPoint.nominal())
+
+    def set_module_op_point(self, op_point: DramOperatingPoint) -> None:
+        """Coarse-grained mapping: one operating point for every partition."""
+        for partition_id, _ in self.geometry.partitions(self.partition_level):
+            self.partition_op_points[partition_id] = op_point
+
+    def distinct_op_points(self) -> int:
+        return len(set(self.partition_op_points.values())) if self.partition_op_points else 0

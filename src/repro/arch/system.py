@@ -1,0 +1,125 @@
+"""End-to-end platform evaluation helpers used by the benchmark harness.
+
+Given a DNN workload name, a numeric precision and the (ΔVDD, ΔtRCD) that
+EDEN's characterization allows for that DNN (paper Table 3), these helpers
+compute the DRAM-energy reduction and speedup on each platform — the numbers
+plotted in Figures 13-14 and reported in Section 7.2.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.arch.accelerator import AcceleratorModel, EYERISS_CONFIG, TPU_CONFIG
+from repro.arch.cpu import CpuModel
+from repro.arch.gpu import GpuModel
+from repro.arch.traffic import workload_for
+from repro.dram.device import DramOperatingPoint
+
+
+class Platform(enum.Enum):
+    """The four inference platforms the paper evaluates."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    EYERISS = "eyeriss"
+    TPU = "tpu"
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """Headline metrics for one (platform, workload, precision) combination."""
+
+    platform: Platform
+    workload: str
+    bits: int
+    delta_vdd: float
+    delta_trcd_ns: float
+    energy_reduction: float       # fractional DRAM energy saving vs nominal
+    speedup: float                # execution-time speedup vs nominal
+    ideal_trcd_speedup: float     # speedup with tRCD -> ~0 (upper bound)
+
+    @property
+    def energy_reduction_percent(self) -> float:
+        return 100.0 * self.energy_reduction
+
+    @property
+    def speedup_percent(self) -> float:
+        return 100.0 * (self.speedup - 1.0)
+
+
+def _model_for(platform: Platform):
+    if platform is Platform.CPU:
+        return CpuModel()
+    if platform is Platform.GPU:
+        return GpuModel()
+    if platform is Platform.EYERISS:
+        return AcceleratorModel(EYERISS_CONFIG)
+    if platform is Platform.TPU:
+        return AcceleratorModel(TPU_CONFIG)
+    raise ValueError(f"unknown platform {platform!r}")  # pragma: no cover - exhaustive
+
+
+def _op_point(delta_vdd: float, delta_trcd_ns: float) -> DramOperatingPoint:
+    return DramOperatingPoint.from_reductions(delta_vdd=delta_vdd,
+                                              delta_trcd_ns=delta_trcd_ns)
+
+
+def evaluate_platform(platform: Platform, workload_name: str,
+                      delta_vdd: float, delta_trcd_ns: float,
+                      bits: int = 32,
+                      model=None) -> PlatformResult:
+    """Energy reduction and speedup of EDEN's operating point on one platform."""
+    model = model or _model_for(platform)
+    workload = workload_for(workload_name, bits=bits)
+    baseline_op = DramOperatingPoint.nominal()
+    eden_op = _op_point(delta_vdd, delta_trcd_ns)
+    # "Ideal" activation latency: tRCD reduced to (almost) zero, nominal voltage.
+    ideal_op = DramOperatingPoint.from_reductions(
+        delta_trcd_ns=baseline_op.timing.trcd_ns - 0.01
+    )
+
+    energy_reduction = model.dram_energy_reduction(workload, eden_op, baseline_op)
+    speedup = model.speedup(workload, eden_op, baseline_op)
+    ideal_speedup = model.speedup(workload, ideal_op, baseline_op)
+    return PlatformResult(
+        platform=platform,
+        workload=workload_name,
+        bits=bits,
+        delta_vdd=delta_vdd,
+        delta_trcd_ns=delta_trcd_ns,
+        energy_reduction=energy_reduction,
+        speedup=speedup,
+        ideal_trcd_speedup=ideal_speedup,
+    )
+
+
+def evaluate_many(platform: Platform,
+                  operating_points: Dict[str, Dict[int, Dict[str, float]]],
+                  ) -> Dict[str, Dict[int, PlatformResult]]:
+    """Evaluate a platform over {workload: {bits: {"delta_vdd":…, "delta_trcd_ns":…}}}."""
+    model = _model_for(platform)
+    results: Dict[str, Dict[int, PlatformResult]] = {}
+    for workload_name, per_bits in operating_points.items():
+        results[workload_name] = {}
+        for bits, reductions in per_bits.items():
+            results[workload_name][bits] = evaluate_platform(
+                platform, workload_name,
+                delta_vdd=reductions["delta_vdd"],
+                delta_trcd_ns=reductions["delta_trcd_ns"],
+                bits=bits, model=model,
+            )
+    return results
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, used for the paper's Gmean bars."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,187 @@
+"""Workload descriptors: the DRAM traffic and compute shape of each DNN.
+
+The platform models need, per network, how many bytes of weights/IFMs/OFMs
+move through DRAM per inference, how much compute the inference performs, and
+how latency-sensitive its access pattern is (the paper singles out YOLO's
+non-maximum suppression and thresholding steps as producing random accesses
+that prefetchers cannot cover, which is why YOLO sees the largest tRCD
+speedups on the CPU).
+
+Two sources are supported:
+
+* :data:`PAPER_WORKLOADS` — descriptors derived from the paper's Table 1
+  footprints and publicly known MAC counts of the original networks, used by
+  the system-level benchmarks so that energy/latency results have the paper's
+  proportions (our scaled-down analogues are far too small to be
+  memory-bound); and
+* :func:`workload_from_network` — measured traffic of an in-repo analogue,
+  used by the examples and unit tests to exercise the same code path end to
+  end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.nn.network import Network
+from repro.nn.tensor import DataKind
+
+MB = float(1 << 20)
+GIGA = 1e9
+
+
+@dataclass(frozen=True)
+class WorkloadDescriptor:
+    """One DNN inference workload as seen by a platform model."""
+
+    name: str
+    weight_bytes: float               # bytes of weights read per inference (FP32)
+    ifm_bytes: float                  # bytes of IFMs read per inference (FP32)
+    ofm_bytes: float                  # bytes of OFMs written per inference (FP32)
+    macs: float                       # multiply-accumulates per inference
+    random_access_fraction: float     # fraction of DRAM accesses prefetchers miss
+    row_buffer_hit_rate: float = 0.70
+    bits: int = 32
+
+    def __post_init__(self) -> None:
+        if min(self.weight_bytes, self.ifm_bytes, self.ofm_bytes, self.macs) < 0:
+            raise ValueError("traffic quantities must be non-negative")
+        if not 0.0 <= self.random_access_fraction <= 1.0:
+            raise ValueError("random_access_fraction must be in [0, 1]")
+        if not 0.0 <= self.row_buffer_hit_rate <= 1.0:
+            raise ValueError("row_buffer_hit_rate must be in [0, 1]")
+
+    # -- derived quantities ------------------------------------------------------
+    @property
+    def scale(self) -> float:
+        """Byte scaling for the numeric precision relative to FP32."""
+        return self.bits / 32.0
+
+    @property
+    def read_bytes(self) -> float:
+        return (self.weight_bytes + self.ifm_bytes) * self.scale
+
+    @property
+    def write_bytes(self) -> float:
+        return self.ofm_bytes * self.scale
+
+    @property
+    def total_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def dram_lines(self) -> float:
+        return self.total_bytes / 64.0
+
+    @property
+    def bytes_per_mac(self) -> float:
+        """Memory intensity: DRAM bytes moved per MAC (higher = more memory bound)."""
+        return self.total_bytes / max(self.macs, 1.0)
+
+    def at_precision(self, bits: int) -> "WorkloadDescriptor":
+        if bits not in (4, 8, 16, 32):
+            raise ValueError("bits must be 4, 8, 16 or 32")
+        return replace(self, bits=bits)
+
+
+#: Descriptors for the paper's workloads.  Weight/IFM byte totals follow the
+#: paper's Table 1 (IFM+Weight size column, split per the model's known
+#: parameter count), MAC counts are the published figures for each network,
+#: and the random-access fraction encodes the paper's observation that the
+#: YOLO family is latency-bound while SqueezeNet/ResNet are not.
+PAPER_WORKLOADS: Dict[str, WorkloadDescriptor] = {
+    "resnet101": WorkloadDescriptor(
+        name="resnet101", weight_bytes=163.0 * MB, ifm_bytes=37.0 * MB,
+        ofm_bytes=37.0 * MB, macs=7.6 * GIGA, random_access_fraction=0.01,
+    ),
+    "mobilenetv2": WorkloadDescriptor(
+        name="mobilenetv2", weight_bytes=22.7 * MB, ifm_bytes=45.8 * MB,
+        ofm_bytes=45.8 * MB, macs=0.30 * GIGA, random_access_fraction=0.03,
+    ),
+    "vgg16": WorkloadDescriptor(
+        name="vgg16", weight_bytes=528.0 * MB, ifm_bytes=109.0 * MB,
+        ofm_bytes=109.0 * MB, macs=15.5 * GIGA, random_access_fraction=0.03,
+    ),
+    "densenet201": WorkloadDescriptor(
+        name="densenet201", weight_bytes=76.0 * MB, ifm_bytes=363.0 * MB,
+        ofm_bytes=363.0 * MB, macs=4.3 * GIGA, random_access_fraction=0.04,
+    ),
+    "squeezenet1.1": WorkloadDescriptor(
+        name="squeezenet1.1", weight_bytes=4.8 * MB, ifm_bytes=49.0 * MB,
+        ofm_bytes=49.0 * MB, macs=0.35 * GIGA, random_access_fraction=0.005,
+    ),
+    "alexnet": WorkloadDescriptor(
+        name="alexnet", weight_bytes=233.0 * MB, ifm_bytes=8.0 * MB,
+        ofm_bytes=8.0 * MB, macs=0.72 * GIGA, random_access_fraction=0.02,
+    ),
+    "yolo": WorkloadDescriptor(
+        name="yolo", weight_bytes=237.0 * MB, ifm_bytes=123.0 * MB,
+        ofm_bytes=123.0 * MB, macs=17.5 * GIGA, random_access_fraction=0.35,
+        row_buffer_hit_rate=0.55,
+    ),
+    "yolo-tiny": WorkloadDescriptor(
+        name="yolo-tiny", weight_bytes=33.8 * MB, ifm_bytes=17.5 * MB,
+        ofm_bytes=17.5 * MB, macs=3.5 * GIGA, random_access_fraction=0.40,
+        row_buffer_hit_rate=0.55,
+    ),
+    "lenet": WorkloadDescriptor(
+        name="lenet", weight_bytes=1.65 * MB, ifm_bytes=0.65 * MB,
+        ofm_bytes=0.65 * MB, macs=0.005 * GIGA, random_access_fraction=0.02,
+    ),
+}
+
+
+def workload_for(name: str, bits: int = 32) -> WorkloadDescriptor:
+    """Look up a paper workload descriptor at the requested precision."""
+    key = name.lower()
+    if key not in PAPER_WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; expected one of {sorted(PAPER_WORKLOADS)}")
+    return PAPER_WORKLOADS[key].at_precision(bits)
+
+
+def _conv_macs(layer, input_shape) -> float:
+    out_shape = layer.output_shape(input_shape)
+    _, out_channels, oh, ow = out_shape
+    kh, kw = layer.kernel_size
+    return float(out_channels * oh * ow * kh * kw * layer.in_channels)
+
+
+def _linear_macs(layer) -> float:
+    return float(layer.in_features * layer.out_features)
+
+
+def workload_from_network(network: Network, bits: int = 32,
+                          random_access_fraction: float = 0.05) -> WorkloadDescriptor:
+    """Measure the traffic of an in-repo analogue network (single inference).
+
+    Weights and IFMs come from the network's data-type inventory; OFM bytes
+    mirror IFM bytes (each layer's OFM is the next layer's IFM); MACs are
+    computed per conv/linear layer.
+    """
+    from repro.nn.layers import Conv2D, Linear
+
+    specs = network.data_type_specs(dtype_bits=32)
+    weight_bytes = sum(s.size_bytes for s in specs if s.kind is DataKind.WEIGHT)
+    ifm_bytes = sum(s.size_bytes for s in specs if s.kind is DataKind.IFM)
+
+    macs = 0.0
+    shape = (1,) + network.input_shape
+    for layer in network.leaf_layers():
+        if isinstance(layer, Conv2D):
+            # Conv layers embedded in composite blocks may not see the top
+            # level shape; approximate with their registered IFM spec.
+            ifm_spec = next((s for s in specs if s.name == f"{layer.name}.ifm"), None)
+            layer_input = ifm_spec.shape if ifm_spec is not None else shape
+            macs += _conv_macs(layer, layer_input)
+        elif isinstance(layer, Linear):
+            macs += _linear_macs(layer)
+    return WorkloadDescriptor(
+        name=network.name,
+        weight_bytes=float(weight_bytes),
+        ifm_bytes=float(ifm_bytes),
+        ofm_bytes=float(ifm_bytes),
+        macs=max(macs, 1.0),
+        random_access_fraction=random_access_fraction,
+        bits=bits,
+    )

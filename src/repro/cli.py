@@ -1,0 +1,280 @@
+"""Command-line interface to the EDEN reproduction.
+
+Run with ``python -m repro.cli <command>`` (or the ``eden-repro`` console
+script).  Every command wraps a public library entry point with small default
+budgets so a laptop-class CPU finishes in seconds to a couple of minutes; the
+benchmark harness under ``benchmarks/`` regenerates the paper's tables and
+figures with the full settings.
+
+Commands
+--------
+list-models        the model zoo and its footprints (paper Table 1)
+profile-dram       sweep VDD / tRCD on a simulated module and report BERs (Fig. 5)
+fit-error-model    profile a device and fit/select EDEN's error models (Sec. 4)
+characterize       coarse-grained max tolerable BER of one model (Table 3)
+boost              run the full EDEN pipeline on one model (Sec. 3)
+evaluate-cpu       DRAM energy savings / speedup on the CPU platform (Figs. 13-14)
+evaluate-accel     DRAM energy savings on Eyeriss / TPU (Sec. 7.2)
+memsys             cycle-level memory-controller run at nominal vs reduced tRCD/VDD
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+
+
+# ---------------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------------
+
+def cmd_list_models(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import table1_model_zoo
+
+    rows = table1_model_zoo()
+    headers = list(rows[0].keys()) if rows else []
+    print(format_table(headers, [[row[h] for h in headers] for row in rows],
+                       title="Model zoo (paper Table 1 analogues)"))
+    return 0
+
+
+def cmd_profile_dram(args: argparse.Namespace) -> int:
+    from repro.dram.device import ApproximateDram
+    from repro.dram.profiler import SoftMCProfiler
+
+    device = ApproximateDram(vendor=args.vendor, seed=args.seed)
+    profiler = SoftMCProfiler(device, rows_to_profile=args.rows, trials=args.trials,
+                              seed=args.seed)
+    voltages = [round(device.nominal_vdd - 0.05 * step, 3) for step in range(args.points)]
+    trcds = [round(device.nominal_timing.trcd_ns - 1.5 * step, 2)
+             for step in range(args.points) if device.nominal_timing.trcd_ns - 1.5 * step > 1.0]
+    voltage_rows = [(vdd, profile.overall_ber())
+                    for vdd, profile in profiler.sweep_voltage(voltages).items()]
+    trcd_rows = [(trcd, profile.overall_ber())
+                 for trcd, profile in profiler.sweep_trcd(trcds).items()]
+    print(format_table(["VDD (V)", "BER"], voltage_rows,
+                       title=f"Vendor {args.vendor}: BER vs supply voltage",
+                       float_format="{:.3e}"))
+    print()
+    print(format_table(["tRCD (ns)", "BER"], trcd_rows,
+                       title=f"Vendor {args.vendor}: BER vs tRCD",
+                       float_format="{:.3e}"))
+    return 0
+
+
+def cmd_fit_error_model(args: argparse.Namespace) -> int:
+    from repro.dram.device import ApproximateDram, DramOperatingPoint
+    from repro.dram.fitting import fit_error_models, select_error_model
+    from repro.dram.profiler import SoftMCProfiler
+
+    device = ApproximateDram(vendor=args.vendor, seed=args.seed)
+    op_point = DramOperatingPoint.from_reductions(
+        delta_vdd=args.delta_vdd, delta_trcd_ns=args.delta_trcd,
+        nominal_vdd=device.nominal_vdd, nominal_timing=device.nominal_timing)
+    profile = SoftMCProfiler(device, rows_to_profile=args.rows, trials=args.trials,
+                             seed=args.seed).profile(op_point)
+    fitted = fit_error_models(profile, seed=args.seed)
+    selected = select_error_model(profile, seed=args.seed)
+    rows = [(f.model_id, type(f.model).__name__, f.log_likelihood) for f in fitted]
+    print(format_table(["Error model", "Class", "Log-likelihood"], rows,
+                       title=f"Vendor {args.vendor} at {op_point.describe()}",
+                       float_format="{:.1f}"))
+    print(f"\nSelected: Error Model {selected.model_id} "
+          f"({type(selected.model).__name__}), observed BER {profile.overall_ber():.2e}")
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import table3_coarse_characterization
+
+    rows = table3_coarse_characterization(models=[args.model], epochs=args.epochs)
+    headers = list(rows[0].keys()) if rows else []
+    print(format_table(headers, [[row[h] for h in headers] for row in rows],
+                       title="Coarse-grained characterization (paper Table 3)"))
+    return 0
+
+
+def cmd_boost(args: argparse.Namespace) -> int:
+    from repro.core.config import AccuracyTarget, EdenConfig
+    from repro.core.pipeline import Eden
+    from repro.dram.device import ApproximateDram, DramOperatingPoint
+    from repro.nn.models import build_model_with_dataset
+    from repro.nn.training import Trainer
+
+    network, dataset, spec = build_model_with_dataset(args.model, seed=args.seed)
+    Trainer(network, dataset, spec.training_config(epochs=args.epochs)).fit()
+    device = ApproximateDram(vendor=args.vendor, seed=args.seed)
+    op_point = DramOperatingPoint.from_reductions(
+        delta_vdd=args.delta_vdd, delta_trcd_ns=args.delta_trcd,
+        nominal_vdd=device.nominal_vdd, nominal_timing=device.nominal_timing)
+    target = (AccuracyTarget.no_degradation() if args.no_degradation
+              else AccuracyTarget.within_one_percent())
+    eden = Eden(accuracy_target=target,
+                config=EdenConfig(retrain_epochs=args.epochs, seed=args.seed))
+    result = eden.run(network, dataset, device, op_point=op_point)
+    print(result.summary())
+    return 0
+
+
+def cmd_evaluate_cpu(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import fig13_fig14_cpu
+
+    results = fig13_fig14_cpu(precisions=tuple(args.precisions))
+    rows = []
+    for model, per_precision in results.items():
+        for bits, metrics in per_precision.items():
+            rows.append((model, f"int{bits}" if bits != 32 else "FP32",
+                         f"{metrics['energy_reduction'] * 100:.1f}%",
+                         f"{metrics['speedup']:.3f}",
+                         f"{metrics['ideal_trcd_speedup']:.3f}"))
+    print(format_table(
+        ["Model", "Precision", "DRAM energy reduction", "Speedup", "Ideal (tRCD=0)"],
+        rows, title="CPU platform (paper Figures 13-14)"))
+    return 0
+
+
+def cmd_evaluate_accel(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import sec72_accelerators
+
+    results = sec72_accelerators()
+    rows = []
+    for accelerator, per_memory in results.items():
+        for memory_type, per_model in per_memory.items():
+            for model, metrics in per_model.items():
+                rows.append((accelerator, memory_type, model,
+                             f"{metrics['energy_reduction'] * 100:.1f}%",
+                             f"{metrics['speedup']:.3f}"))
+    print(format_table(
+        ["Accelerator", "Memory", "Model", "DRAM energy reduction", "Speedup"],
+        rows, title="Accelerator platforms (paper Section 7.2)"))
+    return 0
+
+
+def cmd_memsys(args: argparse.Namespace) -> int:
+    from repro.arch.traffic import workload_for
+    from repro.memsys import (
+        CacheHierarchy, CommandEnergyModel, ControllerConfig, MemoryRequest,
+        run_trace, trace_from_workload,
+    )
+
+    workload = workload_for(args.model, bits=args.bits)
+    accesses = trace_from_workload(workload, max_accesses=args.max_accesses, seed=args.seed)
+    hierarchy = CacheHierarchy(cycles_per_access=4.0)
+    filtered = hierarchy.filter_trace(accesses)
+
+    config = ControllerConfig()
+    nominal = run_trace([MemoryRequest(r.address, r.type, r.arrival_cycle)
+                         for r in filtered.dram_requests], config)
+    reduced_config = config.with_timing(config.timing.with_reduced_trcd(args.delta_trcd))
+    reduced = run_trace([MemoryRequest(r.address, r.type, r.arrival_cycle)
+                         for r in filtered.dram_requests], reduced_config)
+
+    energy = CommandEnergyModel("DDR4-2133")
+    nominal_energy = energy.energy_of_run(nominal).total_nj
+    reduced_energy = energy.energy_of_run(reduced, vdd=1.35 - args.delta_vdd).total_nj
+    rows = [
+        ("requests", nominal.stats.requests, reduced.stats.requests),
+        ("row-buffer hit rate", f"{nominal.stats.row_hit_rate:.3f}",
+         f"{reduced.stats.row_hit_rate:.3f}"),
+        ("avg read latency (cycles)", f"{nominal.stats.average_read_latency:.1f}",
+         f"{reduced.stats.average_read_latency:.1f}"),
+        ("total cycles", nominal.total_cycles, reduced.total_cycles),
+        ("DRAM energy (uJ)", f"{nominal_energy / 1e3:.2f}", f"{reduced_energy / 1e3:.2f}"),
+    ]
+    print(format_table(["metric", "nominal", "reduced"], rows,
+                       title=(f"{workload.name} ({args.bits}-bit): cycle-level memory system, "
+                              f"dVDD={args.delta_vdd}V dtRCD={args.delta_trcd}ns")))
+    return 0
+
+
+# ---------------------------------------------------------------------------------
+# argument parsing
+# ---------------------------------------------------------------------------------
+
+def _add_common_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="lenet", help="model zoo entry to use")
+    parser.add_argument("--epochs", type=int, default=3, help="training epochs")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--vendor", default="A", choices=("A", "B", "C"),
+                        help="simulated DRAM vendor profile")
+    parser.add_argument("--delta-vdd", type=float, default=0.25,
+                        help="supply-voltage reduction in volts")
+    parser.add_argument("--delta-trcd", type=float, default=5.5,
+                        help="tRCD reduction in nanoseconds")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="eden-repro",
+        description="Reproduction of EDEN (MICRO 2019): DNN inference on approximate DRAM.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-models", help="print the model zoo (Table 1)"
+                          ).set_defaults(handler=cmd_list_models)
+
+    profile = subparsers.add_parser("profile-dram",
+                                    help="BER vs VDD/tRCD sweeps on a simulated module")
+    profile.add_argument("--vendor", default="A", choices=("A", "B", "C"))
+    profile.add_argument("--rows", type=int, default=2)
+    profile.add_argument("--trials", type=int, default=4)
+    profile.add_argument("--points", type=int, default=6)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.set_defaults(handler=cmd_profile_dram)
+
+    fit = subparsers.add_parser("fit-error-model",
+                                help="fit and select EDEN's error models for a device")
+    _add_device_arguments(fit)
+    fit.add_argument("--rows", type=int, default=2)
+    fit.add_argument("--trials", type=int, default=4)
+    fit.add_argument("--seed", type=int, default=0)
+    fit.set_defaults(handler=cmd_fit_error_model)
+
+    characterize = subparsers.add_parser(
+        "characterize", help="coarse-grained DNN characterization (Table 3)")
+    _add_common_model_arguments(characterize)
+    characterize.set_defaults(handler=cmd_characterize)
+
+    boost = subparsers.add_parser("boost", help="run the full EDEN pipeline on one model")
+    _add_common_model_arguments(boost)
+    _add_device_arguments(boost)
+    boost.add_argument("--no-degradation", action="store_true",
+                       help="target the original accuracy instead of within-1%%")
+    boost.set_defaults(handler=cmd_boost)
+
+    cpu = subparsers.add_parser("evaluate-cpu", help="CPU energy/speedup (Figures 13-14)")
+    cpu.add_argument("--precisions", nargs="+", type=int, default=[32, 8],
+                     choices=[4, 8, 16, 32])
+    cpu.set_defaults(handler=cmd_evaluate_cpu)
+
+    accel = subparsers.add_parser("evaluate-accel",
+                                  help="Eyeriss/TPU energy reductions (Section 7.2)")
+    accel.set_defaults(handler=cmd_evaluate_accel)
+
+    memsys = subparsers.add_parser(
+        "memsys", help="cycle-level memory controller run at nominal vs reduced parameters")
+    memsys.add_argument("--model", default="yolo-tiny")
+    memsys.add_argument("--bits", type=int, default=32, choices=[4, 8, 16, 32])
+    memsys.add_argument("--max-accesses", type=int, default=4000)
+    memsys.add_argument("--delta-vdd", type=float, default=0.30)
+    memsys.add_argument("--delta-trcd", type=float, default=5.5)
+    memsys.add_argument("--seed", type=int, default=0)
+    memsys.set_defaults(handler=cmd_memsys)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":      # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

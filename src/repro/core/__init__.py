@@ -1,0 +1,57 @@
+"""EDEN core: the paper's contribution.
+
+The three steps of the framework (paper Figure 4):
+
+1. **Boosting DNN error tolerance** — :mod:`repro.core.boosting` implements
+   curricular retraining with implausible-value correction
+   (:mod:`repro.core.correction`).
+2. **DNN error tolerance characterization** — :mod:`repro.core.characterization`
+   implements the coarse-grained (whole-DNN) and fine-grained (per weight /
+   IFM) searches for the maximum tolerable bit error rate.
+3. **DNN to DRAM mapping** — :mod:`repro.core.mapping` implements Algorithm 1
+   plus the coarse module-level mapping.
+
+:mod:`repro.core.pipeline` orchestrates the full iterative flow, and
+:mod:`repro.core.offload` builds the error-model-driven version of the flow
+(EDEN offloading, Section 4) from a device profile.
+"""
+
+from repro.core.config import AccuracyTarget, EdenConfig
+from repro.core.correction import ImplausibleValueCorrector, ThresholdStore
+from repro.core.boosting import BoostResult, curricular_retrain, non_curricular_retrain
+from repro.core.characterization import (
+    CoarseCharacterization,
+    FineCharacterization,
+    coarse_grained_characterization,
+    fine_grained_characterization,
+)
+from repro.core.mapping import (
+    CoarseMapping,
+    FineMapping,
+    coarse_grained_mapping,
+    fine_grained_mapping,
+)
+from repro.core.pipeline import Eden, EdenResult
+from repro.core.offload import build_offload_injector, profile_and_fit
+
+__all__ = [
+    "AccuracyTarget",
+    "EdenConfig",
+    "ImplausibleValueCorrector",
+    "ThresholdStore",
+    "BoostResult",
+    "curricular_retrain",
+    "non_curricular_retrain",
+    "CoarseCharacterization",
+    "FineCharacterization",
+    "coarse_grained_characterization",
+    "fine_grained_characterization",
+    "CoarseMapping",
+    "FineMapping",
+    "coarse_grained_mapping",
+    "fine_grained_mapping",
+    "Eden",
+    "EdenResult",
+    "build_offload_injector",
+    "profile_and_fit",
+]

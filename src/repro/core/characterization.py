@@ -1,0 +1,210 @@
+"""DNN error tolerance characterization (paper Section 3.3).
+
+Two flavours:
+
+* **Coarse-grained** — find the single highest BER that, applied uniformly to
+  every weight and IFM, still meets the accuracy target.  The paper uses a
+  logarithmic-scale binary search, justified by the observation that DNN
+  error-tolerance curves are monotonically decreasing in BER.
+* **Fine-grained** — find a per-data-type (per weight tensor and per IFM)
+  tolerable BER by iteratively sweeping a list of data types, trying to raise
+  each one's error rate by a small factor and dropping it from the sweep once
+  it can take no more.  The search is bootstrapped at the coarse-grained BER
+  and uses a subsample of the validation set per evaluation to stay tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import AccuracyTarget, EdenConfig
+from repro.core.correction import ImplausibleValueCorrector, ThresholdStore
+from repro.dram.error_models import ErrorModel
+from repro.dram.injection import BitErrorInjector
+from repro.nn.datasets import Dataset
+from repro.nn.metrics import evaluate
+from repro.nn.network import Network
+from repro.nn.tensor import DataKind, TensorSpec
+
+
+@dataclass
+class CoarseCharacterization:
+    """Result of the whole-DNN (coarse) characterization."""
+
+    baseline_score: float
+    max_tolerable_ber: float
+    accuracy_at_max: float
+    tested: Dict[float, float] = field(default_factory=dict)   # BER -> score
+
+    def meets_target(self, target: AccuracyTarget) -> bool:
+        return target.is_met(self.accuracy_at_max, self.baseline_score)
+
+
+@dataclass
+class FineCharacterization:
+    """Result of the per-data-type (fine) characterization."""
+
+    baseline_score: float
+    coarse_ber: float
+    per_tensor_ber: Dict[str, float] = field(default_factory=dict)
+    specs: List[TensorSpec] = field(default_factory=list)
+
+    def ber_of(self, name: str) -> float:
+        return self.per_tensor_ber[name]
+
+    def weights(self) -> Dict[str, float]:
+        names = {s.name for s in self.specs if s.kind is DataKind.WEIGHT}
+        return {k: v for k, v in self.per_tensor_ber.items() if k in names}
+
+    def ifms(self) -> Dict[str, float]:
+        names = {s.name for s in self.specs if s.kind is DataKind.IFM}
+        return {k: v for k, v in self.per_tensor_ber.items() if k in names}
+
+    @property
+    def max_gain_over_coarse(self) -> float:
+        """Largest ratio of a per-tensor tolerable BER to the coarse BER."""
+        if not self.per_tensor_ber or self.coarse_ber <= 0:
+            return 1.0
+        return max(self.per_tensor_ber.values()) / self.coarse_ber
+
+
+def _scored_injector(error_model: ErrorModel, config: EdenConfig,
+                     corrector: ImplausibleValueCorrector,
+                     per_tensor_ber: Optional[Dict[str, float]] = None,
+                     seed_offset: int = 0) -> BitErrorInjector:
+    return BitErrorInjector(
+        error_model, bits=config.bits, per_tensor_ber=per_tensor_ber,
+        corrector=corrector, seed=config.seed + seed_offset,
+    )
+
+
+def _score(network: Network, dataset: Dataset, injector, metric: str,
+           repeats: int, seed: int) -> float:
+    scores = []
+    previous = network.fault_injector
+    network.set_fault_injector(injector)
+    try:
+        for repeat in range(repeats):
+            injector._rng = np.random.default_rng(seed + repeat * 101)
+            scores.append(evaluate(network, dataset.val_x, dataset.val_y, metric=metric))
+    finally:
+        network.set_fault_injector(previous)
+    return float(np.mean(scores))
+
+
+def coarse_grained_characterization(network: Network, dataset: Dataset,
+                                    error_model: ErrorModel,
+                                    target: AccuracyTarget,
+                                    config: Optional[EdenConfig] = None,
+                                    metric: str = "accuracy",
+                                    thresholds: Optional[ThresholdStore] = None,
+                                    ) -> CoarseCharacterization:
+    """Logarithmic-scale binary search for the highest uniformly-tolerable BER."""
+    config = config or EdenConfig()
+    thresholds = thresholds or ThresholdStore.from_network(network, dataset.train_x)
+    corrector = ImplausibleValueCorrector(thresholds)
+
+    baseline_score = evaluate(network, dataset.val_x, dataset.val_y, metric=metric)
+    floor = target.threshold(baseline_score)
+
+    grid = np.array(config.ber_grid())
+    tested: Dict[float, float] = {}
+
+    def score_at(ber: float) -> float:
+        injector = _scored_injector(error_model.with_ber(ber), config, corrector)
+        score = _score(network, dataset, injector, metric, config.evaluation_repeats, config.seed)
+        tested[float(ber)] = score
+        return score
+
+    # Binary search over the index space of the logarithmic grid: error
+    # tolerance curves are monotonically decreasing in BER (paper Section 3.3),
+    # so the largest passing grid point is well defined.
+    low, high = 0, len(grid) - 1
+    best_ber = 0.0
+    best_score = baseline_score
+    if score_at(grid[0]) < floor:
+        # Not even the smallest candidate BER is tolerable.
+        return CoarseCharacterization(baseline_score, 0.0, baseline_score, tested)
+    best_ber, best_score = float(grid[0]), tested[float(grid[0])]
+    while low <= high:
+        mid = (low + high) // 2
+        ber = float(grid[mid])
+        score = tested.get(ber)
+        if score is None:
+            score = score_at(ber)
+        if score >= floor:
+            if ber >= best_ber:
+                best_ber, best_score = ber, score
+            low = mid + 1
+        else:
+            high = mid - 1
+    return CoarseCharacterization(baseline_score, best_ber, best_score, tested)
+
+
+def fine_grained_characterization(network: Network, dataset: Dataset,
+                                  error_model: ErrorModel,
+                                  target: AccuracyTarget,
+                                  coarse: Optional[CoarseCharacterization] = None,
+                                  config: Optional[EdenConfig] = None,
+                                  metric: str = "accuracy",
+                                  thresholds: Optional[ThresholdStore] = None,
+                                  ) -> FineCharacterization:
+    """Per-tensor BER sweep, bootstrapped at the coarse-grained BER.
+
+    Every weight tensor and IFM starts at the coarse BER; the sweep repeatedly
+    tries to multiply one data type's BER by ``config.fine_step_factor``,
+    keeps the increase if the (subsampled) validation score stays above the
+    accuracy floor, and removes the data type from the sweep list otherwise —
+    the paper's "DNN data sweep procedure".
+    """
+    config = config or EdenConfig()
+    thresholds = thresholds or ThresholdStore.from_network(network, dataset.train_x)
+    corrector = ImplausibleValueCorrector(thresholds)
+
+    if coarse is None:
+        coarse = coarse_grained_characterization(
+            network, dataset, error_model, target, config, metric, thresholds
+        )
+    baseline_score = coarse.baseline_score
+
+    specs = network.data_type_specs(dtype_bits=config.bits)
+    start_ber = coarse.max_tolerable_ber if coarse.max_tolerable_ber > 0 else config.ber_search_low
+    per_tensor = {spec.name: float(start_ber) for spec in specs}
+
+    eval_dataset = dataset.subsample_validation(config.fine_validation_fraction,
+                                                seed=config.seed)
+    # The subsampled evaluation is noisy (the paper samples 10% of the
+    # validation set per run); allow one extra misclassified sample of
+    # statistical slack so a single unlucky injection does not freeze the sweep.
+    floor = target.threshold(baseline_score) - 1.0 / max(len(eval_dataset.val_y), 1)
+
+    def score_with(assignment: Dict[str, float]) -> float:
+        injector = _scored_injector(error_model, config, corrector,
+                                    per_tensor_ber=assignment, seed_offset=7)
+        return _score(network, eval_dataset, injector, metric,
+                      config.evaluation_repeats, config.seed)
+
+    sweep_list = [spec.name for spec in specs]
+    for _ in range(config.fine_max_rounds):
+        if not sweep_list:
+            break
+        still_improving = []
+        for name in sweep_list:
+            candidate = dict(per_tensor)
+            candidate[name] = min(0.5, per_tensor[name] * config.fine_step_factor)
+            score = score_with(candidate)
+            if score >= floor:
+                per_tensor[name] = candidate[name]
+                still_improving.append(name)
+            # else: data type saturated; drop it from the sweep list.
+        sweep_list = still_improving
+
+    return FineCharacterization(
+        baseline_score=baseline_score,
+        coarse_ber=float(start_ber),
+        per_tensor_ber=per_tensor,
+        specs=specs,
+    )

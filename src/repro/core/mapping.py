@@ -1,0 +1,164 @@
+"""DNN-to-DRAM mapping (paper Section 3.4, Algorithm 1).
+
+Given the characterized error tolerance of the DNN (coarse: one BER for the
+whole network; fine: a BER per weight tensor / IFM) and the characterized
+error behaviour of the DRAM partitions (a :class:`PartitionTable`), pick the
+DRAM operating parameters:
+
+* **Coarse-grained mapping** — the whole module runs at the single most
+  aggressive (voltage, tRCD) point whose module BER stays below the DNN's
+  tolerable BER.  Data that tolerates no reduction stays on a nominal module.
+* **Fine-grained mapping (Algorithm 1)** — DNN data types are sorted by their
+  tolerable BER and greedily assigned to the partition offering the largest
+  parameter reduction that (a) meets the BER bound and (b) still has space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.characterization import CoarseCharacterization, FineCharacterization
+from repro.dram.device import DramOperatingPoint
+from repro.dram.partitions import DramPartition, PartitionTable, operating_point_cost
+from repro.nn.tensor import TensorSpec
+
+
+@dataclass
+class CoarseMapping:
+    """Module-wide operating point chosen by coarse-grained mapping."""
+
+    op_point: DramOperatingPoint
+    module_ber: float
+    tolerable_ber: float
+    delta_vdd: float
+    delta_trcd_ns: float
+
+    def describe(self) -> str:
+        return (
+            f"module at {self.op_point.describe()} "
+            f"(ΔVDD={self.delta_vdd:.2f}V, ΔtRCD={self.delta_trcd_ns:.1f}ns, "
+            f"BER={self.module_ber:.2e} ≤ tolerable {self.tolerable_ber:.2e})"
+        )
+
+
+@dataclass
+class FineMapping:
+    """Assignment of every DNN data type to a DRAM partition."""
+
+    assignments: Dict[str, int] = field(default_factory=dict)       # tensor -> partition id
+    operating_points: Dict[int, DramOperatingPoint] = field(default_factory=dict)
+    partition_ber: Dict[int, float] = field(default_factory=dict)
+    unmapped: List[str] = field(default_factory=list)
+
+    def partition_of(self, tensor_name: str) -> int:
+        return self.assignments[tensor_name]
+
+    def op_point_of(self, tensor_name: str) -> DramOperatingPoint:
+        return self.operating_points[self.assignments[tensor_name]]
+
+    @property
+    def num_partitions_used(self) -> int:
+        return len(set(self.assignments.values()))
+
+
+def coarse_grained_mapping(characterization: CoarseCharacterization,
+                           partition_table: PartitionTable,
+                           nominal_vdd: float = 1.35,
+                           nominal_trcd_ns: float = 12.5) -> Optional[CoarseMapping]:
+    """Pick the most aggressive module-wide operating point below the tolerable BER.
+
+    Returns ``None`` when no candidate operating point is tolerable (the DNN
+    must then run on DRAM with nominal parameters).
+    """
+    tolerable = characterization.max_tolerable_ber
+    if tolerable <= 0:
+        return None
+    best: Optional[Tuple[DramOperatingPoint, float]] = None
+    for op_point in partition_table.operating_points():
+        # The module-wide BER is the worst (highest) partition BER, because
+        # every partition operates at the same parameters under coarse mapping.
+        module_ber = max(p.ber_by_op_point.get(op_point, float("inf"))
+                         for p in partition_table)
+        if module_ber > tolerable:
+            continue
+        if best is None or operating_point_cost(op_point) < operating_point_cost(best[0]):
+            best = (op_point, module_ber)
+    if best is None:
+        return None
+    op_point, module_ber = best
+    return CoarseMapping(
+        op_point=op_point,
+        module_ber=module_ber,
+        tolerable_ber=tolerable,
+        delta_vdd=nominal_vdd - op_point.vdd,
+        delta_trcd_ns=nominal_trcd_ns - op_point.trcd_ns,
+    )
+
+
+def fine_grained_mapping(characterization: FineCharacterization,
+                         partition_table: PartitionTable) -> FineMapping:
+    """Algorithm 1: greedy assignment of DNN data types to DRAM partitions.
+
+    Data types are processed from most error-tolerant to least (so the most
+    aggressive partitions fill up with the data that can use them); each is
+    placed on the partition that offers the cheapest (most reduced) operating
+    point whose BER satisfies the data type's bound and that has capacity.
+    """
+    partition_table.reset()
+    size_by_name = {spec.name: spec.size_bytes for spec in characterization.specs}
+
+    # Line 2 of Algorithm 1: sort DNN data by tolerable BER.
+    sorted_data = sorted(
+        characterization.per_tensor_ber.items(), key=lambda item: item[1], reverse=True
+    )
+
+    mapping = FineMapping()
+    for tensor_name, target_ber in sorted_data:
+        size_bytes = size_by_name.get(tensor_name, 0)
+        best_partition: Optional[DramPartition] = None
+        best_op: Optional[DramOperatingPoint] = None
+        best_cost = float("inf")
+        for partition in partition_table:
+            if size_bytes > partition.available_bytes:
+                continue
+            assigned_op = mapping.operating_points.get(partition.partition_id)
+            if assigned_op is not None:
+                # A partition already hosting data runs at one fixed operating
+                # point; new data may join only if that point's BER is low
+                # enough for it.
+                ber_at_assigned = partition.ber_by_op_point.get(assigned_op, float("inf"))
+                if ber_at_assigned > target_ber:
+                    continue
+                op_point = assigned_op
+            else:
+                candidate = partition.best_operating_point(target_ber)
+                if candidate is None:
+                    continue
+                op_point, _ = candidate
+            cost = operating_point_cost(op_point)
+            if cost < best_cost:
+                best_cost = cost
+                best_partition = partition
+                best_op = op_point
+        if best_partition is None:
+            mapping.unmapped.append(tensor_name)
+            continue
+        best_partition.reserve(size_bytes)
+        mapping.assignments[tensor_name] = best_partition.partition_id
+        mapping.operating_points[best_partition.partition_id] = best_op
+        mapping.partition_ber[best_partition.partition_id] = \
+            best_partition.ber_by_op_point[best_op]
+    return mapping
+
+
+def per_tensor_ber_from_mapping(mapping: FineMapping) -> Dict[str, float]:
+    """The per-tensor BERs a fine mapping actually exposes to the DNN.
+
+    Used to build the injector that validates a mapping end to end: every
+    tensor experiences the BER of the partition it was placed on.
+    """
+    return {
+        tensor: mapping.partition_ber[partition_id]
+        for tensor, partition_id in mapping.assignments.items()
+    }

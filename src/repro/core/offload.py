@@ -1,0 +1,113 @@
+"""EDEN offloading: running the flow without the target device (paper Section 4).
+
+When the target approximate DRAM is unavailable (or too slow to retrain on),
+EDEN profiles it once, fits an error model, and then runs retraining /
+characterization / mapping on a different machine by injecting errors from
+the fitted model.  This module packages that path:
+
+* :func:`profile_and_fit` — profile a device at an operating point and return
+  the MLE-selected error model;
+* :func:`build_offload_injector` — construct the injector (error model +
+  implausible-value corrector) that stands in for the device;
+* :func:`characterize_operating_points` — map a grid of (voltage, tRCD)
+  reductions to expected BERs, used to translate tolerable BERs back into
+  DRAM parameter reductions (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.correction import ImplausibleValueCorrector, ThresholdStore
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+from repro.dram.error_models import ErrorModel
+from repro.dram.fitting import FittedModel, select_error_model
+from repro.dram.injection import BitErrorInjector
+from repro.dram.profiler import SoftMCProfiler
+from repro.nn.network import Network
+
+
+def profile_and_fit(device: ApproximateDram, op_point: DramOperatingPoint,
+                    rows_to_profile: int = 16, trials: int = 6,
+                    seed: int = 0) -> FittedModel:
+    """Profile ``device`` at ``op_point`` and return the best-fitting error model."""
+    profiler = SoftMCProfiler(device, rows_to_profile=rows_to_profile,
+                              trials=trials, seed=seed)
+    profile = profiler.profile(op_point)
+    return select_error_model(profile, seed=seed)
+
+
+def build_offload_injector(error_model: ErrorModel, network: Network,
+                           sample_inputs: Optional[np.ndarray] = None,
+                           bits: int = 32, seed: int = 0,
+                           thresholds: Optional[ThresholdStore] = None,
+                           ) -> BitErrorInjector:
+    """Injector = fitted error model + implausible-value corrector for ``network``."""
+    thresholds = thresholds or ThresholdStore.from_network(network, sample_inputs)
+    corrector = ImplausibleValueCorrector(thresholds)
+    return BitErrorInjector(error_model, bits=bits, corrector=corrector, seed=seed)
+
+
+def operating_point_grid(device: ApproximateDram,
+                         voltage_reductions: Sequence[float] = (0.0, 0.05, 0.10, 0.15,
+                                                                0.20, 0.25, 0.30, 0.35),
+                         trcd_reductions_ns: Sequence[float] = (0.0, 1.0, 2.0, 3.0, 4.5,
+                                                                5.0, 5.5, 6.0),
+                         ) -> List[DramOperatingPoint]:
+    """Candidate operating points combining each voltage and tRCD reduction."""
+    points = []
+    for dv in voltage_reductions:
+        for dt in trcd_reductions_ns:
+            points.append(
+                DramOperatingPoint.from_reductions(
+                    delta_vdd=dv, delta_trcd_ns=dt,
+                    nominal_vdd=device.nominal_vdd,
+                    nominal_timing=device.nominal_timing,
+                )
+            )
+    return points
+
+
+def characterize_operating_points(device: ApproximateDram,
+                                  op_points: Optional[Sequence[DramOperatingPoint]] = None,
+                                  ) -> Dict[DramOperatingPoint, float]:
+    """Expected module BER of ``device`` at each candidate operating point."""
+    op_points = list(op_points) if op_points is not None else operating_point_grid(device)
+    return {op: device.expected_ber(op) for op in op_points}
+
+
+def reductions_for_ber(device: ApproximateDram, tolerable_ber: float,
+                       voltage_reductions: Sequence[float] = (0.0, 0.05, 0.10, 0.15,
+                                                              0.20, 0.25, 0.30, 0.35),
+                       trcd_reductions_ns: Sequence[float] = (0.0, 1.0, 2.0, 3.0, 4.5,
+                                                              5.0, 5.5, 6.0),
+                       ) -> Tuple[float, float]:
+    """Largest simultaneous (ΔVDD, ΔtRCD) whose combined BER stays below a bound.
+
+    This is the translation the paper performs to produce Table 3: the
+    coarse-grained tolerable BER of each DNN becomes a voltage and latency
+    reduction on the target module.  Reductions are chosen jointly: candidate
+    pairs are ranked by the remaining-cost metric (energy + latency) and the
+    cheapest pair whose BER fits is returned.
+    """
+    if tolerable_ber <= 0:
+        return 0.0, 0.0
+    best: Tuple[float, float] = (0.0, 0.0)
+    best_cost = float("inf")
+    nominal_trcd = device.nominal_timing.trcd_ns
+    for dv in voltage_reductions:
+        for dt in trcd_reductions_ns:
+            op = DramOperatingPoint.from_reductions(
+                delta_vdd=dv, delta_trcd_ns=dt,
+                nominal_vdd=device.nominal_vdd, nominal_timing=device.nominal_timing,
+            )
+            if device.expected_ber(op) > tolerable_ber:
+                continue
+            cost = ((device.nominal_vdd - dv) / device.nominal_vdd) ** 2 \
+                + (nominal_trcd - dt) / nominal_trcd
+            if cost < best_cost:
+                best_cost = cost
+                best = (dv, dt)
+    return best

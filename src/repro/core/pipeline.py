@@ -1,0 +1,206 @@
+"""The full EDEN flow: boost → characterize → map, iterated (paper Section 3.1).
+
+:class:`Eden` ties the three steps together against either
+
+* a *fitted error model* (EDEN offloading — the common path, also how the
+  paper runs most of its evaluation), or
+* a :class:`~repro.dram.device.ApproximateDram` device, from which an error
+  model is first profiled and fitted.
+
+The steps are repeated until the tolerable BER stops improving (or the
+configured iteration budget is exhausted), producing an :class:`EdenResult`
+that carries the boosted network, the characterization, the mapping and the
+DRAM operating parameters to run it at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.boosting import BoostResult, curricular_retrain
+from repro.core.characterization import (
+    CoarseCharacterization,
+    FineCharacterization,
+    coarse_grained_characterization,
+    fine_grained_characterization,
+)
+from repro.core.config import AccuracyTarget, EdenConfig
+from repro.core.correction import ThresholdStore
+from repro.core.mapping import (
+    CoarseMapping,
+    FineMapping,
+    coarse_grained_mapping,
+    fine_grained_mapping,
+)
+from repro.core.offload import profile_and_fit, reductions_for_ber
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+from repro.dram.error_models import ErrorModel, make_error_model
+from repro.dram.partitions import PartitionTable
+from repro.nn.datasets import Dataset
+from repro.nn.models import get_spec
+from repro.nn.network import Network
+
+
+@dataclass
+class EdenResult:
+    """Everything the EDEN flow produces for one DNN / DRAM pair."""
+
+    network: Network
+    boost: Optional[BoostResult]
+    coarse: CoarseCharacterization
+    fine: Optional[FineCharacterization]
+    coarse_mapping: Optional[CoarseMapping]
+    fine_mapping: Optional[FineMapping]
+    delta_vdd: float
+    delta_trcd_ns: float
+    iterations: int
+    history: List[float] = field(default_factory=list)   # tolerable BER per iteration
+
+    @property
+    def max_tolerable_ber(self) -> float:
+        return self.coarse.max_tolerable_ber
+
+    def summary(self) -> str:
+        lines = [
+            f"EDEN result for {self.network.name!r}:",
+            f"  baseline score            : {self.coarse.baseline_score:.4f}",
+            f"  max tolerable BER (coarse): {self.coarse.max_tolerable_ber:.3e}",
+            f"  score at that BER         : {self.coarse.accuracy_at_max:.4f}",
+            f"  DRAM parameter reduction  : ΔVDD={self.delta_vdd:.2f}V, "
+            f"ΔtRCD={self.delta_trcd_ns:.1f}ns",
+            f"  outer iterations          : {self.iterations}",
+        ]
+        if self.boost is not None:
+            lines.append(
+                f"  boosting: score under target BER {self.boost.target_ber:.2e} "
+                f"went {self.boost.baseline_score:.3f} -> {self.boost.boosted_score:.3f}"
+            )
+        if self.fine is not None:
+            lines.append(
+                f"  fine-grained: per-tensor BER up to "
+                f"{self.fine.max_gain_over_coarse:.1f}x the coarse BER"
+            )
+        return "\n".join(lines)
+
+
+class Eden:
+    """Orchestrates the three EDEN steps for one DNN on one approximate DRAM."""
+
+    def __init__(self, accuracy_target: Optional[AccuracyTarget] = None,
+                 config: Optional[EdenConfig] = None):
+        self.accuracy_target = accuracy_target or AccuracyTarget.within_one_percent()
+        self.config = config or EdenConfig()
+
+    # -- helpers ------------------------------------------------------------------
+    def _metric_for(self, network: Network) -> str:
+        try:
+            return get_spec(network.name).metric
+        except KeyError:
+            return "accuracy"
+
+    def _resolve_error_model(self, error_source, op_point: Optional[DramOperatingPoint]
+                             ) -> ErrorModel:
+        if isinstance(error_source, ErrorModel):
+            return error_source
+        if isinstance(error_source, ApproximateDram):
+            op_point = op_point or DramOperatingPoint.from_reductions(
+                delta_vdd=0.25, nominal_vdd=error_source.nominal_vdd,
+                nominal_timing=error_source.nominal_timing,
+            )
+            fitted = profile_and_fit(error_source, op_point, seed=self.config.seed)
+            return fitted.model
+        raise TypeError(
+            "error_source must be an ErrorModel or an ApproximateDram, "
+            f"got {type(error_source).__name__}"
+        )
+
+    # -- the flow -----------------------------------------------------------------
+    def run(self, network: Network, dataset: Dataset, error_source,
+            device: Optional[ApproximateDram] = None,
+            partition_table: Optional[PartitionTable] = None,
+            op_point: Optional[DramOperatingPoint] = None,
+            boost: bool = True, fine_grained: bool = False) -> EdenResult:
+        """Run EDEN for ``network`` against ``error_source``.
+
+        ``error_source`` is either a fitted/parametric :class:`ErrorModel`
+        (offloading) or an :class:`ApproximateDram` to profile.  ``device`` is
+        only needed to translate tolerable BERs into (ΔVDD, ΔtRCD); when
+        omitted but ``error_source`` is a device, that device is used.
+        ``partition_table`` enables fine-grained mapping.
+        """
+        config = self.config
+        metric = self._metric_for(network)
+        error_model = self._resolve_error_model(error_source, op_point)
+        if device is None and isinstance(error_source, ApproximateDram):
+            device = error_source
+
+        thresholds = ThresholdStore.from_network(network, dataset.train_x)
+        current = network
+        boost_result: Optional[BoostResult] = None
+        history: List[float] = []
+
+        coarse = coarse_grained_characterization(
+            current, dataset, error_model, self.accuracy_target, config, metric, thresholds
+        )
+        history.append(coarse.max_tolerable_ber)
+
+        iterations = 0
+        for iteration in range(config.max_outer_iterations):
+            iterations = iteration + 1
+            if not boost or config.retrain_epochs == 0:
+                break
+            # Boost well beyond the current tolerable BER so retraining pushes
+            # the frontier outward (the paper reports 5-10x gains).
+            target_ber = max(coarse.max_tolerable_ber * 8.0, config.ber_search_low * 10)
+            target_ber = min(target_ber, config.ber_search_high)
+            boost_result = curricular_retrain(
+                current, dataset, error_model, target_ber, config, thresholds
+            )
+            current = boost_result.network
+            thresholds = ThresholdStore.from_network(current, dataset.train_x)
+            new_coarse = coarse_grained_characterization(
+                current, dataset, error_model, self.accuracy_target, config, metric, thresholds
+            )
+            history.append(new_coarse.max_tolerable_ber)
+            improved = new_coarse.max_tolerable_ber > coarse.max_tolerable_ber * 1.05
+            coarse = new_coarse
+            if not improved:
+                break
+
+        fine: Optional[FineCharacterization] = None
+        fine_map: Optional[FineMapping] = None
+        if fine_grained:
+            fine = fine_grained_characterization(
+                current, dataset, error_model, self.accuracy_target, coarse,
+                config, metric, thresholds,
+            )
+            if partition_table is not None:
+                fine_map = fine_grained_mapping(fine, partition_table)
+
+        coarse_map: Optional[CoarseMapping] = None
+        delta_vdd = delta_trcd = 0.0
+        if device is not None:
+            delta_vdd, delta_trcd = reductions_for_ber(device, coarse.max_tolerable_ber)
+        if partition_table is not None:
+            coarse_map = coarse_grained_mapping(coarse, partition_table)
+
+        return EdenResult(
+            network=current,
+            boost=boost_result,
+            coarse=coarse,
+            fine=fine,
+            coarse_mapping=coarse_map,
+            fine_mapping=fine_map,
+            delta_vdd=delta_vdd,
+            delta_trcd_ns=delta_trcd,
+            iterations=iterations,
+            history=history,
+        )
+
+    # -- convenience -------------------------------------------------------------
+    def run_with_uniform_model(self, network: Network, dataset: Dataset,
+                               ber_seed: float = 1e-3, **kwargs) -> EdenResult:
+        """Run the flow against a plain uniform error model (Error Model 0)."""
+        model = make_error_model(0, ber_seed, seed=self.config.seed)
+        return self.run(network, dataset, model, **kwargs)

@@ -1,0 +1,66 @@
+"""Approximate-DRAM substrate: device model, error models, profiling, energy.
+
+The paper characterizes eight real DDR3/DDR4 modules with SoftMC under reduced
+supply voltage and reduced tRCD, fits four probabilistic error models to the
+observed bit flips, and uses those models to inject errors into DNN inference
+and retraining.  This package provides the same stack in simulation:
+
+* :mod:`repro.dram.device` — a behavioural approximate-DRAM device whose bit
+  error rate grows as VDD and tRCD shrink, with vendor-, data-pattern- and
+  location-dependent behaviour matching the published characterizations;
+* :mod:`repro.dram.profiler` — a SoftMC-style reduced-parameter profiler;
+* :mod:`repro.dram.error_models` — EDEN's Error Models 0-3;
+* :mod:`repro.dram.fitting` — maximum-likelihood fitting and model selection;
+* :mod:`repro.dram.injection` — bit-error injection into DNN tensors
+  (the hook installed on a :class:`~repro.nn.network.Network`);
+* :mod:`repro.dram.energy` — a DRAMPower-style energy model;
+* :mod:`repro.dram.partitions` — per-partition operating points for
+  fine-grained mapping.
+"""
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import TimingParameters, NOMINAL_DDR4_TIMING
+from repro.dram.voltage import VoltageDomain, NOMINAL_VDD
+from repro.dram.vendors import VendorProfile, VENDOR_PROFILES
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+from repro.dram.error_models import (
+    DramLayout,
+    ErrorModel,
+    UniformErrorModel,
+    BitlineErrorModel,
+    WordlineErrorModel,
+    DataDependentErrorModel,
+)
+from repro.dram.fitting import fit_error_models, select_error_model
+from repro.dram.profiler import SoftMCProfiler, ProfileResult
+from repro.dram.injection import BitErrorInjector, DeviceBackedInjector
+from repro.dram.energy import DramEnergyModel, TrafficProfile
+from repro.dram.partitions import DramPartition, PartitionTable
+
+__all__ = [
+    "DramGeometry",
+    "TimingParameters",
+    "NOMINAL_DDR4_TIMING",
+    "VoltageDomain",
+    "NOMINAL_VDD",
+    "VendorProfile",
+    "VENDOR_PROFILES",
+    "ApproximateDram",
+    "DramOperatingPoint",
+    "DramLayout",
+    "ErrorModel",
+    "UniformErrorModel",
+    "BitlineErrorModel",
+    "WordlineErrorModel",
+    "DataDependentErrorModel",
+    "fit_error_models",
+    "select_error_model",
+    "SoftMCProfiler",
+    "ProfileResult",
+    "BitErrorInjector",
+    "DeviceBackedInjector",
+    "DramEnergyModel",
+    "TrafficProfile",
+    "DramPartition",
+    "PartitionTable",
+]

@@ -1,0 +1,202 @@
+"""Behavioural model of a real approximate DRAM module.
+
+The paper's ground truth is a set of eight real DDR3/DDR4 modules operated
+below nominal voltage and tRCD through SoftMC.  This module provides the
+simulated equivalent: an :class:`ApproximateDram` whose bit flips are
+
+* **deterministic in their spatial structure** — every cell has a fixed
+  "weakness" value derived from a per-device seed, so the set of weak cells
+  (and therefore which bitlines/wordlines are error-prone) is stable across
+  reads, days and re-profiling, matching the temporal consistency the paper
+  reports; and
+* **stochastic per access** — a weak cell fails on any given access with the
+  vendor's per-access failure probability, modulated by the stored data
+  pattern (1→0 flips dominate under voltage reduction, 0→1 under tRCD
+  reduction) and the cell's bitline/wordline failure multipliers.
+
+Everything is generated lazily from counter-based hashing, so a multi-gigabyte
+module costs no memory and reads of arbitrary addresses are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import NOMINAL_DDR4_TIMING, TimingParameters
+from repro.dram.vendors import MAX_BER, VendorProfile, get_vendor
+from repro.dram.voltage import NOMINAL_VDD, VoltageDomain
+
+
+@dataclass(frozen=True)
+class DramOperatingPoint:
+    """A (supply voltage, timing parameters) pair the module is operated at."""
+
+    voltage: VoltageDomain = field(default_factory=VoltageDomain)
+    timing: TimingParameters = NOMINAL_DDR4_TIMING
+
+    @property
+    def vdd(self) -> float:
+        return self.voltage.vdd
+
+    @property
+    def trcd_ns(self) -> float:
+        return self.timing.trcd_ns
+
+    @classmethod
+    def nominal(cls) -> "DramOperatingPoint":
+        return cls()
+
+    @classmethod
+    def from_reductions(cls, delta_vdd: float = 0.0, delta_trcd_ns: float = 0.0,
+                        nominal_vdd: float = NOMINAL_VDD,
+                        nominal_timing: TimingParameters = NOMINAL_DDR4_TIMING,
+                        ) -> "DramOperatingPoint":
+        voltage = VoltageDomain(vdd=nominal_vdd, nominal_vdd=nominal_vdd).reduced_by(delta_vdd)
+        timing = nominal_timing.with_reduced_trcd(delta_trcd_ns)
+        return cls(voltage=voltage, timing=timing)
+
+    def describe(self) -> str:
+        return f"VDD={self.vdd:.2f}V, tRCD={self.trcd_ns:.1f}ns"
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 mix function: uint64 -> well-mixed uint64."""
+    z = (values + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def _hash_uniform(indices: np.ndarray, seed: int, stream: int) -> np.ndarray:
+    """Deterministic per-index uniforms in (0, 1), independent across streams."""
+    indices = np.asarray(indices, dtype=np.uint64)
+    mixed = _splitmix64(indices ^ np.uint64(seed * 0x9E3779B1 + stream * 0x85EBCA77))
+    # 53-bit mantissa keeps the uniform well away from exactly 0 or 1.
+    return (mixed >> np.uint64(11)).astype(np.float64) / float(1 << 53) + 1e-16
+
+
+class ApproximateDram:
+    """A DRAM module that can be operated below nominal voltage and latency."""
+
+    def __init__(self, vendor: str = "A", geometry: Optional[DramGeometry] = None,
+                 seed: int = 0, nominal_vdd: float = NOMINAL_VDD,
+                 nominal_timing: TimingParameters = NOMINAL_DDR4_TIMING):
+        self.vendor: VendorProfile = get_vendor(vendor) if isinstance(vendor, str) else vendor
+        self.geometry = geometry or DramGeometry()
+        self.seed = int(seed)
+        self.nominal_vdd = float(nominal_vdd)
+        self.nominal_timing = nominal_timing
+
+    # -- aggregate behaviour ---------------------------------------------------------
+    def expected_ber(self, op_point: DramOperatingPoint, ones_fraction: float = 0.5) -> float:
+        """Expected module-wide BER at an operating point for a data pattern.
+
+        ``ones_fraction`` is the fraction of stored bits that are 1 (0.5 for a
+        random pattern, 1.0 for 0xFF, 0.0 for 0x00).
+        """
+        vendor = self.vendor
+        v_ber = vendor.voltage_ber(op_point.vdd, self.nominal_vdd)
+        t_ber = vendor.trcd_ber(op_point.trcd_ns, self.nominal_timing.trcd_ns)
+        bias_v = vendor.one_to_zero_bias_voltage
+        bias_t = vendor.one_to_zero_bias_trcd
+        v_component = v_ber * 2.0 * (bias_v * ones_fraction + (1.0 - bias_v) * (1.0 - ones_fraction))
+        t_component = t_ber * 2.0 * (bias_t * ones_fraction + (1.0 - bias_t) * (1.0 - ones_fraction))
+        return float(np.clip(v_component + t_component, 0.0, MAX_BER))
+
+    # -- per-bit flip probabilities ----------------------------------------------------
+    def _spatial_multipliers(self, bit_addresses: np.ndarray) -> np.ndarray:
+        """Per-bit log-normal multipliers from bitline and wordline variation."""
+        geometry = self.geometry
+        row_bits = geometry.row_size_bits
+        bank_bits = geometry.bank_size_bytes * 8
+        bank = bit_addresses // bank_bits
+        within_bank = bit_addresses % bank_bits
+        row = within_bank // row_bits
+        bitline = within_bank % row_bits
+
+        bitline_key = bank * np.uint64(row_bits) + bitline
+        wordline_key = bank * np.uint64(geometry.rows_per_bank) + row
+
+        sigma_b = self.vendor.bitline_variation
+        sigma_w = self.vendor.wordline_variation
+        u_b = _hash_uniform(bitline_key, self.seed, stream=11)
+        u_w = _hash_uniform(wordline_key, self.seed, stream=13)
+        # Inverse-normal via scipy-free approximation: use the probit from the
+        # logistic approximation, adequate for generating log-normal spread.
+        z_b = np.log(u_b / (1.0 - u_b)) * 0.5513  # logistic ~ N(0,1) scaling
+        z_w = np.log(u_w / (1.0 - u_w)) * 0.5513
+        multiplier = np.exp(sigma_b * z_b - 0.5 * sigma_b ** 2) * np.exp(
+            sigma_w * z_w - 0.5 * sigma_w ** 2
+        )
+        return multiplier
+
+    def flip_probabilities(self, bit_addresses: np.ndarray, stored_bits: np.ndarray,
+                           op_point: DramOperatingPoint) -> np.ndarray:
+        """Probability that each addressed bit reads back flipped."""
+        bit_addresses = np.asarray(bit_addresses, dtype=np.uint64)
+        stored_bits = np.asarray(stored_bits, dtype=bool)
+        if bit_addresses.shape != stored_bits.shape:
+            raise ValueError("bit_addresses and stored_bits must have the same shape")
+
+        vendor = self.vendor
+        fail_prob = vendor.weak_cell_failure_probability
+        v_ber = vendor.voltage_ber(op_point.vdd, self.nominal_vdd)
+        t_ber = vendor.trcd_ber(op_point.trcd_ns, self.nominal_timing.trcd_ns)
+
+        spatial = self._spatial_multipliers(bit_addresses)
+
+        probabilities = np.zeros(bit_addresses.shape, dtype=np.float64)
+        for mechanism, ber, stream in (("voltage", v_ber, 1), ("trcd", t_ber, 2)):
+            if ber <= 0.0:
+                continue
+            weak_fraction = np.clip(ber / fail_prob * spatial, 0.0, 1.0)
+            weakness = _hash_uniform(bit_addresses, self.seed, stream=stream)
+            is_weak = weakness < weak_fraction
+            weights = vendor.flip_weight(stored_bits, mechanism)
+            probabilities += is_weak * np.clip(fail_prob * weights, 0.0, 1.0)
+        return np.clip(probabilities, 0.0, 1.0)
+
+    def read_bits(self, stored_bits: np.ndarray, start_bit_address: int,
+                  op_point: DramOperatingPoint,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Read a contiguous run of bits, applying per-access flips.
+
+        ``stored_bits`` is a flat 0/1 array representing what was written; the
+        returned array is what a read at ``op_point`` observes.
+        """
+        stored_bits = np.asarray(stored_bits).astype(bool).ravel()
+        if start_bit_address < 0:
+            raise ValueError("start_bit_address must be non-negative")
+        end = start_bit_address + stored_bits.size
+        if end > self.geometry.capacity_bits:
+            raise ValueError(
+                f"read of {stored_bits.size} bits at {start_bit_address} exceeds module capacity"
+            )
+        rng = rng or np.random.default_rng(self.seed)
+        addresses = np.arange(start_bit_address, end, dtype=np.uint64)
+        probabilities = self.flip_probabilities(addresses, stored_bits, op_point)
+        flips = rng.random(stored_bits.shape) < probabilities
+        return np.logical_xor(stored_bits, flips)
+
+    # -- partition-level aggregate behaviour --------------------------------------------
+    def partition_ber(self, op_point: DramOperatingPoint, bank: int,
+                      sample_bits: int = 1 << 15, ones_fraction: float = 0.5) -> float:
+        """Monte-Carlo estimate of one bank's BER (banks differ via spatial variation)."""
+        if not 0 <= bank < self.geometry.num_banks:
+            raise ValueError(f"bank {bank} out of range")
+        start = bank * self.geometry.bank_size_bytes * 8
+        addresses = np.arange(start, start + sample_bits, dtype=np.uint64)
+        rng = np.random.default_rng(self.seed + bank + 1)
+        stored = rng.random(sample_bits) < ones_fraction
+        probabilities = self.flip_probabilities(addresses, stored, op_point)
+        return float(probabilities.mean())
+
+    def describe(self) -> str:
+        return (
+            f"ApproximateDram(vendor={self.vendor.name}, "
+            f"capacity={self.geometry.capacity_bytes / (1 << 30):.1f}GiB, seed={self.seed})"
+        )

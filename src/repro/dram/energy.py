@@ -1,0 +1,170 @@
+"""DRAMPower-style energy model (paper Section 7: DRAM energy evaluation).
+
+The paper feeds memory traces from ZSim/GPGPU-Sim/SCALE-Sim into DRAMPower to
+estimate DRAM energy, then reports the reduction EDEN achieves by lowering the
+supply voltage.  This model computes the same quantity analytically from a
+:class:`TrafficProfile` (row activations, column reads/writes, refresh and
+background time):
+
+* per-operation energies come from DDR4/LPDDR3/GDDR5 datasheet-style IDD
+  figures collapsed into energy-per-operation constants;
+* dynamic energy scales with ``(VDD / VDD_nominal)^2`` and background energy
+  with ``VDD / VDD_nominal`` (paper Section 2.3);
+* reduced tRCD shortens the time a bank spends activating, which the CPU/GPU
+  models translate into execution-time (and therefore background-energy)
+  savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.dram.voltage import NOMINAL_VDD, VoltageDomain
+
+
+@dataclass(frozen=True)
+class DramEnergyParameters:
+    """Per-operation energies (nanojoules) and background power (milliwatts)."""
+
+    name: str = "DDR4-2400"
+    activate_precharge_nj: float = 18.0     # one ACT+PRE pair for an 8KB row
+    read_per_64B_nj: float = 4.2            # column read burst of one cache line
+    write_per_64B_nj: float = 4.6
+    refresh_per_ms_nj: float = 2200.0       # auto-refresh energy per millisecond
+    background_mw: float = 110.0            # standby/background power
+    io_per_64B_nj: float = 1.4              # bus/IO termination energy
+
+    def scaled_for_voltage(self, voltage: VoltageDomain) -> "DramEnergyParameters":
+        dynamic = voltage.dynamic_energy_scale
+        static = voltage.static_power_scale
+        return DramEnergyParameters(
+            name=self.name,
+            activate_precharge_nj=self.activate_precharge_nj * dynamic,
+            read_per_64B_nj=self.read_per_64B_nj * dynamic,
+            write_per_64B_nj=self.write_per_64B_nj * dynamic,
+            refresh_per_ms_nj=self.refresh_per_ms_nj * dynamic,
+            background_mw=self.background_mw * static,
+            io_per_64B_nj=self.io_per_64B_nj,  # IO termination does not scale with core VDD
+        )
+
+
+#: parameter sets for the memory types used across the paper's platforms.
+ENERGY_PARAMETER_SETS: Dict[str, DramEnergyParameters] = {
+    "DDR4-2400": DramEnergyParameters(),
+    "DDR4-2133": DramEnergyParameters(
+        name="DDR4-2133", activate_precharge_nj=18.5, read_per_64B_nj=4.4,
+        write_per_64B_nj=4.8, refresh_per_ms_nj=2300.0, background_mw=105.0,
+    ),
+    "LPDDR3-1600": DramEnergyParameters(
+        name="LPDDR3-1600", activate_precharge_nj=9.5, read_per_64B_nj=2.6,
+        write_per_64B_nj=2.9, refresh_per_ms_nj=900.0, background_mw=35.0,
+        io_per_64B_nj=0.8,
+    ),
+    "GDDR5": DramEnergyParameters(
+        name="GDDR5", activate_precharge_nj=22.0, read_per_64B_nj=6.5,
+        write_per_64B_nj=7.0, refresh_per_ms_nj=3100.0, background_mw=320.0,
+        io_per_64B_nj=2.4,
+    ),
+}
+
+
+@dataclass
+class TrafficProfile:
+    """DRAM traffic of one workload execution."""
+
+    reads_bytes: float = 0.0
+    writes_bytes: float = 0.0
+    row_activations: float = 0.0
+    execution_time_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("reads_bytes", "writes_bytes", "row_activations", "execution_time_ms"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def read_lines(self) -> float:
+        return self.reads_bytes / 64.0
+
+    @property
+    def write_lines(self) -> float:
+        return self.writes_bytes / 64.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.reads_bytes + self.writes_bytes
+
+    def scaled_time(self, factor: float) -> "TrafficProfile":
+        """Same traffic with execution time scaled (e.g. after a speedup)."""
+        return TrafficProfile(
+            reads_bytes=self.reads_bytes,
+            writes_bytes=self.writes_bytes,
+            row_activations=self.row_activations,
+            execution_time_ms=self.execution_time_ms * factor,
+        )
+
+
+@dataclass
+class EnergyBreakdown:
+    """DRAM energy of one execution, split by component (nanojoules)."""
+
+    activate_nj: float
+    read_nj: float
+    write_nj: float
+    io_nj: float
+    refresh_nj: float
+    background_nj: float
+
+    @property
+    def dynamic_nj(self) -> float:
+        return self.activate_nj + self.read_nj + self.write_nj + self.io_nj
+
+    @property
+    def static_nj(self) -> float:
+        return self.refresh_nj + self.background_nj
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.static_nj
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_nj * 1e-6
+
+
+class DramEnergyModel:
+    """Computes DRAM energy for a traffic profile at a voltage operating point."""
+
+    def __init__(self, memory_type: str = "DDR4-2400", nominal_vdd: float = NOMINAL_VDD):
+        if memory_type not in ENERGY_PARAMETER_SETS:
+            raise KeyError(
+                f"unknown memory type {memory_type!r}; expected one of "
+                f"{sorted(ENERGY_PARAMETER_SETS)}"
+            )
+        self.memory_type = memory_type
+        self.base_parameters = ENERGY_PARAMETER_SETS[memory_type]
+        self.nominal_vdd = float(nominal_vdd)
+
+    def energy(self, traffic: TrafficProfile,
+               voltage: VoltageDomain = None) -> EnergyBreakdown:
+        voltage = voltage or VoltageDomain(vdd=self.nominal_vdd, nominal_vdd=self.nominal_vdd)
+        params = self.base_parameters.scaled_for_voltage(voltage)
+        return EnergyBreakdown(
+            activate_nj=traffic.row_activations * params.activate_precharge_nj,
+            read_nj=traffic.read_lines * params.read_per_64B_nj,
+            write_nj=traffic.write_lines * params.write_per_64B_nj,
+            io_nj=(traffic.read_lines + traffic.write_lines) * params.io_per_64B_nj,
+            refresh_nj=traffic.execution_time_ms * params.refresh_per_ms_nj,
+            background_nj=traffic.execution_time_ms * params.background_mw * 1e3,
+        )
+
+    def energy_reduction(self, traffic_baseline: TrafficProfile,
+                         traffic_eden: TrafficProfile,
+                         eden_voltage: VoltageDomain) -> float:
+        """Fractional DRAM energy reduction of EDEN vs the nominal baseline."""
+        baseline = self.energy(traffic_baseline).total_nj
+        eden = self.energy(traffic_eden, voltage=eden_voltage).total_nj
+        if baseline <= 0:
+            return 0.0
+        return 1.0 - eden / baseline

@@ -1,0 +1,370 @@
+"""EDEN's four DRAM error models (paper Section 4).
+
+Each model is a parameterizable probabilistic description of where bit flips
+land when DRAM is operated with reduced voltage/latency:
+
+* **Error Model 0** — uniform-random flips across a bank; parameters ``P``
+  (fraction of weak cells) and ``F`` (probability a weak cell fails on a
+  given access).
+* **Error Model 1** — flips concentrate on particular *bitlines* (sense-amp
+  and column-distance variation).
+* **Error Model 2** — flips concentrate on particular *wordlines* (row
+  distance variation).
+* **Error Model 3** — uniform-random but *data-dependent*: stored 1s and 0s
+  fail with different probabilities (``FV1`` / ``FV0``).
+
+A model exposes per-bit flip probabilities for a tensor laid out in DRAM
+(:class:`DramLayout` maps flat bit indices to wordline/bitline coordinates),
+can generate flip masks, report its expected BER for a data pattern, and can
+be rescaled to a target BER — which is how EDEN's characterization sweeps
+error rates without re-profiling the device.
+
+Weak-cell *positions* are deterministic per model seed (they represent
+manufacturing variation frozen at fabrication time); only the per-access
+failure outcome is stochastic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.dram.device import _hash_uniform
+
+
+@dataclass(frozen=True)
+class DramLayout:
+    """How a linear run of bits maps onto DRAM rows.
+
+    ``row_size_bits`` is the wordline length; ``start_bit`` offsets the tensor
+    within the bank.  The paper notes tensors are stored contiguously, so MSBs
+    of consecutive same-width values land on the same bitlines — the effect
+    that makes Error Model 1 so damaging for FP32 data (Section 6.3).
+    """
+
+    row_size_bits: int = 65536
+    start_bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.row_size_bits <= 0:
+            raise ValueError("row_size_bits must be positive")
+        if self.start_bit < 0:
+            raise ValueError("start_bit must be non-negative")
+
+    def coordinates(self, bit_indices: np.ndarray):
+        """Return (wordline, bitline) arrays for flat tensor bit indices."""
+        absolute = np.asarray(bit_indices, dtype=np.uint64) + np.uint64(self.start_bit)
+        wordline = absolute // np.uint64(self.row_size_bits)
+        bitline = absolute % np.uint64(self.row_size_bits)
+        return wordline, bitline
+
+
+class ErrorModel:
+    """Base class: per-bit flip probabilities + sampling + rescaling."""
+
+    #: integer id matching the paper's numbering (0..3)
+    model_id: int = -1
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    # -- interface ---------------------------------------------------------------
+    def flip_probabilities(self, stored_bits: np.ndarray, layout: DramLayout) -> np.ndarray:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def expected_ber(self, ones_fraction: float = 0.5) -> float:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def with_ber(self, target_ber: float) -> "ErrorModel":
+        """Return a copy rescaled so ``expected_ber(0.5) == target_ber``."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def parameters(self) -> Dict[str, float]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # -- shared helpers ------------------------------------------------------------
+    def flip_mask(self, stored_bits: np.ndarray, layout: DramLayout,
+                  rng: np.random.Generator) -> np.ndarray:
+        """Sample a boolean flip mask for one access of ``stored_bits``."""
+        probabilities = self.flip_probabilities(stored_bits, layout)
+        return rng.random(stored_bits.shape) < probabilities
+
+    def name(self) -> str:
+        return f"ErrorModel{self.model_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{k}={v:.3g}" for k, v in self.parameters().items())
+        return f"{self.name()}({params})"
+
+
+def _clip_probability(value: float) -> float:
+    return float(np.clip(value, 0.0, 1.0))
+
+
+def _rescale_grouped(group_fraction: float, p_weak: float, p_normal: float,
+                     failure: float, scale: float, target_ber: float):
+    """Rescale a two-group (weak/normal) model to a target aggregate BER.
+
+    Scales the per-group weak-cell fractions first; if the weak group's
+    fraction saturates at 1.0 the residual is absorbed into the per-access
+    failure probability, and finally into the normal group — so even large
+    targets (the top of the paper's Figure 8 sweep) are met while preserving
+    as much of the weak/normal contrast as possible.
+    """
+    p_weak = min(1.0, p_weak * scale)
+    p_normal = min(1.0, p_normal * scale)
+
+    def aggregate(pw, pn, f):
+        return (group_fraction * pw + (1.0 - group_fraction) * pn) * f
+
+    achieved = aggregate(p_weak, p_normal, failure)
+    if achieved < target_ber * 0.999 and achieved > 0:
+        failure = min(1.0, failure * target_ber / achieved)
+        achieved = aggregate(p_weak, p_normal, failure)
+    if achieved < target_ber * 0.999:
+        # Last resort: raise the normal group until the aggregate is met.
+        remaining = target_ber / max(failure, 1e-12) - group_fraction * p_weak
+        p_normal = min(1.0, max(p_normal, remaining / max(1.0 - group_fraction, 1e-12)))
+    return p_weak, p_normal, failure
+
+
+class UniformErrorModel(ErrorModel):
+    """Error Model 0: uniformly distributed weak cells."""
+
+    model_id = 0
+
+    def __init__(self, weak_cell_fraction: float, failure_probability: float, seed: int = 0):
+        super().__init__(seed)
+        self.weak_cell_fraction = _clip_probability(weak_cell_fraction)
+        self.failure_probability = _clip_probability(failure_probability)
+
+    def flip_probabilities(self, stored_bits: np.ndarray, layout: DramLayout) -> np.ndarray:
+        stored_bits = np.asarray(stored_bits)
+        indices = np.arange(stored_bits.size, dtype=np.uint64) + np.uint64(layout.start_bit)
+        weakness = _hash_uniform(indices, self.seed, stream=101)
+        weak = weakness < self.weak_cell_fraction
+        return (weak * self.failure_probability).reshape(stored_bits.shape)
+
+    def expected_ber(self, ones_fraction: float = 0.5) -> float:
+        return self.weak_cell_fraction * self.failure_probability
+
+    def with_ber(self, target_ber: float) -> "UniformErrorModel":
+        if target_ber < 0:
+            raise ValueError("target BER must be non-negative")
+        if target_ber == 0:
+            return UniformErrorModel(0.0, 0.0, seed=self.seed)
+        # Keep F fixed and scale P, saturating F upward if P would exceed 1.
+        failure = self.failure_probability or 0.5
+        weak = target_ber / failure
+        if weak > 1.0:
+            weak, failure = 1.0, min(1.0, target_ber)
+        return UniformErrorModel(weak, failure, seed=self.seed)
+
+    def parameters(self) -> Dict[str, float]:
+        return {"P": self.weak_cell_fraction, "F": self.failure_probability}
+
+
+class BitlineErrorModel(ErrorModel):
+    """Error Model 1: weak cells cluster on a subset of bitlines."""
+
+    model_id = 1
+
+    def __init__(self, weak_bitline_fraction: float, weak_cell_fraction_on_weak: float,
+                 weak_cell_fraction_on_normal: float, failure_probability: float,
+                 seed: int = 0):
+        super().__init__(seed)
+        self.weak_bitline_fraction = _clip_probability(weak_bitline_fraction)
+        self.weak_cell_fraction_on_weak = _clip_probability(weak_cell_fraction_on_weak)
+        self.weak_cell_fraction_on_normal = _clip_probability(weak_cell_fraction_on_normal)
+        self.failure_probability = _clip_probability(failure_probability)
+
+    def _per_bit_weak_fraction(self, stored_bits: np.ndarray, layout: DramLayout) -> np.ndarray:
+        indices = np.arange(np.asarray(stored_bits).size, dtype=np.uint64)
+        _, bitline = layout.coordinates(indices)
+        bitline_weakness = _hash_uniform(bitline, self.seed, stream=201)
+        weak_bitline = bitline_weakness < self.weak_bitline_fraction
+        return np.where(weak_bitline, self.weak_cell_fraction_on_weak,
+                        self.weak_cell_fraction_on_normal)
+
+    def flip_probabilities(self, stored_bits: np.ndarray, layout: DramLayout) -> np.ndarray:
+        stored_bits = np.asarray(stored_bits)
+        weak_fraction = self._per_bit_weak_fraction(stored_bits, layout)
+        indices = np.arange(stored_bits.size, dtype=np.uint64) + np.uint64(layout.start_bit)
+        weakness = _hash_uniform(indices, self.seed, stream=202)
+        weak = weakness < weak_fraction
+        return (weak * self.failure_probability).reshape(stored_bits.shape)
+
+    def expected_ber(self, ones_fraction: float = 0.5) -> float:
+        mean_weak = (
+            self.weak_bitline_fraction * self.weak_cell_fraction_on_weak
+            + (1.0 - self.weak_bitline_fraction) * self.weak_cell_fraction_on_normal
+        )
+        return mean_weak * self.failure_probability
+
+    def with_ber(self, target_ber: float) -> "BitlineErrorModel":
+        current = self.expected_ber()
+        if target_ber <= 0:
+            return BitlineErrorModel(self.weak_bitline_fraction, 0.0, 0.0, 0.0, seed=self.seed)
+        if current <= 0:
+            return BitlineErrorModel(self.weak_bitline_fraction, target_ber, target_ber,
+                                     1.0, seed=self.seed)
+        scale = target_ber / current
+        p_weak, p_normal, failure = _rescale_grouped(
+            self.weak_bitline_fraction, self.weak_cell_fraction_on_weak,
+            self.weak_cell_fraction_on_normal, self.failure_probability, scale, target_ber,
+        )
+        return BitlineErrorModel(self.weak_bitline_fraction, p_weak, p_normal, failure,
+                                 seed=self.seed)
+
+    def parameters(self) -> Dict[str, float]:
+        return {
+            "weak_bitline_fraction": self.weak_bitline_fraction,
+            "PB_weak": self.weak_cell_fraction_on_weak,
+            "PB_normal": self.weak_cell_fraction_on_normal,
+            "FB": self.failure_probability,
+        }
+
+
+class WordlineErrorModel(ErrorModel):
+    """Error Model 2: weak cells cluster on a subset of wordlines (rows)."""
+
+    model_id = 2
+
+    def __init__(self, weak_wordline_fraction: float, weak_cell_fraction_on_weak: float,
+                 weak_cell_fraction_on_normal: float, failure_probability: float,
+                 seed: int = 0):
+        super().__init__(seed)
+        self.weak_wordline_fraction = _clip_probability(weak_wordline_fraction)
+        self.weak_cell_fraction_on_weak = _clip_probability(weak_cell_fraction_on_weak)
+        self.weak_cell_fraction_on_normal = _clip_probability(weak_cell_fraction_on_normal)
+        self.failure_probability = _clip_probability(failure_probability)
+
+    def flip_probabilities(self, stored_bits: np.ndarray, layout: DramLayout) -> np.ndarray:
+        stored_bits = np.asarray(stored_bits)
+        indices = np.arange(stored_bits.size, dtype=np.uint64)
+        wordline, _ = layout.coordinates(indices)
+        wordline_weakness = _hash_uniform(wordline, self.seed, stream=301)
+        weak_wordline = wordline_weakness < self.weak_wordline_fraction
+        weak_fraction = np.where(weak_wordline, self.weak_cell_fraction_on_weak,
+                                 self.weak_cell_fraction_on_normal)
+        cell_weakness = _hash_uniform(indices + np.uint64(layout.start_bit), self.seed, stream=302)
+        weak = cell_weakness < weak_fraction
+        return (weak * self.failure_probability).reshape(stored_bits.shape)
+
+    def expected_ber(self, ones_fraction: float = 0.5) -> float:
+        mean_weak = (
+            self.weak_wordline_fraction * self.weak_cell_fraction_on_weak
+            + (1.0 - self.weak_wordline_fraction) * self.weak_cell_fraction_on_normal
+        )
+        return mean_weak * self.failure_probability
+
+    def with_ber(self, target_ber: float) -> "WordlineErrorModel":
+        current = self.expected_ber()
+        if target_ber <= 0:
+            return WordlineErrorModel(self.weak_wordline_fraction, 0.0, 0.0, 0.0, seed=self.seed)
+        if current <= 0:
+            return WordlineErrorModel(self.weak_wordline_fraction, target_ber, target_ber,
+                                      1.0, seed=self.seed)
+        scale = target_ber / current
+        p_weak, p_normal, failure = _rescale_grouped(
+            self.weak_wordline_fraction, self.weak_cell_fraction_on_weak,
+            self.weak_cell_fraction_on_normal, self.failure_probability, scale, target_ber,
+        )
+        return WordlineErrorModel(self.weak_wordline_fraction, p_weak, p_normal, failure,
+                                  seed=self.seed)
+
+    def parameters(self) -> Dict[str, float]:
+        return {
+            "weak_wordline_fraction": self.weak_wordline_fraction,
+            "PW_weak": self.weak_cell_fraction_on_weak,
+            "PW_normal": self.weak_cell_fraction_on_normal,
+            "FW": self.failure_probability,
+        }
+
+
+class DataDependentErrorModel(ErrorModel):
+    """Error Model 3: uniform weak cells whose failure depends on the stored value."""
+
+    model_id = 3
+
+    def __init__(self, weak_cell_fraction: float, failure_probability_one: float,
+                 failure_probability_zero: float, seed: int = 0):
+        super().__init__(seed)
+        self.weak_cell_fraction = _clip_probability(weak_cell_fraction)
+        self.failure_probability_one = _clip_probability(failure_probability_one)
+        self.failure_probability_zero = _clip_probability(failure_probability_zero)
+
+    def flip_probabilities(self, stored_bits: np.ndarray, layout: DramLayout) -> np.ndarray:
+        stored_bits = np.asarray(stored_bits).astype(bool)
+        indices = np.arange(stored_bits.size, dtype=np.uint64) + np.uint64(layout.start_bit)
+        weakness = _hash_uniform(indices, self.seed, stream=401).reshape(stored_bits.shape)
+        weak = weakness < self.weak_cell_fraction
+        failure = np.where(stored_bits, self.failure_probability_one,
+                           self.failure_probability_zero)
+        return weak * failure
+
+    def expected_ber(self, ones_fraction: float = 0.5) -> float:
+        mean_failure = (
+            ones_fraction * self.failure_probability_one
+            + (1.0 - ones_fraction) * self.failure_probability_zero
+        )
+        return self.weak_cell_fraction * mean_failure
+
+    def with_ber(self, target_ber: float) -> "DataDependentErrorModel":
+        current = self.expected_ber()
+        if target_ber <= 0:
+            return DataDependentErrorModel(0.0, 0.0, 0.0, seed=self.seed)
+        if current <= 0:
+            return DataDependentErrorModel(target_ber, 1.0, 1.0, seed=self.seed)
+        scale = target_ber / current
+        weak = min(1.0, self.weak_cell_fraction * scale)
+        # If P saturates, absorb the remaining scale into the failure probs.
+        residual = (target_ber / weak) / max(current / self.weak_cell_fraction, 1e-30)
+        return DataDependentErrorModel(
+            weak,
+            min(1.0, self.failure_probability_one * residual),
+            min(1.0, self.failure_probability_zero * residual),
+            seed=self.seed,
+        )
+
+    def parameters(self) -> Dict[str, float]:
+        return {
+            "P": self.weak_cell_fraction,
+            "FV1": self.failure_probability_one,
+            "FV0": self.failure_probability_zero,
+        }
+
+
+#: model id -> class, matching the paper's numbering.
+ERROR_MODEL_CLASSES = {
+    0: UniformErrorModel,
+    1: BitlineErrorModel,
+    2: WordlineErrorModel,
+    3: DataDependentErrorModel,
+}
+
+
+def make_error_model(model_id: int, target_ber: float, seed: int = 0) -> ErrorModel:
+    """Construct an error model of the requested type with a given aggregate BER.
+
+    Uses representative shape parameters (moderate locality, balanced data
+    dependence) so sweeps over BER exercise each model's characteristic
+    spatial/data structure.
+    """
+    if target_ber < 0:
+        raise ValueError("target BER must be non-negative")
+    if model_id == 0:
+        return UniformErrorModel(min(1.0, 2.0 * target_ber), 0.5, seed=seed).with_ber(target_ber)
+    if model_id == 1:
+        base = BitlineErrorModel(0.05, 0.4, 0.002, 0.5, seed=seed)
+        return base.with_ber(target_ber)
+    if model_id == 2:
+        base = WordlineErrorModel(0.05, 0.4, 0.002, 0.5, seed=seed)
+        return base.with_ber(target_ber)
+    if model_id == 3:
+        base = DataDependentErrorModel(min(1.0, 2.0 * target_ber), 0.8, 0.2, seed=seed)
+        return base.with_ber(target_ber)
+    raise ValueError(f"unknown error model id {model_id}; expected 0..3")

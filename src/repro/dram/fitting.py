@@ -1,0 +1,223 @@
+"""Fitting EDEN's error models to profiling data and selecting the best one.
+
+The paper applies maximum likelihood estimation to decide (1) the parameters
+of each of the four error models and (2) which model most plausibly produced
+the flips observed on the real chip, preferring Error Model 0 when two models
+explain the data comparably well because software injection with the uniform
+model is ~1.3x faster (Section 4, "Model Selection").
+
+This module follows the same recipe against :class:`ProfileResult` data from
+the simulated device: moment-based parameter estimation per model, a binomial
+log-likelihood for scoring, and a selection rule with the Model-0 preference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dram.error_models import (
+    BitlineErrorModel,
+    DataDependentErrorModel,
+    DramLayout,
+    ErrorModel,
+    UniformErrorModel,
+    WordlineErrorModel,
+)
+from repro.dram.profiler import ProfileResult
+
+#: relative log-likelihood slack within which Model 0 is preferred (the paper
+#: favors Model 0 when two models explain the observations comparably well).
+MODEL0_PREFERENCE_TOLERANCE = 0.05
+
+
+@dataclass
+class FittedModel:
+    """One fitted error model together with its goodness of fit."""
+
+    model: ErrorModel
+    log_likelihood: float
+
+    @property
+    def model_id(self) -> int:
+        return self.model.model_id
+
+
+def _weak_cell_stats(profile: ProfileResult):
+    """Return (weak_mask, per-bit accesses, per-bit flips) pooled over patterns."""
+    flips = profile.combined_flip_counts()
+    accesses = profile.total_accesses_per_bit
+    weak = flips > 0
+    return weak, accesses, flips
+
+
+def fit_uniform(profile: ProfileResult, seed: int = 0) -> UniformErrorModel:
+    """Error Model 0: P = observed weak-cell fraction, F = flip rate of weak cells."""
+    weak, accesses, flips = _weak_cell_stats(profile)
+    num_bits = flips.size
+    weak_count = int(weak.sum())
+    if weak_count == 0:
+        return UniformErrorModel(0.0, 0.0, seed=seed)
+    weak_fraction = weak_count / num_bits
+    failure = float(flips[weak].sum() / (weak_count * accesses))
+    return UniformErrorModel(weak_fraction, failure, seed=seed)
+
+
+def fit_bitline(profile: ProfileResult, seed: int = 0) -> BitlineErrorModel:
+    """Error Model 1: split bitlines into weak/normal groups by flip rate.
+
+    A bitline is only classified as weak if it both fails at more than twice
+    the mean rate *and* fails in at least two distinct rows — an isolated weak
+    cell should not masquerade as a weak bitline (that distinction is exactly
+    what makes Error Model 0 "a reasonable approximation of Error Model 1"
+    in the paper's selection rule).
+    """
+    rates = profile.per_bitline_flip_rate()
+    uniform = fit_uniform(profile, seed=seed)
+    if rates.max() <= 0:
+        return BitlineErrorModel(0.0, 0.0, 0.0, 0.0, seed=seed)
+    mean_rate = rates.mean()
+    row_support = profile.per_bitline_row_support()
+    weak_bitlines = (rates > 2.0 * mean_rate) & (row_support >= 2)
+    weak_fraction = float(weak_bitlines.mean())
+    failure = max(uniform.failure_probability, 1e-6)
+    if weak_fraction in (0.0, 1.0):
+        # No detectable bitline structure: degenerate to near-uniform.
+        p = float(rates.mean() / failure)
+        return BitlineErrorModel(0.5, min(1.0, p), min(1.0, p), failure, seed=seed)
+    p_weak = float(np.clip(rates[weak_bitlines].mean() / failure, 0.0, 1.0))
+    p_normal = float(np.clip(rates[~weak_bitlines].mean() / failure, 0.0, 1.0))
+    return BitlineErrorModel(weak_fraction, p_weak, p_normal, failure, seed=seed)
+
+
+def fit_wordline(profile: ProfileResult, seed: int = 0) -> WordlineErrorModel:
+    """Error Model 2: split wordlines into weak/normal groups by flip rate."""
+    rates = profile.per_wordline_flip_rate()
+    uniform = fit_uniform(profile, seed=seed)
+    if rates.max() <= 0:
+        return WordlineErrorModel(0.0, 0.0, 0.0, 0.0, seed=seed)
+    mean_rate = rates.mean()
+    weak_wordlines = rates > 2.0 * mean_rate
+    weak_fraction = float(weak_wordlines.mean())
+    failure = max(uniform.failure_probability, 1e-6)
+    if weak_fraction in (0.0, 1.0):
+        p = float(rates.mean() / failure)
+        return WordlineErrorModel(0.5, min(1.0, p), min(1.0, p), failure, seed=seed)
+    p_weak = float(np.clip(rates[weak_wordlines].mean() / failure, 0.0, 1.0))
+    p_normal = float(np.clip(rates[~weak_wordlines].mean() / failure, 0.0, 1.0))
+    return WordlineErrorModel(weak_fraction, p_weak, p_normal, failure, seed=seed)
+
+
+def fit_data_dependent(profile: ProfileResult, seed: int = 0) -> DataDependentErrorModel:
+    """Error Model 3: separate failure probabilities for stored 1s and 0s."""
+    weak, accesses, flips = _weak_cell_stats(profile)
+    num_bits = flips.size
+    weak_count = int(weak.sum())
+    if weak_count == 0:
+        return DataDependentErrorModel(0.0, 0.0, 0.0, seed=seed)
+    weak_fraction = weak_count / num_bits
+
+    one_flips = one_accesses = 0
+    zero_flips = zero_accesses = 0
+    for obs in profile.observations:
+        ones = obs.stored_bits & weak
+        zeros = (~obs.stored_bits) & weak
+        one_flips += int(obs.flip_counts[ones].sum())
+        one_accesses += int(ones.sum()) * obs.trials
+        zero_flips += int(obs.flip_counts[zeros].sum())
+        zero_accesses += int(zeros.sum()) * obs.trials
+    fv1 = one_flips / one_accesses if one_accesses else 0.0
+    fv0 = zero_flips / zero_accesses if zero_accesses else 0.0
+    return DataDependentErrorModel(weak_fraction, fv1, fv0, seed=seed)
+
+
+def _expected_flip_probability(model: ErrorModel, profile: ProfileResult,
+                               obs_index: int) -> np.ndarray:
+    """Per-bit expected flip probability of ``obs`` under ``model``.
+
+    The fitted models carry synthetic weak-cell positions (they only need to
+    be statistically representative for injection), so for likelihood scoring
+    we align each model's *structural* parameters with the device's observed
+    structure: Model 1's weak/normal bitline probabilities are applied to the
+    bitlines the profile actually shows as weak, Model 2 likewise for
+    wordlines, and Model 3 conditions on the stored value.  Model 0 predicts a
+    flat rate.  Each model therefore has only its few fitted parameters to
+    explain the data with, and the best-scoring model is the one whose
+    structure matches the device.
+    """
+    obs = profile.observations[obs_index]
+    stored = obs.stored_bits
+    num_bits = stored.size
+    if isinstance(model, DataDependentErrorModel):
+        ber_one = model.weak_cell_fraction * model.failure_probability_one
+        ber_zero = model.weak_cell_fraction * model.failure_probability_zero
+        return np.where(stored, ber_one, ber_zero)
+    if isinstance(model, BitlineErrorModel):
+        rates = profile.per_bitline_flip_rate()
+        if rates.max() > 0:
+            weak_bitlines = (rates > 2.0 * rates.mean()) & (profile.per_bitline_row_support() >= 2)
+        else:
+            weak_bitlines = np.zeros_like(rates, bool)
+        bitline_of_bit = np.arange(num_bits) % profile.row_size_bits
+        is_weak = weak_bitlines[bitline_of_bit]
+        p_weak = model.weak_cell_fraction_on_weak * model.failure_probability
+        p_normal = model.weak_cell_fraction_on_normal * model.failure_probability
+        return np.where(is_weak, p_weak, p_normal)
+    if isinstance(model, WordlineErrorModel):
+        rates = profile.per_wordline_flip_rate()
+        weak_wordlines = rates > 2.0 * rates.mean() if rates.max() > 0 else np.zeros_like(rates, bool)
+        wordline_of_bit = np.minimum(
+            np.arange(num_bits) // profile.row_size_bits, len(rates) - 1
+        )
+        is_weak = weak_wordlines[wordline_of_bit]
+        p_weak = model.weak_cell_fraction_on_weak * model.failure_probability
+        p_normal = model.weak_cell_fraction_on_normal * model.failure_probability
+        return np.where(is_weak, p_weak, p_normal)
+    # Error Model 0 (and any other): flat expected rate.
+    return np.full(num_bits, model.expected_ber(), dtype=np.float64)
+
+
+def log_likelihood(model: ErrorModel, profile: ProfileResult,
+                   epsilon: float = 1e-9) -> float:
+    """Mean per-access binomial log-likelihood of the profile under ``model``."""
+    total = 0.0
+    count = 0
+    for obs_index, obs in enumerate(profile.observations):
+        expected = _expected_flip_probability(model, profile, obs_index)
+        p = np.clip(expected, epsilon, 1.0 - epsilon)
+        k = obs.flip_counts
+        n = obs.trials
+        total += float(np.sum(k * np.log(p) + (n - k) * np.log1p(-p)))
+        count += obs.stored_bits.size * n
+    return total / max(count, 1)
+
+
+def fit_error_models(profile: ProfileResult, seed: int = 0) -> List[FittedModel]:
+    """Fit all four error models to a profile and score each with the likelihood."""
+    models: List[ErrorModel] = [
+        fit_uniform(profile, seed=seed),
+        fit_bitline(profile, seed=seed),
+        fit_wordline(profile, seed=seed),
+        fit_data_dependent(profile, seed=seed),
+    ]
+    return [FittedModel(model, log_likelihood(model, profile)) for model in models]
+
+
+def select_error_model(profile: ProfileResult, seed: int = 0,
+                       tolerance: float = MODEL0_PREFERENCE_TOLERANCE
+                       ) -> FittedModel:
+    """Pick the best-fitting model, preferring Error Model 0 on near ties.
+
+    ``tolerance`` is the relative log-likelihood slack (paper: when two models
+    have very similar probability of producing the observed errors, choose
+    Error Model 0 because software injection with it is fastest).
+    """
+    fitted = fit_error_models(profile, seed=seed)
+    best = max(fitted, key=lambda fm: fm.log_likelihood)
+    model0 = next(fm for fm in fitted if fm.model_id == 0)
+    slack = abs(best.log_likelihood) * tolerance
+    if best.model_id != 0 and (best.log_likelihood - model0.log_likelihood) <= slack:
+        return model0
+    return best

@@ -1,0 +1,123 @@
+"""DRAM organization: channels, ranks, chips, banks, subarrays, rows, columns.
+
+Mirrors the hierarchy in the paper's Section 2.2 / Figure 2.  The geometry is
+used for three things: computing capacities, enumerating the partitions that
+fine-grained mapping can target (module, bank or subarray granularity,
+Section 3.4), and mapping linear bit addresses onto (bank, subarray, row,
+column) coordinates so the spatially-correlated error models know which
+bitline/wordline a given bit lives on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+class PartitionLevel(enum.Enum):
+    """Granularities at which EDEN can apply distinct DRAM parameters."""
+
+    MODULE = "module"
+    BANK = "bank"
+    SUBARRAY = "subarray"
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Static shape of one DRAM module.
+
+    Defaults describe a 4GB DDR4 module similar to the ones the paper
+    profiles: 16 banks, 512-row subarrays, 8KB rows.
+    """
+
+    channels: int = 1
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 16
+    subarrays_per_bank: int = 32
+    rows_per_subarray: int = 512
+    row_size_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        for field_name in ("channels", "ranks_per_channel", "banks_per_rank",
+                           "subarrays_per_bank", "rows_per_subarray", "row_size_bytes"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    # -- capacities ---------------------------------------------------------------
+    @property
+    def num_banks(self) -> int:
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def num_subarrays(self) -> int:
+        return self.num_banks * self.subarrays_per_bank
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.subarrays_per_bank * self.rows_per_subarray
+
+    @property
+    def row_size_bits(self) -> int:
+        return self.row_size_bytes * 8
+
+    @property
+    def bank_size_bytes(self) -> int:
+        return self.rows_per_bank * self.row_size_bytes
+
+    @property
+    def subarray_size_bytes(self) -> int:
+        return self.rows_per_subarray * self.row_size_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_banks * self.bank_size_bytes
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.capacity_bytes * 8
+
+    # -- addressing ---------------------------------------------------------------
+    def decompose_bit_address(self, bit_address: int) -> Tuple[int, int, int, int]:
+        """Split a linear bit address into (bank, subarray, row, column-bit).
+
+        Data is laid out row-major within a bank and banks are filled in order,
+        matching the sequential placement the paper assumes for DNN tensors
+        ("IFMs and weights are aligned in DRAM", Section 6.3).
+        """
+        if bit_address < 0 or bit_address >= self.capacity_bits:
+            raise ValueError(
+                f"bit address {bit_address} outside module of {self.capacity_bits} bits"
+            )
+        bank_bits = self.bank_size_bytes * 8
+        bank, within_bank = divmod(bit_address, bank_bits)
+        row, column = divmod(within_bank, self.row_size_bits)
+        subarray, row_in_subarray = divmod(row, self.rows_per_subarray)
+        return int(bank), int(subarray), int(row_in_subarray), int(column)
+
+    def partitions(self, level: PartitionLevel) -> Iterator[Tuple[int, int]]:
+        """Yield (partition_index, size_bytes) for every partition at ``level``."""
+        if level is PartitionLevel.MODULE:
+            yield 0, self.capacity_bytes
+        elif level is PartitionLevel.BANK:
+            for bank in range(self.num_banks):
+                yield bank, self.bank_size_bytes
+        elif level is PartitionLevel.SUBARRAY:
+            for subarray in range(self.num_subarrays):
+                yield subarray, self.subarray_size_bytes
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown partition level {level!r}")
+
+    def num_partitions(self, level: PartitionLevel) -> int:
+        return sum(1 for _ in self.partitions(level))
+
+    def metadata_bytes(self, level: PartitionLevel, bits_per_partition: int = 12) -> int:
+        """Memory-controller metadata needed to track per-partition parameters.
+
+        The paper estimates ~32B for per-bank voltage steps, ~1KB for 2^10
+        partitions and ~2KB for subarray granularity on an 8GB module
+        (Section 5); we expose the same accounting, defaulting to 8 voltage
+        bits + 4 tRCD bits per partition.
+        """
+        total_bits = self.num_partitions(level) * bits_per_partition
+        return (total_bits + 7) // 8

@@ -1,0 +1,169 @@
+"""DRAM partitions and their characterized operating points (paper Section 3.4).
+
+Fine-grained DNN-to-DRAM mapping needs, for every DRAM partition (module,
+bank or subarray), the bit error rate the partition exhibits at each candidate
+(voltage, tRCD) operating point.  A :class:`PartitionTable` holds exactly that
+characterization — built either from the behavioural device or synthetically —
+and answers the query Algorithm 1 performs: *"what is the most aggressive
+operating point of this partition whose BER stays below a target?"*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+from repro.dram.geometry import DramGeometry, PartitionLevel
+from repro.dram.timing import NOMINAL_DDR4_TIMING
+from repro.dram.voltage import NOMINAL_VDD
+
+
+def operating_point_cost(op_point: DramOperatingPoint,
+                         nominal_vdd: float = NOMINAL_VDD,
+                         nominal_trcd_ns: float = 12.5) -> float:
+    """Scalar "how much are we still paying" score; lower is more aggressive.
+
+    Combines the dynamic-energy scale (VDD^2 term) and the remaining fraction
+    of the nominal activation latency, which is what EDEN trades off when it
+    picks the partition parameters with "the largest parameter reduction"
+    (Algorithm 1, line 8).
+    """
+    energy_term = (op_point.vdd / nominal_vdd) ** 2
+    latency_term = op_point.trcd_ns / nominal_trcd_ns
+    return energy_term + latency_term
+
+
+@dataclass
+class DramPartition:
+    """One mappable DRAM partition with its per-operating-point BERs."""
+
+    partition_id: int
+    level: PartitionLevel
+    size_bytes: int
+    ber_by_op_point: Dict[DramOperatingPoint, float] = field(default_factory=dict)
+    available_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("partition size must be positive")
+        if self.available_bytes is None:
+            self.available_bytes = self.size_bytes
+
+    def add_operating_point(self, op_point: DramOperatingPoint, ber: float) -> None:
+        if ber < 0:
+            raise ValueError("BER must be non-negative")
+        self.ber_by_op_point[op_point] = float(ber)
+
+    def best_operating_point(self, max_ber: float
+                             ) -> Optional[Tuple[DramOperatingPoint, float]]:
+        """Most aggressive operating point whose BER does not exceed ``max_ber``."""
+        candidates = [
+            (op, ber) for op, ber in self.ber_by_op_point.items() if ber <= max_ber
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda item: operating_point_cost(item[0]))
+
+    def reserve(self, size_bytes: int) -> None:
+        """Consume capacity when a DNN data type is assigned here."""
+        if size_bytes > self.available_bytes:
+            raise ValueError(
+                f"partition {self.partition_id} has {self.available_bytes}B free, "
+                f"cannot reserve {size_bytes}B"
+            )
+        self.available_bytes -= int(size_bytes)
+
+    def reset_capacity(self) -> None:
+        self.available_bytes = self.size_bytes
+
+
+class PartitionTable:
+    """The characterized set of partitions Algorithm 1 maps DNN data onto."""
+
+    def __init__(self, partitions: Sequence[DramPartition], level: PartitionLevel):
+        if not partitions:
+            raise ValueError("a partition table needs at least one partition")
+        self.partitions: List[DramPartition] = list(partitions)
+        self.level = level
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __iter__(self):
+        return iter(self.partitions)
+
+    def reset(self) -> None:
+        for partition in self.partitions:
+            partition.reset_capacity()
+
+    def total_capacity_bytes(self) -> int:
+        return sum(p.size_bytes for p in self.partitions)
+
+    def operating_points(self) -> List[DramOperatingPoint]:
+        points = set()
+        for partition in self.partitions:
+            points.update(partition.ber_by_op_point)
+        return sorted(points, key=operating_point_cost)
+
+    # -- constructors -----------------------------------------------------------------
+    @classmethod
+    def from_device(cls, device: ApproximateDram,
+                    op_points: Iterable[DramOperatingPoint],
+                    level: PartitionLevel = PartitionLevel.BANK,
+                    sample_bits: int = 1 << 14) -> "PartitionTable":
+        """Characterize every partition of ``device`` at each operating point.
+
+        Bank-level partitions use the device's per-bank Monte-Carlo BER (banks
+        differ through bitline/wordline variation); module-level collapses to
+        the aggregate; subarray-level reuses the bank estimate of the owning
+        bank (the behavioural model has no extra subarray-level variation).
+        """
+        op_points = list(op_points)
+        geometry = device.geometry
+        partitions: List[DramPartition] = []
+        bank_ber_cache: Dict[Tuple[int, DramOperatingPoint], float] = {}
+
+        def bank_ber(bank: int, op: DramOperatingPoint) -> float:
+            key = (bank, op)
+            if key not in bank_ber_cache:
+                bank_ber_cache[key] = device.partition_ber(op, bank, sample_bits=sample_bits)
+            return bank_ber_cache[key]
+
+        for partition_id, size_bytes in geometry.partitions(level):
+            partition = DramPartition(partition_id, level, size_bytes)
+            for op in op_points:
+                if level is PartitionLevel.MODULE:
+                    ber = device.expected_ber(op)
+                elif level is PartitionLevel.BANK:
+                    ber = bank_ber(partition_id, op)
+                else:  # SUBARRAY
+                    owning_bank = partition_id // geometry.subarrays_per_bank
+                    ber = bank_ber(owning_bank, op)
+                partition.add_operating_point(op, ber)
+            partitions.append(partition)
+        return cls(partitions, level)
+
+    @classmethod
+    def synthetic(cls, num_partitions: int, partition_size_bytes: int,
+                  op_point_bers: Dict[DramOperatingPoint, float],
+                  spread: float = 0.3, seed: int = 0,
+                  level: PartitionLevel = PartitionLevel.BANK) -> "PartitionTable":
+        """Build a synthetic table where partitions vary around given mean BERs.
+
+        Useful for unit tests and for the Figure 12 mapping experiment, where
+        four voltage domains with different BERs are assumed.
+        """
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        rng = np.random.default_rng(seed)
+        partitions = []
+        for index in range(num_partitions):
+            partition = DramPartition(index, level, partition_size_bytes)
+            factor = float(np.exp(rng.normal(0.0, spread)))
+            for op, ber in op_point_bers.items():
+                partition.add_operating_point(op, ber * factor)
+            partitions.append(partition)
+        return cls(partitions, level)

@@ -1,0 +1,228 @@
+"""SoftMC-style profiling of an approximate DRAM device (paper Sections 3.4, 6.1).
+
+The paper characterizes each module by writing known data patterns into rows,
+reading them back with reduced voltage / tRCD many times, and recording which
+bits flip.  :class:`SoftMCProfiler` does the same against the behavioural
+:class:`~repro.dram.device.ApproximateDram`: it produces a
+:class:`ProfileResult` holding per-bit flip counts for each data pattern,
+which :mod:`repro.dram.fitting` turns into fitted error models and
+:mod:`repro.dram.partitions` turns into per-partition operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+
+#: the data patterns the paper sweeps in Figure 5.
+DEFAULT_PATTERNS = (0xFF, 0xCC, 0xAA, 0x00)
+
+
+def pattern_bits(pattern_byte: int, num_bits: int) -> np.ndarray:
+    """Expand a repeating byte pattern into a flat bit array (MSB first)."""
+    if not 0 <= pattern_byte <= 0xFF:
+        raise ValueError(f"pattern byte must be in [0, 255], got {pattern_byte}")
+    byte_bits = np.array([(pattern_byte >> (7 - i)) & 1 for i in range(8)], dtype=bool)
+    repeats = (num_bits + 7) // 8
+    return np.tile(byte_bits, repeats)[:num_bits]
+
+
+@dataclass
+class PatternObservation:
+    """Flip observations for one written data pattern."""
+
+    pattern_byte: int
+    stored_bits: np.ndarray          # what was written (bool, flat)
+    flip_counts: np.ndarray          # how many of the reads flipped each bit
+    trials: int
+
+    @property
+    def num_bits(self) -> int:
+        return int(self.stored_bits.size)
+
+    @property
+    def ber(self) -> float:
+        return float(self.flip_counts.sum() / (self.num_bits * self.trials))
+
+    def ber_by_stored_value(self) -> Tuple[float, float]:
+        """(BER of stored 1s, BER of stored 0s) — the Error Model 3 signal."""
+        ones = self.stored_bits
+        zeros = ~ones
+        ber_one = (
+            float(self.flip_counts[ones].sum() / (ones.sum() * self.trials))
+            if ones.any() else 0.0
+        )
+        ber_zero = (
+            float(self.flip_counts[zeros].sum() / (zeros.sum() * self.trials))
+            if zeros.any() else 0.0
+        )
+        return ber_one, ber_zero
+
+
+@dataclass
+class ProfileResult:
+    """Everything observed while profiling one operating point of one device."""
+
+    op_point: DramOperatingPoint
+    row_size_bits: int
+    start_bit: int
+    trials: int
+    observations: List[PatternObservation] = field(default_factory=list)
+
+    # -- aggregate statistics -------------------------------------------------------
+    @property
+    def num_bits(self) -> int:
+        return self.observations[0].num_bits if self.observations else 0
+
+    @property
+    def total_accesses_per_bit(self) -> int:
+        return self.trials * len(self.observations)
+
+    def overall_ber(self) -> float:
+        if not self.observations:
+            return 0.0
+        return float(np.mean([obs.ber for obs in self.observations]))
+
+    def ber_for_pattern(self, pattern_byte: int) -> float:
+        for obs in self.observations:
+            if obs.pattern_byte == pattern_byte:
+                return obs.ber
+        raise KeyError(f"pattern 0x{pattern_byte:02X} was not profiled")
+
+    def combined_flip_counts(self) -> np.ndarray:
+        """Per-bit flip counts summed over all patterns."""
+        counts = np.zeros(self.num_bits, dtype=np.int64)
+        for obs in self.observations:
+            counts += obs.flip_counts
+        return counts
+
+    def per_bitline_flip_rate(self) -> np.ndarray:
+        """Mean flip rate per bitline (column within a row)."""
+        counts = self.combined_flip_counts()
+        num_rows = max(1, self.num_bits // self.row_size_bits)
+        usable = num_rows * self.row_size_bits
+        grid = counts[:usable].reshape(num_rows, self.row_size_bits)
+        return grid.mean(axis=0) / self.total_accesses_per_bit
+
+    def per_wordline_flip_rate(self) -> np.ndarray:
+        """Mean flip rate per wordline (row)."""
+        counts = self.combined_flip_counts()
+        num_rows = max(1, self.num_bits // self.row_size_bits)
+        usable = num_rows * self.row_size_bits
+        grid = counts[:usable].reshape(num_rows, self.row_size_bits)
+        return grid.mean(axis=1) / self.total_accesses_per_bit
+
+    def per_bitline_row_support(self) -> np.ndarray:
+        """Number of distinct rows in which each bitline saw at least one flip.
+
+        Used by the Error-Model-1 fit: a genuinely weak bitline fails in
+        multiple rows, whereas an isolated weak cell only contributes to one
+        row, so requiring multi-row support prevents the bitline model from
+        overfitting sparse profiles.
+        """
+        counts = self.combined_flip_counts()
+        num_rows = max(1, self.num_bits // self.row_size_bits)
+        usable = num_rows * self.row_size_bits
+        grid = counts[:usable].reshape(num_rows, self.row_size_bits)
+        return (grid > 0).sum(axis=0)
+
+    def ber_by_stored_value(self) -> Tuple[float, float]:
+        """(BER of stored 1s, BER of stored 0s), averaged over patterns with both."""
+        ones_rates, zero_rates = [], []
+        for obs in self.observations:
+            ber_one, ber_zero = obs.ber_by_stored_value()
+            if obs.stored_bits.any():
+                ones_rates.append(ber_one)
+            if (~obs.stored_bits).any():
+                zero_rates.append(ber_zero)
+        ber_one = float(np.mean(ones_rates)) if ones_rates else 0.0
+        ber_zero = float(np.mean(zero_rates)) if zero_rates else 0.0
+        return ber_one, ber_zero
+
+    def weak_cell_mask(self) -> np.ndarray:
+        """Bits that flipped at least once across all reads."""
+        return self.combined_flip_counts() > 0
+
+
+class SoftMCProfiler:
+    """Profiles an :class:`ApproximateDram` the way SoftMC profiles real chips."""
+
+    def __init__(self, device: ApproximateDram, rows_to_profile: int = 4,
+                 bank: int = 0, trials: int = 8, seed: int = 0):
+        if rows_to_profile <= 0:
+            raise ValueError("rows_to_profile must be positive")
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        if not 0 <= bank < device.geometry.num_banks:
+            raise ValueError(f"bank {bank} out of range for device")
+        self.device = device
+        self.rows_to_profile = int(rows_to_profile)
+        self.bank = int(bank)
+        self.trials = int(trials)
+        self.seed = int(seed)
+
+    @property
+    def bits_per_profile(self) -> int:
+        return self.rows_to_profile * self.device.geometry.row_size_bits
+
+    def profile(self, op_point: DramOperatingPoint,
+                patterns: Sequence[int] = DEFAULT_PATTERNS) -> ProfileResult:
+        """Write each pattern, read it back ``trials`` times, record flips."""
+        geometry = self.device.geometry
+        start_bit = self.bank * geometry.bank_size_bytes * 8
+        num_bits = self.bits_per_profile
+        result = ProfileResult(
+            op_point=op_point,
+            row_size_bits=geometry.row_size_bits,
+            start_bit=start_bit,
+            trials=self.trials,
+        )
+        for pattern_index, pattern in enumerate(patterns):
+            stored = pattern_bits(pattern, num_bits)
+            flip_counts = np.zeros(num_bits, dtype=np.int64)
+            for trial in range(self.trials):
+                rng = np.random.default_rng(
+                    self.seed * 1_000_003 + pattern_index * 1_009 + trial
+                )
+                read = self.device.read_bits(stored, start_bit, op_point, rng=rng)
+                flip_counts += (read != stored)
+            result.observations.append(
+                PatternObservation(pattern, stored, flip_counts, self.trials)
+            )
+        return result
+
+    def sweep_voltage(self, voltages: Sequence[float], trcd_ns: Optional[float] = None,
+                      patterns: Sequence[int] = DEFAULT_PATTERNS
+                      ) -> Dict[float, ProfileResult]:
+        """Profile a list of supply voltages (at nominal or given tRCD)."""
+        results: Dict[float, ProfileResult] = {}
+        nominal_trcd = self.device.nominal_timing.trcd_ns
+        for vdd in voltages:
+            op_point = DramOperatingPoint.from_reductions(
+                delta_vdd=self.device.nominal_vdd - vdd,
+                delta_trcd_ns=0.0 if trcd_ns is None else nominal_trcd - trcd_ns,
+                nominal_vdd=self.device.nominal_vdd,
+                nominal_timing=self.device.nominal_timing,
+            )
+            results[vdd] = self.profile(op_point, patterns)
+        return results
+
+    def sweep_trcd(self, trcd_values_ns: Sequence[float],
+                   vdd: Optional[float] = None,
+                   patterns: Sequence[int] = DEFAULT_PATTERNS
+                   ) -> Dict[float, ProfileResult]:
+        """Profile a list of tRCD values (at nominal or given voltage)."""
+        results: Dict[float, ProfileResult] = {}
+        for trcd in trcd_values_ns:
+            op_point = DramOperatingPoint.from_reductions(
+                delta_vdd=0.0 if vdd is None else self.device.nominal_vdd - vdd,
+                delta_trcd_ns=self.device.nominal_timing.trcd_ns - trcd,
+                nominal_vdd=self.device.nominal_vdd,
+                nominal_timing=self.device.nominal_timing,
+            )
+            results[trcd] = self.profile(op_point, patterns)
+        return results

@@ -1,0 +1,109 @@
+"""Refresh-rate reduction: the third approximate-DRAM knob (paper Section 2.3).
+
+The paper's evaluation scales supply voltage and tRCD, and notes that refresh
+rate is a third parameter prior work trades against reliability — EDEN's
+framework applies to it unchanged (the conclusion calls this out as a natural
+extension).  This module implements that extension so the flow can also pick a
+refresh interval:
+
+* retention failures follow the well-known exponential tail: multiplying the
+  refresh interval beyond the 64 ms standard exposes the weakest cells first,
+  with the failure population growing rapidly as the interval stretches;
+* the benefit is twofold — refresh *energy* drops with the refresh frequency,
+  and the *performance* overhead of refresh (rank-level lockout while
+  refreshing) shrinks.
+
+The :class:`RefreshPolicy` plugs into the same places the voltage/timing knobs
+do: it reports an aggregate BER contribution (usable with the error models and
+EDEN's characterization) and energy/performance scale factors (usable with the
+platform models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: JEDEC standard refresh interval (ms) at normal temperature.
+STANDARD_REFRESH_INTERVAL_MS = 64.0
+
+#: fraction of time a rank is unavailable due to refresh at the standard rate
+#: (tRFC per tREFI on a commodity DDR4 device is on the order of 4-5%).
+STANDARD_REFRESH_OVERHEAD = 0.045
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """One refresh operating point: how often the module is refreshed."""
+
+    interval_ms: float = STANDARD_REFRESH_INTERVAL_MS
+    #: retention-failure curve: log10(BER) = intercept + slope * log2(interval / 64ms)
+    retention_intercept: float = -9.5
+    retention_slope: float = 2.4
+
+    def __post_init__(self) -> None:
+        if self.interval_ms < STANDARD_REFRESH_INTERVAL_MS:
+            raise ValueError(
+                "refresh intervals below the 64 ms standard gain nothing and are not modeled"
+            )
+
+    @property
+    def interval_multiplier(self) -> float:
+        return self.interval_ms / STANDARD_REFRESH_INTERVAL_MS
+
+    # -- reliability ----------------------------------------------------------------
+    def retention_ber(self) -> float:
+        """Expected BER contribution from retention failures at this interval.
+
+        At the standard interval the retention BER is negligible (the JEDEC
+        guardband); every doubling of the interval multiplies the failing-cell
+        population by ~10^slope·log2 — the steep tail reported by retention
+        studies (RAIDR, AVATAR and the paper's references).
+        """
+        if self.interval_multiplier <= 1.0:
+            return 0.0
+        log_ber = self.retention_intercept + self.retention_slope * np.log2(self.interval_multiplier)
+        return float(np.clip(10.0 ** log_ber, 0.0, 0.5))
+
+    # -- benefits -------------------------------------------------------------------
+    def refresh_energy_scale(self) -> float:
+        """Refresh energy relative to the standard rate (refreshes per unit time)."""
+        return 1.0 / self.interval_multiplier
+
+    def refresh_overhead(self) -> float:
+        """Fraction of time the rank is blocked by refresh at this interval."""
+        return STANDARD_REFRESH_OVERHEAD / self.interval_multiplier
+
+    def throughput_gain(self) -> float:
+        """Relative throughput improvement from the reduced refresh lockout."""
+        baseline_available = 1.0 - STANDARD_REFRESH_OVERHEAD
+        available = 1.0 - self.refresh_overhead()
+        return available / baseline_available
+
+
+def max_interval_for_ber(tolerable_ber: float,
+                         policy_template: RefreshPolicy = RefreshPolicy(),
+                         max_multiplier: float = 64.0) -> RefreshPolicy:
+    """Longest refresh interval whose retention BER stays below ``tolerable_ber``.
+
+    This is the refresh analogue of :func:`repro.core.offload.reductions_for_ber`:
+    EDEN's coarse characterization gives a tolerable BER, and this helper turns
+    it into a refresh interval (searching over power-of-two multipliers, the
+    granularity refresh controllers actually support).
+    """
+    if tolerable_ber < 0:
+        raise ValueError("tolerable BER must be non-negative")
+    best = RefreshPolicy(STANDARD_REFRESH_INTERVAL_MS,
+                         policy_template.retention_intercept,
+                         policy_template.retention_slope)
+    multiplier = 2.0
+    while multiplier <= max_multiplier:
+        candidate = RefreshPolicy(STANDARD_REFRESH_INTERVAL_MS * multiplier,
+                                  policy_template.retention_intercept,
+                                  policy_template.retention_slope)
+        if candidate.retention_ber() > tolerable_ber:
+            break
+        best = candidate
+        multiplier *= 2.0
+    return best

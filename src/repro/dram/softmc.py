@@ -1,0 +1,284 @@
+"""Command-level SoftMC host interface (paper Section 6.1).
+
+The paper's real-device experiments run on an FPGA executing SoftMC programs:
+explicit sequences of DRAM commands (ACT, WR, RD, PRE) whose inter-command
+delays the experimenter controls, which is how tRCD is pushed below the
+datasheet value on real chips.  :class:`SoftMCHost` provides the same
+programming model against the behavioural :class:`ApproximateDram`:
+
+* a :class:`SoftMCProgram` is an ordered list of instructions with explicit
+  ``WAIT`` delays between them;
+* the host derives the *effective* tRCD from the delay the program leaves
+  between an ACT and the first column command to that row, so shaving WAIT
+  cycles is exactly how a program reduces latency;
+* row contents are tracked host-side (the device model is content-agnostic),
+  and every READ applies the device's bit-flip behaviour at the effective
+  operating point.
+
+On top of the raw interface, :func:`characterize_inverted_rows` reproduces the
+paper's characterization methodology ("we iteratively test two consecutive
+rows at a time [and] populate these rows with inverted data patterns for the
+worst-case evaluation", Section 3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+from repro.dram.profiler import DEFAULT_PATTERNS, pattern_bits
+
+#: SoftMC's DDR3/DDR4 command bus period in nanoseconds (one command slot).
+BUS_CLOCK_NS = 1.25
+
+
+class Opcode(enum.Enum):
+    """Instruction set of the (simplified) SoftMC host."""
+
+    ACT = "act"
+    WRITE_ROW = "write_row"
+    READ_ROW = "read_row"
+    PRE = "pre"
+    WAIT = "wait"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One SoftMC instruction.
+
+    ``bank``/``row`` address the target row; ``cycles`` is only meaningful for
+    WAIT; ``pattern`` (a repeating byte) is only meaningful for WRITE_ROW.
+    """
+
+    opcode: Opcode
+    bank: int = 0
+    row: int = 0
+    cycles: int = 0
+    pattern: int = 0x00
+
+    def __post_init__(self) -> None:
+        if self.bank < 0 or self.row < 0:
+            raise ValueError("bank and row must be non-negative")
+        if self.opcode is Opcode.WAIT and self.cycles <= 0:
+            raise ValueError("WAIT must specify a positive cycle count")
+        if not 0 <= self.pattern <= 0xFF:
+            raise ValueError("pattern must be a byte value")
+
+
+def act(bank: int, row: int) -> Instruction:
+    return Instruction(Opcode.ACT, bank=bank, row=row)
+
+
+def write_row(bank: int, row: int, pattern: int) -> Instruction:
+    return Instruction(Opcode.WRITE_ROW, bank=bank, row=row, pattern=pattern)
+
+
+def read_row(bank: int, row: int) -> Instruction:
+    return Instruction(Opcode.READ_ROW, bank=bank, row=row)
+
+
+def pre(bank: int) -> Instruction:
+    return Instruction(Opcode.PRE, bank=bank)
+
+
+def wait(cycles: int) -> Instruction:
+    return Instruction(Opcode.WAIT, cycles=cycles)
+
+
+@dataclass
+class SoftMCProgram:
+    """An ordered instruction sequence to be executed by the host."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> "SoftMCProgram":
+        self.instructions.append(instruction)
+        return self
+
+    def extend(self, instructions: Sequence[Instruction]) -> "SoftMCProgram":
+        self.instructions.extend(instructions)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def validate(self) -> None:
+        """Static checks: column commands must target an activated row."""
+        open_rows: Dict[int, int] = {}
+        for index, instruction in enumerate(self.instructions):
+            if instruction.opcode is Opcode.ACT:
+                if instruction.bank in open_rows:
+                    raise ValueError(
+                        f"instruction {index}: ACT to bank {instruction.bank} "
+                        "while another row is open (missing PRE)")
+                open_rows[instruction.bank] = instruction.row
+            elif instruction.opcode is Opcode.READ_ROW:
+                if open_rows.get(instruction.bank) != instruction.row:
+                    raise ValueError(
+                        f"instruction {index}: READ of bank {instruction.bank} row "
+                        f"{instruction.row} without a matching ACT")
+            elif instruction.opcode is Opcode.PRE:
+                open_rows.pop(instruction.bank, None)
+
+
+@dataclass
+class ReadResult:
+    """Data returned by one READ_ROW instruction."""
+
+    bank: int
+    row: int
+    effective_trcd_ns: float
+    stored_bits: np.ndarray
+    read_bits: np.ndarray
+
+    @property
+    def flips(self) -> np.ndarray:
+        return np.logical_xor(self.stored_bits, self.read_bits)
+
+    @property
+    def num_flips(self) -> int:
+        return int(self.flips.sum())
+
+    @property
+    def ber(self) -> float:
+        return self.num_flips / self.stored_bits.size
+
+
+class SoftMCHost:
+    """Executes SoftMC programs against a behavioural approximate DRAM device."""
+
+    def __init__(self, device: ApproximateDram, vdd: Optional[float] = None,
+                 bus_clock_ns: float = BUS_CLOCK_NS, seed: int = 0):
+        if bus_clock_ns <= 0:
+            raise ValueError("bus_clock_ns must be positive")
+        self.device = device
+        self.vdd = device.nominal_vdd if vdd is None else float(vdd)
+        self.bus_clock_ns = float(bus_clock_ns)
+        self.seed = int(seed)
+        # Host-side copy of row contents, keyed by (bank, row).
+        self._row_contents: Dict[Tuple[int, int], np.ndarray] = {}
+        self._executions = 0
+
+    # -- address helpers ---------------------------------------------------------------
+    def _row_start_bit(self, bank: int, row: int) -> int:
+        geometry = self.device.geometry
+        if not 0 <= bank < geometry.num_banks:
+            raise ValueError(f"bank {bank} out of range")
+        if not 0 <= row < geometry.rows_per_bank:
+            raise ValueError(f"row {row} out of range")
+        return (bank * geometry.bank_size_bytes + row * geometry.row_size_bytes) * 8
+
+    def stored_row(self, bank: int, row: int) -> Optional[np.ndarray]:
+        return self._row_contents.get((bank, row))
+
+    # -- execution ----------------------------------------------------------------------
+    def execute(self, program: SoftMCProgram) -> List[ReadResult]:
+        """Run a program; returns one :class:`ReadResult` per READ_ROW."""
+        program.validate()
+        geometry = self.device.geometry
+        nominal_trcd = self.device.nominal_timing.trcd_ns
+        results: List[ReadResult] = []
+        open_since: Dict[int, float] = {}      # bank -> cycle of last ACT
+        open_row: Dict[int, int] = {}
+        now = 0.0
+        self._executions += 1
+
+        for instruction in program:
+            if instruction.opcode is Opcode.WAIT:
+                now += instruction.cycles
+            elif instruction.opcode is Opcode.ACT:
+                open_since[instruction.bank] = now
+                open_row[instruction.bank] = instruction.row
+                now += 1
+            elif instruction.opcode is Opcode.PRE:
+                open_since.pop(instruction.bank, None)
+                open_row.pop(instruction.bank, None)
+                now += 1
+            elif instruction.opcode is Opcode.WRITE_ROW:
+                bits = pattern_bits(instruction.pattern, geometry.row_size_bits)
+                self._row_contents[(instruction.bank, instruction.row)] = bits
+                now += geometry.row_size_bits / 512        # burst slots, coarse
+            elif instruction.opcode is Opcode.READ_ROW:
+                bank, row = instruction.bank, instruction.row
+                stored = self._row_contents.get((bank, row))
+                if stored is None:
+                    raise ValueError(f"READ of bank {bank} row {row} before any WRITE_ROW")
+                elapsed_ns = (now - open_since[bank]) * self.bus_clock_ns
+                effective_trcd = min(nominal_trcd, max(elapsed_ns, 0.5))
+                op_point = DramOperatingPoint.from_reductions(
+                    delta_vdd=self.device.nominal_vdd - self.vdd,
+                    delta_trcd_ns=nominal_trcd - effective_trcd,
+                    nominal_vdd=self.device.nominal_vdd,
+                    nominal_timing=self.device.nominal_timing,
+                )
+                rng = np.random.default_rng(
+                    self.seed * 7_919 + self._executions * 104_729 + bank * 131 + row)
+                read = self.device.read_bits(stored, self._row_start_bit(bank, row),
+                                             op_point, rng=rng)
+                results.append(ReadResult(bank=bank, row=row,
+                                          effective_trcd_ns=effective_trcd,
+                                          stored_bits=stored, read_bits=read))
+                now += geometry.row_size_bits / 512
+            else:  # pragma: no cover - exhaustive enum
+                raise ValueError(f"unknown opcode {instruction.opcode}")
+        return results
+
+
+def build_reduced_trcd_program(bank: int, rows: Sequence[int], pattern: int,
+                               trcd_cycles: int) -> SoftMCProgram:
+    """A program that writes ``pattern`` into rows and reads them back at a
+    reduced activation latency of ``trcd_cycles`` bus cycles."""
+    if trcd_cycles <= 0:
+        raise ValueError("trcd_cycles must be positive")
+    program = SoftMCProgram()
+    for row in rows:
+        program.append(write_row(bank, row, pattern))
+    for row in rows:
+        program.append(act(bank, row))
+        program.append(wait(trcd_cycles))
+        program.append(read_row(bank, row))
+        program.append(pre(bank))
+    return program
+
+
+def characterize_inverted_rows(device: ApproximateDram, vdd: float, trcd_ns: float,
+                               bank: int = 0, row_pairs: int = 2,
+                               patterns: Sequence[int] = DEFAULT_PATTERNS,
+                               seed: int = 0) -> Dict[int, float]:
+    """Paper-style worst-case characterization: consecutive rows hold inverted
+    patterns and are read back with reduced parameters.
+
+    Returns the measured BER per data pattern (keyed by the pattern byte).
+    """
+    if row_pairs <= 0:
+        raise ValueError("row_pairs must be positive")
+    host = SoftMCHost(device, vdd=vdd, seed=seed)
+    trcd_cycles = max(1, int(round(trcd_ns / host.bus_clock_ns)))
+    bers: Dict[int, float] = {}
+    for pattern in patterns:
+        inverted = (~np.uint8(pattern)) & 0xFF
+        program = SoftMCProgram()
+        for pair in range(row_pairs):
+            base_row = 2 * pair
+            program.append(write_row(bank, base_row, pattern))
+            program.append(write_row(bank, base_row + 1, int(inverted)))
+        for row in range(2 * row_pairs):
+            program.append(act(bank, row))
+            program.append(wait(trcd_cycles))
+            program.append(read_row(bank, row))
+            program.append(pre(bank))
+        results = host.execute(program)
+        total_bits = sum(r.stored_bits.size for r in results)
+        total_flips = sum(r.num_flips for r in results)
+        bers[pattern] = total_flips / total_bits if total_bits else 0.0
+    return bers

@@ -1,0 +1,85 @@
+"""DRAM timing parameters and their reduction (paper Sections 2.2-2.3).
+
+The paper reduces the activation latency tRCD (and, for the real-device
+experiments, tRP) below the DDR4 datasheet values; CL is fixed by the device
+and not adjustable from the memory controller (Figure 3 caption).  Nominal
+DDR4 values come from the JEDEC DDR4 datasheet numbers quoted in the paper:
+tRCD = 12.5 ns, tRAS = 32 ns, tRP = 12.5 ns, CL = 12.5 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """One set of DRAM timing parameters, in nanoseconds."""
+
+    trcd_ns: float = 12.5
+    tras_ns: float = 32.0
+    trp_ns: float = 12.5
+    cl_ns: float = 12.5
+
+    def __post_init__(self) -> None:
+        for name in ("trcd_ns", "tras_ns", "trp_ns", "cl_ns"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def row_cycle_ns(self) -> float:
+        """tRC: minimum time between activations of different rows (tRAS + tRP)."""
+        return self.tras_ns + self.trp_ns
+
+    @property
+    def row_miss_latency_ns(self) -> float:
+        """Latency of an access that must activate a new row: tRCD + CL."""
+        return self.trcd_ns + self.cl_ns
+
+    @property
+    def row_hit_latency_ns(self) -> float:
+        """Latency of an access that hits the open row: CL only."""
+        return self.cl_ns
+
+    def with_reduced_trcd(self, delta_ns: float) -> "TimingParameters":
+        """Return a copy with tRCD reduced by ``delta_ns`` (delta must be >= 0)."""
+        if delta_ns < 0:
+            raise ValueError("tRCD reduction must be non-negative")
+        new_trcd = self.trcd_ns - delta_ns
+        if new_trcd <= 0:
+            raise ValueError(
+                f"tRCD reduction of {delta_ns} ns leaves a non-positive tRCD "
+                f"(nominal {self.trcd_ns} ns)"
+            )
+        return replace(self, trcd_ns=new_trcd)
+
+    def with_reduced_trp(self, delta_ns: float) -> "TimingParameters":
+        if delta_ns < 0:
+            raise ValueError("tRP reduction must be non-negative")
+        new_trp = self.trp_ns - delta_ns
+        if new_trp <= 0:
+            raise ValueError("tRP reduction leaves a non-positive tRP")
+        return replace(self, trp_ns=new_trp)
+
+    def scaled(self, trcd_ns: float = None, trp_ns: float = None,
+               tras_ns: float = None) -> "TimingParameters":
+        """Return a copy with the given absolute parameter values."""
+        kwargs = {}
+        if trcd_ns is not None:
+            kwargs["trcd_ns"] = trcd_ns
+        if trp_ns is not None:
+            kwargs["trp_ns"] = trp_ns
+        if tras_ns is not None:
+            kwargs["tras_ns"] = tras_ns
+        return replace(self, **kwargs)
+
+    def trcd_reduction_vs(self, nominal: "TimingParameters") -> float:
+        """How many nanoseconds of tRCD were shaved relative to ``nominal``."""
+        return nominal.trcd_ns - self.trcd_ns
+
+
+#: JEDEC DDR4 nominal timings quoted by the paper (Section 2.2).
+NOMINAL_DDR4_TIMING = TimingParameters()
+
+#: LPDDR3 nominal timings used for the accelerator evaluation (Section 7.2).
+NOMINAL_LPDDR3_TIMING = TimingParameters(trcd_ns=18.0, tras_ns=42.0, trp_ns=18.0, cl_ns=15.0)

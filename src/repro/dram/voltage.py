@@ -1,0 +1,76 @@
+"""DRAM supply voltage domain and the power impact of reducing it.
+
+The paper's real-device experiments treat 1.35 V as the nominal supply
+voltage (Table 3, Figure 9) and reduce it in steps; DRAM power is
+proportional to VDD^2 * f (Section 2.3), so the dynamic-energy scaling factor
+of a reduced-voltage operating point is (V / V_nominal)^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: nominal supply voltage used throughout the paper's characterization.
+NOMINAL_VDD = 1.35
+
+#: the lowest voltage the paper's characterization sweeps reach (Figure 5).
+MIN_OPERATING_VDD = 1.00
+
+
+@dataclass(frozen=True)
+class VoltageDomain:
+    """One DRAM supply-voltage operating point."""
+
+    vdd: float = NOMINAL_VDD
+    nominal_vdd: float = NOMINAL_VDD
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0 or self.nominal_vdd <= 0:
+            raise ValueError("voltages must be positive")
+        if self.vdd > self.nominal_vdd + 1e-9:
+            raise ValueError(
+                f"operating voltage {self.vdd} V above nominal {self.nominal_vdd} V"
+            )
+
+    @property
+    def reduction_volts(self) -> float:
+        """How far below nominal this operating point sits (>= 0)."""
+        return self.nominal_vdd - self.vdd
+
+    @property
+    def reduction_fraction(self) -> float:
+        return self.reduction_volts / self.nominal_vdd
+
+    @property
+    def dynamic_energy_scale(self) -> float:
+        """Dynamic energy scales with VDD^2 (paper Section 2.3)."""
+        return (self.vdd / self.nominal_vdd) ** 2
+
+    @property
+    def static_power_scale(self) -> float:
+        """Background/leakage power scales roughly linearly with VDD."""
+        return self.vdd / self.nominal_vdd
+
+    def reduced_by(self, delta_volts: float) -> "VoltageDomain":
+        if delta_volts < 0:
+            raise ValueError("voltage reduction must be non-negative")
+        new_vdd = self.vdd - delta_volts
+        if new_vdd < MIN_OPERATING_VDD - 1e-9:
+            raise ValueError(
+                f"voltage reduction of {delta_volts} V drops below the minimum "
+                f"operating voltage {MIN_OPERATING_VDD} V"
+            )
+        return VoltageDomain(vdd=new_vdd, nominal_vdd=self.nominal_vdd)
+
+
+def voltage_sweep(start: float = NOMINAL_VDD, stop: float = MIN_OPERATING_VDD,
+                  step: float = 0.05):
+    """Descending list of voltages from ``start`` down to ``stop`` inclusive."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    voltages = []
+    v = start
+    while v >= stop - 1e-9:
+        voltages.append(round(v, 4))
+        v -= step
+    return voltages

@@ -1,0 +1,73 @@
+"""Cycle-level memory-system substrate (Ramulator / DRAMPower / ZSim stand-ins).
+
+The paper's system-level evaluation (Section 7) is built on a simulation
+stack: ZSim provides the cores and cache hierarchy, Ramulator provides the
+cycle-level DRAM model whose tRCD the paper reduces, and DRAMPower converts
+the resulting command traces into DRAM energy.  :mod:`repro.arch` models those
+platforms analytically for the headline figures; this package provides the
+cycle-level counterpart used for validation and ablation:
+
+* :mod:`repro.memsys.ddr4`       — JEDEC timing sets in controller cycles;
+* :mod:`repro.memsys.request`    — memory requests and address mapping;
+* :mod:`repro.memsys.commands`   — the DRAM command vocabulary and traces;
+* :mod:`repro.memsys.bank`       — bank/rank state machines enforcing timing;
+* :mod:`repro.memsys.scheduler`  — FCFS and FR-FCFS request scheduling;
+* :mod:`repro.memsys.controller` — the cycle-level memory controller;
+* :mod:`repro.memsys.power`      — command-trace energy (DRAMPower style);
+* :mod:`repro.memsys.cache`      — set-associative caches + stream prefetchers;
+* :mod:`repro.memsys.tracegen`   — DNN address-trace synthesis.
+"""
+
+from repro.memsys.ddr4 import DeviceTiming, SPEED_BINS, speed_bin
+from repro.memsys.request import (
+    AddressMapper,
+    AddressMapperConfig,
+    AddressMapping,
+    DramCoordinates,
+    MemoryRequest,
+    RequestType,
+)
+from repro.memsys.commands import Command, CommandTrace, CommandType
+from repro.memsys.bank import BankState, RankState
+from repro.memsys.scheduler import SchedulingDecision, SchedulingPolicy, choose, next_command_for
+from repro.memsys.controller import (
+    ControllerConfig,
+    ControllerResult,
+    ControllerStats,
+    MemoryController,
+    run_trace,
+)
+from repro.memsys.power import CommandEnergyModel, IddCurrents, IDD_SETS, PowerBreakdown
+from repro.memsys.cache import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    CacheStats,
+    HierarchyResult,
+    PAPER_CACHE_CONFIGS,
+    StreamPrefetcher,
+)
+from repro.memsys.tracegen import (
+    Access,
+    AddressSpaceLayout,
+    LayerTrace,
+    TensorRegion,
+    flatten,
+    trace_from_network,
+    trace_from_workload,
+)
+
+__all__ = [
+    "DeviceTiming", "SPEED_BINS", "speed_bin",
+    "AddressMapper", "AddressMapperConfig", "AddressMapping", "DramCoordinates",
+    "MemoryRequest", "RequestType",
+    "Command", "CommandTrace", "CommandType",
+    "BankState", "RankState",
+    "SchedulingDecision", "SchedulingPolicy", "choose", "next_command_for",
+    "ControllerConfig", "ControllerResult", "ControllerStats", "MemoryController", "run_trace",
+    "CommandEnergyModel", "IddCurrents", "IDD_SETS", "PowerBreakdown",
+    "Cache", "CacheConfig", "CacheHierarchy", "CacheStats", "HierarchyResult",
+    "PAPER_CACHE_CONFIGS", "StreamPrefetcher",
+    "Access", "AddressSpaceLayout", "LayerTrace", "TensorRegion",
+    "flatten", "trace_from_network", "trace_from_workload",
+]

@@ -1,0 +1,205 @@
+"""Bank and rank state machines enforcing DDR4 timing constraints.
+
+Each DRAM bank tracks its open row and the earliest cycle at which each
+command type may legally be issued to it; each rank additionally enforces the
+constraints that span banks (tRRD, tFAW, tCCD, bus turnaround and refresh).
+The cycle-level controller consults these state machines before putting a
+command on the bus, exactly as Ramulator's DRAM state machine does for the
+paper's CPU evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.memsys.commands import Command, CommandType
+from repro.memsys.ddr4 import DeviceTiming
+
+#: Sentinel for "no constraint yet".
+_NEVER = -(10 ** 12)
+
+
+@dataclass
+class BankState:
+    """Timing state of a single DRAM bank."""
+
+    timing: DeviceTiming
+    bank_group: int = 0
+    bank: int = 0
+    open_row: Optional[int] = None
+    act_ready: int = 0
+    pre_ready: int = 0
+    column_ready: int = 0
+    last_act_cycle: int = _NEVER
+
+    @property
+    def is_open(self) -> bool:
+        return self.open_row is not None
+
+    def row_hit(self, row: int) -> bool:
+        return self.open_row == row
+
+    # -- legality -----------------------------------------------------------------
+    def earliest(self, command_type: CommandType) -> int:
+        """Earliest cycle at which the bank itself allows ``command_type``.
+
+        Rank-level constraints (tRRD, tFAW, tCCD, turnaround) are layered on
+        top by :class:`RankState`; a column command additionally requires the
+        right row to be open, which the scheduler checks.
+        """
+        if command_type is CommandType.ACT:
+            return self.act_ready
+        if command_type is CommandType.PRE:
+            return self.pre_ready
+        if command_type in (CommandType.RD, CommandType.WR):
+            return self.column_ready
+        raise ValueError(f"bank cannot accept command {command_type}")
+
+    # -- state transitions ----------------------------------------------------------
+    def issue_act(self, cycle: int, row: int) -> None:
+        if self.is_open:
+            raise RuntimeError("ACT issued to a bank with an open row")
+        if cycle < self.act_ready:
+            raise RuntimeError(f"ACT at {cycle} violates tRC/tRP (ready {self.act_ready})")
+        t = self.timing
+        self.open_row = row
+        self.last_act_cycle = cycle
+        self.column_ready = max(self.column_ready, cycle + t.trcd)
+        self.pre_ready = max(self.pre_ready, cycle + t.tras)
+        self.act_ready = max(self.act_ready, cycle + t.trc)
+
+    def issue_read(self, cycle: int) -> None:
+        self._check_column(cycle, CommandType.RD)
+        t = self.timing
+        self.pre_ready = max(self.pre_ready, cycle + t.trtp)
+
+    def issue_write(self, cycle: int) -> None:
+        self._check_column(cycle, CommandType.WR)
+        t = self.timing
+        self.pre_ready = max(self.pre_ready, cycle + t.cwl + t.burst_cycles + t.twr)
+
+    def issue_pre(self, cycle: int) -> None:
+        if not self.is_open:
+            raise RuntimeError("PRE issued to an already-closed bank")
+        if cycle < self.pre_ready:
+            raise RuntimeError(f"PRE at {cycle} violates tRAS/tRTP/tWR (ready {self.pre_ready})")
+        self.open_row = None
+        self.act_ready = max(self.act_ready, cycle + self.timing.trp)
+
+    def force_closed(self, ready_cycle: int) -> None:
+        """Close the bank as part of a refresh; next ACT no earlier than ``ready_cycle``."""
+        self.open_row = None
+        self.act_ready = max(self.act_ready, ready_cycle)
+
+    def _check_column(self, cycle: int, command_type: CommandType) -> None:
+        if not self.is_open:
+            raise RuntimeError(f"{command_type} issued to a closed bank")
+        if cycle < self.column_ready:
+            raise RuntimeError(
+                f"{command_type} at {cycle} violates tRCD/tCCD (ready {self.column_ready})"
+            )
+
+
+class RankState:
+    """Rank-wide timing state: activation window, column bus and refresh."""
+
+    def __init__(self, timing: DeviceTiming, num_bank_groups: int = 4,
+                 banks_per_group: int = 4, refresh_enabled: bool = True):
+        self.timing = timing
+        self.refresh_enabled = refresh_enabled
+        self.banks: List[BankState] = [
+            BankState(timing=timing, bank_group=group, bank=bank)
+            for group in range(num_bank_groups) for bank in range(banks_per_group)
+        ]
+        self._act_history: Deque[int] = deque(maxlen=4)      # for tFAW
+        self._last_act_cycle = _NEVER
+        self._last_act_group: Optional[int] = None
+        self._last_column_cycle = _NEVER
+        self._last_column_group: Optional[int] = None
+        self._last_read_end = _NEVER
+        self._last_write_end = _NEVER
+        self.next_refresh_due = timing.trefi if refresh_enabled else None
+        self.refresh_count = 0
+
+    # -- lookup ---------------------------------------------------------------------
+    def bank_state(self, flat_bank: int) -> BankState:
+        return self.banks[flat_bank]
+
+    @property
+    def open_bank_count(self) -> int:
+        return sum(1 for bank in self.banks if bank.is_open)
+
+    # -- rank-level earliest-issue --------------------------------------------------
+    def earliest(self, command_type: CommandType, flat_bank: int) -> int:
+        """Earliest cycle the rank allows ``command_type`` for ``flat_bank``."""
+        bank = self.banks[flat_bank]
+        t = self.timing
+        ready = bank.earliest(command_type)
+        if command_type is CommandType.ACT:
+            if self._last_act_cycle != _NEVER:
+                spacing = t.trrd_l if self._last_act_group == bank.bank_group else t.trrd_s
+                ready = max(ready, self._last_act_cycle + spacing)
+            if len(self._act_history) == self._act_history.maxlen:
+                ready = max(ready, self._act_history[0] + t.tfaw)
+        elif command_type in (CommandType.RD, CommandType.WR):
+            if self._last_column_cycle != _NEVER:
+                spacing = t.tccd_l if self._last_column_group == bank.bank_group else t.tccd_s
+                ready = max(ready, self._last_column_cycle + spacing)
+            if command_type is CommandType.RD and self._last_write_end != _NEVER:
+                ready = max(ready, self._last_write_end + t.twtr)
+            if command_type is CommandType.WR and self._last_read_end != _NEVER:
+                ready = max(ready, self._last_read_end + 2)
+        return ready
+
+    def earliest_refresh(self) -> Optional[int]:
+        """Earliest cycle an all-bank refresh could be issued.
+
+        Refresh requires every bank to be precharged; while any bank is still
+        open the controller must first issue PREs, so this returns ``None``.
+        Once all banks are closed, REF obeys the same tRP spacing an ACT
+        would, which is already folded into each bank's ``act_ready``.
+        """
+        if any(bank.is_open for bank in self.banks):
+            return None
+        return max(bank.act_ready for bank in self.banks)
+
+    # -- transitions ------------------------------------------------------------------
+    def issue(self, command: Command) -> None:
+        """Apply a command to the rank and bank state machines."""
+        t = self.timing
+        cycle = command.cycle
+        if command.type is CommandType.REF:
+            for bank in self.banks:
+                if bank.is_open:
+                    raise RuntimeError("REF issued while a bank still has an open row")
+                bank.force_closed(cycle + t.trfc)
+            self.refresh_count += 1
+            if self.next_refresh_due is not None:
+                self.next_refresh_due += t.trefi
+            return
+
+        bank = self.banks[command.flat_bank]
+        if command.type is CommandType.ACT:
+            bank.issue_act(cycle, command.row)
+            self._act_history.append(cycle)
+            self._last_act_cycle = cycle
+            self._last_act_group = bank.bank_group
+        elif command.type is CommandType.RD:
+            bank.issue_read(cycle)
+            self._last_column_cycle = cycle
+            self._last_column_group = bank.bank_group
+            self._last_read_end = cycle + t.cl + t.burst_cycles
+        elif command.type is CommandType.WR:
+            bank.issue_write(cycle)
+            self._last_column_cycle = cycle
+            self._last_column_group = bank.bank_group
+            self._last_write_end = cycle + t.cwl + t.burst_cycles
+        elif command.type is CommandType.PRE:
+            bank.issue_pre(cycle)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown command type {command.type}")
+
+    def refresh_due(self, cycle: int) -> bool:
+        return (self.next_refresh_due is not None) and cycle >= self.next_refresh_due

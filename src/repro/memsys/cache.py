@@ -1,0 +1,267 @@
+"""Set-associative cache hierarchy with stream prefetchers (ZSim stand-in).
+
+The paper's CPU evaluation runs DNN inference through ZSim's cache hierarchy
+(32KB L1, 512KB L2, 8MB L3, stream prefetchers at L2/L3 — Table 4) and sends
+the resulting LLC misses to Ramulator.  This module provides the same filter:
+a configurable multi-level write-back cache simulator that consumes a DNN
+address trace and emits the DRAM request stream for the cycle-level memory
+controller in :mod:`repro.memsys.controller`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.memsys.request import MemoryRequest, RequestType
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and behaviour of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+    write_back: bool = True
+    write_allocate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if self.size_bytes % (self.associativity * self.line_bytes) != 0:
+            raise ValueError(
+                f"{self.name}: size must be a multiple of associativity * line size")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    prefetches: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+
+class Cache:
+    """One set-associative, LRU, write-back/write-allocate cache level."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        # set index -> OrderedDict(tag -> dirty flag); least recently used first.
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def lookup(self, address: int) -> bool:
+        """Check residency without updating replacement state or counters."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets.get(set_index, {})
+
+    def access(self, address: int, is_write: bool,
+               count: bool = True) -> Tuple[bool, Optional[int]]:
+        """Access one address; returns (hit, evicted dirty line address or None)."""
+        set_index, tag = self._locate(address)
+        ways = self._sets.setdefault(set_index, OrderedDict())
+        if count:
+            self.stats.accesses += 1
+
+        if tag in ways:
+            if count:
+                self.stats.hits += 1
+            ways.move_to_end(tag)
+            if is_write:
+                ways[tag] = True
+            return True, None
+
+        if count:
+            self.stats.misses += 1
+        if is_write and not self.config.write_allocate:
+            return False, None
+        return False, self._fill(set_index, tag, dirty=is_write and self.config.write_back)
+
+    def fill(self, address: int, dirty: bool = False) -> Optional[int]:
+        """Install a line (e.g. a prefetch); returns an evicted dirty line address."""
+        set_index, tag = self._locate(address)
+        ways = self._sets.setdefault(set_index, OrderedDict())
+        if tag in ways:
+            ways.move_to_end(tag)
+            ways[tag] = ways[tag] or dirty
+            return None
+        return self._fill(set_index, tag, dirty)
+
+    def _fill(self, set_index: int, tag: int, dirty: bool) -> Optional[int]:
+        ways = self._sets.setdefault(set_index, OrderedDict())
+        victim_address = None
+        if len(ways) >= self.config.associativity:
+            victim_tag, victim_dirty = ways.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+                victim_line = victim_tag * self.config.num_sets + set_index
+                victim_address = victim_line * self.config.line_bytes
+        ways[tag] = dirty
+        return victim_address
+
+
+class StreamPrefetcher:
+    """Simple next-line stream prefetcher (the paper's Table 4 configuration).
+
+    A stream is confirmed after ``threshold`` consecutive line addresses; each
+    subsequent miss on the stream prefetches the next ``degree`` lines.
+    """
+
+    def __init__(self, degree: int = 4, threshold: int = 2, max_streams: int = 16,
+                 line_bytes: int = 64):
+        if degree < 0 or threshold < 1 or max_streams < 1:
+            raise ValueError("invalid prefetcher configuration")
+        self.degree = degree
+        self.threshold = threshold
+        self.max_streams = max_streams
+        self.line_bytes = line_bytes
+        self._streams: "OrderedDict[int, int]" = OrderedDict()   # next line -> run length
+
+    def observe(self, address: int) -> List[int]:
+        """Observe a demand access; return the addresses to prefetch."""
+        line = address // self.line_bytes
+        run_length = self._streams.pop(line, 0) + 1
+        self._streams[line + 1] = run_length
+        while len(self._streams) > self.max_streams:
+            self._streams.popitem(last=False)
+        if run_length < self.threshold or self.degree == 0:
+            return []
+        return [(line + 1 + i) * self.line_bytes for i in range(self.degree)]
+
+
+#: The paper's Table 4 cache hierarchy (per-core L1/L2, shared L3).
+PAPER_CACHE_CONFIGS: Tuple[CacheConfig, ...] = (
+    CacheConfig(name="L1", size_bytes=32 * 1024, associativity=8),
+    CacheConfig(name="L2", size_bytes=512 * 1024, associativity=8),
+    CacheConfig(name="L3", size_bytes=8 * 1024 * 1024, associativity=16),
+)
+
+
+@dataclass
+class HierarchyResult:
+    """DRAM traffic produced by filtering an address trace through the caches."""
+
+    dram_requests: List[MemoryRequest]
+    level_stats: Dict[str, CacheStats]
+    demand_accesses: int
+
+    @property
+    def dram_reads(self) -> int:
+        return sum(1 for r in self.dram_requests if r.type is RequestType.READ)
+
+    @property
+    def dram_writes(self) -> int:
+        return sum(1 for r in self.dram_requests if r.type is RequestType.WRITE)
+
+    @property
+    def llc_miss_rate(self) -> float:
+        last = list(self.level_stats.values())[-1]
+        return last.miss_rate
+
+
+class CacheHierarchy:
+    """Multi-level cache hierarchy that converts core accesses into DRAM requests."""
+
+    def __init__(self, configs: Sequence[CacheConfig] = PAPER_CACHE_CONFIGS,
+                 prefetch_levels: Sequence[str] = ("L2", "L3"),
+                 prefetch_degree: int = 4,
+                 cycles_per_access: float = 1.0):
+        if not configs:
+            raise ValueError("at least one cache level is required")
+        self.levels = [Cache(config) for config in configs]
+        self.prefetchers: Dict[str, StreamPrefetcher] = {
+            name: StreamPrefetcher(degree=prefetch_degree)
+            for name in prefetch_levels
+            if any(c.name == name for c in configs)
+        }
+        self.cycles_per_access = float(cycles_per_access)
+
+    @property
+    def llc(self) -> Cache:
+        return self.levels[-1]
+
+    def _dram_request(self, address: int, is_write: bool, cycle: int,
+                      requests: List[MemoryRequest]) -> None:
+        requests.append(MemoryRequest(
+            address=address,
+            type=RequestType.WRITE if is_write else RequestType.READ,
+            arrival_cycle=cycle,
+        ))
+
+    def _handle_writeback(self, level_index: int, victim_address: int, cycle: int,
+                          requests: List[MemoryRequest]) -> None:
+        """A dirty eviction from level i becomes a write into level i+1 (or DRAM)."""
+        next_index = level_index + 1
+        if next_index >= len(self.levels):
+            self._dram_request(victim_address, True, cycle, requests)
+            return
+        hit, victim = self.levels[next_index].access(victim_address, is_write=True,
+                                                     count=False)
+        if victim is not None:
+            self._handle_writeback(next_index, victim, cycle, requests)
+        if not hit and not self.levels[next_index].config.write_allocate:
+            self._dram_request(victim_address, True, cycle, requests)
+
+    def access(self, address: int, is_write: bool, cycle: int,
+               requests: List[MemoryRequest]) -> int:
+        """Access the hierarchy; returns the level index that hit (len == DRAM)."""
+        for index, cache in enumerate(self.levels):
+            hit, victim = cache.access(address, is_write)
+            if victim is not None:
+                self._handle_writeback(index, victim, cycle, requests)
+            if hit:
+                return index
+            # miss: consult this level's prefetcher before falling through
+            prefetcher = self.prefetchers.get(cache.config.name)
+            if prefetcher is not None:
+                for prefetch_address in prefetcher.observe(address):
+                    if not cache.lookup(prefetch_address):
+                        cache.stats.prefetches += 1
+                        victim = cache.fill(prefetch_address)
+                        if victim is not None:
+                            self._handle_writeback(index, victim, cycle, requests)
+                        if index == len(self.levels) - 1:
+                            self._dram_request(prefetch_address, False, cycle, requests)
+        # LLC miss: demand fetch from DRAM (writes allocate then dirty the line).
+        self._dram_request(address, False, cycle, requests)
+        return len(self.levels)
+
+    def filter_trace(self, trace: Sequence[Tuple[int, bool]],
+                     start_cycle: int = 0) -> HierarchyResult:
+        """Run an (address, is_write) trace through the hierarchy.
+
+        Consecutive accesses are spaced ``cycles_per_access`` apart, which
+        becomes the arrival schedule of the DRAM requests.
+        """
+        requests: List[MemoryRequest] = []
+        cycle = float(start_cycle)
+        for address, is_write in trace:
+            self.access(address, is_write, int(cycle), requests)
+            cycle += self.cycles_per_access
+        stats = {cache.config.name: cache.stats for cache in self.levels}
+        return HierarchyResult(dram_requests=requests, level_stats=stats,
+                               demand_accesses=len(trace))

@@ -1,0 +1,101 @@
+"""DRAM command vocabulary and command traces.
+
+The cycle-level controller issues JEDEC commands (ACT, RD, WR, PRE, REF) to
+the banks; the resulting command trace is both the controller's ground truth
+for statistics and the input of the DRAMPower-style energy model in
+:mod:`repro.memsys.power` (the paper feeds Ramulator traces into DRAMPower the
+same way).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+
+class CommandType(enum.Enum):
+    """JEDEC DDR4 command types issued by the controller."""
+
+    ACT = "ACT"         # activate a row into the row buffer
+    PRE = "PRE"         # precharge (close) the open row
+    RD = "RD"           # column read burst
+    WR = "WR"           # column write burst
+    REF = "REF"         # all-bank auto refresh
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_column(self) -> bool:
+        return self in (CommandType.RD, CommandType.WR)
+
+
+@dataclass(frozen=True)
+class Command:
+    """One command as it appears on the command bus."""
+
+    cycle: int
+    type: CommandType
+    channel: int = 0
+    rank: int = 0
+    bank_group: int = 0
+    bank: int = 0
+    row: int = 0
+    column: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("cycle must be non-negative")
+
+    @property
+    def flat_bank(self) -> int:
+        return self.bank_group * 4 + self.bank
+
+
+class CommandTrace:
+    """Ordered record of every command the controller issued."""
+
+    def __init__(self) -> None:
+        self._commands: List[Command] = []
+
+    def append(self, command: Command) -> None:
+        if self._commands and command.cycle < self._commands[-1].cycle:
+            raise ValueError("command trace must be appended in cycle order")
+        self._commands.append(command)
+
+    def extend(self, commands: Iterable[Command]) -> None:
+        for command in commands:
+            self.append(command)
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    def __iter__(self):
+        return iter(self._commands)
+
+    def __getitem__(self, index):
+        return self._commands[index]
+
+    @property
+    def last_cycle(self) -> int:
+        return self._commands[-1].cycle if self._commands else 0
+
+    def counts(self) -> Dict[CommandType, int]:
+        """Number of commands of each type (missing types map to zero)."""
+        counter = Counter(command.type for command in self._commands)
+        return {command_type: counter.get(command_type, 0) for command_type in CommandType}
+
+    def count(self, command_type: CommandType) -> int:
+        return sum(1 for command in self._commands if command.type is command_type)
+
+    def per_bank_counts(self) -> Dict[int, Dict[CommandType, int]]:
+        """Command counts keyed by flat bank index (refreshes excluded)."""
+        result: Dict[int, Dict[CommandType, int]] = {}
+        for command in self._commands:
+            if command.type is CommandType.REF:
+                continue
+            bank_counts = result.setdefault(command.flat_bank, {t: 0 for t in CommandType})
+            bank_counts[command.type] += 1
+        return result

@@ -1,0 +1,362 @@
+"""Cycle-level DDR4 memory controller (Ramulator stand-in).
+
+The controller accepts cache-line read/write requests, schedules JEDEC
+commands against per-bank/per-rank state machines, handles periodic refresh,
+and records a full command trace plus the statistics the system-level models
+and the DRAMPower-style energy model need:
+
+* row-buffer hits / misses / conflicts and the resulting request latencies,
+  which is where EDEN's tRCD reduction shows up as a speedup;
+* per-command counts and per-rank background (active vs precharged) cycles,
+  which the energy model turns into DRAM energy;
+* end-to-end execution cycles of the request stream.
+
+The paper drives Ramulator with ZSim memory traces and DRAMPower with
+Ramulator command traces; :class:`MemoryController` plays both trace-producer
+roles here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.memsys.bank import RankState
+from repro.memsys.commands import Command, CommandTrace, CommandType
+from repro.memsys.ddr4 import DeviceTiming, speed_bin
+from repro.memsys.request import (
+    AddressMapper,
+    AddressMapperConfig,
+    MemoryRequest,
+    RequestType,
+)
+from repro.memsys.scheduler import SchedulingPolicy, choose, next_command_for
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Static configuration of the cycle-level memory controller."""
+
+    timing: DeviceTiming = field(default_factory=lambda: speed_bin("DDR4-2133"))
+    mapper: AddressMapperConfig = field(default_factory=AddressMapperConfig)
+    queue_depth: int = 32
+    scheduling: SchedulingPolicy = SchedulingPolicy.FRFCFS
+    refresh_enabled: bool = True
+    precharge_idle_banks: bool = False   # closed-page-like eager precharge
+
+    def __post_init__(self) -> None:
+        if self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+
+    def with_timing(self, timing: DeviceTiming) -> "ControllerConfig":
+        return ControllerConfig(timing=timing, mapper=self.mapper,
+                                queue_depth=self.queue_depth, scheduling=self.scheduling,
+                                refresh_enabled=self.refresh_enabled,
+                                precharge_idle_banks=self.precharge_idle_banks)
+
+
+@dataclass
+class ControllerStats:
+    """Counters accumulated while servicing a request stream."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    refreshes: int = 0
+    total_cycles: int = 0
+    read_latency_sum: int = 0
+    write_latency_sum: int = 0
+    rank_active_cycles: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    rank_precharged_cycles: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    command_counts: Dict[CommandType, int] = field(
+        default_factory=lambda: {t: 0 for t in CommandType})
+
+    @property
+    def requests(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def average_read_latency(self) -> float:
+        return self.read_latency_sum / self.reads if self.reads else 0.0
+
+    @property
+    def average_write_latency(self) -> float:
+        return self.write_latency_sum / self.writes if self.writes else 0.0
+
+    def active_cycles(self) -> int:
+        return sum(self.rank_active_cycles.values())
+
+    def precharged_cycles(self) -> int:
+        return sum(self.rank_precharged_cycles.values())
+
+
+@dataclass
+class ControllerResult:
+    """Outcome of running a request stream through the controller."""
+
+    stats: ControllerStats
+    trace: CommandTrace
+    completed: List[MemoryRequest]
+    timing: DeviceTiming
+
+    @property
+    def total_cycles(self) -> int:
+        return self.stats.total_cycles
+
+    @property
+    def execution_time_ns(self) -> float:
+        return self.stats.total_cycles * self.timing.tck_ns
+
+    @property
+    def average_read_latency_ns(self) -> float:
+        return self.stats.average_read_latency * self.timing.tck_ns
+
+
+class MemoryController:
+    """A multi-channel, cycle-accurate DRAM memory controller."""
+
+    def __init__(self, config: Optional[ControllerConfig] = None):
+        self.config = config or ControllerConfig()
+        self.timing = self.config.timing
+        self.mapper = AddressMapper(self.config.mapper)
+        cfg = self.config.mapper
+        self._ranks: Dict[Tuple[int, int], RankState] = {
+            (channel, rank): RankState(
+                self.timing, num_bank_groups=cfg.bank_groups,
+                banks_per_group=cfg.banks_per_group,
+                refresh_enabled=self.config.refresh_enabled)
+            for channel in range(cfg.channels)
+            for rank in range(cfg.ranks_per_channel)
+        }
+        self._queues: Dict[int, List[MemoryRequest]] = {
+            channel: [] for channel in range(cfg.channels)}
+        self.stats = ControllerStats()
+        self.trace = CommandTrace()
+        self.completed: List[MemoryRequest] = []
+        self.cycle = 0
+
+    # -- public API -------------------------------------------------------------------
+    def run(self, requests: Iterable[MemoryRequest]) -> ControllerResult:
+        """Service ``requests`` to completion and return statistics and traces.
+
+        Requests are admitted in arrival order subject to the per-channel
+        queue depth; the simulated clock fast-forwards over cycles in which
+        no command can legally be issued.
+        """
+        pending = sorted(self._prepare(requests), key=lambda r: (r.arrival_cycle, r.request_id))
+        next_pending = 0
+
+        while next_pending < len(pending) or self._queued_requests():
+            next_pending = self._admit(pending, next_pending)
+            issued_any, earliest_next = self._issue_cycle()
+            if issued_any:
+                self._advance_to(self.cycle + 1)
+            else:
+                targets = [earliest_next] if earliest_next is not None else []
+                if next_pending < len(pending) and not self._all_queues_full():
+                    targets.append(pending[next_pending].arrival_cycle)
+                jump = max(self.cycle + 1, min(targets)) if targets else self.cycle + 1
+                self._advance_to(jump)
+
+        self._drain_tail()
+        self.stats.total_cycles = self.cycle
+        return ControllerResult(stats=self.stats, trace=self.trace,
+                                completed=self.completed, timing=self.timing)
+
+    # -- request admission --------------------------------------------------------------
+    def _prepare(self, requests: Iterable[MemoryRequest]) -> List[MemoryRequest]:
+        prepared = []
+        for index, request in enumerate(requests):
+            if request.request_id == 0:
+                request.request_id = index + 1
+            self.mapper.attach(request)
+            prepared.append(request)
+        return prepared
+
+    def _admit(self, pending: Sequence[MemoryRequest], next_pending: int) -> int:
+        while next_pending < len(pending):
+            request = pending[next_pending]
+            if request.arrival_cycle > self.cycle:
+                break
+            queue = self._queues[request.coordinates.channel]
+            if len(queue) >= self.config.queue_depth:
+                break
+            queue.append(request)
+            next_pending += 1
+        return next_pending
+
+    def _queued_requests(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def _all_queues_full(self) -> bool:
+        return all(len(queue) >= self.config.queue_depth for queue in self._queues.values())
+
+    # -- per-cycle issue ------------------------------------------------------------------
+    def _issue_cycle(self) -> Tuple[bool, Optional[int]]:
+        """Try to issue one command per channel at the current cycle.
+
+        Returns whether anything was issued and, if not, the earliest cycle at
+        which some channel could issue its preferred command (for
+        fast-forwarding).
+        """
+        issued_any = False
+        earliest_next: Optional[int] = None
+
+        for channel, queue in self._queues.items():
+            refresh_wait = self._handle_refresh(channel)
+            if refresh_wait is not None:
+                if refresh_wait == self.cycle:
+                    issued_any = True
+                else:
+                    earliest_next = self._min_cycle(earliest_next, refresh_wait)
+                continue
+
+            decision = choose(queue, self._rank_for, self.cycle, self.config.scheduling)
+            if decision is None:
+                if self.config.precharge_idle_banks:
+                    if self._precharge_idle(channel):
+                        issued_any = True
+                continue
+            if decision.ready(self.cycle):
+                self._issue(channel, decision.request, decision.command_type,
+                            decision.is_row_hit)
+                issued_any = True
+            else:
+                earliest_next = self._min_cycle(earliest_next, decision.earliest_cycle)
+
+        return issued_any, earliest_next
+
+    def _handle_refresh(self, channel: int) -> Optional[int]:
+        """Progress refresh for the channel's ranks.
+
+        Returns ``None`` when no refresh work is pending, the current cycle if
+        a command was issued for refresh, or the cycle at which refresh work
+        can continue.
+        """
+        for (chan, rank_index), rank in self._ranks.items():
+            if chan != channel or not rank.refresh_due(self.cycle):
+                continue
+            # Close any open bank first.
+            open_banks = [bank for bank in rank.banks if bank.is_open]
+            if open_banks:
+                ready = min(bank.pre_ready for bank in open_banks)
+                if ready > self.cycle:
+                    return ready
+                bank = min(open_banks, key=lambda b: b.pre_ready)
+                self._emit(Command(cycle=self.cycle, type=CommandType.PRE, channel=chan,
+                                   rank=rank_index, bank_group=bank.bank_group,
+                                   bank=bank.bank, row=bank.open_row or 0), rank)
+                return self.cycle
+            ready = rank.earliest_refresh()
+            if ready is None or ready > self.cycle:
+                return ready
+            self._emit(Command(cycle=self.cycle, type=CommandType.REF, channel=chan,
+                               rank=rank_index), rank)
+            self.stats.refreshes += 1
+            return self.cycle
+        return None
+
+    def _precharge_idle(self, channel: int) -> bool:
+        """Eagerly precharge open banks with no queued row hits (closed-page flavour)."""
+        queue = self._queues[channel]
+        wanted_rows = {(r.coordinates.rank, r.coordinates.flat_bank, r.coordinates.row)
+                       for r in queue}
+        for (chan, rank_index), rank in self._ranks.items():
+            if chan != channel:
+                continue
+            for bank in rank.banks:
+                flat = bank.bank_group * 4 + bank.bank
+                if (bank.is_open and bank.pre_ready <= self.cycle
+                        and (rank_index, flat, bank.open_row) not in wanted_rows):
+                    self._emit(Command(cycle=self.cycle, type=CommandType.PRE, channel=chan,
+                                       rank=rank_index, bank_group=bank.bank_group,
+                                       bank=bank.bank, row=bank.open_row), rank)
+                    return True
+        return False
+
+    def _issue(self, channel: int, request: MemoryRequest,
+               command_type: CommandType, is_row_hit: bool) -> None:
+        coords = request.coordinates
+        rank = self._rank_for(request)
+        command = Command(cycle=self.cycle, type=command_type, channel=channel,
+                          rank=coords.rank, bank_group=coords.bank_group,
+                          bank=coords.bank, row=coords.row, column=coords.column)
+        # Classify the access the first time we touch its bank for this request.
+        if request.issue_cycle is None:
+            if command_type in (CommandType.RD, CommandType.WR):
+                self.stats.row_hits += 1
+            elif command_type is CommandType.ACT:
+                self.stats.row_misses += 1
+            elif command_type is CommandType.PRE:
+                self.stats.row_conflicts += 1
+            request.issue_cycle = self.cycle
+
+        self._emit(command, rank)
+
+        if command_type.is_column:
+            self._complete(channel, request, command_type)
+
+    def _complete(self, channel: int, request: MemoryRequest,
+                  command_type: CommandType) -> None:
+        t = self.timing
+        if command_type is CommandType.RD:
+            request.completion_cycle = self.cycle + t.cl + t.burst_cycles
+            self.stats.reads += 1
+            self.stats.read_latency_sum += request.completion_cycle - request.arrival_cycle
+        else:
+            request.completion_cycle = self.cycle + t.cwl + t.burst_cycles
+            self.stats.writes += 1
+            self.stats.write_latency_sum += request.completion_cycle - request.arrival_cycle
+        self._queues[channel].remove(request)
+        self.completed.append(request)
+
+    def _emit(self, command: Command, rank: RankState) -> None:
+        rank.issue(command)
+        self.trace.append(command)
+        self.stats.command_counts[command.type] += 1
+
+    # -- time keeping ----------------------------------------------------------------------
+    def _advance_to(self, cycle: int) -> None:
+        """Move the clock forward, integrating per-rank background-state cycles."""
+        if cycle <= self.cycle:
+            return
+        delta = cycle - self.cycle
+        for key, rank in self._ranks.items():
+            if rank.open_bank_count > 0:
+                self.stats.rank_active_cycles[key] = (
+                    self.stats.rank_active_cycles.get(key, 0) + delta)
+            else:
+                self.stats.rank_precharged_cycles[key] = (
+                    self.stats.rank_precharged_cycles.get(key, 0) + delta)
+        self.cycle = cycle
+
+    def _drain_tail(self) -> None:
+        """Account for the cycles needed to finish the last in-flight data burst."""
+        if self.completed:
+            last = max(request.completion_cycle or 0 for request in self.completed)
+            self._advance_to(max(self.cycle, last))
+
+    def _rank_for(self, request: MemoryRequest) -> RankState:
+        coords = request.coordinates
+        return self._ranks[(coords.channel, coords.rank)]
+
+    @staticmethod
+    def _min_cycle(current: Optional[int], candidate: Optional[int]) -> Optional[int]:
+        if candidate is None:
+            return current
+        if current is None:
+            return candidate
+        return min(current, candidate)
+
+
+def run_trace(requests: Iterable[MemoryRequest],
+              config: Optional[ControllerConfig] = None) -> ControllerResult:
+    """Convenience wrapper: run a request stream through a fresh controller."""
+    return MemoryController(config).run(requests)

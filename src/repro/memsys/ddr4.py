@@ -1,0 +1,188 @@
+"""DDR4 / LPDDR3 / GDDR5 device timing expressed in memory-controller cycles.
+
+The paper's CPU evaluation drives Ramulator with a DDR4-2133 configuration
+(Table 4) and reduces the activation latency tRCD below the datasheet value;
+the accelerator evaluation additionally uses LPDDR3-1600 and the GPU uses
+GDDR5.  This module provides the cycle-domain timing sets consumed by the
+cycle-level memory controller in :mod:`repro.memsys.controller`.
+
+All values are stored as integer controller cycles (one cycle = ``tck_ns``)
+because the bank state machine advances in cycles.  ``from_nanoseconds``
+bridges from the nanosecond-domain :class:`repro.dram.timing.TimingParameters`
+used elsewhere in the library, so EDEN's tRCD reductions translate directly
+into fewer activation cycles here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.dram.timing import TimingParameters
+
+
+def _cycles(value_ns: float, tck_ns: float) -> int:
+    """Round a nanosecond quantity up to whole controller cycles (JEDEC rounding)."""
+    if value_ns <= 0:
+        return 0
+    return max(1, int(math.ceil(value_ns / tck_ns - 1e-9)))
+
+
+@dataclass(frozen=True)
+class DeviceTiming:
+    """Complete timing constraint set for one memory device, in cycles.
+
+    Field names follow the JEDEC DDR4 datasheet.  Suffix ``_s``/``_l`` denotes
+    the short (different bank group) / long (same bank group) variants of the
+    column-to-column and activate-to-activate constraints.
+    """
+
+    name: str
+    tck_ns: float          # clock period of the command/data bus
+    cl: int                # CAS latency (READ to first data)
+    cwl: int               # CAS write latency
+    trcd: int              # ACT to internal READ/WRITE
+    trp: int               # PRE to ACT
+    tras: int              # ACT to PRE
+    trc: int               # ACT to ACT, same bank
+    tccd_s: int            # column-to-column, different bank group
+    tccd_l: int            # column-to-column, same bank group
+    trrd_s: int            # ACT to ACT, different bank group
+    trrd_l: int            # ACT to ACT, same bank group
+    tfaw: int              # four-activate window
+    twr: int               # write recovery (last data to PRE)
+    trtp: int              # READ to PRE
+    twtr: int              # write-to-read turnaround
+    trfc: int              # refresh cycle time
+    trefi: int             # average refresh interval
+    burst_cycles: int = 4  # BL8 on a DDR bus occupies 4 controller cycles
+
+    def __post_init__(self) -> None:
+        if self.tck_ns <= 0:
+            raise ValueError("tck_ns must be positive")
+        for field_name in ("cl", "cwl", "trcd", "trp", "tras", "trc", "tccd_s",
+                           "tccd_l", "trrd_s", "trrd_l", "tfaw", "twr", "trtp",
+                           "twtr", "trfc", "trefi", "burst_cycles"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+        if self.tras + self.trp > self.trc:
+            raise ValueError("tRC must be at least tRAS + tRP")
+        if self.tccd_l < self.tccd_s:
+            raise ValueError("tCCD_L must be >= tCCD_S")
+        if self.trrd_l < self.trrd_s:
+            raise ValueError("tRRD_L must be >= tRRD_S")
+
+    # -- derived quantities -------------------------------------------------------
+    @property
+    def read_latency(self) -> int:
+        """Cycles from READ issue to the end of its data burst."""
+        return self.cl + self.burst_cycles
+
+    @property
+    def write_latency(self) -> int:
+        """Cycles from WRITE issue to the end of its data burst."""
+        return self.cwl + self.burst_cycles
+
+    @property
+    def row_miss_penalty(self) -> int:
+        """Extra cycles a row-buffer miss pays over a hit (tRP + tRCD)."""
+        return self.trp + self.trcd
+
+    def ns(self, cycles: int) -> float:
+        """Convert a cycle count back into nanoseconds."""
+        return cycles * self.tck_ns
+
+    # -- derivation and reduction --------------------------------------------------
+    def with_reduced_trcd(self, delta_ns: float) -> "DeviceTiming":
+        """Return a copy with tRCD reduced by ``delta_ns`` (EDEN's latency knob).
+
+        The reduction is clamped so at least one cycle of activation remains;
+        a non-positive tRCD is not representable by a real controller.
+        """
+        if delta_ns < 0:
+            raise ValueError("tRCD reduction must be non-negative")
+        reduced = max(1, self.trcd - int(round(delta_ns / self.tck_ns)))
+        return replace(self, trcd=reduced)
+
+    def with_trcd_cycles(self, trcd: int) -> "DeviceTiming":
+        if trcd < 1:
+            raise ValueError("tRCD must be at least one cycle")
+        return replace(self, trcd=trcd)
+
+    def with_reduced_trp(self, delta_ns: float) -> "DeviceTiming":
+        if delta_ns < 0:
+            raise ValueError("tRP reduction must be non-negative")
+        reduced = max(1, self.trp - int(round(delta_ns / self.tck_ns)))
+        new_trc = max(self.tras + reduced, self.trc - (self.trp - reduced))
+        return replace(self, trp=reduced, trc=new_trc)
+
+    @classmethod
+    def from_nanoseconds(cls, params: TimingParameters, name: str = "custom",
+                         tck_ns: float = 0.938, **overrides) -> "DeviceTiming":
+        """Build a cycle-domain timing set from nanosecond-domain parameters.
+
+        Constraints the nanosecond model does not carry (tFAW, tCCD, ...) are
+        filled from DDR4-2133 defaults scaled to the requested clock.
+        """
+        base = SPEED_BINS["DDR4-2133"]
+        trcd = _cycles(params.trcd_ns, tck_ns)
+        trp = _cycles(params.trp_ns, tck_ns)
+        tras = _cycles(params.tras_ns, tck_ns)
+        cl = _cycles(params.cl_ns, tck_ns)
+        timing = cls(
+            name=name, tck_ns=tck_ns, cl=cl, cwl=max(1, cl - 2),
+            trcd=trcd, trp=trp, tras=tras, trc=tras + trp,
+            tccd_s=base.tccd_s, tccd_l=base.tccd_l,
+            trrd_s=base.trrd_s, trrd_l=base.trrd_l, tfaw=base.tfaw,
+            twr=_cycles(15.0, tck_ns), trtp=_cycles(7.5, tck_ns),
+            twtr=base.twtr, trfc=_cycles(350.0, tck_ns),
+            trefi=_cycles(7800.0, tck_ns),
+        )
+        if overrides:
+            timing = replace(timing, **overrides)
+        return timing
+
+
+def _ddr4_bin(name: str, data_rate_mtps: int) -> DeviceTiming:
+    """Construct a JEDEC-style DDR4 speed bin from its data rate."""
+    tck_ns = 2000.0 / data_rate_mtps          # two transfers per clock
+    tras = _cycles(32.0, tck_ns)
+    trp = _cycles(13.32, tck_ns)
+    return DeviceTiming(
+        name=name, tck_ns=tck_ns,
+        cl=_cycles(13.32, tck_ns), cwl=_cycles(10.0, tck_ns),
+        trcd=_cycles(13.32, tck_ns), trp=trp,
+        tras=tras, trc=tras + trp,
+        tccd_s=4, tccd_l=max(4, _cycles(5.0, tck_ns)),
+        trrd_s=max(4, _cycles(3.7, tck_ns)), trrd_l=max(4, _cycles(5.3, tck_ns)),
+        tfaw=_cycles(21.0, tck_ns),
+        twr=_cycles(15.0, tck_ns), trtp=_cycles(7.5, tck_ns),
+        twtr=max(2, _cycles(2.5, tck_ns)),
+        trfc=_cycles(350.0, tck_ns), trefi=_cycles(7800.0, tck_ns),
+    )
+
+
+#: Timing sets for the memory types used across the paper's four platforms.
+SPEED_BINS: Dict[str, DeviceTiming] = {}
+SPEED_BINS["DDR4-2133"] = _ddr4_bin("DDR4-2133", 2133)
+SPEED_BINS["DDR4-2400"] = _ddr4_bin("DDR4-2400", 2400)
+SPEED_BINS["LPDDR3-1600"] = DeviceTiming(
+    name="LPDDR3-1600", tck_ns=1.25,
+    cl=12, cwl=6, trcd=15, trp=15, tras=34, trc=49,
+    tccd_s=4, tccd_l=4, trrd_s=8, trrd_l=8, tfaw=40,
+    twr=12, trtp=6, twtr=6, trfc=168, trefi=3120,
+)
+SPEED_BINS["GDDR5"] = DeviceTiming(
+    name="GDDR5", tck_ns=0.8,
+    cl=18, cwl=6, trcd=18, trp=18, tras=40, trc=58,
+    tccd_s=2, tccd_l=3, trrd_s=6, trrd_l=8, tfaw=28,
+    twr=19, trtp=5, twtr=7, trfc=320, trefi=4750,
+)
+
+
+def speed_bin(name: str) -> DeviceTiming:
+    """Look up one of the predefined device timing sets."""
+    if name not in SPEED_BINS:
+        raise KeyError(f"unknown speed bin {name!r}; expected one of {sorted(SPEED_BINS)}")
+    return SPEED_BINS[name]

@@ -1,0 +1,203 @@
+"""Command-level DRAM power model (DRAMPower / Micron TN-40-07 style).
+
+The paper estimates DRAM energy by feeding Ramulator/SCALE-Sim command traces
+into DRAMPower.  This module reproduces that flow: it consumes the command
+trace and background-state cycle counts produced by
+:class:`repro.memsys.controller.MemoryController` and converts them into
+energy using datasheet IDD currents and the Micron power-calculation formulas
+the paper cites (TN-40-07):
+
+* activation/precharge energy per ACT-PRE pair derived from IDD0 against the
+  active/precharged background floor;
+* read/write burst energy from IDD4R/IDD4W against the active background;
+* refresh energy from IDD5B over tRFC;
+* background energy from IDD3N (any bank open) and IDD2N (all banks closed).
+
+Voltage scaling follows the paper's Section 2.3: dynamic energy scales with
+``(VDD / VDD_nominal)^2`` and background/static power with the ratio itself,
+which is how EDEN's supply-voltage reduction turns into the DRAM energy
+savings of Figure 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.dram.voltage import NOMINAL_VDD
+from repro.memsys.commands import CommandTrace, CommandType
+from repro.memsys.controller import ControllerResult
+from repro.memsys.ddr4 import DeviceTiming
+
+
+@dataclass(frozen=True)
+class IddCurrents:
+    """Datasheet IDD currents (milliamps) and nominal supply voltage (volts)."""
+
+    name: str = "DDR4-2133-x8"
+    idd0: float = 55.0       # one-bank activate-precharge current
+    idd2n: float = 34.0      # precharged standby
+    idd3n: float = 44.0      # active standby
+    idd4r: float = 140.0     # burst read
+    idd4w: float = 150.0     # burst write
+    idd5b: float = 190.0     # burst auto-refresh
+    vdd: float = 1.2
+    devices_per_rank: int = 8   # x8 chips on a 64-bit bus
+
+    def __post_init__(self) -> None:
+        for name in ("idd0", "idd2n", "idd3n", "idd4r", "idd4w", "idd5b", "vdd"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.idd3n < self.idd2n:
+            raise ValueError("active standby current cannot be below precharged standby")
+
+
+#: IDD sets for the memory types used by the paper's platforms.
+IDD_SETS: Dict[str, IddCurrents] = {
+    "DDR4-2133": IddCurrents(),
+    "DDR4-2400": IddCurrents(name="DDR4-2400-x8", idd0=58.0, idd2n=36.0, idd3n=47.0,
+                             idd4r=150.0, idd4w=160.0, idd5b=200.0, vdd=1.2),
+    "LPDDR3-1600": IddCurrents(name="LPDDR3-1600", idd0=12.0, idd2n=3.0, idd3n=8.0,
+                               idd4r=130.0, idd4w=145.0, idd5b=65.0, vdd=1.2,
+                               devices_per_rank=2),
+    "GDDR5": IddCurrents(name="GDDR5", idd0=95.0, idd2n=55.0, idd3n=75.0,
+                         idd4r=260.0, idd4w=280.0, idd5b=300.0, vdd=1.5,
+                         devices_per_rank=12),
+}
+
+
+@dataclass
+class PowerBreakdown:
+    """Energy of one command trace split by component (nanojoules)."""
+
+    activate_nj: float
+    read_nj: float
+    write_nj: float
+    refresh_nj: float
+    background_active_nj: float
+    background_precharged_nj: float
+
+    @property
+    def dynamic_nj(self) -> float:
+        return self.activate_nj + self.read_nj + self.write_nj + self.refresh_nj
+
+    @property
+    def background_nj(self) -> float:
+        return self.background_active_nj + self.background_precharged_nj
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.background_nj
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_nj * 1e-6
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "activate_nj": self.activate_nj,
+            "read_nj": self.read_nj,
+            "write_nj": self.write_nj,
+            "refresh_nj": self.refresh_nj,
+            "background_active_nj": self.background_active_nj,
+            "background_precharged_nj": self.background_precharged_nj,
+            "total_nj": self.total_nj,
+        }
+
+
+class CommandEnergyModel:
+    """Turns controller command traces into DRAM energy at a given VDD."""
+
+    def __init__(self, memory_type: str = "DDR4-2133",
+                 idd: Optional[IddCurrents] = None,
+                 nominal_vdd: float = NOMINAL_VDD):
+        if idd is None:
+            if memory_type not in IDD_SETS:
+                raise KeyError(f"unknown memory type {memory_type!r}; expected one of "
+                               f"{sorted(IDD_SETS)}")
+            idd = IDD_SETS[memory_type]
+        self.memory_type = memory_type
+        self.idd = idd
+        self.nominal_vdd = float(nominal_vdd)
+
+    # -- per-event energies ------------------------------------------------------------
+    def _scales(self, vdd: Optional[float]) -> tuple:
+        vdd = self.nominal_vdd if vdd is None else float(vdd)
+        if vdd <= 0:
+            raise ValueError("vdd must be positive")
+        ratio = vdd / self.nominal_vdd
+        return ratio * ratio, ratio        # (dynamic scale, static scale)
+
+    def activate_energy_nj(self, timing: DeviceTiming, vdd: Optional[float] = None) -> float:
+        """Energy of one ACT+PRE pair above the background floor (Micron eq. 3)."""
+        dynamic_scale, _ = self._scales(vdd)
+        idd = self.idd
+        background = (idd.idd3n * timing.tras + idd.idd2n * (timing.trc - timing.tras)) / timing.trc
+        current_ma = max(idd.idd0 - background, 0.0)
+        charge = current_ma * timing.trc * timing.tck_ns * idd.devices_per_rank
+        return charge * idd.vdd * 1e-6 * dynamic_scale
+
+    def read_energy_nj(self, timing: DeviceTiming, vdd: Optional[float] = None) -> float:
+        dynamic_scale, _ = self._scales(vdd)
+        idd = self.idd
+        current_ma = max(idd.idd4r - idd.idd3n, 0.0)
+        charge = current_ma * timing.burst_cycles * timing.tck_ns * idd.devices_per_rank
+        return charge * idd.vdd * 1e-6 * dynamic_scale
+
+    def write_energy_nj(self, timing: DeviceTiming, vdd: Optional[float] = None) -> float:
+        dynamic_scale, _ = self._scales(vdd)
+        idd = self.idd
+        current_ma = max(idd.idd4w - idd.idd3n, 0.0)
+        charge = current_ma * timing.burst_cycles * timing.tck_ns * idd.devices_per_rank
+        return charge * idd.vdd * 1e-6 * dynamic_scale
+
+    def refresh_energy_nj(self, timing: DeviceTiming, vdd: Optional[float] = None) -> float:
+        dynamic_scale, _ = self._scales(vdd)
+        idd = self.idd
+        current_ma = max(idd.idd5b - idd.idd3n, 0.0)
+        charge = current_ma * timing.trfc * timing.tck_ns * idd.devices_per_rank
+        return charge * idd.vdd * 1e-6 * dynamic_scale
+
+    def background_power_mw(self, active: bool, vdd: Optional[float] = None) -> float:
+        _, static_scale = self._scales(vdd)
+        idd = self.idd
+        current_ma = idd.idd3n if active else idd.idd2n
+        return current_ma * idd.vdd * idd.devices_per_rank * static_scale
+
+    # -- trace-level energy ---------------------------------------------------------------
+    def energy_of_trace(self, trace: CommandTrace, timing: DeviceTiming,
+                        active_cycles: int, precharged_cycles: int,
+                        vdd: Optional[float] = None) -> PowerBreakdown:
+        counts = trace.counts()
+        tck = timing.tck_ns
+        background_active = (self.background_power_mw(True, vdd)
+                             * active_cycles * tck * 1e-6)
+        background_precharged = (self.background_power_mw(False, vdd)
+                                 * precharged_cycles * tck * 1e-6)
+        return PowerBreakdown(
+            activate_nj=counts[CommandType.ACT] * self.activate_energy_nj(timing, vdd),
+            read_nj=counts[CommandType.RD] * self.read_energy_nj(timing, vdd),
+            write_nj=counts[CommandType.WR] * self.write_energy_nj(timing, vdd),
+            refresh_nj=counts[CommandType.REF] * self.refresh_energy_nj(timing, vdd),
+            background_active_nj=background_active,
+            background_precharged_nj=background_precharged,
+        )
+
+    def energy_of_run(self, result: ControllerResult,
+                      vdd: Optional[float] = None) -> PowerBreakdown:
+        """Energy of a full controller run (the common entry point)."""
+        return self.energy_of_trace(
+            result.trace, result.timing,
+            active_cycles=result.stats.active_cycles(),
+            precharged_cycles=result.stats.precharged_cycles(),
+            vdd=vdd,
+        )
+
+    def energy_reduction(self, baseline: ControllerResult, reduced: ControllerResult,
+                         reduced_vdd: float) -> float:
+        """Fractional energy reduction of a reduced-VDD run versus nominal."""
+        base = self.energy_of_run(baseline).total_nj
+        new = self.energy_of_run(reduced, vdd=reduced_vdd).total_nj
+        if base <= 0:
+            return 0.0
+        return 1.0 - new / base

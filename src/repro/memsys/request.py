@@ -1,0 +1,161 @@
+"""Memory requests and physical address mapping for the cycle-level controller.
+
+A request is a cache-line sized read or write arriving at the memory
+controller (typically an LLC miss or write-back produced by the cache
+hierarchy in :mod:`repro.memsys.cache`).  The address mapper splits a physical
+byte address into (channel, rank, bank group, bank, row, column) coordinates.
+
+Two mappings are provided, mirroring the two standard Ramulator layouts:
+
+* ``ROW_BANK_COL`` — row bits above bank bits: consecutive lines walk through
+  one row of one bank before moving to the next bank (maximizes row-buffer
+  hits for streaming accesses, the default for the paper's CPU config);
+* ``BANK_INTERLEAVED`` — bank bits above column bits only: consecutive lines
+  round-robin across banks (maximizes bank-level parallelism).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class RequestType(enum.Enum):
+    """Kind of memory request presented to the controller."""
+
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DramCoordinates:
+    """Decoded location of one cache line inside the memory system."""
+
+    channel: int
+    rank: int
+    bank_group: int
+    bank: int
+    row: int
+    column: int
+
+    @property
+    def flat_bank(self) -> int:
+        """Globally unique bank index (used to index bank state machines)."""
+        return self.bank_group * 4 + self.bank
+
+    def same_row(self, other: "DramCoordinates") -> bool:
+        return (self.channel == other.channel and self.rank == other.rank
+                and self.flat_bank == other.flat_bank and self.row == other.row)
+
+
+@dataclass
+class MemoryRequest:
+    """One cache-line request as seen by the memory controller."""
+
+    address: int
+    type: RequestType
+    arrival_cycle: int = 0
+    request_id: int = 0
+    coordinates: Optional[DramCoordinates] = None
+    issue_cycle: Optional[int] = field(default=None, compare=False)
+    completion_cycle: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.arrival_cycle < 0:
+            raise ValueError("arrival_cycle must be non-negative")
+
+    @property
+    def is_write(self) -> bool:
+        return self.type is RequestType.WRITE
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Cycles from arrival to completion, if the request has completed."""
+        if self.completion_cycle is None:
+            return None
+        return self.completion_cycle - self.arrival_cycle
+
+
+class AddressMapping(enum.Enum):
+    """Physical-address-to-DRAM-coordinate interleaving schemes."""
+
+    ROW_BANK_COL = "row_bank_col"
+    BANK_INTERLEAVED = "bank_interleaved"
+
+
+@dataclass(frozen=True)
+class AddressMapperConfig:
+    """Shape of the memory system the address mapper decodes into."""
+
+    channels: int = 2
+    ranks_per_channel: int = 1
+    bank_groups: int = 4
+    banks_per_group: int = 4
+    rows_per_bank: int = 1 << 16
+    columns_per_row: int = 128           # cache lines per row (8KB row / 64B line)
+    line_bytes: int = 64
+    mapping: AddressMapping = AddressMapping.ROW_BANK_COL
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "ranks_per_channel", "bank_groups", "banks_per_group",
+                     "rows_per_bank", "columns_per_row", "line_bytes"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def banks_per_rank(self) -> int:
+        return self.bank_groups * self.banks_per_group
+
+    @property
+    def capacity_bytes(self) -> int:
+        return (self.channels * self.ranks_per_channel * self.banks_per_rank
+                * self.rows_per_bank * self.columns_per_row * self.line_bytes)
+
+
+class AddressMapper:
+    """Decodes physical byte addresses into DRAM coordinates."""
+
+    def __init__(self, config: Optional[AddressMapperConfig] = None):
+        self.config = config or AddressMapperConfig()
+
+    def decode(self, address: int) -> DramCoordinates:
+        """Map a physical byte address to (channel, rank, bank group, bank, row, col).
+
+        Addresses beyond the configured capacity wrap around, so synthetic
+        traces never fall outside the module.
+        """
+        cfg = self.config
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        line = (address // cfg.line_bytes) % (cfg.capacity_bytes // cfg.line_bytes)
+
+        if cfg.mapping is AddressMapping.ROW_BANK_COL:
+            # low -> high: column, channel, bank, bank group, rank, row
+            line, column = divmod(line, cfg.columns_per_row)
+            line, channel = divmod(line, cfg.channels)
+            line, bank = divmod(line, cfg.banks_per_group)
+            line, bank_group = divmod(line, cfg.bank_groups)
+            line, rank = divmod(line, cfg.ranks_per_channel)
+            row = line % cfg.rows_per_bank
+        else:
+            # low -> high: channel, bank, bank group, column, rank, row
+            line, channel = divmod(line, cfg.channels)
+            line, bank = divmod(line, cfg.banks_per_group)
+            line, bank_group = divmod(line, cfg.bank_groups)
+            line, column = divmod(line, cfg.columns_per_row)
+            line, rank = divmod(line, cfg.ranks_per_channel)
+            row = line % cfg.rows_per_bank
+        return DramCoordinates(channel=channel, rank=rank, bank_group=bank_group,
+                               bank=bank, row=row, column=column)
+
+    def attach(self, request: MemoryRequest) -> MemoryRequest:
+        """Fill in the request's decoded coordinates (idempotent)."""
+        if request.coordinates is None:
+            request.coordinates = self.decode(request.address)
+        return request

@@ -1,0 +1,107 @@
+"""Request scheduling policies for the cycle-level memory controller.
+
+Two classic policies are provided:
+
+* **FCFS** — serve requests strictly in arrival order; a stalled head-of-queue
+  request blocks everything behind it.
+* **FR-FCFS** (first-ready, first-come-first-served) — prefer requests that
+  hit the currently open row (they only need a column command), falling back
+  to the oldest request otherwise.  This is the policy used by Ramulator's
+  default controller and assumed by the paper's CPU configuration.
+
+The scheduler does not mutate any state; it inspects the queue and the rank
+state machines and returns a :class:`SchedulingDecision` describing which
+command could be issued for which request and when.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.memsys.bank import RankState
+from repro.memsys.commands import CommandType
+from repro.memsys.request import MemoryRequest, RequestType
+
+
+class SchedulingPolicy(enum.Enum):
+    """Supported request-scheduling policies."""
+
+    FCFS = "fcfs"
+    FRFCFS = "frfcfs"
+
+    @classmethod
+    def from_name(cls, name: str) -> "SchedulingPolicy":
+        try:
+            return cls(name.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown scheduling policy {name!r}; expected one of "
+                f"{[p.value for p in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """The next command the channel would like to issue.
+
+    ``earliest_cycle`` is when the command becomes legal; the controller
+    issues it immediately if ``earliest_cycle <= now`` and otherwise uses the
+    value to fast-forward time.
+    """
+
+    request: MemoryRequest
+    command_type: CommandType
+    earliest_cycle: int
+    is_row_hit: bool
+
+    def ready(self, cycle: int) -> bool:
+        return self.earliest_cycle <= cycle
+
+
+def next_command_for(request: MemoryRequest, rank: RankState) -> SchedulingDecision:
+    """Work out the next command a request needs given the bank's current state."""
+    coords = request.coordinates
+    if coords is None:
+        raise ValueError("request must have decoded coordinates before scheduling")
+    bank = rank.bank_state(coords.flat_bank)
+    column_type = CommandType.WR if request.type is RequestType.WRITE else CommandType.RD
+
+    if bank.row_hit(coords.row):
+        earliest = rank.earliest(column_type, coords.flat_bank)
+        return SchedulingDecision(request, column_type, earliest, is_row_hit=True)
+    if bank.is_open:
+        earliest = rank.earliest(CommandType.PRE, coords.flat_bank)
+        return SchedulingDecision(request, CommandType.PRE, earliest, is_row_hit=False)
+    earliest = rank.earliest(CommandType.ACT, coords.flat_bank)
+    return SchedulingDecision(request, CommandType.ACT, earliest, is_row_hit=False)
+
+
+def choose(queue: Sequence[MemoryRequest],
+           rank_lookup: Callable[[MemoryRequest], RankState],
+           cycle: int,
+           policy: SchedulingPolicy) -> Optional[SchedulingDecision]:
+    """Pick the best decision for this channel at ``cycle``.
+
+    Returns ``None`` for an empty queue.  If no candidate is ready at
+    ``cycle``, the returned decision is the one with the smallest
+    ``earliest_cycle`` so the controller can skip idle cycles.
+    """
+    if not queue:
+        return None
+
+    if policy is SchedulingPolicy.FCFS:
+        head = queue[0]
+        return next_command_for(head, rank_lookup(head))
+
+    decisions: List[SchedulingDecision] = [
+        next_command_for(request, rank_lookup(request)) for request in queue
+    ]
+    ready_hits = [d for d in decisions if d.is_row_hit and d.ready(cycle)]
+    if ready_hits:
+        return min(ready_hits, key=lambda d: d.request.arrival_cycle)
+    ready = [d for d in decisions if d.ready(cycle)]
+    if ready:
+        return min(ready, key=lambda d: d.request.arrival_cycle)
+    return min(decisions, key=lambda d: (d.earliest_cycle, d.request.arrival_cycle))

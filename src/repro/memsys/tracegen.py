@@ -1,0 +1,277 @@
+"""DNN memory-access trace generation for the cycle-level memory system.
+
+The paper's CPU/GPU evaluations obtain memory traces by running the DNN
+inference binaries inside ZSim/GPGPU-Sim.  Here the traces are synthesized
+directly from the structure of the workload: per-layer weight reads are
+streamed sequentially, IFM reads are streamed with partial reuse, OFM writes
+are streamed sequentially, and a configurable fraction of reads is scattered
+randomly across the footprint, modelling the arbitrary indexing the paper
+blames for YOLO's latency sensitivity (non-maximum suppression, confidence
+and IoU thresholding — Section 7.1).
+
+Two producers are provided:
+
+* :func:`trace_from_network` — walk an in-repo analogue network's tensor
+  inventory and lay every weight/IFM/OFM region out contiguously (the paper's
+  "IFMs and weights are aligned in DRAM"), then emit per-layer access
+  streams;
+* :func:`trace_from_workload` — synthesize a bounded trace with the byte
+  proportions and random-access fraction of a paper workload descriptor, used
+  by the system-level benchmarks where the full-size footprints matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.traffic import WorkloadDescriptor
+from repro.nn.network import Network
+from repro.nn.tensor import DataKind, TensorSpec
+
+#: An access is (byte address, is_write).
+Access = Tuple[int, bool]
+
+
+@dataclass(frozen=True)
+class TensorRegion:
+    """A contiguous DRAM region holding one DNN tensor."""
+
+    name: str
+    kind: DataKind
+    base_address: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.base_address < 0 or self.size_bytes <= 0:
+            raise ValueError("region must have non-negative base and positive size")
+
+    @property
+    def end_address(self) -> int:
+        return self.base_address + self.size_bytes
+
+    def line_addresses(self, line_bytes: int = 64) -> Iterator[int]:
+        """Yield the address of every cache line the region touches, in order."""
+        address = (self.base_address // line_bytes) * line_bytes
+        while address < self.end_address:
+            yield address
+            address += line_bytes
+
+
+class AddressSpaceLayout:
+    """Sequential placement of DNN tensors in the physical address space."""
+
+    def __init__(self, base_address: int = 0, alignment: int = 4096):
+        if alignment <= 0:
+            raise ValueError("alignment must be positive")
+        self._next = base_address
+        self.alignment = alignment
+        self.regions: Dict[str, TensorRegion] = {}
+
+    def allocate(self, name: str, kind: DataKind, size_bytes: int) -> TensorRegion:
+        if name in self.regions:
+            return self.regions[name]
+        size = max(int(size_bytes), 1)
+        region = TensorRegion(name=name, kind=kind, base_address=self._next, size_bytes=size)
+        self.regions[name] = region
+        padded = ((size + self.alignment - 1) // self.alignment) * self.alignment
+        self._next += padded
+        return region
+
+    def allocate_specs(self, specs: Sequence[TensorSpec]) -> List[TensorRegion]:
+        return [self.allocate(spec.name, spec.kind, spec.size_bytes) for spec in specs]
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self._next
+
+
+def _stream(region: TensorRegion, is_write: bool, line_bytes: int,
+            stride_lines: int = 1) -> List[Access]:
+    addresses = list(region.line_addresses(line_bytes))
+    return [(address, is_write) for address in addresses[::max(1, stride_lines)]]
+
+
+def _scatter(regions: Sequence[TensorRegion], count: int, line_bytes: int,
+             rng: np.random.Generator) -> List[Access]:
+    """Random-indexed reads across the given regions (NMS/thresholding style)."""
+    if count <= 0 or not regions:
+        return []
+    accesses: List[Access] = []
+    sizes = np.array([region.size_bytes for region in regions], dtype=float)
+    probabilities = sizes / sizes.sum()
+    choices = rng.choice(len(regions), size=count, p=probabilities)
+    offsets = rng.random(count)
+    for region_index, offset in zip(choices, offsets):
+        region = regions[region_index]
+        lines = max(1, region.size_bytes // line_bytes)
+        line = int(offset * lines)
+        accesses.append((region.base_address + line * line_bytes, False))
+    return accesses
+
+
+@dataclass
+class LayerTrace:
+    """The access stream of one layer plus bookkeeping for reporting."""
+
+    layer_name: str
+    accesses: List[Access]
+
+    @property
+    def reads(self) -> int:
+        return sum(1 for _, is_write in self.accesses if not is_write)
+
+    @property
+    def writes(self) -> int:
+        return sum(1 for _, is_write in self.accesses if is_write)
+
+    @property
+    def bytes_touched(self) -> int:
+        return len(self.accesses) * 64
+
+
+def trace_from_network(network: Network, line_bytes: int = 64,
+                       dtype_bits: int = 32,
+                       random_access_fraction: float = 0.0,
+                       ifm_reuse_reads: int = 2,
+                       seed: int = 0) -> List[LayerTrace]:
+    """Generate per-layer access traces for an in-repo analogue network.
+
+    Each layer reads its weights once, reads its IFM ``ifm_reuse_reads`` times
+    (modelling the partial reuse a blocked convolution achieves), writes its
+    OFM once, and issues ``random_access_fraction`` extra scattered reads.
+    """
+    if not 0.0 <= random_access_fraction <= 1.0:
+        raise ValueError("random_access_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    layout = AddressSpaceLayout()
+    specs = network.data_type_specs(dtype_bits=dtype_bits)
+    layout.allocate_specs(specs)
+
+    traces: List[LayerTrace] = []
+    ifm_by_layer: Dict[str, TensorRegion] = {}
+    weight_by_layer: Dict[str, List[TensorRegion]] = {}
+    for spec in specs:
+        region = layout.regions[spec.name]
+        layer_name = spec.name.rsplit(".", 1)[0]
+        if spec.kind is DataKind.IFM:
+            ifm_by_layer[layer_name] = region
+        elif spec.kind is DataKind.WEIGHT:
+            weight_by_layer.setdefault(layer_name, []).append(region)
+
+    layer_names = list(dict.fromkeys(list(weight_by_layer) + list(ifm_by_layer)))
+    for layer_name in layer_names:
+        accesses: List[Access] = []
+        regions_here: List[TensorRegion] = []
+        for region in weight_by_layer.get(layer_name, []):
+            accesses.extend(_stream(region, is_write=False, line_bytes=line_bytes))
+            regions_here.append(region)
+        ifm_region = ifm_by_layer.get(layer_name)
+        if ifm_region is not None:
+            for _ in range(max(1, ifm_reuse_reads)):
+                accesses.extend(_stream(ifm_region, is_write=False, line_bytes=line_bytes))
+            # The layer's OFM is the next layer's IFM; model the write into it.
+            accesses.extend(_stream(ifm_region, is_write=True, line_bytes=line_bytes))
+            regions_here.append(ifm_region)
+        scatter_count = int(len(accesses) * random_access_fraction)
+        accesses.extend(_scatter(regions_here, scatter_count, line_bytes, rng))
+        traces.append(LayerTrace(layer_name=layer_name, accesses=accesses))
+    return traces
+
+
+def flatten(traces: Sequence[LayerTrace]) -> List[Access]:
+    """Concatenate per-layer traces into one stream in execution order."""
+    accesses: List[Access] = []
+    for trace in traces:
+        accesses.extend(trace.accesses)
+    return accesses
+
+
+def trace_from_workload(workload: WorkloadDescriptor, max_accesses: int = 20000,
+                        line_bytes: int = 64, seed: int = 0) -> List[Access]:
+    """Synthesize a bounded trace with a paper workload's traffic proportions.
+
+    The full workloads move hundreds of megabytes per inference, far too much
+    for a cycle-level Python simulation, so the trace is a scaled sample: the
+    read/write mix, the sequential/random mix and the footprint proportions
+    match the descriptor while the total access count is capped.
+    """
+    if max_accesses <= 0:
+        raise ValueError("max_accesses must be positive")
+    rng = np.random.default_rng(seed)
+    total_bytes = workload.total_bytes
+    if total_bytes <= 0:
+        return []
+    read_fraction = workload.read_bytes / total_bytes
+    sequential_reads = int(max_accesses * read_fraction * (1.0 - workload.random_access_fraction))
+    random_reads = int(max_accesses * read_fraction * workload.random_access_fraction)
+    writes = max_accesses - sequential_reads - random_reads
+
+    layout = AddressSpaceLayout()
+    weight_region = layout.allocate("weights", DataKind.WEIGHT,
+                                    max(workload.weight_bytes, line_bytes))
+    ifm_region = layout.allocate("ifms", DataKind.IFM, max(workload.ifm_bytes, line_bytes))
+    ofm_region = layout.allocate("ofms", DataKind.OFM, max(workload.ofm_bytes, line_bytes))
+
+    # Sequential reads walk the weight + IFM regions proportionally to their size.
+    read_bytes = workload.weight_bytes + workload.ifm_bytes
+    weight_share = workload.weight_bytes / read_bytes if read_bytes else 0.5
+    weight_reads = int(sequential_reads * weight_share)
+    ifm_reads = sequential_reads - weight_reads
+    streams = [
+        _sample_stream(weight_region, weight_reads, False, line_bytes),
+        _sample_stream(ifm_region, ifm_reads, False, line_bytes),
+        _sample_stream(ofm_region, writes, True, line_bytes),
+        _scatter([weight_region, ifm_region], random_reads, line_bytes, rng),
+    ]
+    return _interleave(streams, chunk=8)
+
+
+def _interleave(streams: Sequence[List[Access]], chunk: int = 8) -> List[Access]:
+    """Round-robin merge of streams in small chunks.
+
+    A real execution alternates between reading weights, reading IFMs and
+    writing OFMs within each layer; chunked interleaving preserves each
+    stream's sequential locality (and therefore its row-buffer behaviour)
+    while still mixing the streams the way the core would.
+    """
+    cursors = [0] * len(streams)
+    merged: List[Access] = []
+    while any(cursors[i] < len(stream) for i, stream in enumerate(streams)):
+        for index, stream in enumerate(streams):
+            start = cursors[index]
+            if start >= len(stream):
+                continue
+            merged.extend(stream[start:start + chunk])
+            cursors[index] = start + chunk
+    return merged
+
+
+def _sample_stream(region: TensorRegion, count: int, is_write: bool,
+                   line_bytes: int, run_lines: int = 64) -> List[Access]:
+    """Sample ``count`` line addresses as contiguous runs spread across a region.
+
+    Real weight/feature-map streaming walks long contiguous stretches of the
+    address space (which is what gives streaming workloads their high
+    row-buffer hit rates), so the sample keeps runs of ``run_lines``
+    consecutive lines and spreads the runs evenly across the region instead of
+    striding line-by-line through it.
+    """
+    if count <= 0:
+        return []
+    lines = max(1, region.size_bytes // line_bytes)
+    run_lines = max(1, min(run_lines, lines))
+    num_runs = max(1, count // run_lines)
+    run_stride = max(run_lines, lines // num_runs)
+    accesses: List[Access] = []
+    run_start = 0
+    while len(accesses) < count:
+        for offset in range(run_lines):
+            if len(accesses) >= count:
+                break
+            line = (run_start + offset) % lines
+            accesses.append((region.base_address + line * line_bytes, is_write))
+        run_start += run_stride
+    return accesses

@@ -1,0 +1,34 @@
+"""From-scratch numpy DNN substrate used by the EDEN reproduction.
+
+The paper injects DRAM bit errors into three DNN data types (weights, input
+feature maps, output feature maps) while running inference and retraining.
+This package provides everything needed for that: tensors tagged with their
+data type, layers with forward and backward passes, a training loop,
+quantization, pruning, a model zoo of scaled-down architectural analogues of
+the paper's networks, and synthetic datasets that train in seconds on CPU.
+"""
+
+from repro.nn.tensor import DataKind, Parameter, TensorSpec
+from repro.nn.network import Network
+from repro.nn.training import Trainer, TrainingConfig
+from repro.nn.quantization import QuantizationSpec, quantize_network
+from repro.nn.models import ModelSpec, build_model, list_models
+from repro.nn.datasets import Dataset, make_classification_dataset
+from repro.nn.metrics import top1_accuracy
+
+__all__ = [
+    "DataKind",
+    "Parameter",
+    "TensorSpec",
+    "Network",
+    "Trainer",
+    "TrainingConfig",
+    "QuantizationSpec",
+    "quantize_network",
+    "ModelSpec",
+    "build_model",
+    "list_models",
+    "Dataset",
+    "make_classification_dataset",
+    "top1_accuracy",
+]

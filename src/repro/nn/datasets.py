@@ -1,0 +1,184 @@
+"""Synthetic datasets standing in for CIFAR-10 / ImageNet / MS-COCO.
+
+The paper's datasets cannot be redistributed and full-size training is far
+outside a CPU-only test budget, so we generate deterministic synthetic tasks
+that keep the properties EDEN's evaluation relies on:
+
+* images are multi-channel 2D arrays with spatially-structured class signal
+  (each class is a distinct low-frequency template plus noise), so
+  convolutional models genuinely out-learn linear ones and accuracy degrades
+  smoothly as bit errors corrupt weights/IFMs;
+* a held-out validation split is used for error-tolerance characterization,
+  mirroring the paper's use of the validation set; and
+* a small detection-style dataset (class + coarse localization quadrant)
+  stands in for MS-COCO so the YOLO analogues exercise a different output
+  head and loss from plain classification.
+
+Every generator is seeded; the same call always returns the same arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """A train/validation split of (inputs, labels)."""
+
+    name: str
+    train_x: np.ndarray
+    train_y: np.ndarray
+    val_x: np.ndarray
+    val_y: np.ndarray
+    num_classes: int
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        return tuple(self.train_x.shape[1:])
+
+    def __post_init__(self) -> None:
+        if len(self.train_x) != len(self.train_y):
+            raise ValueError("training inputs and labels have different lengths")
+        if len(self.val_x) != len(self.val_y):
+            raise ValueError("validation inputs and labels have different lengths")
+
+    def batches(self, batch_size: int, rng: np.random.Generator = None,
+                shuffle: bool = True) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate one epoch of training batches."""
+        indices = np.arange(len(self.train_x))
+        if shuffle:
+            rng = rng or np.random.default_rng(0)
+            rng.shuffle(indices)
+        for start in range(0, len(indices), batch_size):
+            batch = indices[start:start + batch_size]
+            yield self.train_x[batch], self.train_y[batch]
+
+    def subsample_validation(self, fraction: float, seed: int = 0) -> "Dataset":
+        """Return a copy whose validation split is a random subsample.
+
+        EDEN's fine-grained characterization samples 10% of the validation set
+        per inference run to keep the sweep tractable (Section 6.6).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        rng = np.random.default_rng(seed)
+        count = max(1, int(round(len(self.val_x) * fraction)))
+        chosen = rng.choice(len(self.val_x), size=count, replace=False)
+        return Dataset(
+            name=f"{self.name}-val{fraction:g}",
+            train_x=self.train_x,
+            train_y=self.train_y,
+            val_x=self.val_x[chosen],
+            val_y=self.val_y[chosen],
+            num_classes=self.num_classes,
+        )
+
+
+def _class_templates(num_classes: int, channels: int, size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Low-frequency per-class templates: smooth random fields per channel."""
+    coarse = rng.standard_normal((num_classes, channels, 4, 4))
+    templates = np.empty((num_classes, channels, size, size), dtype=np.float32)
+    # Bilinear-ish upsampling via repeated kron + smoothing keeps the signal
+    # low-frequency, so conv layers with small kernels can pick it up.
+    for c in range(num_classes):
+        for ch in range(channels):
+            up = np.kron(coarse[c, ch], np.ones((size // 4 + 1, size // 4 + 1)))
+            up = up[:size, :size]
+            smoothed = (
+                up
+                + np.roll(up, 1, axis=0) + np.roll(up, -1, axis=0)
+                + np.roll(up, 1, axis=1) + np.roll(up, -1, axis=1)
+            ) / 5.0
+            templates[c, ch] = smoothed
+    # Normalize template energy so classes are equally separable.
+    templates /= np.sqrt(np.mean(templates ** 2, axis=(1, 2, 3), keepdims=True))
+    return templates.astype(np.float32)
+
+
+def make_classification_dataset(name: str = "synthetic-cifar",
+                                num_classes: int = 10,
+                                channels: int = 3,
+                                size: int = 16,
+                                train_samples: int = 640,
+                                val_samples: int = 256,
+                                noise: float = 1.5,
+                                seed: int = 7) -> Dataset:
+    """Synthetic CIFAR-10 stand-in: class template + Gaussian noise images."""
+    if num_classes < 2:
+        raise ValueError("need at least two classes")
+    rng = np.random.default_rng(seed)
+    templates = _class_templates(num_classes, channels, size, rng)
+
+    def _split(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_classes, size=count)
+        images = templates[labels] + noise * rng.standard_normal(
+            (count, channels, size, size)
+        ).astype(np.float32)
+        return images.astype(np.float32), labels.astype(np.int64)
+
+    train_x, train_y = _split(train_samples)
+    val_x, val_y = _split(val_samples)
+    return Dataset(name, train_x, train_y, val_x, val_y, num_classes)
+
+
+def make_imagenet_like_dataset(name: str = "synthetic-imagenet",
+                               num_classes: int = 20,
+                               seed: int = 11) -> Dataset:
+    """Larger-class-count stand-in for ILSVRC2012 (still small spatially)."""
+    return make_classification_dataset(
+        name=name, num_classes=num_classes, channels=3, size=16,
+        train_samples=800, val_samples=320, noise=1.0, seed=seed,
+    )
+
+
+def make_detection_dataset(name: str = "synthetic-coco",
+                           num_object_classes: int = 5,
+                           seed: int = 13) -> Dataset:
+    """Detection stand-in for MS-COCO used by the YOLO analogues.
+
+    Each image contains one object template placed in one of four quadrants;
+    the label encodes ``class * 4 + quadrant``, so a correct prediction
+    requires both recognition and coarse localization.  The mAP-like metric in
+    :mod:`repro.nn.metrics` scores these jointly.
+    """
+    rng = np.random.default_rng(seed)
+    channels, size = 3, 16
+    half = size // 2
+    templates = _class_templates(num_object_classes, channels, half, rng)
+    num_classes = num_object_classes * 4
+
+    def _split(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        images = 0.5 * rng.standard_normal((count, channels, size, size)).astype(np.float32)
+        labels = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            cls = int(rng.integers(0, num_object_classes))
+            quadrant = int(rng.integers(0, 4))
+            row, col = divmod(quadrant, 2)
+            images[i, :, row * half:(row + 1) * half, col * half:(col + 1) * half] += templates[cls]
+            labels[i] = cls * 4 + quadrant
+        return images, labels
+
+    train_x, train_y = _split(640)
+    val_x, val_y = _split(256)
+    return Dataset(name, train_x, train_y, val_x, val_y, num_classes)
+
+
+#: registry mapping the paper's dataset names onto the synthetic generators
+DATASET_BUILDERS = {
+    "cifar10": make_classification_dataset,
+    "ilsvrc2012": make_imagenet_like_dataset,
+    "mscoco": make_detection_dataset,
+}
+
+
+def load_dataset(paper_name: str, seed: int = 7) -> Dataset:
+    """Build the synthetic stand-in for one of the paper's dataset names."""
+    key = paper_name.lower()
+    if key not in DATASET_BUILDERS:
+        raise KeyError(f"unknown dataset {paper_name!r}; expected one of {sorted(DATASET_BUILDERS)}")
+    return DATASET_BUILDERS[key](seed=seed)

@@ -1,0 +1,613 @@
+"""Layer classes with forward/backward passes and fault-injection hooks.
+
+Every layer that reads weights or IFMs from "memory" routes those reads
+through :meth:`Layer.load`.  During EDEN experiments the owning
+:class:`~repro.nn.network.Network` installs a fault injector; the injector
+sees the numeric array together with its :class:`~repro.nn.tensor.TensorSpec`
+and may flip bits, exactly like loads served from an approximate DRAM
+partition would.  During plain training and inference no injector is set and
+``load`` is the identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import DataKind, Parameter, TensorSpec, kaiming_normal, xavier_uniform
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`.  ``forward``
+    must stash whatever it needs for ``backward`` on ``self`` (single-sample
+    pipelining is sufficient for this reproduction: the training loop always
+    calls forward immediately followed by backward).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.layer_index: int = 0
+        self.training: bool = False
+        self.injector = None  # installed by Network during fault experiments
+        self._ifm_bits: int = 32
+
+    # -- parameter / spec plumbing ------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def ifm_spec(self, input_shape) -> Optional[TensorSpec]:
+        """Spec describing this layer's input feature map (None if the layer
+        does not read an IFM that EDEN would map, e.g. flatten)."""
+        return TensorSpec(
+            name=f"{self.name}.ifm",
+            kind=DataKind.IFM,
+            shape=tuple(input_shape),
+            dtype_bits=self._ifm_bits,
+            layer_index=self.layer_index,
+        )
+
+    # -- fault injection hook -----------------------------------------------------
+    def load(self, array: np.ndarray, spec: TensorSpec) -> np.ndarray:
+        """Simulate a load from (possibly approximate) DRAM."""
+        if self.injector is None:
+            return array
+        return self.injector.apply(array, spec)
+
+    def load_param(self, param: Parameter) -> np.ndarray:
+        return self.load(param.data, param.spec(dtype_bits=self._ifm_bits))
+
+    def load_ifm(self, x: np.ndarray) -> np.ndarray:
+        spec = self.ifm_spec(x.shape)
+        if spec is None:
+            return x
+        return self.load(x, spec)
+
+    # -- interface -----------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def output_shape(self, input_shape):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Conv2D(Layer):
+    """2D convolution with optional bias."""
+
+    def __init__(self, name, in_channels, out_channels, kernel_size, stride=1,
+                 padding=0, bias=True, rng: Optional[np.random.Generator] = None):
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        kh, kw = F._pair(kernel_size)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = (kh, kw)
+        self.stride = F._pair(stride)
+        self.padding = F._pair(padding)
+        fan_in = in_channels * kh * kw
+        self.weight = Parameter(
+            name=f"{name}.weight",
+            data=kaiming_normal((out_channels, in_channels, kh, kw), fan_in, rng),
+            kind=DataKind.WEIGHT,
+        )
+        self.bias = None
+        if bias:
+            self.bias = Parameter(
+                name=f"{name}.bias",
+                data=np.zeros(out_channels, dtype=np.float32),
+                kind=DataKind.WEIGHT,
+            )
+        self._cache = None
+
+    def parameters(self) -> List[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.load_ifm(x)
+        weight = self.load_param(self.weight)
+        bias = self.bias.data if self.bias is not None else None
+        out, self._cache = F.conv2d_forward(x, weight, bias, self.stride, self.padding)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_in, grad_w, grad_b = F.conv2d_backward(grad_out, self._cache)
+        self.weight.accumulate_grad(grad_w)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_b)
+        return grad_in
+
+    def output_shape(self, input_shape):
+        n, c, h, w = input_shape
+        oh = F.conv_output_size(h, self.kernel_size[0], self.stride[0], self.padding[0])
+        ow = F.conv_output_size(w, self.kernel_size[1], self.stride[1], self.padding[1])
+        return (n, self.out_channels, oh, ow)
+
+
+class Linear(Layer):
+    """Fully connected layer."""
+
+    def __init__(self, name, in_features, out_features, bias=True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(
+            name=f"{name}.weight",
+            data=xavier_uniform((out_features, in_features), in_features, out_features, rng),
+            kind=DataKind.WEIGHT,
+        )
+        self.bias = None
+        if bias:
+            self.bias = Parameter(
+                name=f"{name}.bias",
+                data=np.zeros(out_features, dtype=np.float32),
+                kind=DataKind.WEIGHT,
+            )
+        self._cache = None
+
+    def parameters(self) -> List[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.load_ifm(x)
+        weight = self.load_param(self.weight)
+        bias = self.bias.data if self.bias is not None else None
+        out, self._cache = F.linear_forward(x, weight, bias)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_in, grad_w, grad_b = F.linear_backward(grad_out, self._cache)
+        self.weight.accumulate_grad(grad_w)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_b)
+        return grad_in
+
+    def output_shape(self, input_shape):
+        return (input_shape[0], self.out_features)
+
+
+class ReLU(Layer):
+    def __init__(self, name):
+        super().__init__(name)
+        self._mask = None
+
+    def ifm_spec(self, input_shape):
+        return None  # activations feeding a ReLU were already loaded by the producer
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, self._mask = F.relu_forward(x)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return F.relu_backward(grad_out, self._mask)
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)
+
+
+class MaxPool2D(Layer):
+    def __init__(self, name, kernel_size, stride=None):
+        super().__init__(name)
+        self.kernel_size = F._pair(kernel_size)
+        self.stride = F._pair(stride if stride is not None else kernel_size)
+        self._cache = None
+
+    def ifm_spec(self, input_shape):
+        return None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, self._cache = F.max_pool2d_forward(x, self.kernel_size, self.stride)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return F.max_pool2d_backward(grad_out, self._cache)
+
+    def output_shape(self, input_shape):
+        n, c, h, w = input_shape
+        oh = F.conv_output_size(h, self.kernel_size[0], self.stride[0], 0)
+        ow = F.conv_output_size(w, self.kernel_size[1], self.stride[1], 0)
+        return (n, c, oh, ow)
+
+
+class AvgPool2D(Layer):
+    def __init__(self, name, kernel_size, stride=None):
+        super().__init__(name)
+        self.kernel_size = F._pair(kernel_size)
+        self.stride = F._pair(stride if stride is not None else kernel_size)
+        self._cache = None
+
+    def ifm_spec(self, input_shape):
+        return None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, self._cache = F.avg_pool2d_forward(x, self.kernel_size, self.stride)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return F.avg_pool2d_backward(grad_out, self._cache)
+
+    def output_shape(self, input_shape):
+        n, c, h, w = input_shape
+        oh = F.conv_output_size(h, self.kernel_size[0], self.stride[0], 0)
+        ow = F.conv_output_size(w, self.kernel_size[1], self.stride[1], 0)
+        return (n, c, oh, ow)
+
+
+class GlobalAvgPool(Layer):
+    def __init__(self, name):
+        super().__init__(name)
+        self._shape = None
+
+    def ifm_spec(self, input_shape):
+        return None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, self._shape = F.global_avg_pool_forward(x)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return F.global_avg_pool_backward(grad_out, self._shape)
+
+    def output_shape(self, input_shape):
+        return (input_shape[0], input_shape[1])
+
+
+class Flatten(Layer):
+    def __init__(self, name):
+        super().__init__(name)
+        self._shape = None
+
+    def ifm_spec(self, input_shape):
+        return None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)
+
+    def output_shape(self, input_shape):
+        flat = 1
+        for dim in input_shape[1:]:
+            flat *= dim
+        return (input_shape[0], flat)
+
+
+class BatchNorm2D(Layer):
+    def __init__(self, name, num_features, momentum=0.1, eps=1e-5):
+        super().__init__(name)
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = Parameter(
+            name=f"{name}.gamma",
+            data=np.ones(num_features, dtype=np.float32),
+            kind=DataKind.WEIGHT,
+        )
+        self.beta = Parameter(
+            name=f"{name}.beta",
+            data=np.zeros(num_features, dtype=np.float32),
+            kind=DataKind.WEIGHT,
+        )
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+        self._cache = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]
+
+    def ifm_spec(self, input_shape):
+        return None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        gamma = self.load_param(self.gamma)
+        out, self._cache = F.batchnorm_forward(
+            x, gamma, self.beta.data, self.running_mean, self.running_var,
+            training=self.training, momentum=self.momentum, eps=self.eps,
+        )
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_in, grad_gamma, grad_beta = F.batchnorm_backward(grad_out, self._cache)
+        self.gamma.accumulate_grad(grad_gamma)
+        self.beta.accumulate_grad(grad_beta)
+        return grad_in
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)
+
+
+class Dropout(Layer):
+    """Standard inverted dropout (active only while training)."""
+
+    def __init__(self, name, rate=0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = rng or np.random.default_rng(0)
+        self._mask = None
+
+    def ifm_spec(self, input_shape):
+        return None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return (x * self._mask).astype(np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return (grad_out * self._mask).astype(np.float32)
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)
+
+
+class Sequential(Layer):
+    """A composite layer made of sub-layers applied in order."""
+
+    def __init__(self, name, layers: Sequence[Layer]):
+        super().__init__(name)
+        self.layers = list(layers)
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def ifm_spec(self, input_shape):
+        return None  # sub-layers report their own IFMs
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def output_shape(self, input_shape):
+        shape = input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def iter_layers(self):
+        for layer in self.layers:
+            if isinstance(layer, Sequential):
+                yield from layer.iter_layers()
+            else:
+                yield layer
+
+
+class ResidualBlock(Layer):
+    """Two 3x3 convolutions with a skip connection (ResNet basic block)."""
+
+    def __init__(self, name, in_channels, out_channels, stride=1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        self.body = Sequential(f"{name}.body", [
+            Conv2D(f"{name}.conv1", in_channels, out_channels, 3, stride=stride,
+                   padding=1, bias=False, rng=rng),
+            BatchNorm2D(f"{name}.bn1", out_channels),
+            ReLU(f"{name}.relu1"),
+            Conv2D(f"{name}.conv2", out_channels, out_channels, 3, stride=1,
+                   padding=1, bias=False, rng=rng),
+            BatchNorm2D(f"{name}.bn2", out_channels),
+        ])
+        self.shortcut = None
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(f"{name}.shortcut", [
+                Conv2D(f"{name}.downsample", in_channels, out_channels, 1,
+                       stride=stride, padding=0, bias=False, rng=rng),
+                BatchNorm2D(f"{name}.bn_down", out_channels),
+            ])
+        self._relu_mask = None
+
+    def parameters(self) -> List[Parameter]:
+        params = self.body.parameters()
+        if self.shortcut is not None:
+            params.extend(self.shortcut.parameters())
+        return params
+
+    def ifm_spec(self, input_shape):
+        return None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        body_out = self.body.forward(x)
+        skip = self.shortcut.forward(x) if self.shortcut is not None else x
+        summed = body_out + skip
+        out, self._relu_mask = F.relu_forward(summed)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_sum = F.relu_backward(grad_out, self._relu_mask)
+        grad_body = self.body.backward(grad_sum)
+        if self.shortcut is not None:
+            grad_skip = self.shortcut.backward(grad_sum)
+        else:
+            grad_skip = grad_sum
+        return grad_body + grad_skip
+
+    def output_shape(self, input_shape):
+        return self.body.output_shape(input_shape)
+
+    def iter_layers(self):
+        yield from self.body.iter_layers()
+        if self.shortcut is not None:
+            yield from self.shortcut.iter_layers()
+
+
+class FireModule(Layer):
+    """SqueezeNet fire module: squeeze 1x1 conv, then parallel 1x1/3x3 expands."""
+
+    def __init__(self, name, in_channels, squeeze_channels, expand_channels,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        self.squeeze = Sequential(f"{name}.squeeze", [
+            Conv2D(f"{name}.squeeze1x1", in_channels, squeeze_channels, 1, rng=rng),
+            ReLU(f"{name}.squeeze_relu"),
+        ])
+        self.expand1 = Conv2D(f"{name}.expand1x1", squeeze_channels, expand_channels, 1, rng=rng)
+        self.expand3 = Conv2D(f"{name}.expand3x3", squeeze_channels, expand_channels, 3,
+                              padding=1, rng=rng)
+        self._mask1 = None
+        self._mask3 = None
+        self.out_channels = 2 * expand_channels
+
+    def parameters(self) -> List[Parameter]:
+        return self.squeeze.parameters() + self.expand1.parameters() + self.expand3.parameters()
+
+    def ifm_spec(self, input_shape):
+        return None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        squeezed = self.squeeze.forward(x)
+        e1 = self.expand1.forward(squeezed)
+        e3 = self.expand3.forward(squeezed)
+        e1, self._mask1 = F.relu_forward(e1)
+        e3, self._mask3 = F.relu_forward(e3)
+        return np.concatenate([e1, e3], axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        half = grad_out.shape[1] // 2
+        grad_e1 = F.relu_backward(grad_out[:, :half], self._mask1)
+        grad_e3 = F.relu_backward(grad_out[:, half:], self._mask3)
+        grad_squeezed = self.expand1.backward(grad_e1) + self.expand3.backward(grad_e3)
+        return self.squeeze.backward(grad_squeezed)
+
+    def output_shape(self, input_shape):
+        n, _, h, w = input_shape
+        return (n, self.out_channels, h, w)
+
+    def iter_layers(self):
+        yield from self.squeeze.iter_layers()
+        yield self.expand1
+        yield self.expand3
+
+
+class DepthwiseSeparableConv(Layer):
+    """MobileNet-style depthwise (grouped per-channel) + pointwise convolution.
+
+    The depthwise stage is implemented as per-channel 2D convolutions; this is
+    slow compared to a fused kernel but the scaled-down models keep channel
+    counts small enough for the test suite.
+    """
+
+    def __init__(self, name, in_channels, out_channels, stride=1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = int(in_channels)
+        self.depthwise = [
+            Conv2D(f"{name}.dw{c}", 1, 1, 3, stride=stride, padding=1, bias=False, rng=rng)
+            for c in range(in_channels)
+        ]
+        self.pointwise = Conv2D(f"{name}.pw", in_channels, out_channels, 1, bias=False, rng=rng)
+        self.bn = BatchNorm2D(f"{name}.bn", out_channels)
+        self._relu_mask = None
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for conv in self.depthwise:
+            params.extend(conv.parameters())
+        params.extend(self.pointwise.parameters())
+        params.extend(self.bn.parameters())
+        return params
+
+    def ifm_spec(self, input_shape):
+        return None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        channels = [
+            self.depthwise[c].forward(x[:, c:c + 1]) for c in range(self.in_channels)
+        ]
+        dw_out = np.concatenate(channels, axis=1)
+        out = self.pointwise.forward(dw_out)
+        out = self.bn.forward(out)
+        out, self._relu_mask = F.relu_forward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = F.relu_backward(grad_out, self._relu_mask)
+        grad = self.bn.backward(grad)
+        grad_dw = self.pointwise.backward(grad)
+        grads = [
+            self.depthwise[c].backward(grad_dw[:, c:c + 1])
+            for c in range(self.in_channels)
+        ]
+        return np.concatenate(grads, axis=1)
+
+    def output_shape(self, input_shape):
+        shape = input_shape
+        dw_shape = self.depthwise[0].output_shape((shape[0], 1, shape[2], shape[3]))
+        shape = (shape[0], self.in_channels, dw_shape[2], dw_shape[3])
+        return self.bn.output_shape(self.pointwise.output_shape(shape))
+
+    def iter_layers(self):
+        yield from self.depthwise
+        yield self.pointwise
+        yield self.bn
+
+
+def set_layer_mode(layers: Sequence[Layer], training: bool) -> None:
+    """Recursively propagate train/eval mode to composite layers."""
+    for layer in layers:
+        layer.training = training
+        for attr in ("layers", "depthwise"):
+            children = getattr(layer, attr, None)
+            if children:
+                set_layer_mode(children, training)
+        for attr in ("body", "shortcut", "squeeze"):
+            child = getattr(layer, attr, None)
+            if isinstance(child, Layer):
+                set_layer_mode([child], training)
+        for attr in ("expand1", "expand3", "pointwise", "bn"):
+            child = getattr(layer, attr, None)
+            if isinstance(child, Layer):
+                child.training = training
+
+
+def set_layer_injector(layers: Sequence[Layer], injector) -> None:
+    """Recursively install (or clear, with None) a fault injector."""
+    for layer in layers:
+        layer.injector = injector
+        for attr in ("layers", "depthwise"):
+            children = getattr(layer, attr, None)
+            if children:
+                set_layer_injector(children, injector)
+        for attr in ("body", "shortcut", "squeeze"):
+            child = getattr(layer, attr, None)
+            if isinstance(child, Layer):
+                set_layer_injector([child], injector)
+        for attr in ("expand1", "expand3", "pointwise", "bn"):
+            child = getattr(layer, attr, None)
+            if isinstance(child, Layer):
+                child.injector = injector

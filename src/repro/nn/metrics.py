@@ -1,0 +1,57 @@
+"""Accuracy metrics used throughout the evaluation.
+
+Classification models report top-1 accuracy; the detection-style YOLO
+analogues report a mAP-like score that separately credits recognizing the
+object class and localizing its quadrant, mirroring the paper's use of mean
+average precision for YOLO/YOLO-Tiny while every other model uses accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.nn.network import Network
+
+
+def top1_accuracy(network: Network, inputs: np.ndarray, labels: np.ndarray,
+                  batch_size: int = 64) -> float:
+    """Fraction of validation samples whose argmax prediction matches the label."""
+    if len(inputs) == 0:
+        raise ValueError("cannot compute accuracy on an empty set")
+    predictions = network.predict(inputs, batch_size=batch_size)
+    return float(np.mean(predictions == labels))
+
+
+def detection_map(network: Network, inputs: np.ndarray, labels: np.ndarray,
+                  batch_size: int = 64) -> float:
+    """mAP-like score for the synthetic detection task.
+
+    Labels encode ``class * 4 + quadrant``.  A prediction earns full credit
+    when both parts match and half credit when only the object class matches
+    (detected but mis-localized), which is the coarse analogue of an IoU-based
+    partial match in real mAP.
+    """
+    if len(inputs) == 0:
+        raise ValueError("cannot compute mAP on an empty set")
+    predictions = network.predict(inputs, batch_size=batch_size)
+    exact = predictions == labels
+    class_only = (predictions // 4) == (labels // 4)
+    score = np.where(exact, 1.0, np.where(class_only, 0.5, 0.0))
+    return float(np.mean(score))
+
+
+#: metric registry keyed by the metric name used in model specs
+METRICS: Dict[str, Callable[[Network, np.ndarray, np.ndarray], float]] = {
+    "accuracy": top1_accuracy,
+    "map": detection_map,
+}
+
+
+def evaluate(network: Network, inputs: np.ndarray, labels: np.ndarray,
+             metric: str = "accuracy", batch_size: int = 64) -> float:
+    """Evaluate ``network`` with the named metric."""
+    if metric not in METRICS:
+        raise KeyError(f"unknown metric {metric!r}; expected one of {sorted(METRICS)}")
+    return METRICS[metric](network, inputs, labels, batch_size=batch_size)

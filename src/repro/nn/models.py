@@ -1,0 +1,315 @@
+"""Model zoo: scaled-down architectural analogues of the paper's networks.
+
+The paper evaluates nine networks (Table 1): ResNet101, MobileNetV2, VGG-16,
+DenseNet201, SqueezeNet1.1, AlexNet, YOLO, YOLO-Tiny and LeNet.  Training the
+originals is impossible in a CPU-only offline environment, so each entry here
+is a small analogue that preserves the structural property the paper's error
+analysis keys on:
+
+===============  ===========================================================
+paper model      analogue structure kept
+===============  ===========================================================
+ResNet101        residual (skip-connection) basic blocks, deep-ish stack
+MobileNetV2      depthwise-separable convolutions, narrow channels
+VGG-16           plain 3x3 conv stacks with the largest parameter count
+DenseNet201      deep residual stack with wide feature reuse (concatenative
+                 dense connections approximated by residual reuse)
+SqueezeNet1.1    fire modules (1x1 squeeze, parallel 1x1/3x3 expand), the
+                 smallest parameter budget
+AlexNet          shallow conv stack feeding large fully-connected layers
+YOLO / YOLO-Tiny conv backbone + classification-over-(class x quadrant) head
+                 on the synthetic detection dataset, scored with a mAP-like
+                 metric
+LeNet            the classic conv-pool-conv-pool-fc-fc used for the real-DRAM
+                 SoftMC experiments
+===============  ===========================================================
+
+Each :class:`ModelSpec` also records the paper's reported model size and
+IFM+weight footprint so Table 1 can be regenerated side by side with the
+analogue's measured footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.datasets import Dataset, load_dataset
+from repro.nn.layers import (
+    AvgPool2D,
+    Conv2D,
+    DepthwiseSeparableConv,
+    Dropout,
+    FireModule,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    ResidualBlock,
+)
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Metadata binding a paper model name to its analogue builder."""
+
+    name: str
+    paper_name: str
+    dataset: str                  # key into repro.nn.datasets.DATASET_BUILDERS
+    metric: str                   # "accuracy" or "map"
+    paper_model_size_mb: float    # Table 1, FP32
+    paper_ifm_weight_size_mb: float
+    builder: Callable[[np.random.Generator, int, tuple], Network]
+    supports_int4: bool = True    # YOLO's framework only supports int8/FP32
+    supports_int16: bool = True
+    default_epochs: int = 5       # enough for the synthetic task to converge
+    default_learning_rate: float = 0.02
+    notes: str = ""
+
+    def training_config(self, epochs: Optional[int] = None, **overrides):
+        """Build a TrainingConfig with this model's defaults (lazy import to
+        avoid a cycle with repro.nn.training)."""
+        from repro.nn.training import TrainingConfig
+
+        kwargs = dict(
+            epochs=self.default_epochs if epochs is None else epochs,
+            learning_rate=self.default_learning_rate,
+            metric=self.metric,
+        )
+        kwargs.update(overrides)
+        return TrainingConfig(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# builders (input shape (3, 16, 16) classification, (3, 16, 16) detection)
+# ---------------------------------------------------------------------------
+
+def _build_lenet(rng, num_classes, input_shape) -> Network:
+    c, h, w = input_shape
+    layers = [
+        Conv2D("conv1", c, 6, 5, padding=2, rng=rng),
+        ReLU("relu1"),
+        MaxPool2D("pool1", 2),
+        Conv2D("conv2", 6, 16, 5, padding=0, rng=rng),
+        ReLU("relu2"),
+        MaxPool2D("pool2", 2),
+        Flatten("flatten"),
+    ]
+    spatial = ((h // 2) - 4) // 2
+    layers += [
+        Linear("fc1", 16 * spatial * spatial, 64, rng=rng),
+        ReLU("relu3"),
+        Linear("fc2", 64, num_classes, rng=rng),
+    ]
+    return Network("lenet", layers, input_shape, num_classes)
+
+
+def _build_resnet(rng, num_classes, input_shape, widths=(16, 32, 64), blocks_per_stage=2,
+                  name="resnet101") -> Network:
+    c, _, _ = input_shape
+    layers = [
+        Conv2D("stem", c, widths[0], 3, padding=1, bias=False, rng=rng),
+        ReLU("stem_relu"),
+    ]
+    in_channels = widths[0]
+    for stage, width in enumerate(widths):
+        for block in range(blocks_per_stage):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            layers.append(
+                ResidualBlock(f"stage{stage}.block{block}", in_channels, width,
+                              stride=stride, rng=rng)
+            )
+            in_channels = width
+    layers += [
+        GlobalAvgPool("gap"),
+        Linear("fc", in_channels, num_classes, rng=rng),
+    ]
+    return Network(name, layers, input_shape, num_classes)
+
+
+def _build_densenet(rng, num_classes, input_shape) -> Network:
+    # DenseNet analogue: deeper, narrower residual stack (3 blocks/stage).
+    return _build_resnet(rng, num_classes, input_shape, widths=(12, 24, 48),
+                         blocks_per_stage=3, name="densenet201")
+
+
+def _build_vgg(rng, num_classes, input_shape) -> Network:
+    c, h, w = input_shape
+    layers = [
+        Conv2D("conv1_1", c, 24, 3, padding=1, rng=rng), ReLU("relu1_1"),
+        Conv2D("conv1_2", 24, 24, 3, padding=1, rng=rng), ReLU("relu1_2"),
+        MaxPool2D("pool1", 2),
+        Conv2D("conv2_1", 24, 48, 3, padding=1, rng=rng), ReLU("relu2_1"),
+        Conv2D("conv2_2", 48, 48, 3, padding=1, rng=rng), ReLU("relu2_2"),
+        MaxPool2D("pool2", 2),
+        Conv2D("conv3_1", 48, 96, 3, padding=1, rng=rng), ReLU("relu3_1"),
+        Conv2D("conv3_2", 96, 96, 3, padding=1, rng=rng), ReLU("relu3_2"),
+        MaxPool2D("pool3", 2),
+        Flatten("flatten"),
+        Linear("fc1", 96 * (h // 8) * (w // 8), 192, rng=rng), ReLU("relu_fc1"),
+        Dropout("drop1", 0.3, rng=rng),
+        Linear("fc2", 192, 96, rng=rng), ReLU("relu_fc2"),
+        Linear("fc3", 96, num_classes, rng=rng),
+    ]
+    return Network("vgg16", layers, input_shape, num_classes)
+
+
+def _build_alexnet(rng, num_classes, input_shape) -> Network:
+    c, h, w = input_shape
+    layers = [
+        Conv2D("conv1", c, 24, 5, padding=2, rng=rng), ReLU("relu1"),
+        MaxPool2D("pool1", 2),
+        Conv2D("conv2", 24, 48, 3, padding=1, rng=rng), ReLU("relu2"),
+        MaxPool2D("pool2", 2),
+        Conv2D("conv3", 48, 64, 3, padding=1, rng=rng), ReLU("relu3"),
+        Flatten("flatten"),
+        Linear("fc1", 64 * (h // 4) * (w // 4), 256, rng=rng), ReLU("relu_fc1"),
+        Dropout("drop1", 0.3, rng=rng),
+        Linear("fc2", 256, 128, rng=rng), ReLU("relu_fc2"),
+        Linear("fc3", 128, num_classes, rng=rng),
+    ]
+    return Network("alexnet", layers, input_shape, num_classes)
+
+
+def _build_squeezenet(rng, num_classes, input_shape) -> Network:
+    c, _, _ = input_shape
+    layers = [
+        Conv2D("conv1", c, 16, 3, padding=1, rng=rng), ReLU("relu1"),
+        MaxPool2D("pool1", 2),
+        FireModule("fire2", 16, 8, 16, rng=rng),
+        FireModule("fire3", 32, 8, 16, rng=rng),
+        MaxPool2D("pool3", 2),
+        FireModule("fire4", 32, 12, 24, rng=rng),
+        Conv2D("conv_final", 48, num_classes, 1, rng=rng),
+        GlobalAvgPool("gap"),
+    ]
+    return Network("squeezenet1.1", layers, input_shape, num_classes)
+
+
+def _build_mobilenet(rng, num_classes, input_shape) -> Network:
+    c, _, _ = input_shape
+    layers = [
+        Conv2D("stem", c, 8, 3, padding=1, stride=1, bias=False, rng=rng),
+        ReLU("stem_relu"),
+        DepthwiseSeparableConv("dsc1", 8, 16, stride=1, rng=rng),
+        DepthwiseSeparableConv("dsc2", 16, 32, stride=2, rng=rng),
+        DepthwiseSeparableConv("dsc3", 32, 32, stride=1, rng=rng),
+        DepthwiseSeparableConv("dsc4", 32, 64, stride=2, rng=rng),
+        GlobalAvgPool("gap"),
+        Linear("fc", 64, num_classes, rng=rng),
+    ]
+    return Network("mobilenetv2", layers, input_shape, num_classes)
+
+
+def _build_yolo(rng, num_classes, input_shape, tiny: bool = False) -> Network:
+    c, h, w = input_shape
+    widths = (16, 32) if tiny else (24, 48, 64)
+    name = "yolo-tiny" if tiny else "yolo"
+    layers: List = []
+    in_channels = c
+    for i, width in enumerate(widths):
+        layers += [
+            Conv2D(f"conv{i + 1}", in_channels, width, 3, padding=1, rng=rng),
+            ReLU(f"relu{i + 1}"),
+            MaxPool2D(f"pool{i + 1}", 2),
+        ]
+        in_channels = width
+    spatial = h // (2 ** len(widths))
+    layers += [
+        Flatten("flatten"),
+        Linear("det_fc1", in_channels * spatial * spatial, 128 if not tiny else 64, rng=rng),
+        ReLU("det_relu"),
+        Linear("det_head", 128 if not tiny else 64, num_classes, rng=rng),
+    ]
+    return Network(name, layers, input_shape, num_classes)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+MODEL_SPECS: Dict[str, ModelSpec] = {
+    "resnet101": ModelSpec(
+        name="resnet101", paper_name="ResNet101", dataset="cifar10", metric="accuracy",
+        paper_model_size_mb=163.0, paper_ifm_weight_size_mb=100.0, builder=_build_resnet,
+    ),
+    "mobilenetv2": ModelSpec(
+        name="mobilenetv2", paper_name="MobileNetV2", dataset="cifar10", metric="accuracy",
+        paper_model_size_mb=22.7, paper_ifm_weight_size_mb=68.5, builder=_build_mobilenet,
+    ),
+    "vgg16": ModelSpec(
+        name="vgg16", paper_name="VGG-16", dataset="ilsvrc2012", metric="accuracy",
+        paper_model_size_mb=528.0, paper_ifm_weight_size_mb=218.0, builder=_build_vgg,
+        default_epochs=6,
+    ),
+    "densenet201": ModelSpec(
+        name="densenet201", paper_name="DenseNet201", dataset="ilsvrc2012", metric="accuracy",
+        paper_model_size_mb=76.0, paper_ifm_weight_size_mb=439.0, builder=_build_densenet,
+    ),
+    "squeezenet1.1": ModelSpec(
+        name="squeezenet1.1", paper_name="SqueezeNet1.1", dataset="ilsvrc2012", metric="accuracy",
+        paper_model_size_mb=4.8, paper_ifm_weight_size_mb=53.8, builder=_build_squeezenet,
+        default_epochs=8,
+    ),
+    "alexnet": ModelSpec(
+        name="alexnet", paper_name="AlexNet", dataset="cifar10", metric="accuracy",
+        paper_model_size_mb=233.0, paper_ifm_weight_size_mb=208.0, builder=_build_alexnet,
+    ),
+    "yolo": ModelSpec(
+        name="yolo", paper_name="YOLO", dataset="mscoco", metric="map",
+        paper_model_size_mb=237.0, paper_ifm_weight_size_mb=360.0,
+        builder=lambda rng, n, s: _build_yolo(rng, n, s, tiny=False),
+        supports_int4=False, supports_int16=False,
+        notes="framework supports only int8 and FP32 (paper Table 2)",
+    ),
+    "yolo-tiny": ModelSpec(
+        name="yolo-tiny", paper_name="YOLO-Tiny", dataset="mscoco", metric="map",
+        paper_model_size_mb=33.8, paper_ifm_weight_size_mb=51.3,
+        builder=lambda rng, n, s: _build_yolo(rng, n, s, tiny=True),
+        supports_int4=False, supports_int16=False,
+        notes="framework supports only int8 and FP32 (paper Table 2)",
+    ),
+    "lenet": ModelSpec(
+        name="lenet", paper_name="LeNet", dataset="cifar10", metric="accuracy",
+        paper_model_size_mb=1.65, paper_ifm_weight_size_mb=2.30, builder=_build_lenet,
+        notes="used for the real-DRAM SoftMC experiments (Figs. 7 and 9)",
+    ),
+}
+
+
+def list_models() -> List[str]:
+    """Names of all paper-model analogues, in Table 1 order."""
+    return list(MODEL_SPECS)
+
+
+def get_spec(name: str) -> ModelSpec:
+    key = name.lower()
+    if key not in MODEL_SPECS:
+        raise KeyError(f"unknown model {name!r}; expected one of {list_models()}")
+    return MODEL_SPECS[key]
+
+
+def build_model(name: str, dataset: Optional[Dataset] = None, seed: int = 0) -> Network:
+    """Instantiate the analogue for paper model ``name``.
+
+    If ``dataset`` is omitted the model's default synthetic dataset is built to
+    determine the input shape and class count (the network itself carries no
+    reference to the dataset).
+    """
+    spec = get_spec(name)
+    if dataset is None:
+        dataset = load_dataset(spec.dataset, seed=seed)
+    rng = np.random.default_rng(seed)
+    return spec.builder(rng, dataset.num_classes, dataset.input_shape)
+
+
+def build_model_with_dataset(name: str, seed: int = 0):
+    """Convenience: return (network, dataset, spec) for a paper model name."""
+    spec = get_spec(name)
+    dataset = load_dataset(spec.dataset, seed=seed)
+    network = build_model(name, dataset=dataset, seed=seed)
+    return network, dataset, spec

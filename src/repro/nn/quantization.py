@@ -1,0 +1,164 @@
+"""Symmetric linear quantization, as used by the paper (Section 2.1, Table 2).
+
+The paper quantizes all models to int4, int8, int16 and FP32 with a symmetric
+linear scheme: each tensor gets an affine scale mapping its values into
+``[-2^(b-1), 2^(b-1) - 1]``.  Quantization matters to EDEN for two reasons:
+
+* bit errors hit a *b*-bit integer representation rather than an IEEE-754
+  float, so the magnitude of a single flip differs, and
+* lower precision tensors pack more values per DRAM row, which changes how
+  spatially-correlated error models (bitline / wordline locality) land.
+
+This module provides per-tensor quantization parameters, fake-quantized
+inference (quantize → dequantize around every load), and the integer codecs
+the bit-error injector uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.nn.tensor import TensorSpec
+
+#: numeric precisions evaluated in the paper
+SUPPORTED_BITS = (4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Per-tensor symmetric quantization parameters."""
+
+    bits: int
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.bits not in SUPPORTED_BITS:
+            raise ValueError(f"unsupported precision {self.bits}; expected one of {SUPPORTED_BITS}")
+        if self.bits != 32 and self.scale <= 0:
+            raise ValueError("quantization scale must be positive")
+
+    @property
+    def qmin(self) -> int:
+        return -(2 ** (self.bits - 1))
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def is_float(self) -> bool:
+        return self.bits == 32
+
+
+def compute_scale(values: np.ndarray, bits: int) -> float:
+    """Symmetric scale so that max(|values|) maps to the integer extreme."""
+    if bits == 32:
+        return 1.0
+    max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+    if max_abs == 0.0:
+        max_abs = 1.0
+    return max_abs / float(2 ** (bits - 1) - 1)
+
+
+def make_spec(values: np.ndarray, bits: int) -> QuantizationSpec:
+    return QuantizationSpec(bits=bits, scale=compute_scale(values, bits))
+
+
+def quantize(values: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Quantize float values to signed integers (int64 container)."""
+    if spec.is_float:
+        raise ValueError("FP32 tensors are not integer-quantized")
+    q = np.round(values / spec.scale)
+    return np.clip(q, spec.qmin, spec.qmax).astype(np.int64)
+
+def dequantize(codes: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    if spec.is_float:
+        raise ValueError("FP32 tensors are not integer-quantized")
+    return (codes.astype(np.float64) * spec.scale).astype(np.float32)
+
+
+def fake_quantize(values: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Quantize then dequantize, simulating reduced-precision storage."""
+    if spec.is_float:
+        return values.astype(np.float32)
+    return dequantize(quantize(values, spec), spec)
+
+
+class QuantizedLoadTransform:
+    """Fault-injector-compatible hook that fake-quantizes every load.
+
+    Installing this on a :class:`~repro.nn.network.Network` makes every weight
+    and IFM load behave as if the value was stored at ``bits`` precision, which
+    is how Table 2's int4/int8/int16 baseline accuracies are measured.  It can
+    also wrap an inner injector so bit errors are applied *on the quantized
+    representation* (the realistic composition: DRAM stores the integer codes).
+    """
+
+    def __init__(self, bits: int, inner=None):
+        if bits not in SUPPORTED_BITS:
+            raise ValueError(f"unsupported precision {bits}")
+        self.bits = bits
+        self.inner = inner
+        self._spec_cache: Dict[str, QuantizationSpec] = {}
+
+    def spec_for(self, name: str, values: np.ndarray) -> QuantizationSpec:
+        spec = self._spec_cache.get(name)
+        if spec is None:
+            spec = make_spec(values, self.bits)
+            self._spec_cache[name] = spec
+        return spec
+
+    def apply(self, array: np.ndarray, spec: TensorSpec) -> np.ndarray:
+        tensor_spec = spec.with_bits(self.bits)
+        if self.bits == 32:
+            out = array
+        else:
+            qspec = self.spec_for(spec.name, array)
+            out = fake_quantize(array, qspec)
+        if self.inner is not None:
+            out = self.inner.apply(out, tensor_spec)
+        return out
+
+
+def quantize_network(network: Network, bits: int,
+                     inner_injector=None) -> QuantizedLoadTransform:
+    """Attach a fake-quantization load transform to ``network`` and return it."""
+    transform = QuantizedLoadTransform(bits, inner=inner_injector)
+    network.set_fault_injector(transform)
+    return transform
+
+
+def tensor_to_bits(values: np.ndarray, bits: int,
+                   qspec: Optional[QuantizationSpec] = None):
+    """Encode a float tensor as the raw unsigned integer words DRAM would hold.
+
+    Returns (words, codec_state).  ``words`` is a uint64 array of per-element
+    bit patterns (two's complement for integer precisions, IEEE-754 for FP32);
+    ``codec_state`` is whatever :func:`bits_to_tensor` needs to decode.
+    """
+    values = np.asarray(values, dtype=np.float32)
+    if bits == 32:
+        words = values.view(np.uint32).astype(np.uint64)
+        return words, None
+    if qspec is None:
+        qspec = make_spec(values, bits)
+    codes = quantize(values, qspec)
+    mask = (1 << bits) - 1
+    words = (codes & mask).astype(np.uint64)
+    return words, qspec
+
+
+def bits_to_tensor(words: np.ndarray, bits: int, codec_state) -> np.ndarray:
+    """Decode raw bit patterns produced by :func:`tensor_to_bits` back to floats."""
+    if bits == 32:
+        return words.astype(np.uint32).view(np.float32).copy()
+    qspec: QuantizationSpec = codec_state
+    mask = (1 << bits) - 1
+    words = words.astype(np.int64) & mask
+    sign_bit = 1 << (bits - 1)
+    codes = np.where(words >= sign_bit, words - (1 << bits), words)
+    return dequantize(codes, qspec)

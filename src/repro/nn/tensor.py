@@ -1,0 +1,144 @@
+"""Tensor containers tagged with the DNN data types EDEN reasons about.
+
+EDEN distinguishes three data types per layer: the layer weights, its input
+feature maps (IFMs) and its output feature maps (OFMs).  Error injection,
+error-tolerance characterization and the DNN-to-DRAM mapping all operate on
+these named data types, so every parameter and activation in this framework
+carries a :class:`DataKind` and a stable name (e.g. ``"conv1.weight"``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+class DataKind(enum.Enum):
+    """The three DNN data types that EDEN maps onto DRAM partitions."""
+
+    WEIGHT = "weight"
+    IFM = "ifm"
+    OFM = "ofm"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Static description of one DNN data type instance.
+
+    EDEN's fine-grained characterization and Algorithm-1 mapping need, for
+    every weight tensor and IFM, its identity (name), its kind, its size in
+    bytes at the chosen numeric precision and the layer depth it belongs to
+    (the paper observes first/last layers tolerate fewer errors).
+    """
+
+    name: str
+    kind: DataKind
+    shape: tuple
+    dtype_bits: int
+    layer_index: int
+
+    @property
+    def num_elements(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count
+
+    @property
+    def size_bits(self) -> int:
+        return self.num_elements * self.dtype_bits
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.size_bits + 7) // 8
+
+    def with_bits(self, dtype_bits: int) -> "TensorSpec":
+        """Return a copy of this spec at a different numeric precision."""
+        return TensorSpec(
+            name=self.name,
+            kind=self.kind,
+            shape=self.shape,
+            dtype_bits=dtype_bits,
+            layer_index=self.layer_index,
+        )
+
+
+@dataclass
+class Parameter:
+    """A trainable tensor together with its gradient and accumulated state.
+
+    Parameters know their own name and kind so the fault-injection hooks can
+    decide, per load, which DRAM partition (and therefore which bit error
+    rate) applies to them.
+    """
+
+    name: str
+    data: np.ndarray
+    kind: DataKind = DataKind.WEIGHT
+    trainable: bool = True
+    grad: Optional[np.ndarray] = None
+    layer_index: int = 0
+    momentum_buffer: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.float32)
+
+    @property
+    def shape(self) -> tuple:
+        return tuple(self.data.shape)
+
+    @property
+    def num_elements(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name!r} shape {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def spec(self, dtype_bits: int = 32) -> TensorSpec:
+        return TensorSpec(
+            name=self.name,
+            kind=self.kind,
+            shape=self.shape,
+            dtype_bits=dtype_bits,
+            layer_index=self.layer_index,
+        )
+
+    def copy(self) -> "Parameter":
+        clone = Parameter(
+            name=self.name,
+            data=self.data.copy(),
+            kind=self.kind,
+            trainable=self.trainable,
+            layer_index=self.layer_index,
+        )
+        return clone
+
+
+def xavier_uniform(shape: tuple, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Xavier/Glorot uniform initialization, the default for conv/linear layers."""
+    limit = float(np.sqrt(6.0 / max(fan_in + fan_out, 1)))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def kaiming_normal(shape: tuple, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """Kaiming/He normal initialization, used for ReLU-heavy stacks."""
+    std = float(np.sqrt(2.0 / max(fan_in, 1)))
+    return (rng.standard_normal(size=shape) * std).astype(np.float32)

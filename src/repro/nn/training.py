@@ -1,0 +1,164 @@
+"""SGD training loop used for baseline training and curricular retraining.
+
+The trainer is deliberately simple (SGD with momentum, optional weight decay
+and step LR schedule): EDEN explicitly avoids hyper-parameter tuning
+(Section 6.1) and its retraining mechanism reuses the default training recipe
+while layering error injection on top.  The trainer therefore exposes two
+hooks the EDEN core uses:
+
+* ``epoch_callback`` — called before each epoch with the epoch number, which
+  curricular retraining uses to ramp the injected error rate; and
+* the network's fault injector — the trainer leaves whatever injector is
+  installed in place for the forward pass and disables it for the backward
+  pass (the paper uses approximate DRAM only in the forward pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.nn.datasets import Dataset
+from repro.nn.metrics import evaluate
+from repro.nn.network import Network
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters for one training run."""
+
+    epochs: int = 8
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    lr_decay_epochs: int = 0        # 0 disables the step schedule
+    lr_decay_factor: float = 0.1
+    grad_clip: float = 5.0
+    metric: str = "accuracy"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of loss and validation metric."""
+
+    losses: List[float] = field(default_factory=list)
+    val_scores: List[float] = field(default_factory=list)
+
+    @property
+    def final_score(self) -> float:
+        return self.val_scores[-1] if self.val_scores else float("nan")
+
+    @property
+    def best_score(self) -> float:
+        return max(self.val_scores) if self.val_scores else float("nan")
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(self, parameters, learning_rate: float, momentum: float = 0.9,
+                 weight_decay: float = 0.0):
+        self.parameters = list(parameters)
+        self.learning_rate = float(learning_rate)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+
+    def step(self) -> None:
+        for param in self.parameters:
+            if not param.trainable or param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                if param.momentum_buffer is None:
+                    param.momentum_buffer = np.zeros_like(param.data)
+                param.momentum_buffer = self.momentum * param.momentum_buffer + grad
+                grad = param.momentum_buffer
+            param.data = (param.data - self.learning_rate * grad).astype(np.float32)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class Trainer:
+    """Runs epochs of SGD over a :class:`~repro.nn.datasets.Dataset`."""
+
+    def __init__(self, network: Network, dataset: Dataset, config: Optional[TrainingConfig] = None):
+        self.network = network
+        self.dataset = dataset
+        self.config = config or TrainingConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def _clip_gradients(self) -> None:
+        limit = self.config.grad_clip
+        if not limit:
+            return
+        for param in self.network.parameters():
+            if param.grad is not None:
+                np.clip(param.grad, -limit, limit, out=param.grad)
+
+    def train_epoch(self, optimizer: SGD) -> float:
+        """One pass over the training split; returns the mean batch loss."""
+        self.network.train()
+        losses = []
+        injector = self.network.fault_injector
+        for batch_x, batch_y in self.dataset.batches(self.config.batch_size, rng=self._rng):
+            optimizer.zero_grad()
+            # Forward pass may go through approximate DRAM (injector active).
+            loss, grad, _ = self.network.loss(batch_x, batch_y)
+            # Backward pass uses reliable DRAM (paper, Section 3.2).
+            self.network.set_fault_injector(None)
+            try:
+                self.network.backward(grad)
+            finally:
+                self.network.set_fault_injector(injector)
+            self._clip_gradients()
+            optimizer.step()
+            losses.append(loss)
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def fit(self, epoch_callback: Optional[Callable[[int], None]] = None) -> TrainingHistory:
+        """Train for ``config.epochs`` epochs and return the history."""
+        config = self.config
+        optimizer = SGD(
+            self.network.parameters(),
+            learning_rate=config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        history = TrainingHistory()
+        for epoch in range(config.epochs):
+            if epoch_callback is not None:
+                epoch_callback(epoch)
+            if config.lr_decay_epochs and epoch and epoch % config.lr_decay_epochs == 0:
+                optimizer.learning_rate *= config.lr_decay_factor
+            loss = self.train_epoch(optimizer)
+            score = self.evaluate()
+            history.losses.append(loss)
+            history.val_scores.append(score)
+        self.network.eval()
+        return history
+
+    def evaluate(self) -> float:
+        """Validation score with whatever fault injector is currently installed."""
+        self.network.eval()
+        return evaluate(
+            self.network, self.dataset.val_x, self.dataset.val_y,
+            metric=self.config.metric, batch_size=self.config.batch_size,
+        )

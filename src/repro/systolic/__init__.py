@@ -1,0 +1,51 @@
+"""Systolic-array DNN accelerator simulator (SCALE-Sim stand-in).
+
+The paper's accelerator evaluation (Section 7.2, Table 6) runs AlexNet and
+YOLO-Tiny through SCALE-Sim configured as Eyeriss (12x14 PEs, 324KB SRAM,
+output-stationary) and as a TPU (256x256 PEs, 24MB SRAM, weight-stationary),
+then feeds the memory traces into DRAMPower.  This package provides the same
+pipeline analytically:
+
+* :mod:`repro.systolic.dataflow`  — layer GEMM shapes, dataflow fold math and
+  the paper's AlexNet / YOLO-Tiny layer dimensions;
+* :mod:`repro.systolic.simulator` — per-layer compute/DRAM cycle and traffic
+  model, Eyeriss/TPU presets, energy-reduction and tRCD-speedup helpers.
+"""
+
+from repro.systolic.dataflow import (
+    ALEXNET_LAYER_SHAPES,
+    Dataflow,
+    FoldCounts,
+    LayerShape,
+    PAPER_ACCELERATOR_WORKLOADS,
+    YOLO_TINY_LAYER_SHAPES,
+    fold_layer,
+    shapes_from_network,
+)
+from repro.systolic.simulator import (
+    EYERISS_SYSTOLIC,
+    LayerResult,
+    NetworkResult,
+    SYSTOLIC_PRESETS,
+    SystolicArrayConfig,
+    SystolicSimulator,
+    TPU_SYSTOLIC,
+)
+
+__all__ = [
+    "ALEXNET_LAYER_SHAPES",
+    "Dataflow",
+    "FoldCounts",
+    "LayerShape",
+    "PAPER_ACCELERATOR_WORKLOADS",
+    "YOLO_TINY_LAYER_SHAPES",
+    "fold_layer",
+    "shapes_from_network",
+    "EYERISS_SYSTOLIC",
+    "LayerResult",
+    "NetworkResult",
+    "SYSTOLIC_PRESETS",
+    "SystolicArrayConfig",
+    "SystolicSimulator",
+    "TPU_SYSTOLIC",
+]

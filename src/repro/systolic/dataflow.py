@@ -1,0 +1,193 @@
+"""Systolic-array dataflows and layer shapes (SCALE-Sim stand-in, part 1).
+
+The paper evaluates EDEN on two DNN accelerators through SCALE-Sim: Eyeriss
+(a 12x14 PE array with a 324KB SRAM buffer) and a TPU-like design (256x256
+PEs, 24MB SRAM), each running its accelerator-specific dataflow (Table 6).
+This module provides the workload-side abstractions: the layer shapes the
+array executes (convolutions and fully-connected layers lowered to GEMMs) and
+the dataflow folding arithmetic that determines how many passes over the
+array a layer requires.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.nn.layers import Conv2D, DepthwiseSeparableConv, Linear
+from repro.nn.network import Network
+
+
+class Dataflow(enum.Enum):
+    """Mapping strategies for a systolic array (SCALE-Sim's os/ws/is)."""
+
+    OUTPUT_STATIONARY = "os"
+    WEIGHT_STATIONARY = "ws"
+    INPUT_STATIONARY = "is"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Dataflow":
+        lowered = name.lower()
+        for flow in cls:
+            if lowered in (flow.value, flow.name.lower()):
+                return flow
+        raise ValueError(f"unknown dataflow {name!r}; expected one of "
+                         f"{[flow.value for flow in cls]}")
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """One layer lowered to the GEMM the systolic array executes.
+
+    ``rows`` (M) is the number of output pixels, ``cols`` (N) the number of
+    output channels/filters and ``inner`` (K) the reduction dimension
+    (input channels x kernel height x kernel width).
+    """
+
+    name: str
+    rows: int          # M: output feature-map pixels
+    cols: int          # N: output channels
+    inner: int         # K: reduction length per output element
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.cols, self.inner) <= 0:
+            raise ValueError("layer GEMM dimensions must be positive")
+
+    # -- tensor footprints (elements) ------------------------------------------------
+    @property
+    def macs(self) -> int:
+        return self.rows * self.cols * self.inner
+
+    @property
+    def ifm_elements(self) -> int:
+        return self.rows * self.inner
+
+    @property
+    def weight_elements(self) -> int:
+        return self.cols * self.inner
+
+    @property
+    def ofm_elements(self) -> int:
+        return self.rows * self.cols
+
+    def bytes(self, elements: int, bits: int = 8) -> int:
+        return int(math.ceil(elements * bits / 8))
+
+    @classmethod
+    def from_conv(cls, name: str, in_channels: int, out_channels: int,
+                  kernel: Tuple[int, int], output_hw: Tuple[int, int]) -> "LayerShape":
+        oh, ow = output_hw
+        kh, kw = kernel
+        return cls(name=name, rows=max(1, oh * ow), cols=max(1, out_channels),
+                   inner=max(1, in_channels * kh * kw))
+
+    @classmethod
+    def from_linear(cls, name: str, in_features: int, out_features: int) -> "LayerShape":
+        return cls(name=name, rows=1, cols=max(1, out_features), inner=max(1, in_features))
+
+
+@dataclass(frozen=True)
+class FoldCounts:
+    """How many array passes a layer needs under a given dataflow."""
+
+    row_folds: int           # folds along the array's row dimension
+    col_folds: int           # folds along the array's column dimension
+    cycles_per_fold: int     # pipeline fill + stream cycles of one pass
+
+    @property
+    def total_folds(self) -> int:
+        return self.row_folds * self.col_folds
+
+    @property
+    def compute_cycles(self) -> int:
+        return self.total_folds * self.cycles_per_fold
+
+
+def fold_layer(shape: LayerShape, array_rows: int, array_cols: int,
+               dataflow: Dataflow) -> FoldCounts:
+    """SCALE-Sim style analytical fold/cycle count for one layer.
+
+    * output stationary: the array holds an ``array_rows x array_cols`` tile
+      of output elements; each pass streams the full reduction (``inner``)
+      through the array, plus the skew of filling and draining the pipeline;
+    * weight stationary: the array holds an ``array_rows x array_cols`` tile
+      of the weight matrix (reduction x filters); each pass streams all
+      ``rows`` output pixels through it;
+    * input stationary: symmetric to weight stationary with IFM and weights
+      swapped.
+    """
+    if array_rows <= 0 or array_cols <= 0:
+        raise ValueError("array dimensions must be positive")
+    skew = array_rows + array_cols - 2
+
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        row_folds = math.ceil(shape.rows / array_rows)
+        col_folds = math.ceil(shape.cols / array_cols)
+        cycles_per_fold = shape.inner + skew + 1
+    elif dataflow is Dataflow.WEIGHT_STATIONARY:
+        row_folds = math.ceil(shape.inner / array_rows)
+        col_folds = math.ceil(shape.cols / array_cols)
+        cycles_per_fold = shape.rows + skew + 1
+    else:  # INPUT_STATIONARY
+        row_folds = math.ceil(shape.inner / array_rows)
+        col_folds = math.ceil(shape.rows / array_cols)
+        cycles_per_fold = shape.cols + skew + 1
+    return FoldCounts(row_folds=row_folds, col_folds=col_folds,
+                      cycles_per_fold=cycles_per_fold)
+
+
+def shapes_from_network(network: Network, batch_size: int = 1) -> List[LayerShape]:
+    """Lower every conv / linear layer of an in-repo network to a GEMM shape."""
+    shapes: List[LayerShape] = []
+    specs = {spec.name: spec for spec in network.data_type_specs(dtype_bits=32)}
+    for layer in network.leaf_layers():
+        if isinstance(layer, Conv2D):
+            ifm_spec = specs.get(f"{layer.name}.ifm")
+            if ifm_spec is not None:
+                input_shape = (batch_size,) + tuple(ifm_spec.shape[1:])
+            else:  # pragma: no cover - conv layers always register an IFM spec
+                input_shape = (batch_size,) + network.input_shape
+            _, _, oh, ow = layer.output_shape(input_shape)
+            shapes.append(LayerShape.from_conv(
+                layer.name, layer.in_channels, layer.out_channels,
+                layer.kernel_size, (oh, ow)))
+        elif isinstance(layer, Linear):
+            shapes.append(LayerShape.from_linear(
+                layer.name, layer.in_features, layer.out_features))
+    return shapes
+
+
+#: GEMM shapes of the paper's two accelerator workloads (Section 7.2), taken
+#: from the published AlexNet and YOLO(-Tiny) layer dimensions at 224x224 /
+#: 416x416 inputs.  They feed the Eyeriss/TPU benchmarks, where the absolute
+#: footprints matter; the in-repo analogues are used by the unit tests.
+ALEXNET_LAYER_SHAPES: List[LayerShape] = [
+    LayerShape("conv1", rows=55 * 55, cols=96, inner=3 * 11 * 11),
+    LayerShape("conv2", rows=27 * 27, cols=256, inner=96 * 5 * 5),
+    LayerShape("conv3", rows=13 * 13, cols=384, inner=256 * 3 * 3),
+    LayerShape("conv4", rows=13 * 13, cols=384, inner=384 * 3 * 3),
+    LayerShape("conv5", rows=13 * 13, cols=256, inner=384 * 3 * 3),
+    LayerShape("fc6", rows=1, cols=4096, inner=9216),
+    LayerShape("fc7", rows=1, cols=4096, inner=4096),
+    LayerShape("fc8", rows=1, cols=1000, inner=4096),
+]
+
+YOLO_TINY_LAYER_SHAPES: List[LayerShape] = [
+    LayerShape("conv1", rows=416 * 416, cols=16, inner=3 * 3 * 3),
+    LayerShape("conv2", rows=208 * 208, cols=32, inner=16 * 3 * 3),
+    LayerShape("conv3", rows=104 * 104, cols=64, inner=32 * 3 * 3),
+    LayerShape("conv4", rows=52 * 52, cols=128, inner=64 * 3 * 3),
+    LayerShape("conv5", rows=26 * 26, cols=256, inner=128 * 3 * 3),
+    LayerShape("conv6", rows=13 * 13, cols=512, inner=256 * 3 * 3),
+    LayerShape("conv7", rows=13 * 13, cols=1024, inner=512 * 3 * 3),
+    LayerShape("conv8", rows=13 * 13, cols=256, inner=1024 * 1 * 1),
+    LayerShape("conv9", rows=13 * 13, cols=512, inner=256 * 3 * 3),
+    LayerShape("conv10", rows=13 * 13, cols=255, inner=512 * 1 * 1),
+]
+
+PAPER_ACCELERATOR_WORKLOADS = {
+    "alexnet": ALEXNET_LAYER_SHAPES,
+    "yolo-tiny": YOLO_TINY_LAYER_SHAPES,
+}

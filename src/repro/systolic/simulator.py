@@ -1,0 +1,248 @@
+"""Systolic-array accelerator simulator (SCALE-Sim stand-in, part 2).
+
+Given an array configuration (PE grid, SRAM buffer, dataflow, DRAM interface)
+and a sequence of layer shapes, the simulator produces per-layer and
+whole-network results: compute cycles, SRAM traffic, DRAM traffic, whether
+the layer is compute- or bandwidth-bound, execution time and DRAM energy.
+These are the quantities the paper extracts from SCALE-Sim + DRAMPower for
+its Eyeriss/TPU evaluation (Section 7.2):
+
+* reducing DRAM supply voltage cuts DRAM energy roughly with VDD² while
+  leaving execution time untouched;
+* reducing tRCD gives the accelerators *no* speedup because their streaming,
+  double-buffered access patterns are bandwidth- (not latency-) bound — the
+  simulator reproduces this by charging DRAM time from bandwidth, with the
+  activation latency only appearing once per tile prefetch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dram.energy import DramEnergyModel, TrafficProfile
+from repro.dram.timing import NOMINAL_DDR4_TIMING, TimingParameters
+from repro.dram.voltage import NOMINAL_VDD, VoltageDomain
+from repro.systolic.dataflow import Dataflow, FoldCounts, LayerShape, fold_layer
+
+
+@dataclass(frozen=True)
+class SystolicArrayConfig:
+    """Static description of one systolic-array accelerator."""
+
+    name: str
+    array_rows: int
+    array_cols: int
+    sram_bytes: int
+    dataflow: Dataflow
+    frequency_mhz: float = 700.0
+    memory_type: str = "DDR4-2400"
+    dram_bandwidth_gbps: float = 19.2       # one DDR4-2400 x64 channel
+    weight_bits: int = 8                    # the paper uses the int8 built-in models
+
+    def __post_init__(self) -> None:
+        if self.array_rows <= 0 or self.array_cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if self.sram_bytes <= 0:
+            raise ValueError("sram_bytes must be positive")
+        if self.frequency_mhz <= 0 or self.dram_bandwidth_gbps <= 0:
+            raise ValueError("frequency and bandwidth must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        return self.array_rows * self.array_cols
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1e3 / self.frequency_mhz
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """DRAM bytes deliverable per accelerator cycle at the peak bandwidth."""
+        return self.dram_bandwidth_gbps * self.cycle_ns
+
+
+#: The paper's Table 6 accelerator configurations.
+EYERISS_SYSTOLIC = SystolicArrayConfig(
+    name="eyeriss", array_rows=12, array_cols=14, sram_bytes=324 * 1024,
+    dataflow=Dataflow.OUTPUT_STATIONARY, frequency_mhz=200.0,
+    memory_type="DDR4-2400", dram_bandwidth_gbps=12.8,
+)
+TPU_SYSTOLIC = SystolicArrayConfig(
+    name="tpu", array_rows=256, array_cols=256, sram_bytes=24 * 1024 * 1024,
+    dataflow=Dataflow.WEIGHT_STATIONARY, frequency_mhz=700.0,
+    memory_type="DDR4-2400", dram_bandwidth_gbps=19.2,
+)
+SYSTOLIC_PRESETS: Dict[str, SystolicArrayConfig] = {
+    "eyeriss": EYERISS_SYSTOLIC,
+    "tpu": TPU_SYSTOLIC,
+}
+
+
+@dataclass
+class LayerResult:
+    """Simulation outcome for one layer."""
+
+    shape: LayerShape
+    folds: FoldCounts
+    compute_cycles: int
+    dram_read_bytes: float
+    dram_write_bytes: float
+    sram_read_bytes: float
+    sram_write_bytes: float
+    dram_cycles: int
+    utilization: float
+
+    @property
+    def total_cycles(self) -> int:
+        """Double buffering overlaps compute and DRAM; the slower one dominates."""
+        return max(self.compute_cycles, self.dram_cycles)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.dram_cycles > self.compute_cycles
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+
+@dataclass
+class NetworkResult:
+    """Simulation outcome for a whole network on one accelerator."""
+
+    config: SystolicArrayConfig
+    layers: List[LayerResult]
+    voltage: VoltageDomain
+    timing: TimingParameters
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.total_cycles for layer in self.layers)
+
+    @property
+    def compute_cycles(self) -> int:
+        return sum(layer.compute_cycles for layer in self.layers)
+
+    @property
+    def execution_time_ms(self) -> float:
+        return self.total_cycles * self.config.cycle_ns * 1e-6
+
+    @property
+    def dram_read_bytes(self) -> float:
+        return sum(layer.dram_read_bytes for layer in self.layers)
+
+    @property
+    def dram_write_bytes(self) -> float:
+        return sum(layer.dram_write_bytes for layer in self.layers)
+
+    @property
+    def dram_traffic(self) -> TrafficProfile:
+        row_bytes = 8192.0
+        activations = (self.dram_read_bytes + self.dram_write_bytes) / row_bytes
+        return TrafficProfile(
+            reads_bytes=self.dram_read_bytes,
+            writes_bytes=self.dram_write_bytes,
+            row_activations=activations,
+            execution_time_ms=self.execution_time_ms,
+        )
+
+    def dram_energy_nj(self, memory_type: Optional[str] = None) -> float:
+        model = DramEnergyModel(memory_type or self.config.memory_type)
+        return model.energy(self.dram_traffic, voltage=self.voltage).total_nj
+
+    @property
+    def average_utilization(self) -> float:
+        if not self.layers:
+            return 0.0
+        macs = sum(layer.shape.macs for layer in self.layers)
+        weighted = sum(layer.utilization * layer.shape.macs for layer in self.layers)
+        return weighted / macs if macs else 0.0
+
+
+class SystolicSimulator:
+    """Analytical per-layer simulation of a systolic-array accelerator."""
+
+    def __init__(self, config: SystolicArrayConfig):
+        self.config = config
+
+    # -- per-layer modelling -------------------------------------------------------------
+    def simulate_layer(self, shape: LayerShape,
+                       timing: TimingParameters = NOMINAL_DDR4_TIMING) -> LayerResult:
+        cfg = self.config
+        folds = fold_layer(shape, cfg.array_rows, cfg.array_cols, cfg.dataflow)
+        bits = cfg.weight_bits
+
+        ifm_bytes = shape.bytes(shape.ifm_elements, bits)
+        weight_bytes = shape.bytes(shape.weight_elements, bits)
+        ofm_bytes = shape.bytes(shape.ofm_elements, bits)
+
+        # SRAM traffic: every operand enters the array once per fold in which
+        # it participates; partial sums are written back once per fold.
+        sram_reads = (ifm_bytes * folds.col_folds + weight_bytes * folds.row_folds)
+        sram_writes = ofm_bytes * folds.total_folds
+
+        # DRAM traffic: the stationary operand is fetched exactly once (each
+        # of its tiles is used in exactly one fold); a moving operand that
+        # fits in the double-buffered SRAM is also fetched once, while one
+        # that does not fit is re-fetched for every fold of the orthogonal
+        # dimension that reuses it — the way SCALE-Sim charges spills.
+        half_sram = cfg.sram_bytes / 2
+        if cfg.dataflow is Dataflow.WEIGHT_STATIONARY:
+            weight_refetch = 1
+            ifm_refetch = 1 if ifm_bytes <= half_sram else folds.col_folds
+        elif cfg.dataflow is Dataflow.INPUT_STATIONARY:
+            ifm_refetch = 1
+            weight_refetch = 1 if weight_bytes <= half_sram else folds.col_folds
+        else:  # OUTPUT_STATIONARY: both operands stream through the array
+            ifm_refetch = 1 if ifm_bytes <= half_sram else folds.col_folds
+            weight_refetch = 1 if weight_bytes <= half_sram else folds.row_folds
+        dram_reads = ifm_bytes * ifm_refetch + weight_bytes * weight_refetch
+        dram_writes = float(ofm_bytes)
+
+        # DRAM time: streaming transfers run at the peak bandwidth; each tile
+        # prefetch additionally pays one row activation (tRCD), which is why
+        # reduced tRCD barely moves the needle for these accelerators.
+        transfer_cycles = (dram_reads + dram_writes) / cfg.bytes_per_cycle
+        activation_cycles = folds.total_folds * timing.trcd_ns / cfg.cycle_ns
+        dram_cycles = int(math.ceil(transfer_cycles + activation_cycles))
+
+        active_pes = min(shape.rows * shape.cols, cfg.num_pes)
+        utilization = min(1.0, shape.macs / max(folds.compute_cycles * cfg.num_pes, 1))
+
+        return LayerResult(
+            shape=shape, folds=folds, compute_cycles=folds.compute_cycles,
+            dram_read_bytes=float(dram_reads), dram_write_bytes=dram_writes,
+            sram_read_bytes=float(sram_reads), sram_write_bytes=float(sram_writes),
+            dram_cycles=dram_cycles, utilization=utilization,
+        )
+
+    # -- whole-network modelling ------------------------------------------------------------
+    def simulate(self, shapes: Sequence[LayerShape],
+                 voltage: Optional[VoltageDomain] = None,
+                 timing: TimingParameters = NOMINAL_DDR4_TIMING) -> NetworkResult:
+        voltage = voltage or VoltageDomain(vdd=NOMINAL_VDD)
+        layers = [self.simulate_layer(shape, timing=timing) for shape in shapes]
+        return NetworkResult(config=self.config, layers=layers, voltage=voltage,
+                             timing=timing)
+
+    def energy_reduction(self, shapes: Sequence[LayerShape],
+                         reduced_voltage: VoltageDomain,
+                         timing: TimingParameters = NOMINAL_DDR4_TIMING) -> float:
+        """Fractional DRAM energy reduction of a reduced-VDD run vs nominal."""
+        nominal = self.simulate(shapes, timing=timing)
+        reduced = self.simulate(shapes, voltage=reduced_voltage, timing=timing)
+        base = nominal.dram_energy_nj()
+        if base <= 0:
+            return 0.0
+        return 1.0 - reduced.dram_energy_nj() / base
+
+    def speedup_from_trcd(self, shapes: Sequence[LayerShape],
+                          reduced_timing: TimingParameters) -> float:
+        """Speedup of a reduced-tRCD run vs nominal (≈1.0 for these accelerators)."""
+        nominal = self.simulate(shapes)
+        reduced = self.simulate(shapes, timing=reduced_timing)
+        if reduced.total_cycles <= 0:
+            return 1.0
+        return nominal.total_cycles / reduced.total_cycles

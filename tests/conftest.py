@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+Training even the scaled-down analogues costs a second or two, so the trained
+networks used across many tests are built once per session.  Fixtures that
+mutate the network (installing injectors, retraining) always work on a clone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram.device import ApproximateDram
+from repro.dram.geometry import DramGeometry
+from repro.nn.datasets import make_classification_dataset
+from repro.nn.models import build_model_with_dataset
+from repro.nn.training import Trainer
+
+
+#: small DRAM geometry used by tests that profile the device (many short rows
+#: keep SoftMC-style sweeps fast while preserving per-row statistics).
+TEST_GEOMETRY = DramGeometry(row_size_bytes=512, subarrays_per_bank=4,
+                             rows_per_subarray=64)
+
+
+@pytest.fixture(scope="session")
+def lenet_trained():
+    """(network, dataset, spec) for a LeNet analogue trained to high accuracy."""
+    network, dataset, spec = build_model_with_dataset("lenet", seed=0)
+    Trainer(network, dataset, spec.training_config(epochs=4)).fit()
+    network.eval()
+    return network, dataset, spec
+
+
+@pytest.fixture()
+def lenet_clone(lenet_trained):
+    """A mutable clone of the trained LeNet (per-test isolation)."""
+    network, dataset, spec = lenet_trained
+    return network.clone(), dataset, spec
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small classification dataset for fast training tests."""
+    return make_classification_dataset(
+        name="tiny", num_classes=4, channels=2, size=8,
+        train_samples=96, val_samples=48, noise=1.0, seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def device_vendor_a():
+    """An approximate DRAM device (vendor A) with the small test geometry."""
+    return ApproximateDram("A", geometry=TEST_GEOMETRY, seed=1)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,238 @@
+"""Tests for the system-level platform models (CPU, GPU, accelerators, memory controller)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerator import AcceleratorModel, EYERISS_CONFIG, TPU_CONFIG, AcceleratorConfig
+from repro.arch.cache import CacheHierarchy, CacheLevel
+from repro.arch.cpu import CpuConfig, CpuModel
+from repro.arch.gpu import GpuConfig, GpuModel
+from repro.arch.memory_controller import (
+    BoundingLogic,
+    MemoryControllerConfig,
+    METADATA_BITS_PER_PARTITION,
+)
+from repro.arch.system import Platform, evaluate_platform, geometric_mean
+from repro.arch.traffic import PAPER_WORKLOADS, WorkloadDescriptor, workload_for, workload_from_network
+from repro.dram.device import DramOperatingPoint
+from repro.dram.geometry import DramGeometry, PartitionLevel
+
+
+def op(delta_vdd=0.0, delta_trcd=0.0):
+    return DramOperatingPoint.from_reductions(delta_vdd=delta_vdd, delta_trcd_ns=delta_trcd)
+
+
+class TestWorkloads:
+    def test_registry_covers_paper_models(self):
+        assert set(PAPER_WORKLOADS) >= {
+            "resnet101", "vgg16", "yolo", "yolo-tiny", "squeezenet1.1", "densenet201",
+        }
+
+    def test_precision_scales_bytes(self):
+        fp32 = workload_for("vgg16", bits=32)
+        int8 = workload_for("vgg16", bits=8)
+        assert int8.total_bytes == pytest.approx(fp32.total_bytes / 4)
+        assert int8.macs == fp32.macs
+
+    def test_yolo_is_most_latency_sensitive(self):
+        yolo = workload_for("yolo")
+        others = [workload_for(n) for n in ("resnet101", "vgg16", "squeezenet1.1")]
+        assert all(yolo.random_access_fraction > o.random_access_fraction for o in others)
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            workload_for("resnet152")
+        with pytest.raises(ValueError):
+            WorkloadDescriptor("x", -1, 0, 0, 1, 0.1)
+        with pytest.raises(ValueError):
+            workload_for("vgg16").at_precision(12)
+
+    def test_workload_from_network(self, lenet_trained):
+        network, _, _ = lenet_trained
+        workload = workload_from_network(network)
+        # Weight traffic covers every matrix/kernel parameter (bias vectors are
+        # not routed through the injectable load path, so allow a small gap).
+        assert network.num_parameters() * 4 * 0.9 <= workload.weight_bytes \
+            <= network.num_parameters() * 4
+        assert workload.macs > network.num_parameters()  # convs reuse weights spatially
+        assert workload.total_bytes > 0
+
+
+class TestCache:
+    def test_default_hierarchy_matches_table4(self):
+        cache = CacheHierarchy()
+        assert [level.name for level in cache.levels] == ["L1", "L2", "L3"]
+        assert cache.llc.size_bytes == 8 * 1024 * 1024
+
+    def test_large_models_miss_more_than_small(self):
+        cache = CacheHierarchy()
+        assert cache.dram_traffic_fraction(workload_for("vgg16")) > \
+            cache.dram_traffic_fraction(workload_for("lenet"))
+
+    def test_tiny_working_set_mostly_hits(self):
+        cache = CacheHierarchy()
+        tiny = WorkloadDescriptor("tiny", 1e5, 1e5, 1e5, 1e6, 0.01)
+        assert cache.dram_traffic_fraction(tiny) < 0.3
+
+    def test_fraction_bounded(self):
+        cache = CacheHierarchy()
+        for name in PAPER_WORKLOADS:
+            fraction = cache.dram_traffic_fraction(workload_for(name))
+            assert 0.0 <= fraction <= 1.0
+
+    def test_cache_level_validation(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 0, 2)
+
+
+class TestCpuModel:
+    def test_reduced_trcd_speeds_up_latency_bound_workloads(self):
+        cpu = CpuModel()
+        speedup_yolo = cpu.speedup(workload_for("yolo"), op(delta_trcd=5.5))
+        speedup_resnet = cpu.speedup(workload_for("resnet101"), op(delta_trcd=5.5))
+        assert speedup_yolo > 1.03
+        assert speedup_yolo > speedup_resnet
+        assert speedup_resnet >= 1.0
+
+    def test_voltage_reduction_saves_energy_but_not_time(self):
+        cpu = CpuModel()
+        workload = workload_for("vgg16")
+        reduction = cpu.dram_energy_reduction(workload, op(delta_vdd=0.30))
+        assert 0.1 < reduction < 0.5
+        assert cpu.speedup(workload, op(delta_vdd=0.30)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_ideal_trcd_bounds_eden_speedup(self):
+        cpu = CpuModel()
+        workload = workload_for("yolo-tiny")
+        eden = cpu.speedup(workload, op(delta_trcd=5.0))
+        ideal = cpu.speedup(workload, op(delta_trcd=12.49))
+        assert 1.0 <= eden <= ideal
+
+    def test_run_result_components(self):
+        cpu = CpuModel()
+        result = cpu.run(workload_for("alexnet"))
+        assert result.execution_time_s > 0
+        assert result.execution_time_s >= max(result.compute_time_s, result.bandwidth_time_s)
+        assert result.dram_energy.total_nj > 0
+        assert result.traffic.reads_bytes > result.traffic.writes_bytes
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CpuConfig(cores=0)
+        with pytest.raises(ValueError):
+            CpuConfig(prefetcher_coverage=1.5)
+
+
+class TestGpuModel:
+    def test_energy_savings_larger_than_speedup(self):
+        gpu = GpuModel()
+        workload = workload_for("yolo")
+        point = op(delta_vdd=0.35, delta_trcd=6.0)
+        energy_reduction = gpu.dram_energy_reduction(workload, point)
+        speedup = gpu.speedup(workload, point)
+        assert energy_reduction > 0.25
+        assert speedup - 1.0 < energy_reduction
+
+    def test_gpu_hides_latency_better_than_cpu(self):
+        cpu, gpu = CpuModel(), GpuModel()
+        workload = workload_for("yolo")
+        point = op(delta_trcd=6.0)
+        assert gpu.speedup(workload, point) < cpu.speedup(workload, point)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GpuConfig(warp_latency_hiding=1.2)
+
+
+class TestAccelerators:
+    def test_trcd_reduction_gives_no_speedup(self):
+        for config in (EYERISS_CONFIG, TPU_CONFIG):
+            model = AcceleratorModel(config)
+            speedup = model.speedup(workload_for("yolo-tiny", bits=8), op(delta_trcd=5.0))
+            assert speedup == pytest.approx(1.0, abs=1e-9)
+
+    def test_voltage_reduction_saves_energy(self):
+        for config in (EYERISS_CONFIG, TPU_CONFIG):
+            model = AcceleratorModel(config)
+            reduction = model.dram_energy_reduction(
+                workload_for("alexnet", bits=8), op(delta_vdd=0.30))
+            assert 0.15 < reduction < 0.5
+
+    def test_bigger_buffer_moves_less_dram_data(self):
+        workload = workload_for("alexnet", bits=8)
+        eyeriss_bytes = AcceleratorModel(EYERISS_CONFIG).dram_traffic_bytes(workload)
+        tpu_bytes = AcceleratorModel(TPU_CONFIG).dram_traffic_bytes(workload)
+        assert tpu_bytes < eyeriss_bytes
+
+    def test_lpddr3_variant(self):
+        lp = EYERISS_CONFIG.with_memory("LPDDR3-1600", 12.8)
+        assert lp.memory_type == "LPDDR3-1600"
+        model = AcceleratorModel(lp)
+        assert model.run(workload_for("yolo-tiny", bits=8)).dram_energy.total_nj > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig("bad", 0, 4, 1024, 1.0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig("bad", 4, 4, 1024, 1.0, pe_utilization=0.0)
+
+
+class TestMemoryController:
+    def test_bounding_logic_costs_one_cycle(self):
+        logic = BoundingLogic()
+        assert logic.added_load_latency_cycles() == 1
+        assert logic.added_load_latency_cycles(enabled=False) == 0
+
+    def test_metadata_budget_matches_paper(self):
+        """The paper budgets ~1KB for 2^10 partitions and ~2KB for subarray
+        granularity on a large module (Section 5)."""
+        controller = MemoryControllerConfig(partition_level=PartitionLevel.SUBARRAY)
+        assert controller.metadata_bytes <= 2048
+        bank_controller = MemoryControllerConfig(partition_level=PartitionLevel.BANK)
+        assert bank_controller.metadata_bytes <= 32
+        assert METADATA_BITS_PER_PARTITION == 12
+
+    def test_partition_op_point_management(self):
+        controller = MemoryControllerConfig(
+            geometry=DramGeometry(), partition_level=PartitionLevel.BANK)
+        controller.set_partition_op_point(3, op(delta_vdd=0.2))
+        assert controller.op_point_for(3).vdd == pytest.approx(1.15)
+        assert controller.op_point_for(5).vdd == pytest.approx(1.35)
+        controller.set_module_op_point(op(delta_vdd=0.1))
+        assert controller.distinct_op_points() == 1
+        with pytest.raises(ValueError):
+            controller.set_partition_op_point(999, op())
+
+    def test_runtime_changes_can_be_disallowed(self):
+        controller = MemoryControllerConfig(supports_runtime_parameter_change=False)
+        with pytest.raises(RuntimeError):
+            controller.set_partition_op_point(0, op())
+
+
+class TestSystemEvaluation:
+    def test_evaluate_platform_cpu(self):
+        result = evaluate_platform(Platform.CPU, "yolo", 0.35, 6.0)
+        assert result.energy_reduction > 0.2
+        assert result.speedup > 1.0
+        assert result.ideal_trcd_speedup >= result.speedup
+        assert result.energy_reduction_percent == pytest.approx(result.energy_reduction * 100)
+
+    def test_accelerators_show_energy_but_no_speedup(self):
+        for platform in (Platform.EYERISS, Platform.TPU):
+            result = evaluate_platform(platform, "yolo-tiny", 0.30, 5.0, bits=8)
+            assert result.energy_reduction > 0.2
+            assert result.speedup == pytest.approx(1.0, abs=1e-9)
+
+    def test_squeezenet_saves_least_energy(self):
+        """SqueezeNet's small tolerable BER (small ΔVDD) gives the smallest
+        saving, as in Figure 13."""
+        squeeze = evaluate_platform(Platform.CPU, "squeezenet1.1", 0.10, 1.0)
+        vgg = evaluate_platform(Platform.CPU, "vgg16", 0.35, 6.0)
+        assert vgg.energy_reduction > squeeze.energy_reduction
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        subparsers = next(action for action in parser._actions
+                          if hasattr(action, "choices") and action.choices)
+        expected = {"list-models", "profile-dram", "fit-error-model", "characterize",
+                    "boost", "evaluate-cpu", "evaluate-accel", "memsys"}
+        assert expected <= set(subparsers.choices)
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults_parsed(self):
+        args = build_parser().parse_args(["boost"])
+        assert args.model == "lenet"
+        assert args.vendor == "A"
+        assert args.delta_vdd == pytest.approx(0.25)
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["memsys", "--bits", "12"])
+
+
+class TestCommands:
+    def test_list_models(self, capsys):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        assert "ResNet101" in out and "YOLO" in out
+
+    def test_profile_dram(self, capsys):
+        assert main(["profile-dram", "--points", "3", "--trials", "2", "--rows", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "BER vs supply voltage" in out
+        assert "BER vs tRCD" in out
+
+    def test_fit_error_model(self, capsys):
+        assert main(["fit-error-model", "--trials", "2", "--rows", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Selected: Error Model" in out
+
+    def test_memsys(self, capsys):
+        assert main(["memsys", "--max-accesses", "1500", "--model", "squeezenet1.1"]) == 0
+        out = capsys.readouterr().out
+        assert "row-buffer hit rate" in out
+        assert "DRAM energy" in out
+
+    def test_evaluate_cpu(self, capsys):
+        assert main(["evaluate-cpu", "--precisions", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "DRAM energy reduction" in out
+        assert "yolo" in out
+
+    def test_evaluate_accel(self, capsys):
+        assert main(["evaluate-accel"]) == 0
+        out = capsys.readouterr().out
+        assert "eyeriss" in out and "tpu" in out
+
+    def test_characterize_small_model(self, capsys):
+        assert main(["characterize", "--model", "lenet", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out or "tolerable" in out.lower() or "ber" in out.lower()

@@ -1,0 +1,177 @@
+"""Tests for curricular retraining and DNN error-tolerance characterization."""
+
+import numpy as np
+import pytest
+
+from repro.core.boosting import (
+    ber_ramp_schedule,
+    curricular_retrain,
+    non_curricular_retrain,
+)
+from repro.core.characterization import (
+    coarse_grained_characterization,
+    fine_grained_characterization,
+)
+from repro.core.config import AccuracyTarget, EdenConfig
+from repro.core.correction import ThresholdStore
+from repro.dram.error_models import make_error_model
+from repro.nn.tensor import DataKind
+
+FAST_CONFIG = EdenConfig(retrain_epochs=6, evaluation_repeats=1, ber_search_steps=7, seed=0)
+
+
+class TestRampSchedule:
+    def test_starts_at_zero_and_ends_at_target(self):
+        schedule = ber_ramp_schedule(1e-2, epochs=10, ramp_every=2)
+        assert schedule[0] == 0.0
+        assert schedule[-1] == pytest.approx(1e-2)
+        assert len(schedule) == 10
+
+    def test_monotonically_non_decreasing(self):
+        schedule = ber_ramp_schedule(5e-3, epochs=12, ramp_every=2)
+        assert all(b >= a for a, b in zip(schedule, schedule[1:]))
+
+    def test_steps_change_every_ramp_interval(self):
+        schedule = ber_ramp_schedule(1e-2, epochs=8, ramp_every=2)
+        assert schedule[0] == schedule[1]
+        assert schedule[2] == schedule[3]
+
+    def test_zero_target_gives_zero_schedule(self):
+        assert ber_ramp_schedule(0.0, epochs=4, ramp_every=2) == [0.0] * 4
+
+    def test_zero_epochs(self):
+        assert ber_ramp_schedule(1e-2, epochs=0, ramp_every=2) == []
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            ber_ramp_schedule(-1e-3, epochs=4, ramp_every=2)
+
+
+@pytest.fixture(scope="module")
+def boosted_lenet(lenet_trained):
+    """Curricular-retrained LeNet at a BER well beyond its baseline tolerance."""
+    network, dataset, _ = lenet_trained
+    error_model = make_error_model(0, 1e-3, seed=0)
+    result = curricular_retrain(network.clone(), dataset, error_model,
+                                target_ber=1e-2, config=FAST_CONFIG)
+    return result, network, dataset, error_model
+
+
+class TestCurricularRetraining:
+    def test_boost_improves_score_under_injection(self, boosted_lenet):
+        result, _, _, _ = boosted_lenet
+        assert result.boosted_score > result.baseline_score
+        assert result.score_recovered > 0.05
+
+    def test_boosted_network_is_a_new_object(self, boosted_lenet):
+        result, original, _, _ = boosted_lenet
+        assert result.network is not original
+        assert result.network.fault_injector is None
+
+    def test_schedule_recorded_matches_config(self, boosted_lenet):
+        result, _, _, _ = boosted_lenet
+        assert len(result.ber_schedule) == FAST_CONFIG.retrain_epochs
+        assert result.ber_schedule[0] == 0.0
+        assert result.ber_schedule[-1] == pytest.approx(1e-2)
+
+    def test_clean_accuracy_is_preserved(self, boosted_lenet):
+        from repro.nn.metrics import evaluate
+
+        result, _, dataset, _ = boosted_lenet
+        clean = evaluate(result.network, dataset.val_x, dataset.val_y)
+        assert clean > 0.9
+
+    def test_curricular_beats_or_matches_non_curricular(self, lenet_trained):
+        """The paper's Figure 10 (right): the curricular ramp avoids the
+        accuracy collapse that immediate full-rate injection can cause."""
+        network, dataset, _ = lenet_trained
+        error_model = make_error_model(0, 1e-3, seed=0)
+        config = EdenConfig(retrain_epochs=6, evaluation_repeats=1, seed=0)
+        curricular = curricular_retrain(network.clone(), dataset, error_model,
+                                        target_ber=2e-2, config=config)
+        flat = non_curricular_retrain(network.clone(), dataset, error_model,
+                                      target_ber=2e-2, config=config)
+        assert curricular.boosted_score >= flat.boosted_score - 0.05
+        assert flat.ber_schedule[0] == pytest.approx(2e-2)
+
+
+class TestCoarseCharacterization:
+    def test_finds_nonzero_tolerable_ber(self, lenet_trained):
+        network, dataset, _ = lenet_trained
+        coarse = coarse_grained_characterization(
+            network, dataset, make_error_model(0, 1e-3, seed=0),
+            AccuracyTarget.within_one_percent(), FAST_CONFIG,
+        )
+        assert coarse.max_tolerable_ber > 0
+        assert coarse.meets_target(AccuracyTarget.within_one_percent())
+        assert coarse.accuracy_at_max >= \
+            AccuracyTarget.within_one_percent().threshold(coarse.baseline_score)
+
+    def test_tested_points_are_monotone_in_ber(self, lenet_trained):
+        """Error-tolerance curves decrease with BER (the paper's justification
+        for binary search)."""
+        network, dataset, _ = lenet_trained
+        coarse = coarse_grained_characterization(
+            network, dataset, make_error_model(0, 1e-3, seed=0),
+            AccuracyTarget.within_one_percent(), FAST_CONFIG,
+        )
+        tested = sorted(coarse.tested.items())
+        lows = [score for ber, score in tested if ber <= coarse.max_tolerable_ber]
+        highs = [score for ber, score in tested if ber > coarse.max_tolerable_ber * 10]
+        if highs:
+            assert min(lows) >= max(highs) - 0.05
+
+    def test_stricter_target_tolerates_less(self, lenet_trained):
+        network, dataset, _ = lenet_trained
+        model = make_error_model(0, 1e-3, seed=0)
+        lenient = coarse_grained_characterization(
+            network, dataset, model, AccuracyTarget(max_relative_drop=0.10), FAST_CONFIG)
+        strict = coarse_grained_characterization(
+            network, dataset, model, AccuracyTarget.no_degradation(), FAST_CONFIG)
+        assert lenient.max_tolerable_ber >= strict.max_tolerable_ber
+
+    def test_boosting_raises_tolerable_ber(self, boosted_lenet):
+        """The paper's headline: retraining boosts the tolerable BER ~5-10x."""
+        result, original, dataset, error_model = boosted_lenet
+        fine_grid = EdenConfig(evaluation_repeats=1, ber_search_steps=13, seed=0)
+        target = AccuracyTarget(max_relative_drop=0.02)
+        before = coarse_grained_characterization(
+            original, dataset, error_model, target, fine_grid)
+        after = coarse_grained_characterization(
+            result.network, dataset, error_model, target, fine_grid)
+        assert after.max_tolerable_ber >= before.max_tolerable_ber * 2.0
+
+
+class TestFineCharacterization:
+    def test_per_tensor_bers_at_least_coarse(self, lenet_trained):
+        network, dataset, _ = lenet_trained
+        model = make_error_model(0, 1e-3, seed=0)
+        config = EdenConfig(evaluation_repeats=1, fine_max_rounds=3,
+                            fine_validation_fraction=0.5, seed=0)
+        fine = fine_grained_characterization(
+            network, dataset, model, AccuracyTarget.within_one_percent(), config=config)
+        assert set(fine.per_tensor_ber) == {s.name for s in fine.specs}
+        assert all(ber >= fine.coarse_ber * 0.999 for ber in fine.per_tensor_ber.values())
+        assert fine.max_gain_over_coarse >= 1.0
+
+    def test_some_tensors_gain_headroom(self, lenet_trained):
+        """Fine-grained characterization finds data types that tolerate more
+        than the coarse whole-network BER (paper Figure 11, up to ~3x)."""
+        network, dataset, _ = lenet_trained
+        model = make_error_model(0, 1e-3, seed=0)
+        config = EdenConfig(evaluation_repeats=1, fine_max_rounds=4,
+                            fine_validation_fraction=0.5, seed=0)
+        fine = fine_grained_characterization(
+            network, dataset, model, AccuracyTarget.within_one_percent(), config=config)
+        assert fine.max_gain_over_coarse > 1.3
+
+    def test_weight_and_ifm_views(self, lenet_trained):
+        network, dataset, _ = lenet_trained
+        model = make_error_model(0, 1e-3, seed=0)
+        config = EdenConfig(evaluation_repeats=1, fine_max_rounds=2, seed=0)
+        fine = fine_grained_characterization(
+            network, dataset, model, AccuracyTarget.within_one_percent(), config=config)
+        weight_names = {s.name for s in fine.specs if s.kind is DataKind.WEIGHT}
+        assert set(fine.weights()) == weight_names
+        assert set(fine.ifms()).isdisjoint(weight_names)
+        assert fine.ber_of("conv1.weight") > 0

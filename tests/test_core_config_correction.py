@@ -1,0 +1,173 @@
+"""Tests for EDEN configuration, accuracy targets and implausible-value correction."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AccuracyTarget, EdenConfig
+from repro.core.correction import (
+    CorrectionMode,
+    ImplausibleValueCorrector,
+    ThresholdStore,
+)
+from repro.nn.tensor import DataKind, TensorSpec
+
+
+def spec_of(name):
+    return TensorSpec(name=name, kind=DataKind.WEIGHT, shape=(4,), dtype_bits=32, layer_index=0)
+
+
+class TestAccuracyTarget:
+    def test_within_one_percent(self):
+        target = AccuracyTarget.within_one_percent()
+        assert target.threshold(0.90) == pytest.approx(0.891)
+        assert target.is_met(0.895, 0.90)
+        assert not target.is_met(0.88, 0.90)
+
+    def test_no_degradation(self):
+        target = AccuracyTarget.no_degradation()
+        assert target.is_met(0.90, 0.90)
+        assert not target.is_met(0.8999, 0.90)
+
+    def test_absolute_floor(self):
+        target = AccuracyTarget(max_relative_drop=0.10, min_absolute=0.85)
+        assert target.threshold(0.90) == pytest.approx(0.85)
+        assert target.threshold(0.99) == pytest.approx(0.891)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyTarget(max_relative_drop=-0.1)
+        with pytest.raises(ValueError):
+            AccuracyTarget(min_absolute=1.5)
+
+
+class TestEdenConfig:
+    def test_defaults_follow_paper(self):
+        config = EdenConfig()
+        assert config.ramp_every_epochs == 2
+        assert 10 <= config.retrain_epochs <= 15
+        assert config.bits == 32
+
+    def test_ber_grid_is_logarithmic_and_increasing(self):
+        grid = EdenConfig(ber_search_steps=5).ber_grid()
+        assert len(grid) == 5
+        assert all(b2 > b1 for b1, b2 in zip(grid, grid[1:]))
+        ratios = [b2 / b1 for b1, b2 in zip(grid, grid[1:])]
+        assert max(ratios) / min(ratios) < 1.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdenConfig(ramp_every_epochs=0)
+        with pytest.raises(ValueError):
+            EdenConfig(ber_search_low=0.1, ber_search_high=0.01)
+        with pytest.raises(ValueError):
+            EdenConfig(bits=12)
+        with pytest.raises(ValueError):
+            EdenConfig(fine_step_factor=1.0)
+        with pytest.raises(ValueError):
+            EdenConfig(fine_validation_fraction=0.0)
+
+
+class TestThresholdStore:
+    def test_observe_tracks_min_max_with_margin(self):
+        store = ThresholdStore(margin=2.0)
+        store.observe("w", np.array([-1.0, 3.0]))
+        low, high = store.bounds_for("w")
+        assert low == pytest.approx(1.0 - 4.0)   # center 1.0, half-width 2*2
+        assert high == pytest.approx(1.0 + 4.0)
+
+    def test_observe_merges_multiple_batches(self):
+        store = ThresholdStore(margin=1.0)
+        store.observe("w", np.array([0.0, 1.0]))
+        store.observe("w", np.array([-3.0, 0.5]))
+        low, high = store.bounds_for("w")
+        assert low == pytest.approx(-3.0)
+        assert high == pytest.approx(1.0)
+
+    def test_ignores_non_finite_observations(self):
+        store = ThresholdStore()
+        store.observe("w", np.array([np.nan, np.inf]))
+        assert store.bounds_for("w") is None
+
+    def test_unknown_tensor_has_no_bounds(self):
+        assert ThresholdStore().bounds_for("missing") is None
+
+    def test_from_network_covers_weights_and_ifms(self, lenet_trained):
+        network, dataset, _ = lenet_trained
+        store = ThresholdStore.from_network(network, dataset.train_x)
+        assert store.bounds_for("conv1.weight") is not None
+        assert store.bounds_for("conv1.ifm") is not None
+        # Weight bounds bracket the actual weights.
+        weights = network.named_parameters()["conv1.weight"].data
+        low, high = store.bounds_for("conv1.weight")
+        assert low <= weights.min() and high >= weights.max()
+
+    def test_from_network_does_not_leave_injector(self, lenet_trained):
+        network, dataset, _ = lenet_trained
+        ThresholdStore.from_network(network, dataset.train_x)
+        assert network.fault_injector is None
+
+
+class TestImplausibleValueCorrector:
+    def _store(self):
+        store = ThresholdStore(margin=1.0)
+        store.observe("w", np.array([-1.0, 1.0]))
+        return store
+
+    def test_zero_mode_zeroes_outliers(self):
+        corrector = ImplausibleValueCorrector(self._store(), CorrectionMode.ZERO)
+        values = np.array([0.5, 100.0, -np.inf, np.nan, -0.5], dtype=np.float32)
+        out = corrector(values, spec_of("w"))
+        np.testing.assert_allclose(out, [0.5, 0.0, 0.0, 0.0, -0.5])
+        assert corrector.stats["values_corrected"] == 3
+        assert corrector.correction_rate == pytest.approx(3 / 5)
+
+    def test_saturate_mode_clamps(self):
+        corrector = ImplausibleValueCorrector(self._store(), CorrectionMode.SATURATE)
+        values = np.array([0.5, 100.0, -100.0], dtype=np.float32)
+        out = corrector(values, spec_of("w"))
+        np.testing.assert_allclose(out, [0.5, 1.0, -1.0])
+
+    def test_off_mode_is_identity(self):
+        corrector = ImplausibleValueCorrector(self._store(), CorrectionMode.OFF)
+        values = np.array([1e9, np.nan], dtype=np.float32)
+        out = corrector(values, spec_of("w"))
+        assert out is values
+
+    def test_default_bound_used_for_unknown_tensors(self):
+        corrector = ImplausibleValueCorrector(ThresholdStore(), default_bound=10.0)
+        values = np.array([5.0, 50.0], dtype=np.float32)
+        out = corrector(values, spec_of("unknown"))
+        np.testing.assert_allclose(out, [5.0, 0.0])
+
+    def test_in_range_values_pass_through_unchanged(self):
+        corrector = ImplausibleValueCorrector(self._store())
+        values = np.array([0.1, -0.9, 0.99], dtype=np.float32)
+        out = corrector(values, spec_of("w"))
+        np.testing.assert_array_equal(out, values)
+        assert corrector.stats["values_corrected"] == 0
+
+    def test_reset_stats(self):
+        corrector = ImplausibleValueCorrector(self._store())
+        corrector(np.array([100.0], dtype=np.float32), spec_of("w"))
+        corrector.reset_stats()
+        assert corrector.stats == {"values_checked": 0, "values_corrected": 0}
+
+    def test_zeroing_preserves_accuracy_better_than_no_correction(self, lenet_clone):
+        """The paper's core observation: without bounding, FP32 exponent flips
+        collapse accuracy; with zeroing, the DNN keeps working."""
+        from repro.dram.error_models import make_error_model
+        from repro.dram.injection import BitErrorInjector
+        from repro.nn.metrics import evaluate
+
+        network, dataset, _ = lenet_clone
+        store = ThresholdStore.from_network(network, dataset.train_x)
+        model = make_error_model(0, 2e-3, seed=1)
+
+        network.set_fault_injector(BitErrorInjector(model, seed=3))
+        uncorrected = evaluate(network, dataset.val_x, dataset.val_y)
+        network.set_fault_injector(
+            BitErrorInjector(model, corrector=ImplausibleValueCorrector(store), seed=3)
+        )
+        corrected = evaluate(network, dataset.val_x, dataset.val_y)
+        network.set_fault_injector(None)
+        assert corrected > uncorrected + 0.1

@@ -1,0 +1,219 @@
+"""Tests for DNN-to-DRAM mapping (Algorithm 1), EDEN offloading and the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterization import CoarseCharacterization, FineCharacterization
+from repro.core.config import AccuracyTarget, EdenConfig
+from repro.core.mapping import (
+    coarse_grained_mapping,
+    fine_grained_mapping,
+    per_tensor_ber_from_mapping,
+)
+from repro.core.offload import (
+    build_offload_injector,
+    characterize_operating_points,
+    operating_point_grid,
+    profile_and_fit,
+    reductions_for_ber,
+)
+from repro.core.pipeline import Eden
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+from repro.dram.error_models import make_error_model
+from repro.dram.geometry import PartitionLevel
+from repro.dram.partitions import PartitionTable
+from repro.nn.tensor import DataKind, TensorSpec
+
+from tests.conftest import TEST_GEOMETRY
+
+
+def op(delta_vdd):
+    return DramOperatingPoint.from_reductions(delta_vdd=delta_vdd)
+
+
+def make_specs(sizes):
+    return [
+        TensorSpec(name=name, kind=DataKind.WEIGHT, shape=(size,), dtype_bits=8, layer_index=i)
+        for i, (name, size) in enumerate(sizes.items())
+    ]
+
+
+def make_fine(per_tensor_ber, sizes):
+    return FineCharacterization(
+        baseline_score=0.95, coarse_ber=min(per_tensor_ber.values()),
+        per_tensor_ber=dict(per_tensor_ber), specs=make_specs(sizes),
+    )
+
+
+def make_table(op_bers, num_partitions=4, size=10_000):
+    return PartitionTable.synthetic(num_partitions, size, op_bers, spread=0.0, seed=0)
+
+
+class TestCoarseMapping:
+    def test_picks_most_aggressive_tolerable_point(self):
+        coarse = CoarseCharacterization(baseline_score=0.95, max_tolerable_ber=1e-3,
+                                        accuracy_at_max=0.945)
+        table = make_table({op(0.05): 1e-7, op(0.20): 5e-4, op(0.35): 5e-2})
+        mapping = coarse_grained_mapping(coarse, table)
+        assert mapping is not None
+        assert mapping.op_point.vdd == pytest.approx(1.15)
+        assert mapping.delta_vdd == pytest.approx(0.20)
+        assert mapping.module_ber <= coarse.max_tolerable_ber
+        assert "ΔVDD" in mapping.describe()
+
+    def test_returns_none_when_nothing_is_tolerable(self):
+        coarse = CoarseCharacterization(0.95, 1e-9, 0.95)
+        table = make_table({op(0.20): 1e-3})
+        assert coarse_grained_mapping(coarse, table) is None
+        zero = CoarseCharacterization(0.95, 0.0, 0.95)
+        assert coarse_grained_mapping(zero, table) is None
+
+    def test_module_ber_is_worst_partition(self):
+        coarse = CoarseCharacterization(0.95, 1e-2, 0.945)
+        table = PartitionTable.synthetic(4, 1000, {op(0.25): 1e-3}, spread=0.5, seed=1)
+        mapping = coarse_grained_mapping(coarse, table)
+        worst = max(p.ber_by_op_point[op(0.25)] for p in table)
+        assert mapping.module_ber == pytest.approx(worst)
+
+
+class TestFineMapping:
+    def test_tolerant_data_lands_on_aggressive_partitions(self):
+        sizes = {"tolerant": 100, "fragile": 100}
+        fine = make_fine({"tolerant": 1e-1, "fragile": 1e-5}, sizes)
+        table = make_table({op(0.05): 1e-6, op(0.30): 1e-2})
+        mapping = fine_grained_mapping(fine, table)
+        assert not mapping.unmapped
+        assert mapping.op_point_of("tolerant").vdd < mapping.op_point_of("fragile").vdd
+
+    def test_capacity_limits_force_spill(self):
+        sizes = {"a": 900, "b": 900, "c": 900}
+        fine = make_fine({"a": 1e-2, "b": 1e-2, "c": 1e-2}, sizes)
+        table = make_table({op(0.30): 1e-3}, num_partitions=2, size=1000)
+        mapping = fine_grained_mapping(fine, table)
+        assert len(mapping.assignments) == 2
+        assert mapping.unmapped == ["c"] or len(mapping.unmapped) == 1
+
+    def test_partition_operating_point_is_consistent_for_cohabitants(self):
+        """Once a partition hosts data, later data joining it must accept the
+        already-chosen operating point (a partition has one voltage/latency)."""
+        sizes = {"tolerant": 100, "fragile": 100}
+        fine = make_fine({"tolerant": 1e-1, "fragile": 1e-6}, sizes)
+        table = make_table({op(0.05): 1e-7, op(0.30): 1e-2}, num_partitions=1, size=1000)
+        mapping = fine_grained_mapping(fine, table)
+        # Only one partition exists: the tolerant tensor claims it at the
+        # aggressive point; the fragile tensor cannot join and stays unmapped.
+        assert mapping.assignments.get("tolerant") == 0
+        assert "fragile" in mapping.unmapped
+
+    def test_per_tensor_ber_extraction(self):
+        sizes = {"a": 10, "b": 10}
+        fine = make_fine({"a": 1e-2, "b": 1e-2}, sizes)
+        table = make_table({op(0.25): 1e-3})
+        mapping = fine_grained_mapping(fine, table)
+        bers = per_tensor_ber_from_mapping(mapping)
+        assert set(bers) == {"a", "b"}
+        assert all(v == pytest.approx(1e-3) for v in bers.values())
+
+    def test_mapping_uses_multiple_partitions_for_mixed_tolerances(self):
+        sizes = {f"t{i}": 100 for i in range(6)}
+        per_tensor = {f"t{i}": (1e-1 if i % 2 == 0 else 1e-5) for i in range(6)}
+        fine = make_fine(per_tensor, sizes)
+        table = make_table({op(0.05): 1e-6, op(0.30): 1e-2}, num_partitions=6, size=250)
+        mapping = fine_grained_mapping(fine, table)
+        assert mapping.num_partitions_used >= 2
+        voltages = {mapping.op_point_of(f"t{i}").vdd for i in range(6) if f"t{i}" in mapping.assignments}
+        assert len(voltages) == 2
+
+
+class TestOffload:
+    def test_profile_and_fit_returns_plausible_model(self, device_vendor_a):
+        fitted = profile_and_fit(device_vendor_a, op(0.25), rows_to_profile=8, trials=4)
+        assert fitted.model.expected_ber() == pytest.approx(
+            device_vendor_a.expected_ber(op(0.25)), rel=0.5)
+
+    def test_build_offload_injector_includes_corrector(self, lenet_trained, rng):
+        network, dataset, _ = lenet_trained
+        injector = build_offload_injector(make_error_model(0, 1e-2, seed=0),
+                                          network, dataset.train_x, seed=0)
+        values = np.full(1000, 1e9, dtype=np.float32)
+        out = injector.apply(values, network.weight_specs()[0])
+        assert np.abs(out).max() < 1e9  # implausible values were corrected
+
+    def test_operating_point_grid_and_characterization(self, device_vendor_a):
+        grid = operating_point_grid(device_vendor_a, voltage_reductions=(0.0, 0.2),
+                                    trcd_reductions_ns=(0.0, 5.0))
+        assert len(grid) == 4
+        bers = characterize_operating_points(device_vendor_a, grid)
+        assert bers[grid[0]] == 0.0
+        assert max(bers.values()) > 0
+
+    def test_reductions_for_ber_monotone_in_tolerance(self, device_vendor_a):
+        small = reductions_for_ber(device_vendor_a, 1e-6)
+        large = reductions_for_ber(device_vendor_a, 5e-2)
+        assert large[0] >= small[0]
+        assert large[1] >= small[1]
+        assert reductions_for_ber(device_vendor_a, 0.0) == (0.0, 0.0)
+
+    def test_higher_tolerance_never_costs_more(self, device_vendor_a):
+        previous_cost = None
+        for ber in (1e-6, 1e-4, 1e-2):
+            dv, dt = reductions_for_ber(device_vendor_a, ber)
+            cost = ((device_vendor_a.nominal_vdd - dv) / device_vendor_a.nominal_vdd) ** 2 \
+                + (12.5 - dt) / 12.5
+            if previous_cost is not None:
+                assert cost <= previous_cost + 1e-9
+            previous_cost = cost
+
+
+class TestPipeline:
+    def test_full_flow_with_error_model(self, lenet_trained):
+        network, dataset, _ = lenet_trained
+        config = EdenConfig(retrain_epochs=4, evaluation_repeats=1,
+                            ber_search_steps=7, max_outer_iterations=1, seed=0)
+        eden = Eden(AccuracyTarget.within_one_percent(), config)
+        result = eden.run(network.clone(), dataset, make_error_model(0, 1e-3, seed=0))
+        assert result.coarse.max_tolerable_ber > 0
+        assert result.iterations == 1
+        assert result.boost is not None
+        assert len(result.history) >= 1
+        assert "max tolerable BER" in result.summary()
+
+    def test_flow_without_boosting(self, lenet_trained):
+        network, dataset, _ = lenet_trained
+        config = EdenConfig(retrain_epochs=4, evaluation_repeats=1,
+                            ber_search_steps=7, seed=0)
+        eden = Eden(config=config)
+        result = eden.run(network.clone(), dataset, make_error_model(0, 1e-3, seed=0),
+                          boost=False)
+        assert result.boost is None
+
+    def test_flow_against_device_produces_reductions(self, lenet_trained, device_vendor_a):
+        network, dataset, _ = lenet_trained
+        config = EdenConfig(retrain_epochs=0, evaluation_repeats=1,
+                            ber_search_steps=7, seed=0)
+        eden = Eden(config=config)
+        result = eden.run(network.clone(), dataset, device_vendor_a, boost=False)
+        assert result.delta_vdd > 0 or result.delta_trcd_ns > 0
+
+    def test_rejects_bad_error_source(self, lenet_trained):
+        network, dataset, _ = lenet_trained
+        with pytest.raises(TypeError):
+            Eden().run(network.clone(), dataset, error_source="not-a-model")
+
+    def test_fine_grained_flow_with_partition_table(self, lenet_trained, device_vendor_a):
+        network, dataset, _ = lenet_trained
+        config = EdenConfig(retrain_epochs=0, evaluation_repeats=1, ber_search_steps=7,
+                            fine_max_rounds=2, seed=0)
+        table = PartitionTable.from_device(
+            device_vendor_a,
+            [op(0.05), op(0.25), op(0.32)],
+            level=PartitionLevel.BANK, sample_bits=1 << 12,
+        )
+        eden = Eden(config=config)
+        result = eden.run(network.clone(), dataset, make_error_model(0, 1e-3, seed=0),
+                          device=device_vendor_a, partition_table=table,
+                          boost=False, fine_grained=True)
+        assert result.fine is not None
+        assert result.fine_mapping is not None
+        assert result.fine_mapping.assignments
+        assert result.coarse_mapping is None or result.coarse_mapping.module_ber >= 0

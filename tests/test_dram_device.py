@@ -1,0 +1,162 @@
+"""Tests for the behavioural approximate DRAM device and vendor profiles."""
+
+import numpy as np
+import pytest
+
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+from repro.dram.geometry import DramGeometry
+from repro.dram.vendors import VENDOR_PROFILES, VendorProfile, get_vendor
+
+from tests.conftest import TEST_GEOMETRY
+
+
+def op(delta_vdd=0.0, delta_trcd=0.0):
+    return DramOperatingPoint.from_reductions(delta_vdd=delta_vdd, delta_trcd_ns=delta_trcd)
+
+
+class TestVendorProfiles:
+    def test_three_vendors_registered(self):
+        assert set(VENDOR_PROFILES) == {"A", "B", "C"}
+        assert get_vendor("a").name == "A"
+        with pytest.raises(KeyError):
+            get_vendor("D")
+
+    def test_voltage_ber_grows_as_voltage_drops(self):
+        vendor = get_vendor("A")
+        bers = [vendor.voltage_ber(v) for v in (1.30, 1.20, 1.10, 1.05)]
+        assert all(b2 > b1 for b1, b2 in zip(bers, bers[1:]))
+        assert vendor.voltage_ber(1.35) == 0.0
+
+    def test_trcd_ber_grows_as_trcd_drops(self):
+        vendor = get_vendor("B")
+        bers = [vendor.trcd_ber(t) for t in (10.0, 7.5, 5.0, 2.5)]
+        assert all(b2 > b1 for b1, b2 in zip(bers, bers[1:]))
+        assert vendor.trcd_ber(12.5) == 0.0
+
+    def test_vendors_differ(self):
+        bers = {
+            name: (profile.voltage_ber(1.15), profile.trcd_ber(5.0))
+            for name, profile in VENDOR_PROFILES.items()
+        }
+        assert len(set(bers.values())) == 3
+
+    def test_flip_weights_preserve_mean_and_bias_direction(self):
+        vendor = get_vendor("A")
+        stored = np.array([True, False])
+        weights_v = vendor.flip_weight(stored, "voltage")
+        weights_t = vendor.flip_weight(stored, "trcd")
+        # Balanced pattern keeps the aggregate BER unchanged.
+        assert weights_v.mean() == pytest.approx(1.0)
+        assert weights_t.mean() == pytest.approx(1.0)
+        # Voltage reduction flips mostly 1s, tRCD reduction mostly 0s.
+        assert weights_v[0] > weights_v[1]
+        assert weights_t[0] < weights_t[1]
+        with pytest.raises(ValueError):
+            vendor.flip_weight(stored, "refresh")
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            VendorProfile("X", -12, 30, 2, 1, weak_cell_failure_probability=0.0)
+        with pytest.raises(ValueError):
+            VendorProfile("X", -12, 30, 2, 1, one_to_zero_bias_voltage=1.5)
+
+
+class TestOperatingPoint:
+    def test_nominal_point(self):
+        nominal = DramOperatingPoint.nominal()
+        assert nominal.vdd == 1.35 and nominal.trcd_ns == 12.5
+
+    def test_from_reductions(self):
+        point = op(delta_vdd=0.25, delta_trcd=5.5)
+        assert point.vdd == pytest.approx(1.10)
+        assert point.trcd_ns == pytest.approx(7.0)
+        assert "VDD=1.10V" in point.describe()
+
+    def test_hashable_for_dict_keys(self):
+        assert len({op(0.1), op(0.1), op(0.2)}) == 2
+
+
+class TestDeviceBer:
+    def test_zero_ber_at_nominal(self, device_vendor_a):
+        assert device_vendor_a.expected_ber(op()) == 0.0
+
+    def test_ber_monotonic_in_voltage_reduction(self, device_vendor_a):
+        bers = [device_vendor_a.expected_ber(op(delta_vdd=d)) for d in (0.1, 0.2, 0.3)]
+        assert bers[0] < bers[1] < bers[2]
+
+    def test_ber_monotonic_in_trcd_reduction(self, device_vendor_a):
+        bers = [device_vendor_a.expected_ber(op(delta_trcd=d)) for d in (2.5, 5.0, 7.5, 10.0)]
+        assert all(b2 > b1 for b1, b2 in zip(bers, bers[1:]))
+
+    def test_data_pattern_dependence(self, device_vendor_a):
+        """All-ones patterns fail more under voltage scaling; all-zeros under tRCD."""
+        voltage_point = op(delta_vdd=0.25)
+        assert device_vendor_a.expected_ber(voltage_point, ones_fraction=1.0) > \
+            device_vendor_a.expected_ber(voltage_point, ones_fraction=0.0)
+        trcd_point = op(delta_trcd=7.5)
+        assert device_vendor_a.expected_ber(trcd_point, ones_fraction=0.0) > \
+            device_vendor_a.expected_ber(trcd_point, ones_fraction=1.0)
+
+    def test_combined_reductions_accumulate(self, device_vendor_a):
+        combined = device_vendor_a.expected_ber(op(delta_vdd=0.25, delta_trcd=7.5))
+        voltage_only = device_vendor_a.expected_ber(op(delta_vdd=0.25))
+        trcd_only = device_vendor_a.expected_ber(op(delta_trcd=7.5))
+        assert combined == pytest.approx(voltage_only + trcd_only, rel=1e-6)
+
+
+class TestDeviceReads:
+    def test_read_matches_expected_ber(self, device_vendor_a, rng):
+        point = op(delta_vdd=0.28)
+        stored = rng.random(200_000) < 0.5
+        read = device_vendor_a.read_bits(stored, 0, point, rng=rng)
+        observed = float(np.mean(read != stored))
+        expected = device_vendor_a.expected_ber(point)
+        assert observed == pytest.approx(expected, rel=0.35)
+
+    def test_no_flips_at_nominal(self, device_vendor_a, rng):
+        stored = rng.random(10_000) < 0.5
+        read = device_vendor_a.read_bits(stored, 0, op(), rng=rng)
+        np.testing.assert_array_equal(read, stored)
+
+    def test_weak_cells_are_persistent_across_reads(self, device_vendor_a):
+        """The same cells fail across repeated reads (intrinsic manufacturing
+        variation), even though each access is stochastic."""
+        point = op(delta_vdd=0.30)
+        stored = np.ones(50_000, dtype=bool)
+        flips = np.zeros(stored.size, dtype=int)
+        for trial in range(6):
+            read = device_vendor_a.read_bits(stored, 0, point,
+                                             rng=np.random.default_rng(trial))
+            flips += (read != stored)
+        repeated = int((flips >= 2).sum())
+        single = int((flips == 1).sum())
+        # Failures concentrate on the weak-cell population rather than being
+        # spread uniformly over all cells.
+        assert repeated > single * 0.3
+
+    def test_different_seeds_give_different_weak_cells(self):
+        device_a = ApproximateDram("A", geometry=TEST_GEOMETRY, seed=1)
+        device_b = ApproximateDram("A", geometry=TEST_GEOMETRY, seed=2)
+        stored = np.ones(50_000, dtype=bool)
+        point = op(delta_vdd=0.30)
+        read_a = device_a.read_bits(stored, 0, point, rng=np.random.default_rng(0))
+        read_b = device_b.read_bits(stored, 0, point, rng=np.random.default_rng(0))
+        assert not np.array_equal(read_a, read_b)
+
+    def test_read_bounds_checked(self, device_vendor_a):
+        stored = np.ones(128, dtype=bool)
+        with pytest.raises(ValueError):
+            device_vendor_a.read_bits(stored, device_vendor_a.geometry.capacity_bits, op())
+        with pytest.raises(ValueError):
+            device_vendor_a.read_bits(stored, -1, op())
+
+    def test_partition_ber_varies_across_banks(self, device_vendor_a):
+        point = op(delta_vdd=0.30)
+        bers = [device_vendor_a.partition_ber(point, bank, sample_bits=1 << 13)
+                for bank in range(4)]
+        assert len(set(round(b, 9) for b in bers)) > 1
+        with pytest.raises(ValueError):
+            device_vendor_a.partition_ber(point, bank=999)
+
+    def test_describe_mentions_vendor(self, device_vendor_a):
+        assert "vendor=A" in device_vendor_a.describe()

@@ -1,0 +1,167 @@
+"""Tests for EDEN's four error models (paper Section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.error_models import (
+    BitlineErrorModel,
+    DataDependentErrorModel,
+    DramLayout,
+    ERROR_MODEL_CLASSES,
+    UniformErrorModel,
+    WordlineErrorModel,
+    make_error_model,
+)
+
+LAYOUT = DramLayout(row_size_bits=1024)
+
+
+def observed_ber(model, num_bits=200_000, ones_fraction=0.5, seed=0, layout=LAYOUT):
+    rng = np.random.default_rng(seed)
+    stored = rng.random(num_bits) < ones_fraction
+    mask = model.flip_mask(stored, layout, rng)
+    return float(mask.mean())
+
+
+class TestDramLayout:
+    def test_coordinates(self):
+        layout = DramLayout(row_size_bits=8, start_bit=4)
+        wordline, bitline = layout.coordinates(np.array([0, 3, 4, 11]))
+        np.testing.assert_array_equal(wordline, [0, 0, 1, 1])
+        np.testing.assert_array_equal(bitline, [4, 7, 0, 7])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramLayout(row_size_bits=0)
+        with pytest.raises(ValueError):
+            DramLayout(start_bit=-1)
+
+
+class TestExpectedAndObservedBer:
+    @pytest.mark.parametrize("model_id", [0, 1, 2, 3])
+    def test_observed_matches_expected(self, model_id):
+        model = make_error_model(model_id, 5e-3, seed=3)
+        assert model.expected_ber() == pytest.approx(5e-3, rel=0.05)
+        assert observed_ber(model) == pytest.approx(5e-3, rel=0.35)
+
+    @pytest.mark.parametrize("model_id", [0, 1, 2, 3])
+    def test_with_ber_rescales(self, model_id):
+        model = make_error_model(model_id, 1e-3, seed=1)
+        rescaled = model.with_ber(1e-2)
+        assert rescaled.expected_ber() == pytest.approx(1e-2, rel=0.05)
+        assert model.expected_ber() == pytest.approx(1e-3, rel=0.05)  # original untouched
+
+    @pytest.mark.parametrize("model_id", [0, 1, 2, 3])
+    def test_zero_ber_produces_no_flips(self, model_id):
+        model = make_error_model(model_id, 1e-3, seed=1).with_ber(0.0)
+        assert observed_ber(model, num_bits=50_000) == 0.0
+
+    def test_make_error_model_validation(self):
+        with pytest.raises(ValueError):
+            make_error_model(7, 1e-3)
+        with pytest.raises(ValueError):
+            make_error_model(0, -1e-3)
+
+    def test_registry_matches_paper_numbering(self):
+        assert ERROR_MODEL_CLASSES[0] is UniformErrorModel
+        assert ERROR_MODEL_CLASSES[1] is BitlineErrorModel
+        assert ERROR_MODEL_CLASSES[2] is WordlineErrorModel
+        assert ERROR_MODEL_CLASSES[3] is DataDependentErrorModel
+
+
+class TestUniformModel:
+    def test_parameters_reported(self):
+        model = UniformErrorModel(0.01, 0.5, seed=0)
+        assert model.parameters() == {"P": 0.01, "F": 0.5}
+        assert model.expected_ber() == pytest.approx(0.005)
+
+    def test_weak_cells_are_deterministic_per_seed(self):
+        model = UniformErrorModel(0.01, 1.0, seed=7)
+        stored = np.zeros(10_000, dtype=bool)
+        probs_a = model.flip_probabilities(stored, LAYOUT)
+        probs_b = model.flip_probabilities(stored, LAYOUT)
+        np.testing.assert_array_equal(probs_a, probs_b)
+        other = UniformErrorModel(0.01, 1.0, seed=8)
+        assert not np.array_equal(probs_a, other.flip_probabilities(stored, LAYOUT))
+
+    def test_with_ber_saturates_gracefully(self):
+        model = UniformErrorModel(0.01, 0.5, seed=0)
+        heavy = model.with_ber(0.6)   # would need P > 1 at F = 0.5
+        assert heavy.weak_cell_fraction <= 1.0
+        assert heavy.expected_ber() <= 0.6 + 1e-9
+
+
+class TestBitlineModel:
+    def test_flips_concentrate_on_weak_bitlines(self):
+        model = BitlineErrorModel(weak_bitline_fraction=0.05,
+                                  weak_cell_fraction_on_weak=0.8,
+                                  weak_cell_fraction_on_normal=0.0,
+                                  failure_probability=1.0, seed=0)
+        stored = np.zeros(64 * 1024, dtype=bool)
+        layout = DramLayout(row_size_bits=1024)
+        probs = model.flip_probabilities(stored, layout).reshape(64, 1024)
+        per_bitline = probs.mean(axis=0)
+        failing_bitlines = (per_bitline > 0.2).mean()
+        assert 0.01 < failing_bitlines < 0.15
+        # A weak bitline is weak in every row.
+        weak_columns = np.where(per_bitline > 0.2)[0]
+        assert (probs[:, weak_columns] > 0).mean() > 0.5
+
+    def test_expected_ber_mixes_groups(self):
+        model = BitlineErrorModel(0.1, 0.5, 0.01, 0.5, seed=0)
+        expected = (0.1 * 0.5 + 0.9 * 0.01) * 0.5
+        assert model.expected_ber() == pytest.approx(expected)
+
+
+class TestWordlineModel:
+    def test_flips_concentrate_on_weak_wordlines(self):
+        model = WordlineErrorModel(weak_wordline_fraction=0.1,
+                                   weak_cell_fraction_on_weak=0.8,
+                                   weak_cell_fraction_on_normal=0.0,
+                                   failure_probability=1.0, seed=0)
+        stored = np.zeros(64 * 1024, dtype=bool)
+        layout = DramLayout(row_size_bits=1024)
+        probs = model.flip_probabilities(stored, layout).reshape(64, 1024)
+        per_row = probs.mean(axis=1)
+        assert (per_row > 0.2).sum() >= 1
+        assert (per_row < 0.05).sum() > 40
+
+
+class TestDataDependentModel:
+    def test_ones_fail_more_when_biased(self):
+        model = DataDependentErrorModel(0.02, 0.9, 0.1, seed=0)
+        ones = observed_ber(model, ones_fraction=1.0, num_bits=300_000)
+        zeros = observed_ber(model, ones_fraction=0.0, num_bits=300_000)
+        assert ones > 3 * zeros
+
+    def test_expected_ber_accounts_for_pattern(self):
+        model = DataDependentErrorModel(0.02, 0.9, 0.1, seed=0)
+        assert model.expected_ber(1.0) == pytest.approx(0.018)
+        assert model.expected_ber(0.0) == pytest.approx(0.002)
+        assert model.expected_ber(0.5) == pytest.approx(0.01)
+
+    def test_with_ber_preserves_bias_ratio(self):
+        model = DataDependentErrorModel(0.02, 0.8, 0.2, seed=0)
+        rescaled = model.with_ber(5e-3)
+        ratio_before = model.failure_probability_one / model.failure_probability_zero
+        ratio_after = rescaled.failure_probability_one / rescaled.failure_probability_zero
+        assert ratio_after == pytest.approx(ratio_before, rel=1e-6)
+
+
+class TestProperties:
+    @given(st.sampled_from([0, 1, 2, 3]),
+           st.floats(min_value=1e-5, max_value=0.1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_with_ber_hits_target(self, model_id, target):
+        model = make_error_model(model_id, target, seed=0)
+        assert model.expected_ber() == pytest.approx(target, rel=0.1)
+
+    @given(st.floats(min_value=1e-4, max_value=0.1), st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_property_flip_probabilities_bounded(self, ber, model_id):
+        model = make_error_model(model_id, ber, seed=1)
+        stored = np.random.default_rng(0).random(4096) < 0.5
+        probs = model.flip_probabilities(stored, LAYOUT)
+        assert probs.shape == stored.shape
+        assert (probs >= 0.0).all() and (probs <= 1.0).all()

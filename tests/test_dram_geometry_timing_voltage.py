@@ -1,0 +1,140 @@
+"""Tests for DRAM geometry, timing parameters and the voltage domain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.geometry import DramGeometry, PartitionLevel
+from repro.dram.timing import NOMINAL_DDR4_TIMING, NOMINAL_LPDDR3_TIMING, TimingParameters
+from repro.dram.voltage import MIN_OPERATING_VDD, NOMINAL_VDD, VoltageDomain, voltage_sweep
+
+
+class TestGeometry:
+    def test_default_capacity_is_4gib(self):
+        geometry = DramGeometry()
+        assert geometry.capacity_bytes == 16 * 32 * 512 * 8192
+        assert geometry.num_banks == 16
+        assert geometry.num_subarrays == 16 * 32
+
+    def test_partition_enumeration_covers_capacity(self):
+        geometry = DramGeometry()
+        for level in PartitionLevel:
+            total = sum(size for _, size in geometry.partitions(level))
+            assert total == geometry.capacity_bytes
+
+    def test_partition_counts(self):
+        geometry = DramGeometry()
+        assert geometry.num_partitions(PartitionLevel.MODULE) == 1
+        assert geometry.num_partitions(PartitionLevel.BANK) == 16
+        assert geometry.num_partitions(PartitionLevel.SUBARRAY) == 512
+
+    def test_bit_address_decomposition(self):
+        geometry = DramGeometry(row_size_bytes=1024, subarrays_per_bank=2,
+                                rows_per_subarray=4, banks_per_rank=2)
+        row_bits = 1024 * 8
+        bank, subarray, row, column = geometry.decompose_bit_address(row_bits + 5)
+        assert (bank, subarray, row, column) == (0, 0, 1, 5)
+        bank_bits = geometry.bank_size_bytes * 8
+        bank, subarray, row, column = geometry.decompose_bit_address(bank_bits + 3)
+        assert bank == 1 and subarray == 0 and row == 0 and column == 3
+
+    def test_bit_address_out_of_range(self):
+        geometry = DramGeometry()
+        with pytest.raises(ValueError):
+            geometry.decompose_bit_address(geometry.capacity_bits)
+        with pytest.raises(ValueError):
+            geometry.decompose_bit_address(-1)
+
+    def test_metadata_bytes_scale_with_partitions(self):
+        geometry = DramGeometry()
+        assert geometry.metadata_bytes(PartitionLevel.BANK) < \
+            geometry.metadata_bytes(PartitionLevel.SUBARRAY)
+        # The paper's 32B estimate for per-bank voltage steps on a 16/32-bank chip.
+        assert geometry.metadata_bytes(PartitionLevel.BANK, bits_per_partition=8) <= 32
+
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            DramGeometry(banks_per_rank=0)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=50, deadline=None)
+    def test_property_decomposition_roundtrip(self, bit_address):
+        geometry = DramGeometry(row_size_bytes=256, subarrays_per_bank=4,
+                                rows_per_subarray=8, banks_per_rank=4)
+        bit_address = bit_address % geometry.capacity_bits
+        bank, subarray, row, column = geometry.decompose_bit_address(bit_address)
+        reconstructed = (
+            bank * geometry.bank_size_bytes * 8
+            + (subarray * geometry.rows_per_subarray + row) * geometry.row_size_bits
+            + column
+        )
+        assert reconstructed == bit_address
+        assert 0 <= bank < geometry.num_banks
+        assert 0 <= column < geometry.row_size_bits
+
+
+class TestTiming:
+    def test_nominal_values_match_paper(self):
+        assert NOMINAL_DDR4_TIMING.trcd_ns == 12.5
+        assert NOMINAL_DDR4_TIMING.tras_ns == 32.0
+        assert NOMINAL_DDR4_TIMING.trp_ns == 12.5
+        assert NOMINAL_DDR4_TIMING.cl_ns == 12.5
+
+    def test_derived_latencies(self):
+        timing = NOMINAL_DDR4_TIMING
+        assert timing.row_miss_latency_ns == 25.0
+        assert timing.row_hit_latency_ns == 12.5
+        assert timing.row_cycle_ns == 44.5
+
+    def test_trcd_reduction(self):
+        reduced = NOMINAL_DDR4_TIMING.with_reduced_trcd(5.5)
+        assert reduced.trcd_ns == 7.0
+        assert reduced.trcd_reduction_vs(NOMINAL_DDR4_TIMING) == 5.5
+        with pytest.raises(ValueError):
+            NOMINAL_DDR4_TIMING.with_reduced_trcd(12.5)
+        with pytest.raises(ValueError):
+            NOMINAL_DDR4_TIMING.with_reduced_trcd(-1.0)
+
+    def test_trp_reduction_and_scaled(self):
+        reduced = NOMINAL_DDR4_TIMING.with_reduced_trp(2.5)
+        assert reduced.trp_ns == 10.0
+        scaled = NOMINAL_DDR4_TIMING.scaled(trcd_ns=6.0)
+        assert scaled.trcd_ns == 6.0 and scaled.trp_ns == 12.5
+
+    def test_lpddr3_is_slower(self):
+        assert NOMINAL_LPDDR3_TIMING.trcd_ns > NOMINAL_DDR4_TIMING.trcd_ns
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TimingParameters(trcd_ns=0.0)
+
+
+class TestVoltage:
+    def test_nominal_matches_paper(self):
+        assert NOMINAL_VDD == 1.35
+
+    def test_dynamic_energy_scales_quadratically(self):
+        domain = VoltageDomain(vdd=1.05, nominal_vdd=1.35)
+        assert domain.dynamic_energy_scale == pytest.approx((1.05 / 1.35) ** 2)
+        assert domain.static_power_scale == pytest.approx(1.05 / 1.35)
+        assert domain.reduction_volts == pytest.approx(0.30)
+
+    def test_reduced_by_and_limits(self):
+        domain = VoltageDomain()
+        lower = domain.reduced_by(0.25)
+        assert lower.vdd == pytest.approx(1.10)
+        with pytest.raises(ValueError):
+            domain.reduced_by(-0.1)
+        with pytest.raises(ValueError):
+            domain.reduced_by(NOMINAL_VDD - MIN_OPERATING_VDD + 0.1)
+
+    def test_cannot_exceed_nominal(self):
+        with pytest.raises(ValueError):
+            VoltageDomain(vdd=1.5, nominal_vdd=1.35)
+
+    def test_voltage_sweep_descends_inclusively(self):
+        sweep = voltage_sweep(1.35, 1.05, 0.1)
+        assert sweep[0] == 1.35 and sweep[-1] == pytest.approx(1.05)
+        assert all(a > b for a, b in zip(sweep, sweep[1:]))
+        with pytest.raises(ValueError):
+            voltage_sweep(step=0)

@@ -1,0 +1,166 @@
+"""Tests for SoftMC-style profiling and MLE model fitting / selection."""
+
+import numpy as np
+import pytest
+
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+from repro.dram.fitting import (
+    fit_bitline,
+    fit_data_dependent,
+    fit_error_models,
+    fit_uniform,
+    fit_wordline,
+    log_likelihood,
+    select_error_model,
+)
+from repro.dram.profiler import DEFAULT_PATTERNS, SoftMCProfiler, pattern_bits
+from repro.dram.vendors import VendorProfile
+
+from tests.conftest import TEST_GEOMETRY
+
+OP = DramOperatingPoint.from_reductions(delta_vdd=0.25)
+
+
+@pytest.fixture(scope="module")
+def profile_vendor_a():
+    device = ApproximateDram("A", geometry=TEST_GEOMETRY, seed=1)
+    profiler = SoftMCProfiler(device, rows_to_profile=16, trials=5, seed=0)
+    return device, profiler.profile(OP)
+
+
+class TestPatternBits:
+    def test_expansion(self):
+        np.testing.assert_array_equal(
+            pattern_bits(0xAA, 8), [1, 0, 1, 0, 1, 0, 1, 0])
+        assert pattern_bits(0xFF, 12).all()
+        assert not pattern_bits(0x00, 12).any()
+        assert pattern_bits(0xCC, 16).sum() == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pattern_bits(300, 8)
+
+
+class TestProfiler:
+    def test_profile_structure(self, profile_vendor_a):
+        _, profile = profile_vendor_a
+        assert len(profile.observations) == len(DEFAULT_PATTERNS)
+        assert profile.num_bits == 16 * TEST_GEOMETRY.row_size_bits
+        assert profile.trials == 5
+        assert profile.total_accesses_per_bit == 5 * 4
+
+    def test_profiled_ber_matches_device(self, profile_vendor_a):
+        device, profile = profile_vendor_a
+        assert profile.overall_ber() == pytest.approx(device.expected_ber(OP), rel=0.4)
+
+    def test_pattern_dependence_visible(self, profile_vendor_a):
+        _, profile = profile_vendor_a
+        # Voltage reduction mostly flips stored 1s -> all-ones pattern fails more.
+        assert profile.ber_for_pattern(0xFF) > profile.ber_for_pattern(0x00)
+        ber_one, ber_zero = profile.ber_by_stored_value()
+        assert ber_one > ber_zero
+
+    def test_unknown_pattern_raises(self, profile_vendor_a):
+        _, profile = profile_vendor_a
+        with pytest.raises(KeyError):
+            profile.ber_for_pattern(0x12)
+
+    def test_per_bitline_and_wordline_rates_shapes(self, profile_vendor_a):
+        _, profile = profile_vendor_a
+        assert profile.per_bitline_flip_rate().shape == (TEST_GEOMETRY.row_size_bits,)
+        assert profile.per_wordline_flip_rate().shape == (16,)
+        assert profile.per_bitline_row_support().max() <= 16
+
+    def test_no_errors_at_nominal(self):
+        device = ApproximateDram("A", geometry=TEST_GEOMETRY, seed=1)
+        profiler = SoftMCProfiler(device, rows_to_profile=2, trials=2)
+        profile = profiler.profile(DramOperatingPoint.nominal())
+        assert profile.overall_ber() == 0.0
+        assert not profile.weak_cell_mask().any()
+
+    def test_sweeps_return_monotone_ber(self):
+        device = ApproximateDram("A", geometry=TEST_GEOMETRY, seed=1)
+        profiler = SoftMCProfiler(device, rows_to_profile=4, trials=3)
+        voltage_results = profiler.sweep_voltage([1.25, 1.15, 1.05])
+        bers = [voltage_results[v].overall_ber() for v in (1.25, 1.15, 1.05)]
+        assert bers[0] <= bers[1] <= bers[2]
+        trcd_results = profiler.sweep_trcd([10.0, 5.0, 2.5])
+        bers = [trcd_results[t].overall_ber() for t in (10.0, 5.0, 2.5)]
+        assert bers[0] <= bers[1] <= bers[2]
+
+    def test_profiler_validation(self):
+        device = ApproximateDram("A", geometry=TEST_GEOMETRY, seed=1)
+        with pytest.raises(ValueError):
+            SoftMCProfiler(device, rows_to_profile=0)
+        with pytest.raises(ValueError):
+            SoftMCProfiler(device, trials=0)
+        with pytest.raises(ValueError):
+            SoftMCProfiler(device, bank=99)
+
+
+class TestFitting:
+    def test_uniform_fit_recovers_overall_ber(self, profile_vendor_a):
+        device, profile = profile_vendor_a
+        model = fit_uniform(profile)
+        assert model.expected_ber() == pytest.approx(profile.overall_ber(), rel=0.2)
+
+    def test_data_dependent_fit_recovers_bias(self, profile_vendor_a):
+        _, profile = profile_vendor_a
+        model = fit_data_dependent(profile)
+        assert model.failure_probability_one > model.failure_probability_zero
+
+    def test_fit_all_returns_four_models(self, profile_vendor_a):
+        _, profile = profile_vendor_a
+        fitted = fit_error_models(profile)
+        assert [fm.model_id for fm in fitted] == [0, 1, 2, 3]
+        assert all(np.isfinite(fm.log_likelihood) for fm in fitted)
+
+    def test_empty_profile_fits_degenerate_models(self):
+        device = ApproximateDram("A", geometry=TEST_GEOMETRY, seed=1)
+        profile = SoftMCProfiler(device, rows_to_profile=2, trials=2).profile(
+            DramOperatingPoint.nominal())
+        assert fit_uniform(profile).expected_ber() == 0.0
+        assert fit_bitline(profile).expected_ber() == 0.0
+        assert fit_wordline(profile).expected_ber() == 0.0
+        assert fit_data_dependent(profile).expected_ber() == 0.0
+
+
+class TestModelSelection:
+    def test_bitline_structured_device_selects_model1(self):
+        vendor = VendorProfile(
+            name="BL", voltage_intercept=-12.0, voltage_slope=36.0,
+            trcd_intercept=2.0, trcd_slope=1.1,
+            bitline_variation=2.5, wordline_variation=0.05,
+        )
+        device = ApproximateDram(vendor, geometry=TEST_GEOMETRY, seed=2)
+        profile = SoftMCProfiler(device, rows_to_profile=32, trials=6, seed=0).profile(OP)
+        assert select_error_model(profile).model_id == 1
+
+    def test_data_dependent_device_selects_model3(self):
+        vendor = VendorProfile(
+            name="DD", voltage_intercept=-12.0, voltage_slope=36.0,
+            trcd_intercept=2.0, trcd_slope=1.1,
+            bitline_variation=0.01, wordline_variation=0.01,
+            one_to_zero_bias_voltage=0.97,
+        )
+        device = ApproximateDram(vendor, geometry=TEST_GEOMETRY, seed=3)
+        profile = SoftMCProfiler(device, rows_to_profile=32, trials=6, seed=0).profile(OP)
+        assert select_error_model(profile).model_id == 3
+
+    def test_unstructured_device_prefers_model0(self):
+        vendor = VendorProfile(
+            name="U", voltage_intercept=-12.0, voltage_slope=36.0,
+            trcd_intercept=2.0, trcd_slope=1.1,
+            bitline_variation=0.01, wordline_variation=0.01,
+            one_to_zero_bias_voltage=0.55,
+        )
+        device = ApproximateDram(vendor, geometry=TEST_GEOMETRY, seed=4)
+        profile = SoftMCProfiler(device, rows_to_profile=32, trials=6, seed=0).profile(OP)
+        assert select_error_model(profile).model_id == 0
+
+    def test_selected_model_scores_at_least_as_well_as_model0(self, profile_vendor_a):
+        _, profile = profile_vendor_a
+        fitted = fit_error_models(profile)
+        selected = select_error_model(profile)
+        model0 = next(fm for fm in fitted if fm.model_id == 0)
+        assert selected.log_likelihood >= model0.log_likelihood - abs(model0.log_likelihood)

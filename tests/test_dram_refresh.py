@@ -1,0 +1,61 @@
+"""Tests for the refresh-rate reduction extension (paper Section 2.3 / conclusion)."""
+
+import pytest
+
+from repro.dram.refresh import (
+    RefreshPolicy,
+    STANDARD_REFRESH_INTERVAL_MS,
+    STANDARD_REFRESH_OVERHEAD,
+    max_interval_for_ber,
+)
+
+
+class TestRefreshPolicy:
+    def test_standard_interval_has_negligible_ber_and_unity_scales(self):
+        policy = RefreshPolicy()
+        assert policy.retention_ber() == 0.0
+        assert policy.refresh_energy_scale() == pytest.approx(1.0)
+        assert policy.refresh_overhead() == pytest.approx(STANDARD_REFRESH_OVERHEAD)
+        assert policy.throughput_gain() == pytest.approx(1.0)
+
+    def test_ber_grows_with_interval(self):
+        bers = [RefreshPolicy(STANDARD_REFRESH_INTERVAL_MS * m).retention_ber()
+                for m in (2, 4, 8, 16)]
+        assert all(b2 > b1 for b1, b2 in zip(bers, bers[1:]))
+        assert bers[0] > 0.0
+        assert bers[-1] <= 0.5
+
+    def test_energy_scale_inversely_proportional_to_interval(self):
+        policy = RefreshPolicy(STANDARD_REFRESH_INTERVAL_MS * 4)
+        assert policy.refresh_energy_scale() == pytest.approx(0.25)
+        assert policy.refresh_overhead() == pytest.approx(STANDARD_REFRESH_OVERHEAD / 4)
+
+    def test_throughput_gain_bounded_by_refresh_overhead(self):
+        policy = RefreshPolicy(STANDARD_REFRESH_INTERVAL_MS * 64)
+        gain = policy.throughput_gain()
+        assert 1.0 < gain < 1.0 / (1.0 - STANDARD_REFRESH_OVERHEAD) + 1e-9
+
+    def test_shorter_than_standard_interval_rejected(self):
+        with pytest.raises(ValueError):
+            RefreshPolicy(interval_ms=32.0)
+
+
+class TestMaxIntervalForBer:
+    def test_zero_tolerance_keeps_standard_interval(self):
+        policy = max_interval_for_ber(0.0)
+        assert policy.interval_ms == STANDARD_REFRESH_INTERVAL_MS
+
+    def test_interval_grows_with_tolerance(self):
+        small = max_interval_for_ber(1e-8)
+        large = max_interval_for_ber(1e-3)
+        assert large.interval_ms >= small.interval_ms
+        assert large.interval_ms > STANDARD_REFRESH_INTERVAL_MS
+
+    def test_selected_interval_meets_the_bound(self):
+        for tolerable in (1e-7, 1e-5, 1e-3):
+            policy = max_interval_for_ber(tolerable)
+            assert policy.retention_ber() <= tolerable
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            max_interval_for_ber(-1e-3)

@@ -1,0 +1,151 @@
+"""Unit tests for the command-level SoftMC host interface (repro.dram.softmc)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.device import ApproximateDram
+from repro.dram.softmc import (
+    BUS_CLOCK_NS,
+    Instruction,
+    Opcode,
+    SoftMCHost,
+    SoftMCProgram,
+    act,
+    build_reduced_trcd_program,
+    characterize_inverted_rows,
+    pre,
+    read_row,
+    wait,
+    write_row,
+)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return ApproximateDram(vendor="A", seed=3)
+
+
+class TestInstructions:
+    def test_helpers_build_expected_opcodes(self):
+        assert act(0, 5).opcode is Opcode.ACT
+        assert write_row(0, 5, 0xAA).opcode is Opcode.WRITE_ROW
+        assert read_row(0, 5).opcode is Opcode.READ_ROW
+        assert pre(0).opcode is Opcode.PRE
+        assert wait(4).opcode is Opcode.WAIT
+
+    def test_invalid_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ACT, bank=-1)
+        with pytest.raises(ValueError):
+            wait(0)
+        with pytest.raises(ValueError):
+            write_row(0, 0, 0x1FF)
+
+    def test_program_validation_requires_act_before_read(self):
+        program = SoftMCProgram([write_row(0, 0, 0xFF), read_row(0, 0)])
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_program_validation_rejects_double_act(self):
+        program = SoftMCProgram([act(0, 0), act(0, 1)])
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_program_validation_accepts_canonical_sequence(self):
+        program = SoftMCProgram([write_row(0, 0, 0xFF), act(0, 0), wait(10),
+                                 read_row(0, 0), pre(0)])
+        program.validate()
+        assert len(program) == 5
+
+
+class TestSoftMCHost:
+    def test_read_before_write_raises(self, device):
+        host = SoftMCHost(device)
+        program = SoftMCProgram([act(0, 0), wait(10), read_row(0, 0), pre(0)])
+        with pytest.raises(ValueError):
+            host.execute(program)
+
+    def test_nominal_wait_reads_back_clean(self, device):
+        host = SoftMCHost(device)
+        nominal_cycles = int(np.ceil(device.nominal_timing.trcd_ns / BUS_CLOCK_NS))
+        program = build_reduced_trcd_program(0, rows=[0, 1], pattern=0xAA,
+                                             trcd_cycles=nominal_cycles)
+        results = host.execute(program)
+        assert len(results) == 2
+        assert all(result.effective_trcd_ns == pytest.approx(
+            device.nominal_timing.trcd_ns) for result in results)
+        assert sum(result.num_flips for result in results) == 0
+
+    def test_reduced_wait_lowers_effective_trcd_and_flips_bits(self, device):
+        host = SoftMCHost(device, seed=1)
+        program = build_reduced_trcd_program(0, rows=[0, 1, 2, 3], pattern=0xAA,
+                                             trcd_cycles=2)
+        results = host.execute(program)
+        assert all(result.effective_trcd_ns < device.nominal_timing.trcd_ns
+                   for result in results)
+        assert sum(result.num_flips for result in results) > 0
+
+    def test_reduced_voltage_flips_bits_even_at_nominal_trcd(self, device):
+        host = SoftMCHost(device, vdd=1.05, seed=2)
+        nominal_cycles = int(np.ceil(device.nominal_timing.trcd_ns / BUS_CLOCK_NS))
+        program = build_reduced_trcd_program(0, rows=[0, 1, 2, 3], pattern=0xAA,
+                                             trcd_cycles=nominal_cycles)
+        results = host.execute(program)
+        assert sum(result.num_flips for result in results) > 0
+
+    def test_ber_monotone_in_trcd_reduction(self, device):
+        def total_ber(cycles):
+            host = SoftMCHost(device, seed=5)
+            program = build_reduced_trcd_program(0, rows=list(range(4)), pattern=0xCC,
+                                                 trcd_cycles=cycles)
+            results = host.execute(program)
+            return np.mean([result.ber for result in results])
+
+        assert total_ber(2) >= total_ber(6) >= total_ber(10)
+
+    def test_stored_row_contents_tracked(self, device):
+        host = SoftMCHost(device)
+        host.execute(SoftMCProgram([write_row(1, 7, 0xFF)]))
+        stored = host.stored_row(1, 7)
+        assert stored is not None
+        assert stored.all()
+        assert host.stored_row(1, 8) is None
+
+    def test_out_of_range_row_rejected(self, device):
+        host = SoftMCHost(device)
+        rows = device.geometry.rows_per_bank
+        program = SoftMCProgram([write_row(0, rows, 0xFF), act(0, rows), wait(5),
+                                 read_row(0, rows), pre(0)])
+        with pytest.raises(ValueError):
+            host.execute(program)
+
+    def test_invalid_host_parameters(self, device):
+        with pytest.raises(ValueError):
+            SoftMCHost(device, bus_clock_ns=0.0)
+        with pytest.raises(ValueError):
+            build_reduced_trcd_program(0, rows=[0], pattern=0xFF, trcd_cycles=0)
+
+    def test_results_are_reproducible_for_same_seed(self, device):
+        def run():
+            host = SoftMCHost(device, seed=11)
+            program = build_reduced_trcd_program(0, rows=[0, 1], pattern=0x00,
+                                                 trcd_cycles=3)
+            return [result.num_flips for result in host.execute(program)]
+
+        assert run() == run()
+
+
+class TestInvertedRowCharacterization:
+    def test_returns_one_ber_per_pattern(self, device):
+        bers = characterize_inverted_rows(device, vdd=1.10, trcd_ns=5.0, row_pairs=2)
+        assert set(bers) == {0xFF, 0xCC, 0xAA, 0x00}
+        assert all(0.0 <= value <= 1.0 for value in bers.values())
+
+    def test_reduced_parameters_increase_ber(self, device):
+        aggressive = characterize_inverted_rows(device, vdd=1.05, trcd_ns=2.5, row_pairs=2)
+        gentle = characterize_inverted_rows(device, vdd=1.30, trcd_ns=11.0, row_pairs=2)
+        assert np.mean(list(aggressive.values())) > np.mean(list(gentle.values()))
+
+    def test_invalid_row_pairs(self, device):
+        with pytest.raises(ValueError):
+            characterize_inverted_rows(device, vdd=1.2, trcd_ns=5.0, row_pairs=0)

@@ -1,0 +1,271 @@
+"""Unit tests for the bank/rank state machines and the request schedulers."""
+
+import pytest
+
+from repro.memsys.bank import BankState, RankState
+from repro.memsys.commands import Command, CommandType
+from repro.memsys.ddr4 import speed_bin
+from repro.memsys.request import AddressMapper, AddressMapperConfig, MemoryRequest, RequestType
+from repro.memsys.scheduler import SchedulingPolicy, choose, next_command_for
+
+
+@pytest.fixture
+def timing():
+    return speed_bin("DDR4-2133")
+
+
+@pytest.fixture
+def rank(timing):
+    return RankState(timing)
+
+
+def _act(rank, cycle, flat_bank=0, row=7):
+    bank = rank.banks[flat_bank]
+    rank.issue(Command(cycle=cycle, type=CommandType.ACT, bank_group=bank.bank_group,
+                       bank=bank.bank, row=row))
+
+
+def _cmd(rank, cycle, command_type, flat_bank=0, row=0):
+    bank = rank.banks[flat_bank]
+    rank.issue(Command(cycle=cycle, type=command_type, bank_group=bank.bank_group,
+                       bank=bank.bank, row=row))
+
+
+class TestBankState:
+    def test_initial_state_closed(self, timing):
+        bank = BankState(timing=timing)
+        assert not bank.is_open
+        assert bank.earliest(CommandType.ACT) == 0
+
+    def test_act_opens_row_and_sets_column_ready(self, timing):
+        bank = BankState(timing=timing)
+        bank.issue_act(10, row=42)
+        assert bank.is_open and bank.row_hit(42)
+        assert bank.earliest(CommandType.RD) == 10 + timing.trcd
+        assert bank.earliest(CommandType.PRE) == 10 + timing.tras
+        assert bank.earliest(CommandType.ACT) == 10 + timing.trc
+
+    def test_read_before_trcd_raises(self, timing):
+        bank = BankState(timing=timing)
+        bank.issue_act(0, row=1)
+        with pytest.raises(RuntimeError):
+            bank.issue_read(timing.trcd - 1)
+
+    def test_read_at_trcd_is_legal(self, timing):
+        bank = BankState(timing=timing)
+        bank.issue_act(0, row=1)
+        bank.issue_read(timing.trcd)       # should not raise
+
+    def test_reduced_trcd_allows_earlier_read(self, timing):
+        reduced = timing.with_reduced_trcd(5.5)
+        bank = BankState(timing=reduced)
+        bank.issue_act(0, row=1)
+        bank.issue_read(reduced.trcd)      # earlier than nominal tRCD, still legal
+        assert reduced.trcd < timing.trcd
+
+    def test_precharge_before_tras_raises(self, timing):
+        bank = BankState(timing=timing)
+        bank.issue_act(0, row=1)
+        with pytest.raises(RuntimeError):
+            bank.issue_pre(timing.tras - 1)
+
+    def test_precharge_closes_row_and_blocks_act_until_trp(self, timing):
+        bank = BankState(timing=timing)
+        bank.issue_act(0, row=1)
+        bank.issue_pre(timing.tras)
+        assert not bank.is_open
+        assert bank.earliest(CommandType.ACT) == timing.tras + timing.trp
+
+    def test_act_on_open_bank_raises(self, timing):
+        bank = BankState(timing=timing)
+        bank.issue_act(0, row=1)
+        with pytest.raises(RuntimeError):
+            bank.issue_act(timing.trc, row=2)
+
+    def test_column_on_closed_bank_raises(self, timing):
+        bank = BankState(timing=timing)
+        with pytest.raises(RuntimeError):
+            bank.issue_read(100)
+
+    def test_pre_on_closed_bank_raises(self, timing):
+        bank = BankState(timing=timing)
+        with pytest.raises(RuntimeError):
+            bank.issue_pre(100)
+
+    def test_write_extends_precharge_ready_by_write_recovery(self, timing):
+        bank = BankState(timing=timing)
+        bank.issue_act(0, row=1)
+        cycle = timing.trcd
+        bank.issue_write(cycle)
+        expected = cycle + timing.cwl + timing.burst_cycles + timing.twr
+        assert bank.earliest(CommandType.PRE) >= expected
+
+    def test_act_after_trc_on_same_bank(self, timing):
+        bank = BankState(timing=timing)
+        bank.issue_act(0, row=1)
+        bank.issue_pre(timing.tras)
+        bank.issue_act(timing.trc, row=2)  # legal: tRC and tRP both satisfied
+        assert bank.row_hit(2)
+
+
+class TestRankState:
+    def test_trrd_spacing_between_activates(self, rank, timing):
+        _act(rank, 0, flat_bank=0)
+        earliest = rank.earliest(CommandType.ACT, 8)   # different bank group
+        assert earliest >= timing.trrd_s
+
+    def test_same_group_uses_long_trrd(self, rank, timing):
+        _act(rank, 0, flat_bank=0)
+        same_group = rank.earliest(CommandType.ACT, 1)
+        other_group = rank.earliest(CommandType.ACT, 8)
+        assert same_group >= other_group
+        assert same_group >= timing.trrd_l
+
+    def test_tfaw_limits_fifth_activate(self, rank, timing):
+        cycle = 0
+        for flat_bank in (0, 4, 8, 12):
+            cycle = max(cycle, rank.earliest(CommandType.ACT, flat_bank))
+            _act(rank, cycle, flat_bank=flat_bank)
+            cycle += timing.trrd_s
+        fifth = rank.earliest(CommandType.ACT, 2)
+        first_act_cycle = 0
+        assert fifth >= first_act_cycle + timing.tfaw
+
+    def test_column_commands_separated_by_tccd(self, rank, timing):
+        _act(rank, 0, flat_bank=0)
+        _act(rank, timing.trrd_l, flat_bank=1)
+        read_cycle = max(rank.earliest(CommandType.RD, 0), timing.trcd)
+        _cmd(rank, read_cycle, CommandType.RD, flat_bank=0)
+        next_read = rank.earliest(CommandType.RD, 1)
+        assert next_read >= read_cycle + timing.tccd_s
+
+    def test_write_to_read_turnaround(self, rank, timing):
+        _act(rank, 0, flat_bank=0)
+        write_cycle = rank.earliest(CommandType.WR, 0)
+        _cmd(rank, write_cycle, CommandType.WR, flat_bank=0)
+        read_ready = rank.earliest(CommandType.RD, 0)
+        assert read_ready >= write_cycle + timing.cwl + timing.burst_cycles + timing.twtr
+
+    def test_refresh_requires_all_banks_closed(self, rank, timing):
+        _act(rank, 0, flat_bank=0)
+        assert rank.earliest_refresh() is None
+        pre_cycle = rank.banks[0].pre_ready
+        _cmd(rank, pre_cycle, CommandType.PRE, flat_bank=0)
+        assert rank.earliest_refresh() is not None
+
+    def test_refresh_blocks_activates_for_trfc(self, rank, timing):
+        rank.issue(Command(cycle=100, type=CommandType.REF))
+        assert rank.earliest(CommandType.ACT, 0) >= 100 + timing.trfc
+        assert rank.refresh_count == 1
+
+    def test_refresh_with_open_bank_raises(self, rank):
+        _act(rank, 0, flat_bank=3)
+        with pytest.raises(RuntimeError):
+            rank.issue(Command(cycle=50, type=CommandType.REF))
+
+    def test_refresh_due_schedule(self, timing):
+        rank = RankState(timing, refresh_enabled=True)
+        assert not rank.refresh_due(0)
+        assert rank.refresh_due(timing.trefi)
+        disabled = RankState(timing, refresh_enabled=False)
+        assert not disabled.refresh_due(10 * timing.trefi)
+
+    def test_open_bank_count(self, rank):
+        assert rank.open_bank_count == 0
+        _act(rank, 0, flat_bank=0)
+        _act(rank, 100, flat_bank=8)
+        assert rank.open_bank_count == 2
+
+
+class TestScheduler:
+    def _request(self, mapper, address, is_write=False, arrival=0):
+        request = MemoryRequest(
+            address=address,
+            type=RequestType.WRITE if is_write else RequestType.READ,
+            arrival_cycle=arrival,
+        )
+        mapper.attach(request)
+        return request
+
+    @pytest.fixture
+    def mapper(self):
+        return AddressMapper(AddressMapperConfig(channels=1))
+
+    def test_next_command_closed_bank_is_act(self, mapper, timing):
+        rank = RankState(timing)
+        request = self._request(mapper, 0)
+        decision = next_command_for(request, rank)
+        assert decision.command_type is CommandType.ACT
+        assert not decision.is_row_hit
+
+    def test_next_command_open_row_is_column(self, mapper, timing):
+        rank = RankState(timing)
+        request = self._request(mapper, 0)
+        coords = request.coordinates
+        rank.issue(Command(cycle=0, type=CommandType.ACT, bank_group=coords.bank_group,
+                           bank=coords.bank, row=coords.row))
+        decision = next_command_for(request, rank)
+        assert decision.command_type is CommandType.RD
+        assert decision.is_row_hit
+        assert decision.earliest_cycle >= timing.trcd
+
+    def test_next_command_conflicting_row_is_pre(self, mapper, timing):
+        rank = RankState(timing)
+        request = self._request(mapper, 0)
+        coords = request.coordinates
+        rank.issue(Command(cycle=0, type=CommandType.ACT, bank_group=coords.bank_group,
+                           bank=coords.bank, row=coords.row + 1))
+        decision = next_command_for(request, rank)
+        assert decision.command_type is CommandType.PRE
+
+    def test_write_request_maps_to_wr(self, mapper, timing):
+        rank = RankState(timing)
+        request = self._request(mapper, 0, is_write=True)
+        coords = request.coordinates
+        rank.issue(Command(cycle=0, type=CommandType.ACT, bank_group=coords.bank_group,
+                           bank=coords.bank, row=coords.row))
+        assert next_command_for(request, rank).command_type is CommandType.WR
+
+    def test_frfcfs_prefers_ready_row_hit_over_older_miss(self, mapper, timing):
+        rank = RankState(timing)
+        row_bytes = 128 * 64
+        older_miss = self._request(mapper, address=row_bytes * 64, arrival=0)
+        newer_hit = self._request(mapper, address=0, arrival=5)
+        coords = newer_hit.coordinates
+        rank.issue(Command(cycle=0, type=CommandType.ACT, bank_group=coords.bank_group,
+                           bank=coords.bank, row=coords.row))
+        decision = choose([older_miss, newer_hit], lambda r: rank,
+                          cycle=timing.trcd + 1, policy=SchedulingPolicy.FRFCFS)
+        assert decision.request is newer_hit
+        assert decision.is_row_hit
+
+    def test_fcfs_always_serves_head(self, mapper, timing):
+        rank = RankState(timing)
+        row_bytes = 128 * 64
+        head = self._request(mapper, address=row_bytes * 64, arrival=0)
+        hit = self._request(mapper, address=0, arrival=5)
+        coords = hit.coordinates
+        rank.issue(Command(cycle=0, type=CommandType.ACT, bank_group=coords.bank_group,
+                           bank=coords.bank, row=coords.row))
+        decision = choose([head, hit], lambda r: rank, cycle=timing.trcd + 1,
+                          policy=SchedulingPolicy.FCFS)
+        assert decision.request is head
+
+    def test_choose_empty_queue_returns_none(self, timing):
+        assert choose([], lambda r: None, cycle=0, policy=SchedulingPolicy.FRFCFS) is None
+
+    def test_choose_reports_earliest_when_nothing_ready(self, mapper, timing):
+        rank = RankState(timing)
+        request = self._request(mapper, 0)
+        coords = request.coordinates
+        rank.issue(Command(cycle=0, type=CommandType.ACT, bank_group=coords.bank_group,
+                           bank=coords.bank, row=coords.row))
+        decision = choose([request], lambda r: rank, cycle=1, policy=SchedulingPolicy.FRFCFS)
+        assert not decision.ready(1)
+        assert decision.earliest_cycle >= timing.trcd
+
+    def test_policy_from_name(self):
+        assert SchedulingPolicy.from_name("FCFS") is SchedulingPolicy.FCFS
+        assert SchedulingPolicy.from_name("frfcfs") is SchedulingPolicy.FRFCFS
+        with pytest.raises(ValueError):
+            SchedulingPolicy.from_name("random")

@@ -1,0 +1,216 @@
+"""Integration tests for the cycle-level memory controller."""
+
+import pytest
+
+from repro.memsys.commands import CommandType
+from repro.memsys.controller import ControllerConfig, MemoryController, run_trace
+from repro.memsys.ddr4 import speed_bin
+from repro.memsys.request import (
+    AddressMapperConfig,
+    AddressMapping,
+    MemoryRequest,
+    RequestType,
+)
+from repro.memsys.scheduler import SchedulingPolicy
+
+
+def _requests(addresses, is_write=False, spacing=0):
+    return [MemoryRequest(address=a,
+                          type=RequestType.WRITE if is_write else RequestType.READ,
+                          arrival_cycle=i * spacing)
+            for i, a in enumerate(addresses)]
+
+
+def _single_channel_config(**kwargs):
+    mapper = AddressMapperConfig(channels=1)
+    return ControllerConfig(mapper=mapper, **kwargs)
+
+
+ROW_BYTES = 128 * 64        # one row of the default mapper geometry
+
+
+class TestSingleRequestLatency:
+    def test_cold_read_latency_is_trcd_plus_cl_plus_burst(self):
+        config = _single_channel_config(refresh_enabled=False)
+        timing = config.timing
+        result = run_trace(_requests([0]), config)
+        request = result.completed[0]
+        assert request.latency == timing.trcd + timing.cl + timing.burst_cycles
+
+    def test_row_hit_read_latency_is_cl_plus_burst(self):
+        config = _single_channel_config(refresh_enabled=False)
+        timing = config.timing
+        result = run_trace(_requests([0, 64]), config)
+        second = [r for r in result.completed if r.address == 64][0]
+        # The second read hits the row opened by the first; it waits only for
+        # the column spacing and the CAS latency.
+        assert second.latency <= timing.tccd_l + timing.cl + timing.burst_cycles + timing.trcd
+
+    def test_row_conflict_pays_precharge_and_activate(self):
+        config = _single_channel_config(refresh_enabled=False)
+        timing = config.timing
+        conflicting = ROW_BYTES * 64          # same bank, different row
+        result = run_trace(_requests([0, conflicting]), config)
+        second = [r for r in result.completed if r.address == conflicting][0]
+        assert second.latency >= timing.tras + timing.trp + timing.trcd + timing.cl
+
+    def test_write_completes_with_cwl(self):
+        config = _single_channel_config(refresh_enabled=False)
+        timing = config.timing
+        result = run_trace(_requests([0], is_write=True), config)
+        request = result.completed[0]
+        assert request.latency == timing.trcd + timing.cwl + timing.burst_cycles
+
+
+class TestReducedTrcd:
+    def test_reduced_trcd_lowers_cold_read_latency(self):
+        config = _single_channel_config(refresh_enabled=False)
+        reduced = config.with_timing(config.timing.with_reduced_trcd(5.5))
+        nominal_latency = run_trace(_requests([0]), config).completed[0].latency
+        reduced_latency = run_trace(_requests([0]), reduced).completed[0].latency
+        saved_cycles = config.timing.trcd - reduced.timing.trcd
+        assert reduced_latency == nominal_latency - saved_cycles
+
+    def test_reduced_trcd_lowers_average_latency_of_row_miss_stream(self):
+        # Strided accesses that always touch a new row are activation-bound,
+        # which is exactly where EDEN's tRCD reduction helps (paper Sec. 7.1).
+        addresses = [i * ROW_BYTES * 64 for i in range(40)]
+        config = _single_channel_config(refresh_enabled=False)
+        reduced = config.with_timing(config.timing.with_reduced_trcd(5.5))
+        nominal = run_trace(_requests(addresses, spacing=50), config)
+        faster = run_trace(_requests(addresses, spacing=50), reduced)
+        assert faster.stats.average_read_latency < nominal.stats.average_read_latency
+
+    def test_zero_trcd_bound_matches_ideal_activation(self):
+        # tRCD clamped to one cycle approximates the paper's tRCD=0 ideal.
+        config = _single_channel_config(refresh_enabled=False)
+        ideal = config.with_timing(config.timing.with_trcd_cycles(1))
+        nominal = run_trace(_requests([0]), config).completed[0].latency
+        best = run_trace(_requests([0]), ideal).completed[0].latency
+        assert best == nominal - (config.timing.trcd - 1)
+
+
+class TestControllerBehaviour:
+    def test_all_requests_complete_exactly_once(self):
+        addresses = [i * 64 for i in range(200)]
+        result = run_trace(_requests(addresses, spacing=2), _single_channel_config())
+        assert len(result.completed) == 200
+        assert sorted(r.address for r in result.completed) == sorted(addresses)
+        assert result.stats.reads == 200
+        assert result.stats.writes == 0
+
+    def test_sequential_stream_has_high_row_hit_rate(self):
+        addresses = [i * 64 for i in range(256)]
+        result = run_trace(_requests(addresses, spacing=4), _single_channel_config())
+        assert result.stats.row_hit_rate > 0.8
+
+    def test_random_row_stream_has_low_row_hit_rate(self):
+        addresses = [(i * 7919) % 1024 * ROW_BYTES for i in range(128)]
+        result = run_trace(_requests(addresses, spacing=4), _single_channel_config())
+        assert result.stats.row_hit_rate < 0.3
+
+    def test_reads_and_writes_counted_separately(self):
+        requests = (_requests([i * 64 for i in range(50)])
+                    + _requests([4096 * 64 + i * 64 for i in range(30)], is_write=True))
+        result = run_trace(requests, _single_channel_config())
+        assert result.stats.reads == 50
+        assert result.stats.writes == 30
+        assert result.stats.requests == 80
+
+    def test_command_counts_are_consistent_with_requests(self):
+        addresses = [i * ROW_BYTES * 64 for i in range(30)]
+        result = run_trace(_requests(addresses), _single_channel_config(refresh_enabled=False))
+        counts = result.stats.command_counts
+        assert counts[CommandType.RD] == 30
+        assert counts[CommandType.ACT] == 30            # every access opens a new row
+        assert counts[CommandType.PRE] == 29            # each conflict closes the old row
+
+    def test_trace_is_in_cycle_order(self):
+        addresses = [i * 64 for i in range(100)]
+        result = run_trace(_requests(addresses, spacing=3), _single_channel_config())
+        cycles = [command.cycle for command in result.trace]
+        assert cycles == sorted(cycles)
+
+    def test_refresh_issued_on_long_runs(self):
+        config = _single_channel_config(refresh_enabled=True)
+        spacing = config.timing.trefi // 16
+        addresses = [(i % 64) * 64 for i in range(40)]
+        result = run_trace(_requests(addresses, spacing=spacing), config)
+        assert result.stats.refreshes >= 1
+        assert result.stats.command_counts[CommandType.REF] == result.stats.refreshes
+
+    def test_refresh_disabled_produces_no_ref_commands(self):
+        config = _single_channel_config(refresh_enabled=False)
+        addresses = [i * 64 for i in range(64)]
+        result = run_trace(_requests(addresses, spacing=100), config)
+        assert result.stats.command_counts[CommandType.REF] == 0
+
+    def test_background_cycle_accounting_covers_total_cycles(self):
+        config = _single_channel_config(refresh_enabled=False)
+        addresses = [i * 64 for i in range(128)]
+        result = run_trace(_requests(addresses, spacing=2), config)
+        ranks = config.mapper.ranks_per_channel * config.mapper.channels
+        accounted = result.stats.active_cycles() + result.stats.precharged_cycles()
+        assert accounted == result.stats.total_cycles * ranks
+
+    def test_multi_channel_distributes_requests(self):
+        config = ControllerConfig(mapper=AddressMapperConfig(channels=2))
+        # Span several 8KB rows so the row-interleaved mapping reaches both channels.
+        addresses = [i * 64 for i in range(512)]
+        result = run_trace(_requests(addresses, spacing=1), config)
+        channels = {command.channel for command in result.trace}
+        assert channels == {0, 1}
+        assert len(result.completed) == 512
+
+    def test_fcfs_policy_completes_everything(self):
+        config = _single_channel_config(scheduling=SchedulingPolicy.FCFS)
+        addresses = [(i * 37) % 512 * 64 for i in range(100)]
+        result = run_trace(_requests(addresses, spacing=2), config)
+        assert len(result.completed) == 100
+
+    def test_frfcfs_not_slower_than_fcfs_on_mixed_stream(self):
+        addresses = []
+        for i in range(60):
+            addresses.append(i * 64)                       # row-hit stream
+            addresses.append((i % 8) * ROW_BYTES * 997)    # row-miss pollution
+        frfcfs = run_trace(_requests(addresses, spacing=1),
+                           _single_channel_config(scheduling=SchedulingPolicy.FRFCFS,
+                                                  refresh_enabled=False))
+        fcfs = run_trace(_requests(addresses, spacing=1),
+                         _single_channel_config(scheduling=SchedulingPolicy.FCFS,
+                                                refresh_enabled=False))
+        assert frfcfs.total_cycles <= fcfs.total_cycles
+
+    def test_closed_page_flavour_still_completes(self):
+        config = _single_channel_config(precharge_idle_banks=True, refresh_enabled=False)
+        addresses = [i * 64 for i in range(64)] + [ROW_BYTES * 200]
+        result = run_trace(_requests(addresses, spacing=6), config)
+        assert len(result.completed) == 65
+
+    def test_execution_time_ns_consistent_with_cycles(self):
+        config = _single_channel_config(refresh_enabled=False)
+        result = run_trace(_requests([0, 64, 128]), config)
+        assert result.execution_time_ns == pytest.approx(
+            result.total_cycles * config.timing.tck_ns)
+
+    def test_queue_depth_validation(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(queue_depth=0)
+
+    def test_arrival_cycles_respected(self):
+        config = _single_channel_config(refresh_enabled=False)
+        late = MemoryRequest(address=0, type=RequestType.READ, arrival_cycle=500)
+        result = run_trace([late], config)
+        assert result.completed[0].issue_cycle >= 500
+
+    def test_lpddr3_timing_also_runs(self):
+        config = ControllerConfig(timing=speed_bin("LPDDR3-1600"),
+                                  mapper=AddressMapperConfig(channels=1))
+        result = run_trace(_requests([i * 64 for i in range(32)], spacing=4), config)
+        assert len(result.completed) == 32
+
+    def test_empty_request_stream(self):
+        result = run_trace([], _single_channel_config())
+        assert result.total_cycles == 0
+        assert result.stats.requests == 0
+        assert result.stats.row_hit_rate == 0.0

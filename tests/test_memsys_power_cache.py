@@ -1,0 +1,275 @@
+"""Unit tests for the command-level power model and the cache hierarchy."""
+
+import pytest
+
+from repro.memsys.cache import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    PAPER_CACHE_CONFIGS,
+    StreamPrefetcher,
+)
+from repro.memsys.commands import Command, CommandTrace, CommandType
+from repro.memsys.controller import ControllerConfig, run_trace
+from repro.memsys.ddr4 import speed_bin
+from repro.memsys.power import CommandEnergyModel, IDD_SETS, IddCurrents
+from repro.memsys.request import AddressMapperConfig, MemoryRequest, RequestType
+
+
+def _read_requests(addresses, spacing=2):
+    return [MemoryRequest(address=a, type=RequestType.READ, arrival_cycle=i * spacing)
+            for i, a in enumerate(addresses)]
+
+
+@pytest.fixture(scope="module")
+def controller_result():
+    config = ControllerConfig(mapper=AddressMapperConfig(channels=1))
+    return run_trace(_read_requests([i * 64 for i in range(256)]), config)
+
+
+class TestCommandEnergyModel:
+    def test_idd_sets_cover_paper_memories(self):
+        for name in ("DDR4-2133", "DDR4-2400", "LPDDR3-1600", "GDDR5"):
+            assert name in IDD_SETS
+
+    def test_unknown_memory_type_raises(self):
+        with pytest.raises(KeyError):
+            CommandEnergyModel("HBM3")
+
+    def test_invalid_idd_rejected(self):
+        with pytest.raises(ValueError):
+            IddCurrents(idd0=-1.0)
+        with pytest.raises(ValueError):
+            IddCurrents(idd2n=50.0, idd3n=40.0)
+
+    def test_per_event_energies_positive(self):
+        model = CommandEnergyModel("DDR4-2133")
+        timing = speed_bin("DDR4-2133")
+        assert model.activate_energy_nj(timing) > 0
+        assert model.read_energy_nj(timing) > 0
+        assert model.write_energy_nj(timing) > 0
+        assert model.refresh_energy_nj(timing) > 0
+        assert model.background_power_mw(active=True) > model.background_power_mw(active=False)
+
+    def test_write_burst_costs_more_than_read_burst(self):
+        model = CommandEnergyModel("DDR4-2133")
+        timing = speed_bin("DDR4-2133")
+        assert model.write_energy_nj(timing) > model.read_energy_nj(timing)
+
+    def test_dynamic_energy_scales_quadratically_with_vdd(self):
+        model = CommandEnergyModel("DDR4-2133")
+        timing = speed_bin("DDR4-2133")
+        nominal = model.activate_energy_nj(timing)
+        reduced = model.activate_energy_nj(timing, vdd=model.nominal_vdd * 0.9)
+        assert reduced == pytest.approx(nominal * 0.81, rel=1e-6)
+
+    def test_background_power_scales_linearly_with_vdd(self):
+        model = CommandEnergyModel("DDR4-2133")
+        nominal = model.background_power_mw(active=True)
+        reduced = model.background_power_mw(active=True, vdd=model.nominal_vdd * 0.9)
+        assert reduced == pytest.approx(nominal * 0.9, rel=1e-6)
+
+    def test_invalid_vdd_rejected(self):
+        model = CommandEnergyModel("DDR4-2133")
+        timing = speed_bin("DDR4-2133")
+        with pytest.raises(ValueError):
+            model.activate_energy_nj(timing, vdd=0.0)
+
+    def test_energy_of_run_breakdown_consistent(self, controller_result):
+        model = CommandEnergyModel("DDR4-2133")
+        breakdown = model.energy_of_run(controller_result)
+        assert breakdown.total_nj > 0
+        assert breakdown.total_nj == pytest.approx(
+            breakdown.dynamic_nj + breakdown.background_nj)
+        assert breakdown.as_dict()["total_nj"] == pytest.approx(breakdown.total_nj)
+
+    def test_reduced_vdd_reduces_total_energy(self, controller_result):
+        model = CommandEnergyModel("DDR4-2133")
+        nominal = model.energy_of_run(controller_result).total_nj
+        reduced = model.energy_of_run(controller_result, vdd=1.05).total_nj
+        assert reduced < nominal
+        reduction = model.energy_reduction(controller_result, controller_result, 1.05)
+        assert 0.0 < reduction < 1.0
+
+    def test_energy_of_trace_counts_each_command_type(self):
+        model = CommandEnergyModel("DDR4-2133")
+        timing = speed_bin("DDR4-2133")
+        trace = CommandTrace()
+        trace.append(Command(cycle=0, type=CommandType.ACT, row=1))
+        trace.append(Command(cycle=timing.trcd, type=CommandType.RD))
+        trace.append(Command(cycle=timing.trcd + 10, type=CommandType.WR))
+        trace.append(Command(cycle=1000, type=CommandType.REF))
+        breakdown = model.energy_of_trace(trace, timing, active_cycles=100,
+                                          precharged_cycles=900)
+        assert breakdown.activate_nj == pytest.approx(model.activate_energy_nj(timing))
+        assert breakdown.read_nj == pytest.approx(model.read_energy_nj(timing))
+        assert breakdown.write_nj == pytest.approx(model.write_energy_nj(timing))
+        assert breakdown.refresh_nj == pytest.approx(model.refresh_energy_nj(timing))
+
+    def test_more_row_misses_cost_more_activate_energy(self):
+        model = CommandEnergyModel("DDR4-2133")
+        config = ControllerConfig(mapper=AddressMapperConfig(channels=1),
+                                  refresh_enabled=False)
+        sequential = run_trace(_read_requests([i * 64 for i in range(128)]), config)
+        row_bytes = 128 * 64
+        scattered = run_trace(
+            _read_requests([i * row_bytes * 64 for i in range(128)]),
+            ControllerConfig(mapper=AddressMapperConfig(channels=1), refresh_enabled=False))
+        seq_energy = model.energy_of_run(sequential)
+        sct_energy = model.energy_of_run(scattered)
+        assert sct_energy.activate_nj > seq_energy.activate_nj
+
+
+class TestCache:
+    def _config(self, size=4096, assoc=4, line=64):
+        return CacheConfig(name="L1", size_bytes=size, associativity=assoc, line_bytes=line)
+
+    def test_geometry(self):
+        config = self._config()
+        assert config.num_sets == 4096 // (4 * 64)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=1000, associativity=3, line_bytes=64)
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=0, associativity=1)
+
+    def test_miss_then_hit(self):
+        cache = Cache(self._config())
+        hit, _ = cache.access(0, is_write=False)
+        assert not hit
+        hit, _ = cache.access(0, is_write=False)
+        assert hit
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_same_line_different_bytes_hit(self):
+        cache = Cache(self._config())
+        cache.access(0, is_write=False)
+        hit, _ = cache.access(63, is_write=False)
+        assert hit
+
+    def test_lru_eviction_order(self):
+        config = self._config(size=2 * 64, assoc=2, line=64)   # 1 set, 2 ways
+        cache = Cache(config)
+        cache.access(0, is_write=False)
+        cache.access(64, is_write=False)
+        cache.access(0, is_write=False)          # touch 0 so 64 becomes LRU
+        cache.access(128, is_write=False)        # evicts 64
+        assert cache.lookup(0)
+        assert not cache.lookup(64)
+        assert cache.lookup(128)
+
+    def test_dirty_eviction_reports_writeback_address(self):
+        config = self._config(size=2 * 64, assoc=2, line=64)
+        cache = Cache(config)
+        cache.access(0, is_write=True)
+        cache.access(64, is_write=False)
+        _, victim = cache.access(128, is_write=False)
+        assert victim == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_has_no_writeback(self):
+        config = self._config(size=2 * 64, assoc=2, line=64)
+        cache = Cache(config)
+        cache.access(0, is_write=False)
+        cache.access(64, is_write=False)
+        _, victim = cache.access(128, is_write=False)
+        assert victim is None
+
+    def test_fill_installs_line_without_counting_stats(self):
+        cache = Cache(self._config())
+        cache.fill(256)
+        assert cache.lookup(256)
+        assert cache.stats.accesses == 0
+
+    def test_hit_rate_properties(self):
+        cache = Cache(self._config())
+        assert cache.stats.hit_rate == 0.0
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+
+class TestStreamPrefetcher:
+    def test_no_prefetch_before_stream_confirmed(self):
+        prefetcher = StreamPrefetcher(degree=2, threshold=2)
+        assert prefetcher.observe(0) == []
+
+    def test_prefetch_after_sequential_accesses(self):
+        prefetcher = StreamPrefetcher(degree=2, threshold=2)
+        prefetcher.observe(0)
+        addresses = prefetcher.observe(64)
+        assert addresses == [128, 192]
+
+    def test_non_sequential_accesses_do_not_trigger(self):
+        prefetcher = StreamPrefetcher(degree=4, threshold=2)
+        prefetcher.observe(0)
+        assert prefetcher.observe(4096) == []
+
+    def test_zero_degree_disables_prefetching(self):
+        prefetcher = StreamPrefetcher(degree=0, threshold=1)
+        prefetcher.observe(0)
+        assert prefetcher.observe(64) == []
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(degree=-1)
+
+
+class TestCacheHierarchy:
+    def test_paper_configuration_has_three_levels(self):
+        hierarchy = CacheHierarchy()
+        assert [c.config.name for c in hierarchy.levels] == ["L1", "L2", "L3"]
+        assert hierarchy.llc.config.size_bytes == 8 * 1024 * 1024
+
+    def test_small_footprint_is_cache_resident(self):
+        hierarchy = CacheHierarchy()
+        trace = [(i * 64, False) for i in range(64)] * 4     # 4KB footprint, reused
+        result = hierarchy.filter_trace(trace)
+        # After the first pass everything fits in L1: few DRAM fetches.
+        assert result.dram_reads <= 3 * 64
+        assert result.level_stats["L1"].hit_rate > 0.5
+
+    def test_streaming_footprint_misses_llc(self):
+        hierarchy = CacheHierarchy(prefetch_levels=())
+        trace = [(i * 64, False) for i in range(400_000)]    # ~25MB, no reuse
+        result = hierarchy.filter_trace(trace[:40_000])
+        assert result.llc_miss_rate > 0.9
+        assert result.dram_reads == pytest.approx(40_000, rel=0.05)
+
+    def test_writes_produce_dram_writebacks(self):
+        small = (
+            CacheConfig(name="L1", size_bytes=2 * 64, associativity=2),
+            CacheConfig(name="L2", size_bytes=4 * 64, associativity=2),
+        )
+        hierarchy = CacheHierarchy(small, prefetch_levels=())
+        trace = [(i * 64, True) for i in range(64)]
+        result = hierarchy.filter_trace(trace)
+        assert result.dram_writes > 0
+
+    def test_prefetcher_increases_dram_fetches_but_reports_prefetches(self):
+        with_prefetch = CacheHierarchy(prefetch_levels=("L3",), prefetch_degree=4)
+        without = CacheHierarchy(prefetch_levels=())
+        trace = [(i * 64, False) for i in range(2048)]
+        result_with = with_prefetch.filter_trace(list(trace))
+        result_without = without.filter_trace(list(trace))
+        assert result_with.level_stats["L3"].prefetches > 0
+        assert result_with.dram_reads >= result_without.dram_reads
+
+    def test_arrival_cycles_follow_access_spacing(self):
+        hierarchy = CacheHierarchy(cycles_per_access=4.0, prefetch_levels=())
+        trace = [(i * 1 << 20, False) for i in range(10)]
+        result = hierarchy.filter_trace(trace)
+        arrivals = [r.arrival_cycle for r in result.dram_requests]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] >= 4 * (len(trace) - 1)
+
+    def test_requires_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(())
+
+    def test_demand_access_count_recorded(self):
+        hierarchy = CacheHierarchy()
+        trace = [(i * 64, False) for i in range(100)]
+        assert hierarchy.filter_trace(trace).demand_accesses == 100

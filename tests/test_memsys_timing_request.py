@@ -1,0 +1,207 @@
+"""Unit tests for repro.memsys.ddr4 (device timing) and repro.memsys.request."""
+
+import pytest
+
+from repro.dram.timing import NOMINAL_DDR4_TIMING, TimingParameters
+from repro.memsys.ddr4 import DeviceTiming, SPEED_BINS, speed_bin
+from repro.memsys.request import (
+    AddressMapper,
+    AddressMapperConfig,
+    AddressMapping,
+    DramCoordinates,
+    MemoryRequest,
+    RequestType,
+)
+
+
+class TestDeviceTiming:
+    def test_speed_bins_exist_for_all_paper_memories(self):
+        for name in ("DDR4-2133", "DDR4-2400", "LPDDR3-1600", "GDDR5"):
+            timing = speed_bin(name)
+            assert timing.name == name
+            assert timing.tck_ns > 0
+
+    def test_unknown_speed_bin_raises(self):
+        with pytest.raises(KeyError):
+            speed_bin("DDR5-9999")
+
+    def test_trc_covers_tras_plus_trp(self):
+        for timing in SPEED_BINS.values():
+            assert timing.trc >= timing.tras + timing.trp
+
+    def test_bank_group_variants_ordered(self):
+        for timing in SPEED_BINS.values():
+            assert timing.tccd_l >= timing.tccd_s
+            assert timing.trrd_l >= timing.trrd_s
+
+    def test_ddr4_2133_trcd_close_to_datasheet(self):
+        timing = speed_bin("DDR4-2133")
+        # 13.32 ns at 0.9376 ns/cycle is 15 cycles (JEDEC rounding up).
+        assert timing.trcd * timing.tck_ns == pytest.approx(13.32, abs=1.0)
+
+    def test_read_and_write_latency(self):
+        timing = speed_bin("DDR4-2133")
+        assert timing.read_latency == timing.cl + timing.burst_cycles
+        assert timing.write_latency == timing.cwl + timing.burst_cycles
+
+    def test_row_miss_penalty(self):
+        timing = speed_bin("DDR4-2400")
+        assert timing.row_miss_penalty == timing.trp + timing.trcd
+
+    def test_with_reduced_trcd_shaves_cycles(self):
+        timing = speed_bin("DDR4-2133")
+        reduced = timing.with_reduced_trcd(5.5)
+        expected = timing.trcd - round(5.5 / timing.tck_ns)
+        assert reduced.trcd == expected
+        assert reduced.trcd < timing.trcd
+
+    def test_with_reduced_trcd_clamps_at_one_cycle(self):
+        timing = speed_bin("DDR4-2133")
+        reduced = timing.with_reduced_trcd(1000.0)
+        assert reduced.trcd == 1
+
+    def test_with_reduced_trcd_rejects_negative(self):
+        with pytest.raises(ValueError):
+            speed_bin("DDR4-2133").with_reduced_trcd(-1.0)
+
+    def test_with_trcd_cycles_validation(self):
+        timing = speed_bin("DDR4-2133")
+        assert timing.with_trcd_cycles(3).trcd == 3
+        with pytest.raises(ValueError):
+            timing.with_trcd_cycles(0)
+
+    def test_with_reduced_trp_keeps_trc_consistent(self):
+        timing = speed_bin("DDR4-2133")
+        reduced = timing.with_reduced_trp(5.0)
+        assert reduced.trp < timing.trp
+        assert reduced.trc >= reduced.tras + reduced.trp
+
+    def test_ns_round_trip(self):
+        timing = speed_bin("DDR4-2133")
+        assert timing.ns(10) == pytest.approx(10 * timing.tck_ns)
+
+    def test_from_nanoseconds_matches_nominal_paper_values(self):
+        timing = DeviceTiming.from_nanoseconds(NOMINAL_DDR4_TIMING, name="paper")
+        assert timing.name == "paper"
+        assert timing.ns(timing.trcd) >= NOMINAL_DDR4_TIMING.trcd_ns - timing.tck_ns
+        assert timing.trc == timing.tras + timing.trp
+
+    def test_from_nanoseconds_honours_trcd_reduction(self):
+        nominal = DeviceTiming.from_nanoseconds(NOMINAL_DDR4_TIMING)
+        reduced_params = NOMINAL_DDR4_TIMING.with_reduced_trcd(5.5)
+        reduced = DeviceTiming.from_nanoseconds(reduced_params)
+        assert reduced.trcd < nominal.trcd
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceTiming(name="bad", tck_ns=0.0, cl=10, cwl=8, trcd=10, trp=10,
+                         tras=20, trc=30, tccd_s=4, tccd_l=4, trrd_s=4, trrd_l=4,
+                         tfaw=16, twr=10, trtp=5, twtr=4, trfc=100, trefi=1000)
+        with pytest.raises(ValueError):
+            DeviceTiming(name="bad", tck_ns=1.0, cl=10, cwl=8, trcd=10, trp=10,
+                         tras=25, trc=30, tccd_s=4, tccd_l=4, trrd_s=4, trrd_l=4,
+                         tfaw=16, twr=10, trtp=5, twtr=4, trfc=100, trefi=1000)
+        with pytest.raises(ValueError):
+            DeviceTiming(name="bad", tck_ns=1.0, cl=10, cwl=8, trcd=10, trp=10,
+                         tras=20, trc=30, tccd_s=5, tccd_l=4, trrd_s=4, trrd_l=4,
+                         tfaw=16, twr=10, trtp=5, twtr=4, trfc=100, trefi=1000)
+
+
+class TestMemoryRequest:
+    def test_defaults_and_latency(self):
+        request = MemoryRequest(address=0x1000, type=RequestType.READ, arrival_cycle=10)
+        assert request.latency is None
+        request.completion_cycle = 60
+        assert request.latency == 50
+        assert not request.is_write
+
+    def test_write_flag(self):
+        assert MemoryRequest(0, RequestType.WRITE).is_write
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(address=-1, type=RequestType.READ)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(address=0, type=RequestType.READ, arrival_cycle=-5)
+
+
+class TestAddressMapper:
+    def test_decode_fields_within_bounds(self):
+        config = AddressMapperConfig()
+        mapper = AddressMapper(config)
+        for address in range(0, 1 << 20, 4096 + 64):
+            coords = mapper.decode(address)
+            assert 0 <= coords.channel < config.channels
+            assert 0 <= coords.rank < config.ranks_per_channel
+            assert 0 <= coords.bank_group < config.bank_groups
+            assert 0 <= coords.bank < config.banks_per_group
+            assert 0 <= coords.row < config.rows_per_bank
+            assert 0 <= coords.column < config.columns_per_row
+
+    def test_consecutive_lines_stay_in_one_row_with_row_bank_col(self):
+        config = AddressMapperConfig(channels=1, mapping=AddressMapping.ROW_BANK_COL)
+        mapper = AddressMapper(config)
+        first = mapper.decode(0)
+        second = mapper.decode(64)
+        assert first.same_row(second)
+        assert second.column == first.column + 1
+
+    def test_bank_interleaved_spreads_consecutive_lines(self):
+        config = AddressMapperConfig(channels=1, mapping=AddressMapping.BANK_INTERLEAVED)
+        mapper = AddressMapper(config)
+        first = mapper.decode(0)
+        second = mapper.decode(64)
+        assert first.flat_bank != second.flat_bank
+
+    def test_channel_interleaving_across_lines(self):
+        config = AddressMapperConfig(channels=2, mapping=AddressMapping.ROW_BANK_COL)
+        mapper = AddressMapper(config)
+        row_size = config.columns_per_row * config.line_bytes
+        a = mapper.decode(0)
+        b = mapper.decode(row_size)          # next row-sized chunk goes to the other channel
+        assert a.channel != b.channel
+
+    def test_decode_is_deterministic_and_distinct_within_capacity(self):
+        config = AddressMapperConfig(channels=1, ranks_per_channel=1, bank_groups=2,
+                                     banks_per_group=2, rows_per_bank=8,
+                                     columns_per_row=4)
+        mapper = AddressMapper(config)
+        seen = set()
+        for line in range(config.capacity_bytes // config.line_bytes):
+            coords = mapper.decode(line * config.line_bytes)
+            key = (coords.channel, coords.rank, coords.flat_bank, coords.row, coords.column)
+            assert key not in seen
+            seen.add(key)
+
+    def test_addresses_wrap_beyond_capacity(self):
+        config = AddressMapperConfig(channels=1, ranks_per_channel=1, bank_groups=2,
+                                     banks_per_group=2, rows_per_bank=8,
+                                     columns_per_row=4)
+        mapper = AddressMapper(config)
+        assert mapper.decode(0) == mapper.decode(config.capacity_bytes)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapper().decode(-64)
+
+    def test_attach_is_idempotent(self):
+        mapper = AddressMapper()
+        request = MemoryRequest(address=4096, type=RequestType.READ)
+        mapper.attach(request)
+        coords = request.coordinates
+        mapper.attach(request)
+        assert request.coordinates is coords
+
+    def test_flat_bank_unique_per_group_bank_pair(self):
+        seen = set()
+        for group in range(4):
+            for bank in range(4):
+                coords = DramCoordinates(0, 0, group, bank, 0, 0)
+                assert coords.flat_bank not in seen
+                seen.add(coords.flat_bank)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapperConfig(channels=0)

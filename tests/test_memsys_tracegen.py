@@ -1,0 +1,180 @@
+"""Unit and property tests for DNN address-trace generation (repro.memsys.tracegen)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.traffic import WorkloadDescriptor, workload_for
+from repro.memsys.cache import CacheHierarchy
+from repro.memsys.controller import ControllerConfig, run_trace
+from repro.memsys.request import AddressMapperConfig
+from repro.memsys.tracegen import (
+    AddressSpaceLayout,
+    TensorRegion,
+    flatten,
+    trace_from_network,
+    trace_from_workload,
+)
+from repro.nn.models import build_model_with_dataset
+from repro.nn.tensor import DataKind
+
+
+@pytest.fixture(scope="module")
+def lenet():
+    network, _, _ = build_model_with_dataset("lenet", seed=0)
+    return network
+
+
+class TestTensorRegionAndLayout:
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            TensorRegion(name="w", kind=DataKind.WEIGHT, base_address=-1, size_bytes=10)
+        with pytest.raises(ValueError):
+            TensorRegion(name="w", kind=DataKind.WEIGHT, base_address=0, size_bytes=0)
+
+    def test_line_addresses_cover_region(self):
+        region = TensorRegion(name="w", kind=DataKind.WEIGHT, base_address=128, size_bytes=300)
+        lines = list(region.line_addresses(64))
+        assert lines[0] == 128
+        assert lines[-1] < region.end_address
+        assert all(b - a == 64 for a, b in zip(lines, lines[1:]))
+
+    def test_layout_allocations_do_not_overlap(self):
+        layout = AddressSpaceLayout()
+        regions = [layout.allocate(f"t{i}", DataKind.WEIGHT, 1000 + 37 * i) for i in range(20)]
+        for earlier, later in zip(regions, regions[1:]):
+            assert earlier.end_address <= later.base_address
+
+    def test_layout_is_idempotent_per_name(self):
+        layout = AddressSpaceLayout()
+        first = layout.allocate("w", DataKind.WEIGHT, 100)
+        second = layout.allocate("w", DataKind.WEIGHT, 100)
+        assert first is second
+
+    def test_layout_alignment(self):
+        layout = AddressSpaceLayout(alignment=4096)
+        layout.allocate("a", DataKind.WEIGHT, 10)
+        region = layout.allocate("b", DataKind.IFM, 10)
+        assert region.base_address % 4096 == 0
+
+    def test_footprint_grows_with_allocations(self):
+        layout = AddressSpaceLayout()
+        assert layout.footprint_bytes == 0
+        layout.allocate("a", DataKind.WEIGHT, 10_000)
+        assert layout.footprint_bytes >= 10_000
+
+    def test_invalid_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpaceLayout(alignment=0)
+
+
+class TestNetworkTraces:
+    def test_one_trace_per_parameterized_layer(self, lenet):
+        traces = trace_from_network(lenet)
+        assert len(traces) >= 3
+        assert all(trace.accesses for trace in traces)
+
+    def test_traces_contain_reads_and_writes(self, lenet):
+        traces = trace_from_network(lenet)
+        assert all(trace.reads > 0 for trace in traces)
+        assert any(trace.writes > 0 for trace in traces)
+
+    def test_random_fraction_adds_reads(self, lenet):
+        base = flatten(trace_from_network(lenet, random_access_fraction=0.0))
+        noisy = flatten(trace_from_network(lenet, random_access_fraction=0.3))
+        assert len(noisy) > len(base)
+
+    def test_random_fraction_validation(self, lenet):
+        with pytest.raises(ValueError):
+            trace_from_network(lenet, random_access_fraction=1.5)
+
+    def test_int8_trace_is_smaller_than_fp32(self, lenet):
+        fp32 = flatten(trace_from_network(lenet, dtype_bits=32))
+        int8 = flatten(trace_from_network(lenet, dtype_bits=8))
+        assert len(int8) < len(fp32)
+
+    def test_traces_are_deterministic_for_fixed_seed(self, lenet):
+        first = flatten(trace_from_network(lenet, random_access_fraction=0.1, seed=3))
+        second = flatten(trace_from_network(lenet, random_access_fraction=0.1, seed=3))
+        assert first == second
+
+    def test_trace_feeds_cache_hierarchy_and_controller(self, lenet):
+        accesses = flatten(trace_from_network(lenet, dtype_bits=8))[:3000]
+        hierarchy = CacheHierarchy(cycles_per_access=4.0)
+        filtered = hierarchy.filter_trace(accesses)
+        result = run_trace(filtered.dram_requests,
+                           ControllerConfig(mapper=AddressMapperConfig(channels=1)))
+        assert len(result.completed) == len(filtered.dram_requests)
+
+
+class TestWorkloadTraces:
+    def test_trace_is_bounded(self):
+        workload = workload_for("vgg16")
+        trace = trace_from_workload(workload, max_accesses=5000)
+        assert 0 < len(trace) <= 5000
+
+    def test_read_write_mix_tracks_descriptor(self):
+        workload = workload_for("resnet101")
+        trace = trace_from_workload(workload, max_accesses=8000)
+        writes = sum(1 for _, is_write in trace if is_write)
+        expected_write_fraction = workload.write_bytes / workload.total_bytes
+        assert writes / len(trace) == pytest.approx(expected_write_fraction, abs=0.05)
+
+    def test_latency_bound_workload_has_more_scattered_reads(self):
+        yolo = trace_from_workload(workload_for("yolo-tiny"), max_accesses=4000, seed=0)
+        squeeze = trace_from_workload(workload_for("squeezenet1.1"), max_accesses=4000, seed=0)
+
+        def sequential_fraction(trace):
+            reads = [addr for addr, is_write in trace if not is_write]
+            sequential = sum(1 for a, b in zip(reads, reads[1:]) if b - a == 64)
+            return sequential / max(len(reads) - 1, 1)
+
+        assert sequential_fraction(yolo) < sequential_fraction(squeeze)
+
+    def test_invalid_max_accesses(self):
+        with pytest.raises(ValueError):
+            trace_from_workload(workload_for("alexnet"), max_accesses=0)
+
+    def test_empty_workload_yields_empty_trace(self):
+        empty = WorkloadDescriptor(name="empty", weight_bytes=0, ifm_bytes=0,
+                                   ofm_bytes=0, macs=0, random_access_fraction=0.0)
+        assert trace_from_workload(empty) == []
+
+    def test_deterministic_for_seed(self):
+        workload = workload_for("alexnet")
+        assert (trace_from_workload(workload, max_accesses=2000, seed=7)
+                == trace_from_workload(workload, max_accesses=2000, seed=7))
+
+    def test_addresses_are_line_aligned_and_non_negative(self):
+        trace = trace_from_workload(workload_for("yolo"), max_accesses=3000)
+        assert all(address >= 0 and address % 64 == 0 for address, _ in trace)
+
+
+class TestTraceProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        weight_mb=st.floats(min_value=0.5, max_value=64.0),
+        ifm_mb=st.floats(min_value=0.5, max_value=64.0),
+        random_fraction=st.floats(min_value=0.0, max_value=0.8),
+        max_accesses=st.integers(min_value=10, max_value=3000),
+    )
+    def test_workload_trace_invariants(self, weight_mb, ifm_mb, random_fraction, max_accesses):
+        workload = WorkloadDescriptor(
+            name="hypothesis", weight_bytes=weight_mb * (1 << 20),
+            ifm_bytes=ifm_mb * (1 << 20), ofm_bytes=ifm_mb * (1 << 20),
+            macs=1e6, random_access_fraction=random_fraction,
+        )
+        trace = trace_from_workload(workload, max_accesses=max_accesses)
+        assert len(trace) <= max_accesses
+        assert all(address >= 0 for address, _ in trace)
+        assert all(isinstance(is_write, bool) for _, is_write in trace)
+
+    @settings(max_examples=20, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=1 << 20), min_size=1, max_size=30))
+    def test_layout_regions_are_disjoint(self, sizes):
+        layout = AddressSpaceLayout()
+        regions = [layout.allocate(f"r{i}", DataKind.IFM, size) for i, size in enumerate(sizes)]
+        intervals = sorted((r.base_address, r.end_address) for r in regions)
+        for (_, end), (start, _) in zip(intervals, intervals[1:]):
+            assert end <= start

@@ -1,0 +1,205 @@
+"""Unit and property tests for detection post-processing (repro.nn.detection)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.detection import (
+    Box,
+    average_precision,
+    confidence_threshold,
+    decode_grid_predictions,
+    detection_memory_accesses,
+    iou,
+    mean_average_precision,
+    non_maximum_suppression,
+    synthetic_detection_dataset,
+)
+
+
+def box(x0, y0, x1, y1, class_id=0, score=1.0):
+    return Box(x0, y0, x1, y1, class_id=class_id, score=score)
+
+
+class TestBoxAndIoU:
+    def test_box_geometry(self):
+        b = box(0.1, 0.2, 0.5, 0.6)
+        assert b.width == pytest.approx(0.4)
+        assert b.height == pytest.approx(0.4)
+        assert b.area == pytest.approx(0.16)
+
+    def test_from_center(self):
+        b = Box.from_center(0.5, 0.5, 0.2, 0.4)
+        assert b.x_min == pytest.approx(0.4)
+        assert b.y_max == pytest.approx(0.7)
+
+    def test_invalid_box_rejected(self):
+        with pytest.raises(ValueError):
+            box(0.5, 0.0, 0.1, 0.2)
+
+    def test_identical_boxes_have_iou_one(self):
+        b = box(0.0, 0.0, 0.5, 0.5)
+        assert iou(b, b) == pytest.approx(1.0)
+
+    def test_disjoint_boxes_have_iou_zero(self):
+        assert iou(box(0.0, 0.0, 0.2, 0.2), box(0.5, 0.5, 0.9, 0.9)) == 0.0
+
+    def test_half_overlap(self):
+        a = box(0.0, 0.0, 0.2, 0.2)
+        b = box(0.1, 0.0, 0.3, 0.2)
+        assert iou(a, b) == pytest.approx(1.0 / 3.0, rel=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=8, max_size=8))
+    def test_iou_is_symmetric_and_bounded(self, values):
+        a = Box(min(values[0], values[1]), min(values[2], values[3]),
+                max(values[0], values[1]), max(values[2], values[3]))
+        b = Box(min(values[4], values[5]), min(values[6], values[7]),
+                max(values[4], values[5]), max(values[6], values[7]))
+        assert iou(a, b) == pytest.approx(iou(b, a))
+        assert 0.0 <= iou(a, b) <= 1.0 + 1e-9
+
+
+class TestThresholdingAndNMS:
+    def test_confidence_threshold_filters(self):
+        boxes = [box(0, 0, 1, 1, score=s) for s in (0.1, 0.4, 0.9)]
+        assert len(confidence_threshold(boxes, 0.35)) == 2
+        with pytest.raises(ValueError):
+            confidence_threshold(boxes, 1.5)
+
+    def test_nms_removes_overlapping_duplicates(self):
+        boxes = [box(0.0, 0.0, 0.5, 0.5, score=0.9),
+                 box(0.01, 0.01, 0.51, 0.51, score=0.8),
+                 box(0.6, 0.6, 0.9, 0.9, score=0.7)]
+        kept = non_maximum_suppression(boxes, iou_threshold=0.5)
+        assert len(kept) == 2
+        assert kept[0].score == pytest.approx(0.9)
+
+    def test_nms_keeps_highest_scoring_box_of_each_cluster(self):
+        boxes = [box(0.0, 0.0, 0.5, 0.5, score=0.5),
+                 box(0.0, 0.0, 0.5, 0.5, score=0.95)]
+        kept = non_maximum_suppression(boxes)
+        assert len(kept) == 1 and kept[0].score == pytest.approx(0.95)
+
+    def test_class_aware_nms_keeps_different_classes(self):
+        boxes = [box(0.0, 0.0, 0.5, 0.5, class_id=0, score=0.9),
+                 box(0.0, 0.0, 0.5, 0.5, class_id=1, score=0.8)]
+        assert len(non_maximum_suppression(boxes, class_aware=True)) == 2
+        assert len(non_maximum_suppression(boxes, class_aware=False)) == 1
+
+    def test_nms_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            non_maximum_suppression([], iou_threshold=2.0)
+
+    def test_nms_empty_input(self):
+        assert non_maximum_suppression([]) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 0.8), st.floats(0, 0.8),
+                              st.floats(0.05, 0.2), st.floats(0.05, 0.2),
+                              st.floats(0, 1)), max_size=20))
+    def test_nms_output_is_subset_with_bounded_overlap(self, raw):
+        boxes = [Box(x, y, min(1.0, x + w), min(1.0, y + h), score=s)
+                 for x, y, w, h, s in raw]
+        kept = non_maximum_suppression(boxes, iou_threshold=0.5, class_aware=False)
+        assert len(kept) <= len(boxes)
+        for i, a in enumerate(kept):
+            for b in kept[i + 1:]:
+                assert iou(a, b) <= 0.5 + 1e-9
+
+
+class TestGridDecoding:
+    def test_decode_produces_boxes_above_confidence(self):
+        grid = np.full((8, 4, 4), -10.0)
+        grid[:, 2, 1] = 5.0        # one confident cell
+        boxes = decode_grid_predictions(grid, confidence=0.5)
+        assert len(boxes) == 1
+        decoded = boxes[0]
+        assert 0.0 <= decoded.x_min <= decoded.x_max <= 1.0
+        assert decoded.score > 0.9
+
+    def test_decode_respects_num_classes(self):
+        grid = np.zeros((5 + 3, 2, 2))
+        grid[0] = 10.0
+        grid[6] = 3.0              # class 1 has the largest logit
+        boxes = decode_grid_predictions(grid, confidence=0.5)
+        assert all(b.class_id == 1 for b in boxes)
+
+    def test_decode_invalid_grid(self):
+        with pytest.raises(ValueError):
+            decode_grid_predictions(np.zeros((3, 4, 4)))
+
+
+class TestAveragePrecision:
+    def test_perfect_detections_score_one(self):
+        truth = [box(0.1, 0.1, 0.4, 0.4), box(0.6, 0.6, 0.9, 0.9)]
+        predictions = [Box(b.x_min, b.y_min, b.x_max, b.y_max, score=0.9) for b in truth]
+        assert average_precision(predictions, truth) == pytest.approx(1.0)
+
+    def test_missing_detections_score_below_one(self):
+        truth = [box(0.1, 0.1, 0.4, 0.4), box(0.6, 0.6, 0.9, 0.9)]
+        predictions = [box(0.1, 0.1, 0.4, 0.4, score=0.9)]
+        assert 0.0 < average_precision(predictions, truth) < 1.0
+
+    def test_false_positives_lower_precision(self):
+        truth = [box(0.1, 0.1, 0.4, 0.4)]
+        good = [box(0.1, 0.1, 0.4, 0.4, score=0.9)]
+        noisy = good + [box(0.6, 0.6, 0.9, 0.9, score=0.95)]
+        assert average_precision(noisy, truth) < average_precision(good, truth)
+
+    def test_duplicate_detections_do_not_add_recall(self):
+        # Two ground-truth objects but both predictions sit on the first one:
+        # the duplicate must not be counted as a second true positive.
+        truth = [box(0.1, 0.1, 0.4, 0.4), box(0.6, 0.6, 0.9, 0.9)]
+        predictions = [box(0.1, 0.1, 0.4, 0.4, score=0.9),
+                       box(0.1, 0.1, 0.4, 0.4, score=0.8)]
+        assert average_precision(predictions, truth) <= 0.6
+
+    def test_no_ground_truth(self):
+        assert average_precision([], []) == 1.0
+        assert average_precision([box(0, 0, 1, 1)], []) == 0.0
+
+    def test_map_over_classes_and_images(self):
+        truth = [[box(0.1, 0.1, 0.4, 0.4, class_id=0)],
+                 [box(0.5, 0.5, 0.8, 0.8, class_id=1)]]
+        predictions = [[box(0.1, 0.1, 0.4, 0.4, class_id=0, score=0.9)],
+                       [box(0.5, 0.5, 0.8, 0.8, class_id=1, score=0.9)]]
+        assert mean_average_precision(predictions, truth) == pytest.approx(1.0)
+
+    def test_map_requires_matching_image_counts(self):
+        with pytest.raises(ValueError):
+            mean_average_precision([[]], [[], []])
+
+    def test_map_empty_ground_truth(self):
+        assert mean_average_precision([[]], [[]]) == 0.0
+
+
+class TestSyntheticDatasetAndAccessModel:
+    def test_dataset_shapes_and_annotations(self):
+        images, annotations = synthetic_detection_dataset(num_images=8, grid_size=8)
+        assert images.shape == (8, 1, 8, 8)
+        assert len(annotations) == 8
+        assert all(len(a) >= 1 for a in annotations)
+
+    def test_dataset_boxes_are_normalized(self):
+        _, annotations = synthetic_detection_dataset(num_images=4, grid_size=16, seed=2)
+        for boxes in annotations:
+            for b in boxes:
+                assert 0.0 <= b.x_min <= b.x_max <= 1.0
+                assert 0.0 <= b.y_min <= b.y_max <= 1.0
+
+    def test_dataset_is_deterministic(self):
+        first = synthetic_detection_dataset(seed=5)
+        second = synthetic_detection_dataset(seed=5)
+        assert np.array_equal(first[0], second[0])
+
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_detection_dataset(num_images=0)
+
+    def test_detection_memory_accesses_grow_with_boxes(self):
+        assert detection_memory_accesses(200) > detection_memory_accesses(20)
+        assert detection_memory_accesses(0) == 0
+        with pytest.raises(ValueError):
+            detection_memory_accesses(-1)

@@ -1,0 +1,207 @@
+"""Numerical checks for the forward/backward primitives in repro.nn.functional."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def numeric_grad(fn, array, index, eps=1e-3):
+    """Central-difference derivative of scalar fn with respect to array[index]."""
+    original = array[index]
+    array[index] = original + eps
+    upper = fn()
+    array[index] = original - eps
+    lower = fn()
+    array[index] = original
+    return (upper - lower) / (2 * eps)
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((5, 3, 3, 3)).astype(np.float32)
+        b = np.zeros(5, dtype=np.float32)
+        out, _ = F.conv2d_forward(x, w, b, stride=1, padding=1)
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_stride_and_padding_shapes(self, rng):
+        x = rng.standard_normal((1, 2, 9, 9)).astype(np.float32)
+        w = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        out, _ = F.conv2d_forward(x, w, None, stride=2, padding=1)
+        assert out.shape == (1, 4, 5, 5)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        with pytest.raises(ValueError):
+            F.conv2d_forward(x, w, None, 1, 0)
+
+    def test_known_value_identity_kernel(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        w = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        w[0, 0, 1, 1] = 1.0  # identity kernel
+        out, _ = F.conv2d_forward(x, w, None, stride=1, padding=1)
+        np.testing.assert_allclose(out, x, atol=1e-6)
+
+    def test_gradients_match_numeric(self, rng):
+        x = rng.standard_normal((2, 2, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(3).astype(np.float32)
+        grad_out = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+
+        def loss():
+            out, _ = F.conv2d_forward(x, w, b, 1, 1)
+            return float((out * grad_out).sum())
+
+        out, cache = F.conv2d_forward(x, w, b, 1, 1)
+        grad_x, grad_w, grad_b = F.conv2d_backward(grad_out, cache)
+        assert np.isclose(grad_w[1, 0, 2, 1], numeric_grad(loss, w, (1, 0, 2, 1)), atol=1e-2)
+        assert np.isclose(grad_x[0, 1, 3, 3], numeric_grad(loss, x, (0, 1, 3, 3)), atol=1e-2)
+        assert np.isclose(grad_b[2], numeric_grad(loss, b, (2,)), atol=1e-2)
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self, rng):
+        x = rng.standard_normal((4, 6)).astype(np.float32)
+        w = rng.standard_normal((3, 6)).astype(np.float32)
+        b = rng.standard_normal(3).astype(np.float32)
+        out, _ = F.linear_forward(x, w, b)
+        np.testing.assert_allclose(out, x @ w.T + b, rtol=1e-5)
+
+    def test_gradients_match_numeric(self, rng):
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        w = rng.standard_normal((4, 5)).astype(np.float32)
+        b = np.zeros(4, dtype=np.float32)
+        grad_out = rng.standard_normal((3, 4)).astype(np.float32)
+
+        def loss():
+            out, _ = F.linear_forward(x, w, b)
+            return float((out * grad_out).sum())
+
+        _, cache = F.linear_forward(x, w, b)
+        grad_x, grad_w, grad_b = F.linear_backward(grad_out, cache)
+        assert np.isclose(grad_w[2, 3], numeric_grad(loss, w, (2, 3)), atol=1e-2)
+        assert np.isclose(grad_x[1, 4], numeric_grad(loss, x, (1, 4)), atol=1e-2)
+
+
+class TestPooling:
+    def test_max_pool_forward_values(self):
+        x = np.array([[[[1, 2, 5, 3],
+                        [4, 0, 1, 2],
+                        [7, 8, 2, 1],
+                        [0, 3, 4, 9]]]], dtype=np.float32)
+        out, _ = F.max_pool2d_forward(x, 2, 2)
+        np.testing.assert_allclose(out[0, 0], [[4, 5], [8, 9]])
+
+    def test_max_pool_backward_routes_to_argmax(self):
+        x = np.array([[[[1, 2], [4, 0]]]], dtype=np.float32)
+        out, cache = F.max_pool2d_forward(x, 2, 2)
+        grad = F.max_pool2d_backward(np.ones_like(out), cache)
+        assert grad[0, 0, 1, 0] == 1.0
+        assert grad[0, 0, 0, 0] == 0.0
+
+    def test_avg_pool_forward_and_backward(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        out, cache = F.avg_pool2d_forward(x, 2, 2)
+        np.testing.assert_allclose(out[0, 0, 0, 0], x[0, 0, :2, :2].mean(), rtol=1e-5)
+        grad = F.avg_pool2d_backward(np.ones_like(out), cache)
+        np.testing.assert_allclose(grad, np.full_like(x, 0.25), rtol=1e-5)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 5, 5)).astype(np.float32)
+        out, shape = F.global_avg_pool_forward(x)
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)), rtol=1e-5)
+        grad = F.global_avg_pool_backward(np.ones_like(out), shape)
+        np.testing.assert_allclose(grad, np.full_like(x, 1.0 / 25), rtol=1e-5)
+
+
+class TestActivationsAndLoss:
+    def test_relu_zeroes_negatives(self):
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        out, mask = F.relu_forward(x)
+        np.testing.assert_allclose(out, [[0.0, 0.0, 2.0]])
+        grad = F.relu_backward(np.ones_like(x), mask)
+        np.testing.assert_allclose(grad, [[0.0, 0.0, 1.0]])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = rng.standard_normal((5, 7)).astype(np.float32) * 10
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), rtol=1e-5)
+        assert (probs >= 0).all()
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = np.array([[20.0, 0.0], [0.0, 20.0]], dtype=np.float32)
+        loss, grad = F.cross_entropy_loss(logits, np.array([0, 1]))
+        assert loss < 1e-6
+        assert grad.shape == logits.shape
+
+    def test_cross_entropy_gradient_numeric(self, rng):
+        logits = rng.standard_normal((4, 3)).astype(np.float32)
+        labels = np.array([0, 2, 1, 1])
+        _, grad = F.cross_entropy_loss(logits, labels)
+        eps = 1e-3
+        index = (2, 1)
+        logits[index] += eps
+        upper, _ = F.cross_entropy_loss(logits, labels)
+        logits[index] -= 2 * eps
+        lower, _ = F.cross_entropy_loss(logits, labels)
+        logits[index] += eps
+        assert np.isclose(grad[index], (upper - lower) / (2 * eps), atol=1e-3)
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self, rng):
+        x = rng.standard_normal((8, 4, 3, 3)).astype(np.float32) * 3 + 1
+        gamma = np.ones(4, dtype=np.float32)
+        beta = np.zeros(4, dtype=np.float32)
+        running_mean = np.zeros(4, dtype=np.float32)
+        running_var = np.ones(4, dtype=np.float32)
+        out, _ = F.batchnorm_forward(x, gamma, beta, running_mean, running_var, training=True)
+        assert abs(float(out.mean())) < 1e-4
+        assert abs(float(out.var()) - 1.0) < 1e-2
+        assert not np.allclose(running_mean, 0.0)
+
+    def test_eval_uses_running_stats(self, rng):
+        x = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        gamma = np.ones(2, dtype=np.float32)
+        beta = np.zeros(2, dtype=np.float32)
+        running_mean = np.full(2, 5.0, dtype=np.float32)
+        running_var = np.full(2, 4.0, dtype=np.float32)
+        out, _ = F.batchnorm_forward(x, gamma, beta, running_mean, running_var, training=False)
+        expected = (x - 5.0) / np.sqrt(4.0 + 1e-5)
+        np.testing.assert_allclose(out, expected, rtol=1e-4)
+
+    def test_backward_gradient_numeric(self, rng):
+        x = rng.standard_normal((6, 3)).astype(np.float32)
+        gamma = rng.standard_normal(3).astype(np.float32)
+        beta = np.zeros(3, dtype=np.float32)
+        rm, rv = np.zeros(3, np.float32), np.ones(3, np.float32)
+        grad_out = rng.standard_normal((6, 3)).astype(np.float32)
+
+        def loss():
+            out, _ = F.batchnorm_forward(x, gamma, beta, rm.copy(), rv.copy(), training=True)
+            return float((out * grad_out).sum())
+
+        _, cache = F.batchnorm_forward(x, gamma, beta, rm.copy(), rv.copy(), training=True)
+        grad_x, grad_gamma, _ = F.batchnorm_backward(grad_out, cache)
+        assert np.isclose(grad_gamma[1], numeric_grad(loss, gamma, (1,)), atol=5e-2)
+        assert np.isclose(grad_x[2, 0], numeric_grad(loss, x, (2, 0)), atol=5e-2)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            F.batchnorm_forward(np.zeros((2, 2, 2)), np.ones(2), np.zeros(2),
+                                np.zeros(2), np.ones(2), training=True)
+
+
+class TestIm2Col:
+    def test_roundtrip_shapes(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        cols, (oh, ow) = F.im2col(x, 3, 1, 1)
+        assert cols.shape == (2 * oh * ow, 3 * 9)
+        back = F.col2im(cols, x.shape, 3, 1, 1)
+        assert back.shape == x.shape
+
+    def test_invalid_output_size_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)

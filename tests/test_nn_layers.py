@@ -1,0 +1,224 @@
+"""Tests for the Layer classes: shapes, parameters, composites, fault hooks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    DepthwiseSeparableConv,
+    Dropout,
+    FireModule,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+    set_layer_injector,
+    set_layer_mode,
+)
+from repro.nn.tensor import DataKind, TensorSpec
+
+
+class RecordingInjector:
+    """Injector stand-in that records loads and can perturb them."""
+
+    def __init__(self, scale=1.0):
+        self.specs = []
+        self.scale = scale
+
+    def apply(self, array, spec):
+        self.specs.append(spec)
+        return array * self.scale
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+class TestConvLinearLayers:
+    def test_conv_forward_backward_shapes(self):
+        layer = Conv2D("c", 3, 8, 3, padding=1, rng=_rng())
+        x = _rng().standard_normal((2, 3, 8, 8)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == layer.output_shape(x.shape)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_conv_without_bias_has_single_parameter(self):
+        layer = Conv2D("c", 3, 4, 3, bias=False, rng=_rng())
+        assert len(layer.parameters()) == 1
+
+    def test_linear_accumulates_gradients(self):
+        layer = Linear("fc", 6, 4, rng=_rng())
+        x = _rng().standard_normal((3, 6)).astype(np.float32)
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(np.ones_like(out))
+        np.testing.assert_allclose(layer.weight.grad, 2 * first, rtol=1e-5)
+
+    def test_parameter_names_are_prefixed(self):
+        layer = Conv2D("stage1.conv", 2, 2, 3, rng=_rng())
+        names = [p.name for p in layer.parameters()]
+        assert names == ["stage1.conv.weight", "stage1.conv.bias"]
+
+
+class TestFaultInjectionHooks:
+    def test_injector_sees_weights_and_ifms(self):
+        layer = Conv2D("c", 2, 3, 3, padding=1, rng=_rng())
+        injector = RecordingInjector()
+        layer.injector = injector
+        x = _rng().standard_normal((1, 2, 6, 6)).astype(np.float32)
+        layer.forward(x)
+        kinds = {spec.kind for spec in injector.specs}
+        names = {spec.name for spec in injector.specs}
+        assert DataKind.WEIGHT in kinds and DataKind.IFM in kinds
+        assert "c.weight" in names and "c.ifm" in names
+
+    def test_injector_perturbation_changes_output(self):
+        layer = Linear("fc", 4, 2, rng=_rng())
+        x = _rng().standard_normal((2, 4)).astype(np.float32)
+        clean = layer.forward(x)
+        layer.injector = RecordingInjector(scale=0.0)
+        corrupted = layer.forward(x)
+        assert not np.allclose(clean, corrupted)
+
+    def test_relu_and_pool_do_not_report_ifms(self):
+        for layer in (ReLU("r"), MaxPool2D("p", 2), Flatten("f"), GlobalAvgPool("g")):
+            assert layer.ifm_spec((1, 2, 4, 4)) is None
+
+    def test_set_layer_injector_reaches_nested_layers(self):
+        block = ResidualBlock("rb", 4, 8, stride=2, rng=_rng())
+        injector = RecordingInjector()
+        set_layer_injector([block], injector)
+        x = _rng().standard_normal((1, 4, 8, 8)).astype(np.float32)
+        block.forward(x)
+        assert any(spec.name.startswith("rb.conv1") for spec in injector.specs)
+        assert any(spec.name.startswith("rb.downsample") for spec in injector.specs)
+
+
+class TestCompositeBlocks:
+    def test_residual_block_identity_shortcut_shape(self):
+        block = ResidualBlock("rb", 8, 8, stride=1, rng=_rng())
+        assert block.shortcut is None
+        x = _rng().standard_normal((2, 8, 6, 6)).astype(np.float32)
+        out = block.forward(x)
+        assert out.shape == (2, 8, 6, 6)
+        grad = block.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_residual_block_downsample_shortcut(self):
+        block = ResidualBlock("rb", 4, 8, stride=2, rng=_rng())
+        assert block.shortcut is not None
+        x = _rng().standard_normal((2, 4, 8, 8)).astype(np.float32)
+        out = block.forward(x)
+        assert out.shape == (2, 8, 4, 4)
+        assert out.shape == block.output_shape(x.shape)
+
+    def test_fire_module_concatenates_expands(self):
+        fire = FireModule("fire", 8, 4, 6, rng=_rng())
+        x = _rng().standard_normal((2, 8, 5, 5)).astype(np.float32)
+        out = fire.forward(x)
+        assert out.shape == (2, 12, 5, 5)
+        grad = fire.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_fire_module_gradient_matches_numeric(self):
+        fire = FireModule("fire", 3, 2, 2, rng=_rng())
+        x = _rng().standard_normal((1, 3, 4, 4)).astype(np.float32)
+        grad_out = _rng().standard_normal((1, 4, 4, 4)).astype(np.float32)
+        fire.forward(x)
+        fire.backward(grad_out)
+        param = fire.expand1.weight
+        analytic = param.grad[0, 0, 0, 0]
+        eps = 1e-3
+        original = param.data[0, 0, 0, 0]
+        param.data[0, 0, 0, 0] = original + eps
+        upper = float((fire.forward(x) * grad_out).sum())
+        param.data[0, 0, 0, 0] = original - eps
+        lower = float((fire.forward(x) * grad_out).sum())
+        param.data[0, 0, 0, 0] = original
+        assert np.isclose(analytic, (upper - lower) / (2 * eps), atol=1e-2)
+
+    def test_depthwise_separable_conv_shapes(self):
+        layer = DepthwiseSeparableConv("dsc", 4, 8, stride=2, rng=_rng())
+        x = _rng().standard_normal((2, 4, 8, 8)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == (2, 8, 4, 4)
+        assert out.shape == layer.output_shape(x.shape)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_sequential_runs_layers_in_order(self):
+        seq = Sequential("s", [Linear("a", 4, 8, rng=_rng()), ReLU("r"),
+                               Linear("b", 8, 2, rng=_rng())])
+        x = _rng().standard_normal((3, 4)).astype(np.float32)
+        out = seq.forward(x)
+        assert out.shape == (3, 2)
+        assert len(seq.parameters()) == 4
+        assert [l.name for l in seq.iter_layers()] == ["a", "r", "b"]
+
+
+class TestModesAndRegularization:
+    def test_dropout_only_active_in_training(self):
+        layer = Dropout("d", rate=0.5, rng=_rng())
+        x = np.ones((4, 100), dtype=np.float32)
+        layer.training = False
+        np.testing.assert_allclose(layer.forward(x), x)
+        layer.training = True
+        out = layer.forward(x)
+        assert (out == 0).any()
+        # Inverted dropout keeps the expected magnitude.
+        assert 0.5 < out.mean() < 1.6
+
+    def test_dropout_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout("d", rate=1.0)
+
+    def test_batchnorm_updates_running_stats_only_in_training(self):
+        layer = BatchNorm2D("bn", 3)
+        x = _rng().standard_normal((4, 3, 5, 5)).astype(np.float32) + 2.0
+        layer.training = False
+        layer.forward(x)
+        np.testing.assert_allclose(layer.running_mean, np.zeros(3))
+        layer.training = True
+        layer.forward(x)
+        assert not np.allclose(layer.running_mean, 0.0)
+
+    def test_set_layer_mode_recurses_into_composites(self):
+        block = ResidualBlock("rb", 4, 4, rng=_rng())
+        fire = FireModule("fire", 4, 2, 2, rng=_rng())
+        set_layer_mode([block, fire], True)
+        assert all(l.training for l in block.iter_layers())
+        assert all(l.training for l in fire.iter_layers())
+        set_layer_mode([block, fire], False)
+        assert not any(l.training for l in block.iter_layers())
+
+
+class TestPoolingLayers:
+    def test_maxpool_shapes(self):
+        layer = MaxPool2D("p", 2)
+        x = _rng().standard_normal((1, 3, 8, 8)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == (1, 3, 4, 4) == layer.output_shape(x.shape)
+        assert layer.backward(np.ones_like(out)).shape == x.shape
+
+    def test_avgpool_with_custom_stride(self):
+        layer = AvgPool2D("p", 3, stride=1)
+        x = _rng().standard_normal((1, 2, 5, 5)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_flatten_roundtrip(self):
+        layer = Flatten("f")
+        x = _rng().standard_normal((2, 3, 4, 4)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == (2, 48)
+        assert layer.backward(out).shape == x.shape

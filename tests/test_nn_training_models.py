@@ -1,0 +1,231 @@
+"""Tests for training (SGD, Trainer), pruning, datasets, metrics and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn.datasets import (
+    Dataset,
+    load_dataset,
+    make_classification_dataset,
+    make_detection_dataset,
+)
+from repro.nn.metrics import detection_map, evaluate, top1_accuracy
+from repro.nn.models import MODEL_SPECS, build_model, build_model_with_dataset, get_spec, list_models
+from repro.nn.pruning import magnitude_prune, sparsity_of
+from repro.nn.training import SGD, Trainer, TrainingConfig
+from repro.nn.tensor import Parameter
+
+
+class TestDatasets:
+    def test_generation_is_deterministic(self):
+        a = make_classification_dataset(seed=5)
+        b = make_classification_dataset(seed=5)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+        np.testing.assert_array_equal(a.val_y, b.val_y)
+
+    def test_different_seeds_differ(self):
+        a = make_classification_dataset(seed=5)
+        b = make_classification_dataset(seed=6)
+        assert not np.allclose(a.train_x, b.train_x)
+
+    def test_shapes_and_labels(self):
+        ds = make_classification_dataset(num_classes=6, channels=3, size=12,
+                                         train_samples=50, val_samples=20)
+        assert ds.train_x.shape == (50, 3, 12, 12)
+        assert ds.val_x.shape == (20, 3, 12, 12)
+        assert set(np.unique(ds.train_y)) <= set(range(6))
+        assert ds.input_shape == (3, 12, 12)
+
+    def test_batches_cover_epoch(self):
+        ds = make_classification_dataset(train_samples=33, val_samples=8)
+        seen = sum(len(y) for _, y in ds.batches(batch_size=10))
+        assert seen == 33
+
+    def test_subsample_validation(self):
+        ds = make_classification_dataset(val_samples=100)
+        sub = ds.subsample_validation(0.25, seed=1)
+        assert len(sub.val_x) == 25
+        assert len(sub.train_x) == len(ds.train_x)
+        with pytest.raises(ValueError):
+            ds.subsample_validation(0.0)
+
+    def test_detection_dataset_encodes_class_and_quadrant(self):
+        ds = make_detection_dataset(num_object_classes=3)
+        assert ds.num_classes == 12
+        assert ds.train_y.max() < 12
+
+    def test_load_dataset_registry(self):
+        assert load_dataset("cifar10").num_classes == 10
+        assert load_dataset("ilsvrc2012").num_classes == 20
+        with pytest.raises(KeyError):
+            load_dataset("not-a-dataset")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", np.zeros((3, 1)), np.zeros(2), np.zeros((2, 1)), np.zeros(2), 2)
+
+
+class TestMetrics:
+    def test_top1_accuracy_perfect_and_chance(self, lenet_trained):
+        network, dataset, _ = lenet_trained
+        accuracy = top1_accuracy(network, dataset.val_x, dataset.val_y)
+        assert 0.0 <= accuracy <= 1.0
+        assert accuracy > 0.5  # the trained analogue is well above chance
+
+    def test_detection_map_partial_credit(self):
+        class FakeNet:
+            def predict(self, x, batch_size=64):
+                # class correct, wrong quadrant for every sample
+                return np.array([1, 5, 9])
+
+        labels = np.array([0, 4, 8])
+        assert detection_map(FakeNet(), np.zeros((3, 1)), labels) == 0.5
+
+    def test_evaluate_rejects_unknown_metric(self, lenet_trained):
+        network, dataset, _ = lenet_trained
+        with pytest.raises(KeyError):
+            evaluate(network, dataset.val_x, dataset.val_y, metric="f1")
+
+    def test_empty_set_rejected(self, lenet_trained):
+        network, dataset, _ = lenet_trained
+        with pytest.raises(ValueError):
+            top1_accuracy(network, dataset.val_x[:0], dataset.val_y[:0])
+
+
+class TestSGDAndTrainer:
+    def test_sgd_moves_against_gradient(self):
+        param = Parameter("w", np.array([1.0, -2.0], dtype=np.float32))
+        param.accumulate_grad(np.array([0.5, -0.5], dtype=np.float32))
+        SGD([param], learning_rate=0.1, momentum=0.0, weight_decay=0.0).step()
+        np.testing.assert_allclose(param.data, [0.95, -1.95], rtol=1e-6)
+
+    def test_momentum_accumulates(self):
+        param = Parameter("w", np.zeros(1, dtype=np.float32))
+        optimizer = SGD([param], learning_rate=1.0, momentum=0.5, weight_decay=0.0)
+        for _ in range(2):
+            param.grad = None
+            param.accumulate_grad(np.ones(1, dtype=np.float32))
+            optimizer.step()
+        # step1: -1, step2: -(1 + 0.5) => total -2.5
+        np.testing.assert_allclose(param.data, [-2.5], rtol=1e-6)
+
+    def test_non_trainable_parameters_are_skipped(self):
+        param = Parameter("w", np.ones(2, dtype=np.float32), trainable=False)
+        param.accumulate_grad(np.ones(2, dtype=np.float32))
+        SGD([param], learning_rate=0.1).step()
+        np.testing.assert_allclose(param.data, np.ones(2))
+
+    def test_training_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(momentum=1.0)
+
+    def test_trainer_improves_over_untrained(self, tiny_dataset):
+        from repro.nn.layers import Conv2D, Flatten, Linear, ReLU
+        from repro.nn.network import Network
+
+        rng = np.random.default_rng(0)
+        net = Network("t", [
+            Conv2D("c", 2, 4, 3, padding=1, rng=rng), ReLU("r"), Flatten("f"),
+            Linear("fc", 4 * 8 * 8, tiny_dataset.num_classes, rng=rng),
+        ], tiny_dataset.input_shape, tiny_dataset.num_classes)
+        before = top1_accuracy(net, tiny_dataset.val_x, tiny_dataset.val_y)
+        history = Trainer(net, tiny_dataset, TrainingConfig(epochs=4, learning_rate=0.02)).fit()
+        assert history.final_score > before
+        assert history.final_score > 0.5
+        assert len(history.losses) == 4
+
+    def test_backward_pass_runs_on_reliable_memory(self, tiny_dataset):
+        """The paper injects errors only in the forward pass: the injector must
+        be detached during backward and restored afterwards."""
+        from repro.nn.layers import Flatten, Linear
+        from repro.nn.network import Network
+
+        events = []
+
+        class PhaseRecorder:
+            def apply(self, array, spec):
+                events.append("load")
+                return array
+
+        rng = np.random.default_rng(0)
+        net = Network("t", [
+            Flatten("f"),
+            Linear("fc", int(np.prod(tiny_dataset.input_shape)), tiny_dataset.num_classes, rng=rng),
+        ], tiny_dataset.input_shape, tiny_dataset.num_classes)
+        injector = PhaseRecorder()
+        net.set_fault_injector(injector)
+        trainer = Trainer(net, tiny_dataset, TrainingConfig(epochs=1, learning_rate=0.01))
+        trainer.fit()
+        assert net.fault_injector is injector  # restored after training
+        assert events  # forward loads went through the injector
+
+
+class TestPruning:
+    def test_prune_reaches_target_sparsity(self, lenet_clone):
+        network, _, _ = lenet_clone
+        report = magnitude_prune(network, 0.5)
+        assert abs(report.achieved_sparsity - 0.5) < 0.05
+        assert sparsity_of(network) == pytest.approx(report.achieved_sparsity)
+
+    def test_prune_zero_keeps_weights(self, lenet_clone):
+        network, _, _ = lenet_clone
+        before = network.state_dict()
+        magnitude_prune(network, 0.0)
+        for name, values in network.state_dict().items():
+            np.testing.assert_array_equal(values, before[name])
+
+    def test_prune_removes_smallest_magnitudes(self, lenet_clone):
+        network, _, _ = lenet_clone
+        magnitude_prune(network, 0.3)
+        for param in network.parameters():
+            if param.data.ndim >= 2:
+                nonzero = np.abs(param.data[param.data != 0])
+                if nonzero.size:
+                    assert nonzero.min() > 0
+
+    def test_prune_rejects_invalid_sparsity(self, lenet_clone):
+        network, _, _ = lenet_clone
+        with pytest.raises(ValueError):
+            magnitude_prune(network, 1.0)
+
+
+class TestModelZoo:
+    def test_registry_matches_paper_table1(self):
+        assert set(list_models()) == {
+            "resnet101", "mobilenetv2", "vgg16", "densenet201", "squeezenet1.1",
+            "alexnet", "yolo", "yolo-tiny", "lenet",
+        }
+
+    def test_get_spec_is_case_insensitive_and_validates(self):
+        assert get_spec("ResNet101").name == "resnet101"
+        with pytest.raises(KeyError):
+            get_spec("resnet152")
+
+    @pytest.mark.parametrize("name", list(MODEL_SPECS))
+    def test_every_model_builds_and_runs_forward(self, name):
+        network, dataset, spec = build_model_with_dataset(name, seed=0)
+        logits = network.forward(dataset.val_x[:2])
+        assert logits.shape == (2, dataset.num_classes)
+        assert network.num_parameters() > 0
+        assert len(network.data_type_specs()) > 0
+
+    def test_parameter_size_ordering_follows_paper(self):
+        sizes = {name: build_model("lenet" if False else name).num_parameters()
+                 for name in ("vgg16", "alexnet", "squeezenet1.1", "lenet")}
+        assert sizes["vgg16"] > sizes["lenet"]
+        assert sizes["alexnet"] > sizes["squeezenet1.1"]
+        assert sizes["squeezenet1.1"] < sizes["lenet"] * 10  # squeezenet stays small
+
+    def test_yolo_models_restrict_precisions(self):
+        assert not get_spec("yolo").supports_int4
+        assert not get_spec("yolo-tiny").supports_int16
+        assert get_spec("resnet101").supports_int4
+
+    def test_training_config_uses_model_metric(self):
+        cfg = get_spec("yolo").training_config(epochs=2)
+        assert cfg.metric == "map"
+        assert cfg.epochs == 2

@@ -1,0 +1,109 @@
+"""Hypothesis property-based tests on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.boosting import ber_ramp_schedule
+from repro.core.config import AccuracyTarget
+from repro.core.correction import CorrectionMode, ImplausibleValueCorrector, ThresholdStore
+from repro.dram.energy import DramEnergyModel, TrafficProfile
+from repro.dram.injection import flip_bits_in_words
+from repro.dram.partitions import operating_point_cost
+from repro.dram.device import DramOperatingPoint
+from repro.dram.voltage import VoltageDomain
+from repro.nn.quantization import bits_to_tensor, tensor_to_bits
+from repro.nn.tensor import DataKind, TensorSpec
+
+settings.register_profile("repro", deadline=None, max_examples=40)
+settings.load_profile("repro")
+
+
+def spec_of(name="t"):
+    return TensorSpec(name=name, kind=DataKind.WEIGHT, shape=(8,), dtype_bits=32, layer_index=0)
+
+
+class TestBitFlipProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=32),
+           st.integers(min_value=0, max_value=2**31))
+    def test_flipping_twice_is_identity(self, words, mask_seed):
+        words = np.asarray(words, dtype=np.uint64)
+        rng = np.random.default_rng(mask_seed)
+        mask = rng.random(words.size * 32) < 0.2
+        once = flip_bits_in_words(words, 32, mask)
+        twice = flip_bits_in_words(once, 32, mask)
+        np.testing.assert_array_equal(twice, words)
+
+    @given(st.lists(st.floats(-50, 50, allow_nan=False, width=32), min_size=1, max_size=32),
+           st.sampled_from([4, 8, 16]))
+    def test_flips_keep_integer_values_representable(self, values, bits):
+        values = np.asarray(values, dtype=np.float32)
+        words, state = tensor_to_bits(values, bits)
+        rng = np.random.default_rng(0)
+        mask = rng.random(words.size * bits) < 0.3
+        corrupted = bits_to_tensor(flip_bits_in_words(words, bits, mask), bits, state)
+        # Any bit pattern decodes to a finite value inside the quantized range.
+        assert np.isfinite(corrupted).all()
+        limit = state.scale * (2 ** (bits - 1)) + 1e-6
+        assert np.abs(corrupted).max() <= limit
+
+
+class TestCorrectionProperties:
+    @given(st.lists(st.one_of(st.floats(-1e6, 1e6, allow_nan=False, width=32), st.just(float("nan"))),
+                    min_size=1, max_size=64))
+    def test_zero_correction_is_idempotent_and_bounded(self, values):
+        store = ThresholdStore(margin=1.0)
+        store.observe("t", np.array([-1.0, 1.0]))
+        corrector = ImplausibleValueCorrector(store, CorrectionMode.ZERO)
+        array = np.asarray(values, dtype=np.float32)
+        once = corrector(array, spec_of("t"))
+        twice = corrector(once, spec_of("t"))
+        np.testing.assert_array_equal(once, twice)
+        assert np.isfinite(once).all()
+        assert np.abs(once).max() <= 1.0 + 1e-6
+
+    @given(st.lists(st.one_of(st.floats(-1e6, 1e6, allow_nan=False, width=32), st.just(float("nan"))),
+                    min_size=1, max_size=64))
+    def test_saturate_correction_stays_in_bounds(self, values):
+        store = ThresholdStore(margin=1.0)
+        store.observe("t", np.array([-2.0, 3.0]))
+        corrector = ImplausibleValueCorrector(store, CorrectionMode.SATURATE)
+        out = corrector(np.asarray(values, dtype=np.float32), spec_of("t"))
+        low, high = store.bounds_for("t")
+        assert (out >= low - 1e-6).all() and (out <= high + 1e-6).all()
+
+
+class TestScheduleAndTargetProperties:
+    @given(st.floats(1e-6, 0.3), st.integers(1, 30), st.integers(1, 5))
+    def test_ramp_schedule_monotone_and_bounded(self, target, epochs, ramp_every):
+        schedule = ber_ramp_schedule(target, epochs, ramp_every)
+        assert len(schedule) == epochs
+        assert all(0.0 <= rate <= target + 1e-12 for rate in schedule)
+        assert all(b >= a - 1e-15 for a, b in zip(schedule, schedule[1:]))
+        assert schedule[-1] == pytest.approx(target)
+
+    @given(st.floats(0.0, 0.2), st.floats(0.01, 1.0))
+    def test_accuracy_target_threshold_consistency(self, drop, baseline):
+        target = AccuracyTarget(max_relative_drop=drop)
+        threshold = target.threshold(baseline)
+        assert threshold <= baseline + 1e-12
+        assert target.is_met(baseline, baseline)
+        assert target.is_met(threshold, baseline)
+
+
+class TestEnergyAndCostProperties:
+    @given(st.floats(1.0, 1.35))
+    def test_energy_monotone_in_voltage(self, vdd):
+        model = DramEnergyModel("DDR4-2400")
+        traffic = TrafficProfile(reads_bytes=1e7, writes_bytes=1e6,
+                                 row_activations=1e5, execution_time_ms=5.0)
+        reduced = model.energy(traffic, voltage=VoltageDomain(vdd=vdd)).total_nj
+        nominal = model.energy(traffic).total_nj
+        assert reduced <= nominal + 1e-6
+
+    @given(st.floats(0.0, 0.35), st.floats(0.0, 10.0))
+    def test_operating_point_cost_decreases_with_reductions(self, delta_vdd, delta_trcd):
+        point = DramOperatingPoint.from_reductions(delta_vdd=delta_vdd,
+                                                   delta_trcd_ns=delta_trcd)
+        nominal_cost = operating_point_cost(DramOperatingPoint.nominal())
+        assert operating_point_cost(point) <= nominal_cost + 1e-12

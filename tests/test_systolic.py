@@ -1,0 +1,207 @@
+"""Unit tests for the systolic-array accelerator simulator (repro.systolic)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.timing import NOMINAL_DDR4_TIMING
+from repro.dram.voltage import VoltageDomain
+from repro.nn.models import build_model_with_dataset
+from repro.systolic import (
+    ALEXNET_LAYER_SHAPES,
+    Dataflow,
+    EYERISS_SYSTOLIC,
+    LayerShape,
+    PAPER_ACCELERATOR_WORKLOADS,
+    SystolicArrayConfig,
+    SystolicSimulator,
+    TPU_SYSTOLIC,
+    YOLO_TINY_LAYER_SHAPES,
+    fold_layer,
+    shapes_from_network,
+)
+
+
+class TestLayerShape:
+    def test_conv_shape_dimensions(self):
+        shape = LayerShape.from_conv("c", in_channels=3, out_channels=64,
+                                     kernel=(3, 3), output_hw=(32, 32))
+        assert shape.rows == 32 * 32
+        assert shape.cols == 64
+        assert shape.inner == 27
+        assert shape.macs == 32 * 32 * 64 * 27
+
+    def test_linear_shape_dimensions(self):
+        shape = LayerShape.from_linear("fc", in_features=512, out_features=10)
+        assert (shape.rows, shape.cols, shape.inner) == (1, 10, 512)
+
+    def test_footprints(self):
+        shape = LayerShape("l", rows=10, cols=4, inner=8)
+        assert shape.ifm_elements == 80
+        assert shape.weight_elements == 32
+        assert shape.ofm_elements == 40
+        assert shape.bytes(10, bits=8) == 10
+        assert shape.bytes(10, bits=4) == 5
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            LayerShape("bad", rows=0, cols=1, inner=1)
+
+    def test_paper_workloads_defined(self):
+        assert set(PAPER_ACCELERATOR_WORKLOADS) == {"alexnet", "yolo-tiny"}
+        assert len(ALEXNET_LAYER_SHAPES) == 8
+        assert len(YOLO_TINY_LAYER_SHAPES) == 10
+
+
+class TestDataflowFolding:
+    def test_from_name(self):
+        assert Dataflow.from_name("ws") is Dataflow.WEIGHT_STATIONARY
+        assert Dataflow.from_name("OUTPUT_STATIONARY") is Dataflow.OUTPUT_STATIONARY
+        with pytest.raises(ValueError):
+            Dataflow.from_name("diagonal")
+
+    def test_layer_fitting_in_array_needs_one_fold(self):
+        shape = LayerShape("s", rows=8, cols=8, inner=16)
+        folds = fold_layer(shape, 16, 16, Dataflow.OUTPUT_STATIONARY)
+        assert folds.total_folds == 1
+        assert folds.compute_cycles == folds.cycles_per_fold
+
+    def test_output_stationary_folds_over_output_tile(self):
+        shape = LayerShape("s", rows=100, cols=30, inner=5)
+        folds = fold_layer(shape, 10, 10, Dataflow.OUTPUT_STATIONARY)
+        assert folds.row_folds == 10
+        assert folds.col_folds == 3
+
+    def test_weight_stationary_folds_over_weight_tile(self):
+        shape = LayerShape("s", rows=100, cols=30, inner=50)
+        folds = fold_layer(shape, 10, 10, Dataflow.WEIGHT_STATIONARY)
+        assert folds.row_folds == 5          # reduction dim / array rows
+        assert folds.col_folds == 3
+
+    def test_bigger_array_never_needs_more_cycles(self):
+        shape = LayerShape("s", rows=200, cols=200, inner=100)
+        small = fold_layer(shape, 8, 8, Dataflow.OUTPUT_STATIONARY)
+        big = fold_layer(shape, 64, 64, Dataflow.OUTPUT_STATIONARY)
+        assert big.compute_cycles <= small.compute_cycles
+
+    def test_invalid_array_rejected(self):
+        with pytest.raises(ValueError):
+            fold_layer(LayerShape("s", 1, 1, 1), 0, 4, Dataflow.OUTPUT_STATIONARY)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows=st.integers(1, 4096), cols=st.integers(1, 512), inner=st.integers(1, 4096),
+           array=st.sampled_from([(12, 14), (32, 32), (256, 256)]),
+           flow=st.sampled_from(list(Dataflow)))
+    def test_folds_cover_the_whole_layer(self, rows, cols, inner, array, flow):
+        shape = LayerShape("h", rows=rows, cols=cols, inner=inner)
+        folds = fold_layer(shape, array[0], array[1], flow)
+        assert folds.total_folds >= 1
+        assert folds.compute_cycles >= max(rows, cols, inner) / max(array)
+        # Enough array passes to produce every output element at least once.
+        if flow is Dataflow.OUTPUT_STATIONARY:
+            assert folds.total_folds * array[0] * array[1] >= rows * cols
+
+
+class TestShapesFromNetwork:
+    def test_lenet_analogue_produces_shapes(self):
+        network, _, _ = build_model_with_dataset("lenet", seed=0)
+        shapes = shapes_from_network(network)
+        assert len(shapes) >= 3
+        assert all(shape.macs > 0 for shape in shapes)
+
+
+class TestSystolicSimulator:
+    def test_presets_match_paper_table6(self):
+        assert EYERISS_SYSTOLIC.array_rows == 12 and EYERISS_SYSTOLIC.array_cols == 14
+        assert EYERISS_SYSTOLIC.sram_bytes == 324 * 1024
+        assert TPU_SYSTOLIC.array_rows == 256 and TPU_SYSTOLIC.array_cols == 256
+        assert TPU_SYSTOLIC.sram_bytes == 24 * 1024 * 1024
+        assert TPU_SYSTOLIC.dataflow is Dataflow.WEIGHT_STATIONARY
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(name="bad", array_rows=0, array_cols=4,
+                                sram_bytes=1024, dataflow=Dataflow.OUTPUT_STATIONARY)
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(name="bad", array_rows=4, array_cols=4,
+                                sram_bytes=0, dataflow=Dataflow.OUTPUT_STATIONARY)
+
+    def test_layer_result_quantities_positive(self):
+        simulator = SystolicSimulator(EYERISS_SYSTOLIC)
+        result = simulator.simulate_layer(ALEXNET_LAYER_SHAPES[0])
+        assert result.compute_cycles > 0
+        assert result.dram_read_bytes > 0
+        assert result.dram_write_bytes > 0
+        assert result.sram_read_bytes >= result.dram_read_bytes * 0  # sanity
+        assert 0.0 < result.utilization <= 1.0
+        assert result.total_cycles == max(result.compute_cycles, result.dram_cycles)
+
+    def test_network_result_aggregates_layers(self):
+        simulator = SystolicSimulator(EYERISS_SYSTOLIC)
+        result = simulator.simulate(ALEXNET_LAYER_SHAPES)
+        assert result.total_cycles == sum(l.total_cycles for l in result.layers)
+        assert result.execution_time_ms > 0
+        assert result.dram_traffic.total_bytes == pytest.approx(
+            result.dram_read_bytes + result.dram_write_bytes)
+
+    def test_dram_reads_cover_model_footprint_once(self):
+        # Weight-stationary TPU fetches AlexNet's int8 weights exactly once.
+        simulator = SystolicSimulator(TPU_SYSTOLIC)
+        result = simulator.simulate(ALEXNET_LAYER_SHAPES)
+        weight_bytes = sum(s.weight_elements for s in ALEXNET_LAYER_SHAPES)
+        assert result.dram_read_bytes >= weight_bytes
+        assert result.dram_read_bytes <= 3 * weight_bytes + sum(
+            s.ifm_elements for s in ALEXNET_LAYER_SHAPES) * 3
+
+    def test_reduced_voltage_cuts_dram_energy_without_slowdown(self):
+        simulator = SystolicSimulator(EYERISS_SYSTOLIC)
+        nominal = simulator.simulate(YOLO_TINY_LAYER_SHAPES)
+        reduced = simulator.simulate(YOLO_TINY_LAYER_SHAPES,
+                                     voltage=VoltageDomain(vdd=1.05))
+        assert reduced.dram_energy_nj() < nominal.dram_energy_nj()
+        assert reduced.total_cycles == nominal.total_cycles
+
+    def test_energy_reduction_in_paper_ballpark(self):
+        # Paper Section 7.2: ~31-34% DRAM energy reduction on Eyeriss/TPU.
+        for config in (EYERISS_SYSTOLIC, TPU_SYSTOLIC):
+            reduction = SystolicSimulator(config).energy_reduction(
+                ALEXNET_LAYER_SHAPES, VoltageDomain(vdd=1.05))
+            assert 0.15 < reduction < 0.45
+
+    def test_trcd_reduction_gives_no_meaningful_speedup(self):
+        # Paper Section 7.2: Eyeriss and TPU exhibit no speedup from reduced tRCD.
+        reduced_timing = NOMINAL_DDR4_TIMING.with_reduced_trcd(5.5)
+        for config in (EYERISS_SYSTOLIC, TPU_SYSTOLIC):
+            speedup = SystolicSimulator(config).speedup_from_trcd(
+                ALEXNET_LAYER_SHAPES, reduced_timing)
+            assert speedup == pytest.approx(1.0, abs=0.02)
+
+    def test_small_sram_forces_more_dram_traffic(self):
+        big = SystolicArrayConfig(name="big", array_rows=12, array_cols=14,
+                                  sram_bytes=32 * 1024 * 1024,
+                                  dataflow=Dataflow.OUTPUT_STATIONARY)
+        small = SystolicArrayConfig(name="small", array_rows=12, array_cols=14,
+                                    sram_bytes=64 * 1024,
+                                    dataflow=Dataflow.OUTPUT_STATIONARY)
+        shapes = ALEXNET_LAYER_SHAPES
+        big_bytes = SystolicSimulator(big).simulate(shapes).dram_read_bytes
+        small_bytes = SystolicSimulator(small).simulate(shapes).dram_read_bytes
+        assert small_bytes > big_bytes
+
+    def test_tpu_faster_than_eyeriss_on_same_workload(self):
+        eyeriss = SystolicSimulator(EYERISS_SYSTOLIC).simulate(YOLO_TINY_LAYER_SHAPES)
+        tpu = SystolicSimulator(TPU_SYSTOLIC).simulate(YOLO_TINY_LAYER_SHAPES)
+        assert tpu.execution_time_ms < eyeriss.execution_time_ms
+
+    def test_lpddr3_interface_lowers_energy_vs_ddr4(self):
+        # Section 7.2 also evaluates an LPDDR3 interface; absolute energy drops.
+        simulator = SystolicSimulator(EYERISS_SYSTOLIC)
+        result = simulator.simulate(YOLO_TINY_LAYER_SHAPES)
+        ddr4 = result.dram_energy_nj("DDR4-2400")
+        lpddr3 = result.dram_energy_nj("LPDDR3-1600")
+        assert lpddr3 < ddr4
+
+    def test_utilization_between_zero_and_one(self):
+        simulator = SystolicSimulator(TPU_SYSTOLIC)
+        result = simulator.simulate(ALEXNET_LAYER_SHAPES + YOLO_TINY_LAYER_SHAPES)
+        assert 0.0 < result.average_utilization <= 1.0
