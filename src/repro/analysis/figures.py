@@ -12,6 +12,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.runner import ExperimentRunner
 from repro.analysis.sweep import accuracy_on_device, ber_sweep, trcd_sweep, voltage_sweep_points
 from repro.core.boosting import curricular_retrain, non_curricular_retrain
 from repro.core.characterization import fine_grained_characterization
@@ -133,12 +134,14 @@ def fig08_error_model_sensitivity(model_name: str = "resnet101",
                                   error_model_ids: Sequence[int] = (0, 1, 2, 3),
                                   epochs: Optional[int] = None,
                                   with_correction: bool = False,
-                                  seed: int = 0) -> Dict:
+                                  seed: int = 0,
+                                  processes: int = 0) -> Dict:
     """{error_model_id: {bits: {BER: accuracy}}} for the baseline (unboosted) DNN.
 
     ``with_correction`` is off by default because Figure 8 studies the *raw*
     error tolerance of the baseline DNNs (Section 6.3), including the accuracy
-    collapse from implausible FP32 values.
+    collapse from implausible FP32 values.  ``processes > 1`` parallelizes
+    each BER sweep over a process pool (identical results, less wall clock).
     """
     spec = get_spec(model_name)
     network, dataset, _ = build_model_with_dataset(model_name, seed=seed)
@@ -150,16 +153,17 @@ def fig08_error_model_sensitivity(model_name: str = "resnet101",
         )
 
     result: Dict[int, Dict[int, Dict[float, float]]] = {}
-    for model_id in error_model_ids:
-        error_model = make_error_model(model_id, 1e-3, seed=seed)
-        result[model_id] = {}
-        for bits in precisions:
-            if bits == 4 and not spec.supports_int4:
-                continue
-            result[model_id][bits] = ber_sweep(
-                network, dataset, error_model, bers, bits=bits,
-                corrector=corrector, metric=spec.metric, seed=seed,
-            )
+    with ExperimentRunner(network, dataset, metric=spec.metric, seed=seed,
+                          processes=processes) as runner:
+        for model_id in error_model_ids:
+            error_model = make_error_model(model_id, 1e-3, seed=seed)
+            result[model_id] = {}
+            for bits in precisions:
+                if bits == 4 and not spec.supports_int4:
+                    continue
+                result[model_id][bits] = runner.ber_sweep(
+                    error_model, bers, bits=bits, corrector=corrector,
+                )
     return result
 
 

@@ -1,0 +1,230 @@
+"""Unified sweep/score engine for every injection experiment.
+
+Before this module existed, :mod:`repro.analysis.sweep`,
+:mod:`repro.core.characterization`, :mod:`repro.core.boosting` and the figure
+benchmarks each carried their own copy of the same loop: install an injector
+on the network, reseed it per repeat, evaluate, average, restore the previous
+injector.  :class:`ExperimentRunner` is that loop, written once, plus the
+things the copies could not share:
+
+* **injector reuse** — one :class:`~repro.dram.injection.BitErrorInjector`
+  (or :class:`~repro.dram.injection.DeviceBackedInjector`) is reused across
+  all points of a sweep; per point only the error model / operating point is
+  swapped and the RNG restarted, which is stream-identical to constructing a
+  fresh injector with that seed;
+* **memoized baseline scores** — the injection-free score of a
+  (network, dataset, metric) triple is computed once per runner;
+* **optional process-pool parallelism** — independent sweep points can be
+  fanned out across worker processes (``processes=N``).  Each point is
+  seeded independently, so parallel results are identical to serial ones.
+
+Seeding conventions differ between the historical call sites (``seed +
+repeat`` in the sweeps and retraining, ``seed + repeat * 101`` in the
+characterization); ``reseed_stride`` preserves each convention so existing
+results stay bit-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.device import ApproximateDram, DramOperatingPoint
+from repro.dram.error_models import ErrorModel
+from repro.dram.injection import BitErrorInjector, Corrector, DeviceBackedInjector
+from repro.nn.datasets import Dataset
+from repro.nn.metrics import evaluate
+from repro.nn.network import Network
+
+#: module-level worker state for process-pool sweeps (set by the initializer
+#: once per worker instead of pickling the network into every task).
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(network: Network, dataset: Dataset, metric: str) -> None:
+    _WORKER_STATE["runner"] = ExperimentRunner(network, dataset, metric=metric)
+
+
+def _worker_ber_point(error_model: ErrorModel, ber: float, bits: int,
+                      corrector: Optional[Corrector], repeats: int, seed: int,
+                      stride: int) -> float:
+    runner: ExperimentRunner = _WORKER_STATE["runner"]
+    return runner._ber_point(error_model, ber, bits, corrector, repeats, seed, stride)
+
+
+class ExperimentRunner:
+    """Scores one network/dataset pair under many injection scenarios."""
+
+    def __init__(self, network: Network, dataset: Dataset, *,
+                 metric: str = "accuracy", seed: int = 0,
+                 repeats: int = 1, reseed_stride: int = 1,
+                 processes: int = 0):
+        self.network = network
+        self.dataset = dataset
+        self.metric = metric
+        self.seed = int(seed)
+        self.repeats = int(repeats)
+        self.reseed_stride = int(reseed_stride)
+        self.processes = int(processes)
+        self._baseline: Optional[float] = None
+        self._pool = None
+        self.stats = {"evaluations": 0, "baseline_evaluations": 0}
+
+    # -- the shared loop ----------------------------------------------------------
+    def baseline(self, dataset: Optional[Dataset] = None) -> float:
+        """Injection-free validation score.
+
+        Memoized only for the runner's own dataset: ad-hoc datasets (e.g.
+        subsamples) are evaluated fresh, and a runner is bound to one network
+        state — retraining the network warrants a new runner.
+        """
+        if dataset is not None and dataset is not self.dataset:
+            return float(evaluate(self.network, dataset.val_x, dataset.val_y,
+                                  metric=self.metric))
+        if self._baseline is None:
+            self.stats["baseline_evaluations"] += 1
+            self._baseline = float(evaluate(self.network, self.dataset.val_x,
+                                            self.dataset.val_y, metric=self.metric))
+        return self._baseline
+
+    def score(self, injector, *, repeats: Optional[int] = None,
+              seed: Optional[int] = None, stride: Optional[int] = None,
+              dataset: Optional[Dataset] = None) -> float:
+        """Mean validation score with ``injector`` installed.
+
+        The injector's RNG is restarted at ``seed + repeat * stride`` before
+        each repeat (injection is stochastic; averaging a few streams tames
+        the noise), and the network's previous injector is always restored.
+        """
+        repeats = self.repeats if repeats is None else int(repeats)
+        seed = self.seed if seed is None else int(seed)
+        stride = self.reseed_stride if stride is None else int(stride)
+        dataset = dataset or self.dataset
+        network = self.network
+        scores: List[float] = []
+        previous = network.fault_injector
+        network.set_fault_injector(injector)
+        try:
+            for repeat in range(repeats):
+                if hasattr(injector, "reseed"):
+                    injector.reseed(seed + repeat * stride)
+                elif hasattr(injector, "_rng"):
+                    injector._rng = np.random.default_rng(seed + repeat * stride)
+                self.stats["evaluations"] += 1
+                scores.append(evaluate(network, dataset.val_x, dataset.val_y,
+                                       metric=self.metric))
+        finally:
+            network.set_fault_injector(previous)
+        return float(np.mean(scores))
+
+    # -- model-driven sweeps ------------------------------------------------------
+    def _ber_point(self, error_model: ErrorModel, ber: float, bits: int,
+                   corrector: Optional[Corrector], repeats: int, seed: int,
+                   stride: int) -> float:
+        injector = BitErrorInjector(error_model.with_ber(ber), bits=bits,
+                                    corrector=corrector, seed=seed)
+        return self.score(injector, repeats=repeats, seed=seed, stride=stride)
+
+    def ber_sweep(self, error_model: ErrorModel, bers: Sequence[float], *,
+                  bits: int = 32, corrector: Optional[Corrector] = None,
+                  repeats: Optional[int] = None, seed: Optional[int] = None,
+                  stride: Optional[int] = None) -> Dict[float, float]:
+        """Score at each bit error rate (the Figure 8/10 x-axis).
+
+        Every point rescales the *base* model to the target BER and restarts
+        the injection stream, so points are order-independent — which is what
+        makes the process-pool fan-out below legal.
+        """
+        repeats = self.repeats if repeats is None else int(repeats)
+        seed = self.seed if seed is None else int(seed)
+        stride = self.reseed_stride if stride is None else int(stride)
+
+        if self.processes > 1 and len(bers) > 1:
+            return self._ber_sweep_parallel(error_model, bers, bits, corrector,
+                                            repeats, seed, stride)
+
+        # Serial path: one injector object, reused across all points.
+        injector = BitErrorInjector(error_model, bits=bits, corrector=corrector,
+                                    seed=seed)
+        results: Dict[float, float] = {}
+        for ber in bers:
+            injector.set_error_model(error_model.with_ber(ber))
+            results[float(ber)] = self.score(injector, repeats=repeats, seed=seed,
+                                             stride=stride)
+        return results
+
+    def _worker_pool(self):
+        """Lazily created, cached process pool (workers hold the network).
+
+        Spinning a pool per sweep would re-pickle the network into every
+        worker for every call; caching pays that once per runner.  The pool
+        is shut down by :meth:`close` / garbage collection / interpreter
+        exit.  Workers snapshot the network at pool creation — a runner (like
+        its serial memoization) is bound to one network state, so mutate or
+        retrain the network and you need a fresh runner.  ``stats`` only
+        counts serial evaluations; worker-side counts stay in the workers.
+        """
+        if self._pool is None:
+            import concurrent.futures
+
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.processes,
+                initializer=_init_worker,
+                initargs=(self.network, self.dataset, self.metric),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ber_sweep_parallel(self, error_model: ErrorModel, bers: Sequence[float],
+                            bits: int, corrector: Optional[Corrector],
+                            repeats: int, seed: int, stride: int) -> Dict[float, float]:
+        pool = self._worker_pool()
+        futures = [
+            pool.submit(_worker_ber_point, error_model, float(ber), bits,
+                        corrector, repeats, seed, stride)
+            for ber in bers
+        ]
+        return {float(ber): future.result() for ber, future in zip(bers, futures)}
+
+    # -- device-backed sweeps -----------------------------------------------------
+    def device_sweep(self, device: ApproximateDram,
+                     op_points: Sequence[DramOperatingPoint], *,
+                     bits: int = 32, corrector: Optional[Corrector] = None,
+                     repeats: Optional[int] = None, seed: Optional[int] = None,
+                     ) -> Dict[DramOperatingPoint, float]:
+        """Score with tensors read from ``device`` at each operating point.
+
+        One :class:`DeviceBackedInjector` serves every point: tensor base
+        addresses are assigned once (deterministically, in load order), so
+        the same weak cells corrupt the same tensor elements at every
+        operating point — matching real-device behaviour and the fresh-
+        injector-per-point results of the historical loop.
+        """
+        seed = self.seed if seed is None else int(seed)
+        repeats = self.repeats if repeats is None else int(repeats)
+        injector = DeviceBackedInjector(device, op_points[0] if op_points else
+                                        DramOperatingPoint.nominal(),
+                                        bits=bits, corrector=corrector, seed=seed)
+        results: Dict[DramOperatingPoint, float] = {}
+        for op_point in op_points:
+            injector.set_operating_point(op_point)
+            results[op_point] = self.score(injector, repeats=repeats, seed=seed)
+        return results

@@ -1,16 +1,19 @@
-"""Parameter sweep utilities shared by figures, examples and benchmarks."""
+"""Parameter sweep utilities shared by figures, examples and benchmarks.
+
+The injection sweeps are thin wrappers over
+:class:`repro.analysis.runner.ExperimentRunner`, which owns the shared
+install/reseed/evaluate/restore loop; only the operating-point constructors
+live here.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-import numpy as np
-
+from repro.analysis.runner import ExperimentRunner
 from repro.dram.device import ApproximateDram, DramOperatingPoint
 from repro.dram.error_models import ErrorModel
-from repro.dram.injection import BitErrorInjector
 from repro.nn.datasets import Dataset
-from repro.nn.metrics import evaluate
 from repro.nn.network import Network
 
 
@@ -41,26 +44,18 @@ def trcd_sweep(device: ApproximateDram,
 def ber_sweep(network: Network, dataset: Dataset, error_model: ErrorModel,
               bers: Sequence[float], bits: int = 32, corrector=None,
               repeats: int = 1, metric: str = "accuracy",
-              seed: int = 0) -> Dict[float, float]:
-    """Accuracy of ``network`` at each bit error rate (the Figure 8/10 x-axis)."""
-    results: Dict[float, float] = {}
-    previous = network.fault_injector
-    try:
-        for ber in bers:
-            scores = []
-            for repeat in range(repeats):
-                injector = BitErrorInjector(
-                    error_model.with_ber(ber), bits=bits, corrector=corrector,
-                    seed=seed + repeat,
-                )
-                network.set_fault_injector(injector)
-                scores.append(
-                    evaluate(network, dataset.val_x, dataset.val_y, metric=metric)
-                )
-            results[float(ber)] = float(np.mean(scores))
-    finally:
-        network.set_fault_injector(previous)
-    return results
+              seed: int = 0, processes: int = 0) -> Dict[float, float]:
+    """Accuracy of ``network`` at each bit error rate (the Figure 8/10 x-axis).
+
+    ``processes > 1`` fans the (independent, independently-seeded) sweep
+    points out over a process pool; results are identical to the serial run.
+    The pool lives only for this call — callers sweeping repeatedly in
+    parallel should hold an :class:`ExperimentRunner`, which caches its pool
+    across sweeps.
+    """
+    with ExperimentRunner(network, dataset, metric=metric, seed=seed,
+                          repeats=repeats, processes=processes) as runner:
+        return runner.ber_sweep(error_model, bers, bits=bits, corrector=corrector)
 
 
 def accuracy_on_device(network: Network, dataset: Dataset, device: ApproximateDram,
@@ -72,18 +67,5 @@ def accuracy_on_device(network: Network, dataset: Dataset, device: ApproximateDr
     Used for the real-DRAM experiments (Figures 7 and 9): every weight/IFM
     load goes through the behavioural device at the given operating point.
     """
-    from repro.dram.injection import DeviceBackedInjector
-
-    results: Dict[DramOperatingPoint, float] = {}
-    previous = network.fault_injector
-    try:
-        for op_point in op_points:
-            injector = DeviceBackedInjector(device, op_point, bits=bits,
-                                            corrector=corrector, seed=seed)
-            network.set_fault_injector(injector)
-            results[op_point] = float(
-                evaluate(network, dataset.val_x, dataset.val_y, metric=metric)
-            )
-    finally:
-        network.set_fault_injector(previous)
-    return results
+    runner = ExperimentRunner(network, dataset, metric=metric, seed=seed)
+    return runner.device_sweep(device, op_points, bits=bits, corrector=corrector)

@@ -22,12 +22,12 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis.runner import ExperimentRunner
 from repro.core.config import EdenConfig
 from repro.core.correction import CorrectionMode, ImplausibleValueCorrector, ThresholdStore
 from repro.dram.error_models import ErrorModel
 from repro.dram.injection import BitErrorInjector
 from repro.nn.datasets import Dataset
-from repro.nn.metrics import evaluate
 from repro.nn.models import get_spec
 from repro.nn.network import Network
 from repro.nn.training import Trainer, TrainingConfig
@@ -115,17 +115,9 @@ def _training_config_for(network: Network, config: EdenConfig, epochs: int) -> T
 def _evaluate_under_injection(network: Network, dataset: Dataset, injector,
                               metric: str, repeats: int, seed: int) -> float:
     """Mean validation score with the injector installed (stochastic injection)."""
-    scores = []
-    previous = network.fault_injector
-    network.set_fault_injector(injector)
-    try:
-        for repeat in range(repeats):
-            if hasattr(injector, "_rng"):
-                injector._rng = np.random.default_rng(seed + repeat)
-            scores.append(evaluate(network, dataset.val_x, dataset.val_y, metric=metric))
-    finally:
-        network.set_fault_injector(previous)
-    return float(np.mean(scores))
+    runner = ExperimentRunner(network, dataset, metric=metric, seed=seed,
+                              repeats=repeats, reseed_stride=1)
+    return runner.score(injector)
 
 
 def _retrain(network: Network, dataset: Dataset, error_model: ErrorModel,

@@ -20,14 +20,17 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis.runner import ExperimentRunner
 from repro.core.config import AccuracyTarget, EdenConfig
 from repro.core.correction import ImplausibleValueCorrector, ThresholdStore
 from repro.dram.error_models import ErrorModel
 from repro.dram.injection import BitErrorInjector
 from repro.nn.datasets import Dataset
-from repro.nn.metrics import evaluate
 from repro.nn.network import Network
 from repro.nn.tensor import DataKind, TensorSpec
+
+#: the characterization historically reseeds repeats at ``seed + repeat * 101``.
+_CHARACTERIZATION_RESEED_STRIDE = 101
 
 
 @dataclass
@@ -71,6 +74,26 @@ class FineCharacterization:
         return max(self.per_tensor_ber.values()) / self.coarse_ber
 
 
+def _validated_runner(runner: Optional[ExperimentRunner], network: Network,
+                      dataset: Dataset, metric: str) -> ExperimentRunner:
+    """Build (or sanity-check) the shared runner for a characterization call.
+
+    A caller-supplied runner must be bound to the same network, dataset and
+    metric — anything else would silently characterize the wrong thing.
+    """
+    if runner is None:
+        return ExperimentRunner(network, dataset, metric=metric)
+    if runner.network is not network or runner.dataset is not dataset:
+        raise ValueError("runner is bound to a different network/dataset than "
+                         "the one being characterized")
+    if runner.metric != metric:
+        raise ValueError(
+            f"runner is bound to metric {runner.metric!r} but characterization "
+            f"was asked for {metric!r}"
+        )
+    return runner
+
+
 def _scored_injector(error_model: ErrorModel, config: EdenConfig,
                      corrector: ImplausibleValueCorrector,
                      per_tensor_ber: Optional[Dict[str, float]] = None,
@@ -81,41 +104,43 @@ def _scored_injector(error_model: ErrorModel, config: EdenConfig,
     )
 
 
-def _score(network: Network, dataset: Dataset, injector, metric: str,
-           repeats: int, seed: int) -> float:
-    scores = []
-    previous = network.fault_injector
-    network.set_fault_injector(injector)
-    try:
-        for repeat in range(repeats):
-            injector._rng = np.random.default_rng(seed + repeat * 101)
-            scores.append(evaluate(network, dataset.val_x, dataset.val_y, metric=metric))
-    finally:
-        network.set_fault_injector(previous)
-    return float(np.mean(scores))
-
-
 def coarse_grained_characterization(network: Network, dataset: Dataset,
                                     error_model: ErrorModel,
                                     target: AccuracyTarget,
                                     config: Optional[EdenConfig] = None,
                                     metric: str = "accuracy",
                                     thresholds: Optional[ThresholdStore] = None,
+                                    runner: Optional[ExperimentRunner] = None,
                                     ) -> CoarseCharacterization:
-    """Logarithmic-scale binary search for the highest uniformly-tolerable BER."""
+    """Logarithmic-scale binary search for the highest uniformly-tolerable BER.
+
+    ``runner`` optionally shares an :class:`ExperimentRunner` (and its
+    memoized baseline) across characterizations; it must be bound to the
+    same ``network`` and ``dataset``.  Seeding conventions are enforced at
+    the call sites, so any runner configuration yields identical results.
+    """
     config = config or EdenConfig()
     thresholds = thresholds or ThresholdStore.from_network(network, dataset.train_x)
     corrector = ImplausibleValueCorrector(thresholds)
 
-    baseline_score = evaluate(network, dataset.val_x, dataset.val_y, metric=metric)
+    runner = _validated_runner(runner, network, dataset, metric)
+    baseline_score = runner.baseline()
     floor = target.threshold(baseline_score)
 
     grid = np.array(config.ber_grid())
     tested: Dict[float, float] = {}
 
+    # One injector serves the whole search; per candidate BER only the model
+    # is swapped and the stream restarted (stream-identical to a fresh one).
+    # Seed/repeat/stride are passed explicitly so any caller-supplied runner
+    # still follows the characterization's historical seeding convention.
+    injector = _scored_injector(error_model, config, corrector)
+
     def score_at(ber: float) -> float:
-        injector = _scored_injector(error_model.with_ber(ber), config, corrector)
-        score = _score(network, dataset, injector, metric, config.evaluation_repeats, config.seed)
+        injector.set_error_model(error_model.with_ber(ber))
+        score = runner.score(injector, repeats=config.evaluation_repeats,
+                             seed=config.seed,
+                             stride=_CHARACTERIZATION_RESEED_STRIDE)
         tested[float(ber)] = score
         return score
 
@@ -151,6 +176,7 @@ def fine_grained_characterization(network: Network, dataset: Dataset,
                                   config: Optional[EdenConfig] = None,
                                   metric: str = "accuracy",
                                   thresholds: Optional[ThresholdStore] = None,
+                                  runner: Optional[ExperimentRunner] = None,
                                   ) -> FineCharacterization:
     """Per-tensor BER sweep, bootstrapped at the coarse-grained BER.
 
@@ -166,9 +192,11 @@ def fine_grained_characterization(network: Network, dataset: Dataset,
 
     if coarse is None:
         coarse = coarse_grained_characterization(
-            network, dataset, error_model, target, config, metric, thresholds
+            network, dataset, error_model, target, config, metric, thresholds, runner
         )
     baseline_score = coarse.baseline_score
+
+    runner = _validated_runner(runner, network, dataset, metric)
 
     specs = network.data_type_specs(dtype_bits=config.bits)
     start_ber = coarse.max_tolerable_ber if coarse.max_tolerable_ber > 0 else config.ber_search_low
@@ -181,11 +209,14 @@ def fine_grained_characterization(network: Network, dataset: Dataset,
     # statistical slack so a single unlucky injection does not freeze the sweep.
     floor = target.threshold(baseline_score) - 1.0 / max(len(eval_dataset.val_y), 1)
 
+    injector = _scored_injector(error_model, config, corrector, seed_offset=7)
+
     def score_with(assignment: Dict[str, float]) -> float:
-        injector = _scored_injector(error_model, config, corrector,
-                                    per_tensor_ber=assignment, seed_offset=7)
-        return _score(network, eval_dataset, injector, metric,
-                      config.evaluation_repeats, config.seed)
+        injector.set_per_tensor_ber(assignment)
+        return runner.score(injector, repeats=config.evaluation_repeats,
+                            seed=config.seed,
+                            stride=_CHARACTERIZATION_RESEED_STRIDE,
+                            dataset=eval_dataset)
 
     sweep_list = [spec.name for spec in specs]
     for _ in range(config.fine_max_rounds):

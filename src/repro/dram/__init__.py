@@ -33,7 +33,12 @@ from repro.dram.error_models import (
 )
 from repro.dram.fitting import fit_error_models, select_error_model
 from repro.dram.profiler import SoftMCProfiler, ProfileResult
-from repro.dram.injection import BitErrorInjector, DeviceBackedInjector
+from repro.dram.injection import (
+    BitErrorInjector,
+    DeviceBackedInjector,
+    inject_bit_errors,
+    inject_bit_errors_reference,
+)
 from repro.dram.energy import DramEnergyModel, TrafficProfile
 from repro.dram.partitions import DramPartition, PartitionTable
 
@@ -59,6 +64,8 @@ __all__ = [
     "ProfileResult",
     "BitErrorInjector",
     "DeviceBackedInjector",
+    "inject_bit_errors",
+    "inject_bit_errors_reference",
     "DramEnergyModel",
     "TrafficProfile",
     "DramPartition",

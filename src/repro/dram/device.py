@@ -21,11 +21,19 @@ module costs no memory and reads of arbitrary addresses are reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.dram.geometry import DramGeometry
+from repro.dram.packed import (
+    _hash_uniform,
+    iter_bit_chunks,
+    make_bit_gather,
+    sample_flip_positions,
+    skip_stream,
+    xor_mask_from_positions,
+)
 from repro.dram.timing import NOMINAL_DDR4_TIMING, TimingParameters
 from repro.dram.vendors import MAX_BER, VendorProfile, get_vendor
 from repro.dram.voltage import NOMINAL_VDD, VoltageDomain
@@ -63,22 +71,6 @@ class DramOperatingPoint:
         return f"VDD={self.vdd:.2f}V, tRCD={self.trcd_ns:.1f}ns"
 
 
-def _splitmix64(values: np.ndarray) -> np.ndarray:
-    """Vectorized splitmix64 mix function: uint64 -> well-mixed uint64."""
-    z = (values + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
-    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-    return z ^ (z >> np.uint64(31))
-
-
-def _hash_uniform(indices: np.ndarray, seed: int, stream: int) -> np.ndarray:
-    """Deterministic per-index uniforms in (0, 1), independent across streams."""
-    indices = np.asarray(indices, dtype=np.uint64)
-    mixed = _splitmix64(indices ^ np.uint64(seed * 0x9E3779B1 + stream * 0x85EBCA77))
-    # 53-bit mantissa keeps the uniform well away from exactly 0 or 1.
-    return (mixed >> np.uint64(11)).astype(np.float64) / float(1 << 53) + 1e-16
-
-
 class ApproximateDram:
     """A DRAM module that can be operated below nominal voltage and latency."""
 
@@ -90,6 +82,9 @@ class ApproximateDram:
         self.seed = int(seed)
         self.nominal_vdd = float(nominal_vdd)
         self.nominal_timing = nominal_timing
+        # per-bank caches of the bitline spatial factors (seed-determined, so
+        # they never invalidate for the lifetime of the device object).
+        self._bitline_factor_cache: Dict[int, np.ndarray] = {}
 
     # -- aggregate behaviour ---------------------------------------------------------
     def expected_ber(self, op_point: DramOperatingPoint, ones_fraction: float = 0.5) -> float:
@@ -160,6 +155,105 @@ class ApproximateDram:
             probabilities += is_weak * np.clip(fail_prob * weights, 0.0, 1.0)
         return np.clip(probabilities, 0.0, 1.0)
 
+    # -- packed read path ---------------------------------------------------------
+    def _bitline_factors(self, bank: int) -> np.ndarray:
+        """Spatial factor of every bitline in ``bank`` (cached; seed-determined)."""
+        cached = self._bitline_factor_cache.get(bank)
+        if cached is None:
+            row_bits = self.geometry.row_size_bits
+            keys = np.uint64(bank) * np.uint64(row_bits) + np.arange(row_bits, dtype=np.uint64)
+            u_b = _hash_uniform(keys, self.seed, stream=11)
+            z_b = np.log(u_b / (1.0 - u_b)) * 0.5513
+            sigma_b = self.vendor.bitline_variation
+            cached = np.exp(sigma_b * z_b - 0.5 * sigma_b ** 2)
+            self._bitline_factor_cache[bank] = cached
+        return cached
+
+    def _wordline_factors(self, wordline_keys: np.ndarray) -> np.ndarray:
+        u_w = _hash_uniform(wordline_keys, self.seed, stream=13)
+        z_w = np.log(u_w / (1.0 - u_w)) * 0.5513
+        sigma_w = self.vendor.wordline_variation
+        return np.exp(sigma_w * z_w - 0.5 * sigma_w ** 2)
+
+    def _spatial_from_tables(self, bit_addresses: np.ndarray) -> np.ndarray:
+        """Per-bit spatial multipliers via per-bitline / per-wordline tables.
+
+        The elementwise :meth:`_spatial_multipliers` recomputes the same
+        ``exp(log(...))`` for every bit on a bitline; here each unique
+        bitline/wordline factor is computed once and gathered, producing
+        bit-identical float64 products.
+        """
+        geometry = self.geometry
+        row_bits = geometry.row_size_bits
+        bank_bits = geometry.bank_size_bytes * 8
+        bank = bit_addresses // np.uint64(bank_bits)
+        within_bank = bit_addresses % np.uint64(bank_bits)
+        row = within_bank // np.uint64(row_bits)
+        bitline = within_bank % np.uint64(row_bits)
+        out = np.empty(bit_addresses.size, dtype=np.float64)
+        for bank_id in np.unique(bank):
+            selector = bank == bank_id
+            bitline_factors = self._bitline_factors(int(bank_id))
+            unique_rows, inverse = np.unique(row[selector], return_inverse=True)
+            wordline_keys = np.uint64(int(bank_id) * geometry.rows_per_bank) + unique_rows
+            row_factors = self._wordline_factors(wordline_keys)
+            out[selector] = bitline_factors[bitline[selector]] * row_factors[inverse]
+        return out
+
+    def _flip_positions(self, num_bits: int, start_bit_address: int,
+                        op_point: DramOperatingPoint, rng: np.random.Generator,
+                        bit_at: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        """Flat positions (relative to the run start) of bits that flip on one read.
+
+        Stream-exact replacement for ``rng.random(n) < flip_probabilities(...)``:
+        candidate bits (non-zero flip probability) are found chunk by chunk,
+        the stored value is gathered only at candidates via ``bit_at``, and
+        uniforms are drawn through :func:`sample_flip_positions` so the RNG
+        ends in the same state as a dense draw over all ``num_bits``.
+        """
+        vendor = self.vendor
+        fail_prob = vendor.weak_cell_failure_probability
+        v_ber = vendor.voltage_ber(op_point.vdd, self.nominal_vdd)
+        t_ber = vendor.trcd_ber(op_point.trcd_ns, self.nominal_timing.trcd_ns)
+        mechanisms = [(mechanism, ber, stream)
+                      for mechanism, ber, stream in (("voltage", v_ber, 1), ("trcd", t_ber, 2))
+                      if ber > 0.0]
+        if not mechanisms:
+            skip_stream(rng, num_bits)
+            return np.empty(0, dtype=np.int64)
+
+        position_chunks, probability_chunks = [], []
+        for start, stop in iter_bit_chunks(num_bits):
+            addresses = np.arange(start_bit_address + start, start_bit_address + stop,
+                                  dtype=np.uint64)
+            spatial = self._spatial_from_tables(addresses)
+            weak_masks = []
+            for _, ber, stream in mechanisms:
+                weak_fraction = np.clip(ber / fail_prob * spatial, 0.0, 1.0)
+                weakness = _hash_uniform(addresses, self.seed, stream=stream)
+                weak_masks.append(weakness < weak_fraction)
+            candidate = weak_masks[0]
+            for mask in weak_masks[1:]:
+                candidate = candidate | mask
+            offsets = np.nonzero(candidate)[0]
+            if offsets.size == 0:
+                continue
+            chunk_positions = offsets.astype(np.int64) + start
+            stored = bit_at(chunk_positions)
+            probabilities = np.zeros(offsets.size, dtype=np.float64)
+            for weak, (mechanism, _, _) in zip(weak_masks, mechanisms):
+                weights = vendor.flip_weight(stored, mechanism)
+                probabilities += weak[offsets] * np.clip(fail_prob * weights, 0.0, 1.0)
+            position_chunks.append(chunk_positions)
+            probability_chunks.append(probabilities)
+
+        if not position_chunks:
+            skip_stream(rng, num_bits)
+            return np.empty(0, dtype=np.int64)
+        positions = np.concatenate(position_chunks)
+        probabilities = np.concatenate(probability_chunks)
+        return sample_flip_positions(rng, num_bits, positions, probabilities)
+
     def read_bits(self, stored_bits: np.ndarray, start_bit_address: int,
                   op_point: DramOperatingPoint,
                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
@@ -177,10 +271,35 @@ class ApproximateDram:
                 f"read of {stored_bits.size} bits at {start_bit_address} exceeds module capacity"
             )
         rng = rng or np.random.default_rng(self.seed)
-        addresses = np.arange(start_bit_address, end, dtype=np.uint64)
-        probabilities = self.flip_probabilities(addresses, stored_bits, op_point)
-        flips = rng.random(stored_bits.shape) < probabilities
-        return np.logical_xor(stored_bits, flips)
+        flips = self._flip_positions(stored_bits.size, start_bit_address, op_point, rng,
+                                     lambda positions: stored_bits[positions])
+        observed = stored_bits.copy()
+        if flips.size:
+            observed[flips] ^= True
+        return observed
+
+    def read_words(self, words: np.ndarray, bits_per_word: int, start_bit_address: int,
+                   op_point: DramOperatingPoint,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Read packed words (``bits_per_word`` stored bits each), applying flips.
+
+        The packed equivalent of :meth:`read_bits`: word ``w``'s bit ``j``
+        (LSB-first) lives at bit address ``start_bit_address + w*bits_per_word
+        + j``.  Bit-exact with expanding the words to booleans and calling
+        :meth:`read_bits` under the same RNG state.
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        if start_bit_address < 0:
+            raise ValueError("start_bit_address must be non-negative")
+        num_bits = words.size * bits_per_word
+        if start_bit_address + num_bits > self.geometry.capacity_bits:
+            raise ValueError(
+                f"read of {num_bits} bits at {start_bit_address} exceeds module capacity"
+            )
+        rng = rng or np.random.default_rng(self.seed)
+        flips = self._flip_positions(num_bits, start_bit_address, op_point, rng,
+                                     make_bit_gather(words, bits_per_word))
+        return words ^ xor_mask_from_positions(flips, words.size, bits_per_word)
 
     # -- partition-level aggregate behaviour --------------------------------------------
     def partition_ber(self, op_point: DramOperatingPoint, bank: int,

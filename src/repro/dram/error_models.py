@@ -28,11 +28,24 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.dram.device import _hash_uniform
+from repro.dram.packed import (
+    _hash_uniform,
+    hash_keys,
+    make_bit_gather,
+    sample_flip_positions,
+    scan_weak_positions,
+    uniform_threshold,
+    xor_mask_from_positions,
+)
+
+#: gathers stored bits: flat bit positions -> bool array of the bits' values.
+#: Models whose failure probability is data-dependent call this only at their
+#: (sparse) weak-cell positions.
+BitGather = Callable[[np.ndarray], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -62,14 +75,26 @@ class DramLayout:
         return wordline, bitline
 
 
+#: per-entry and per-model bounds on the weak-position cache (positions are
+#: int64; 1M entries is 8 MB — plenty for every tensor in the model zoo).
+_MAX_CACHED_POSITIONS = 1 << 20
+_MAX_CACHE_ENTRIES = 32
+
+
 class ErrorModel:
-    """Base class: per-bit flip probabilities + sampling + rescaling."""
+    """Base class: per-bit flip probabilities + sampling + rescaling.
+
+    Models are treated as immutable after construction (rescaling goes
+    through :meth:`with_ber`, which returns a new instance) — the packed
+    engine relies on this to cache weak-cell positions per tensor geometry.
+    """
 
     #: integer id matching the paper's numbering (0..3)
     model_id: int = -1
 
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
+        self._position_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
 
     # -- interface ---------------------------------------------------------------
     def flip_probabilities(self, stored_bits: np.ndarray, layout: DramLayout) -> np.ndarray:
@@ -85,12 +110,77 @@ class ErrorModel:
     def parameters(self) -> Dict[str, float]:
         raise NotImplementedError  # pragma: no cover - abstract
 
+    def _weak_positions(self, num_bits: int, layout: DramLayout) -> np.ndarray:
+        """Flat positions of the model's deterministic weak cells.
+
+        Subclasses locate them with pure integer hash-key compares (see
+        :func:`repro.dram.packed.uniform_threshold`).  Data-independent, so
+        the base class caches the result per tensor geometry.
+        """
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _failure_probabilities(self, positions: np.ndarray,
+                               bit_at: BitGather) -> np.ndarray:
+        """Per-access failure probability at each weak position.
+
+        Data-dependent models gather the stored bits via ``bit_at`` (only at
+        the sparse weak positions); the default is undefined.
+        """
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _packed_candidates(self, num_bits: int, layout: DramLayout,
+                           bit_at: BitGather) -> Tuple[np.ndarray, np.ndarray]:
+        """(positions, probabilities) of every bit with a non-zero flip chance.
+
+        Weak positions are deterministic per (model, tensor size, layout), so
+        repeated loads of same-geometry tensors — every batch of every sweep
+        point — reuse the cached scan and only the (cheap, possibly
+        data-dependent) probability gather runs per load.
+        """
+        key = (num_bits, layout.row_size_bits, layout.start_bit)
+        positions = self._position_cache.get(key)
+        if positions is None:
+            positions = self._weak_positions(num_bits, layout)
+            if positions.size <= _MAX_CACHED_POSITIONS:
+                if len(self._position_cache) >= _MAX_CACHE_ENTRIES:
+                    # FIFO-evict one entry; clearing wholesale would thrash
+                    # once a network's load geometries exceed the capacity.
+                    self._position_cache.pop(next(iter(self._position_cache)))
+                self._position_cache[key] = positions
+        return positions, self._failure_probabilities(positions, bit_at)
+
     # -- shared helpers ------------------------------------------------------------
     def flip_mask(self, stored_bits: np.ndarray, layout: DramLayout,
                   rng: np.random.Generator) -> np.ndarray:
         """Sample a boolean flip mask for one access of ``stored_bits``."""
         probabilities = self.flip_probabilities(stored_bits, layout)
         return rng.random(stored_bits.shape) < probabilities
+
+    def flip_word_mask(self, words: np.ndarray, bits_per_word: int, layout: DramLayout,
+                       rng: np.random.Generator) -> np.ndarray:
+        """Sample a packed uint64 XOR mask for one access of ``words``.
+
+        Word ``w``'s bit ``j`` (LSB-first) is flat bit ``w*bits_per_word + j``
+        — the same convention :func:`repro.dram.injection.flip_bits_in_words`
+        uses.  For a fixed RNG state the mask is bit-exact with
+        :meth:`flip_mask` on the boolean expansion of ``words``, and the RNG
+        is left in the same state, but no per-bit boolean or probability
+        arrays are ever materialized and uniforms are only drawn at weak
+        cells.
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        num_bits = words.size * bits_per_word
+        bit_at = make_bit_gather(words, bits_per_word)
+        try:
+            positions, probabilities = self._packed_candidates(num_bits, layout, bit_at)
+        except NotImplementedError:
+            # Subclasses written against the original contract (only
+            # flip_probabilities) still work, at boolean-expansion speed.
+            stored_bits = bit_at(np.arange(num_bits, dtype=np.int64))
+            flips = np.nonzero(self.flip_mask(stored_bits, layout, rng))[0]
+            return xor_mask_from_positions(flips, words.size, bits_per_word)
+        flips = sample_flip_positions(rng, num_bits, positions, probabilities)
+        return xor_mask_from_positions(flips, words.size, bits_per_word)
 
     def name(self) -> str:
         return f"ErrorModel{self.model_id}"
@@ -102,6 +192,30 @@ class ErrorModel:
 
 def _clip_probability(value: float) -> float:
     return float(np.clip(value, 0.0, 1.0))
+
+
+def _grouped_weak_positions(num_bits: int, layout: DramLayout, seed: int, *,
+                            by_wordline: bool, group_stream: int, cell_stream: int,
+                            group_fraction: float, fraction_on_weak: float,
+                            fraction_on_normal: float) -> np.ndarray:
+    """Weak-cell scan shared by the bitline- and wordline-clustered models.
+
+    A cell's weakness threshold depends on whether its group (bitline or
+    wordline, i.e. absolute index modulo / divided by the row length) hashed
+    below the group fraction.
+    """
+    group_threshold = uniform_threshold(group_fraction)
+    on_weak = np.uint64(uniform_threshold(fraction_on_weak))
+    on_normal = np.uint64(uniform_threshold(fraction_on_normal))
+    row_bits = np.uint64(layout.row_size_bits)
+
+    def weak_in_chunk(absolute: np.ndarray) -> np.ndarray:
+        group_key = absolute // row_bits if by_wordline else absolute % row_bits
+        weak_group = hash_keys(group_key, seed, stream=group_stream) < group_threshold
+        cell_threshold = np.where(weak_group, on_weak, on_normal)
+        return hash_keys(absolute, seed, stream=cell_stream) < cell_threshold
+
+    return scan_weak_positions(num_bits, layout.start_bit, weak_in_chunk)
 
 
 def _rescale_grouped(group_fraction: float, p_weak: float, p_normal: float,
@@ -147,6 +261,17 @@ class UniformErrorModel(ErrorModel):
         weakness = _hash_uniform(indices, self.seed, stream=101)
         weak = weakness < self.weak_cell_fraction
         return (weak * self.failure_probability).reshape(stored_bits.shape)
+
+    def _weak_positions(self, num_bits: int, layout: DramLayout) -> np.ndarray:
+        threshold = uniform_threshold(self.weak_cell_fraction)
+        return scan_weak_positions(
+            num_bits, layout.start_bit,
+            lambda absolute: hash_keys(absolute, self.seed, stream=101) < threshold,
+        )
+
+    def _failure_probabilities(self, positions: np.ndarray,
+                               bit_at: BitGather) -> np.ndarray:
+        return np.full(positions.size, self.failure_probability)
 
     def expected_ber(self, ones_fraction: float = 0.5) -> float:
         return self.weak_cell_fraction * self.failure_probability
@@ -196,6 +321,19 @@ class BitlineErrorModel(ErrorModel):
         weakness = _hash_uniform(indices, self.seed, stream=202)
         weak = weakness < weak_fraction
         return (weak * self.failure_probability).reshape(stored_bits.shape)
+
+    def _weak_positions(self, num_bits: int, layout: DramLayout) -> np.ndarray:
+        return _grouped_weak_positions(
+            num_bits, layout, self.seed, by_wordline=False,
+            group_stream=201, cell_stream=202,
+            group_fraction=self.weak_bitline_fraction,
+            fraction_on_weak=self.weak_cell_fraction_on_weak,
+            fraction_on_normal=self.weak_cell_fraction_on_normal,
+        )
+
+    def _failure_probabilities(self, positions: np.ndarray,
+                               bit_at: BitGather) -> np.ndarray:
+        return np.full(positions.size, self.failure_probability)
 
     def expected_ber(self, ones_fraction: float = 0.5) -> float:
         mean_weak = (
@@ -254,6 +392,19 @@ class WordlineErrorModel(ErrorModel):
         weak = cell_weakness < weak_fraction
         return (weak * self.failure_probability).reshape(stored_bits.shape)
 
+    def _weak_positions(self, num_bits: int, layout: DramLayout) -> np.ndarray:
+        return _grouped_weak_positions(
+            num_bits, layout, self.seed, by_wordline=True,
+            group_stream=301, cell_stream=302,
+            group_fraction=self.weak_wordline_fraction,
+            fraction_on_weak=self.weak_cell_fraction_on_weak,
+            fraction_on_normal=self.weak_cell_fraction_on_normal,
+        )
+
+    def _failure_probabilities(self, positions: np.ndarray,
+                               bit_at: BitGather) -> np.ndarray:
+        return np.full(positions.size, self.failure_probability)
+
     def expected_ber(self, ones_fraction: float = 0.5) -> float:
         mean_weak = (
             self.weak_wordline_fraction * self.weak_cell_fraction_on_weak
@@ -305,6 +456,20 @@ class DataDependentErrorModel(ErrorModel):
         failure = np.where(stored_bits, self.failure_probability_one,
                            self.failure_probability_zero)
         return weak * failure
+
+    def _weak_positions(self, num_bits: int, layout: DramLayout) -> np.ndarray:
+        threshold = uniform_threshold(self.weak_cell_fraction)
+        return scan_weak_positions(
+            num_bits, layout.start_bit,
+            lambda absolute: hash_keys(absolute, self.seed, stream=401) < threshold,
+        )
+
+    def _failure_probabilities(self, positions: np.ndarray,
+                               bit_at: BitGather) -> np.ndarray:
+        # Data-dependent: gather the stored bit at each weak cell per load.
+        stored = bit_at(positions)
+        return np.where(stored, self.failure_probability_one,
+                        self.failure_probability_zero)
 
     def expected_ber(self, ones_fraction: float = 0.5) -> float:
         mean_failure = (

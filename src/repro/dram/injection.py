@@ -17,11 +17,17 @@ with an ``apply(array, spec)`` method installed on a
 
 Both understand the numeric precision of the stored tensor: integers are
 flipped in their two's-complement codes, FP32 values in their IEEE-754 words.
+
+The hot path is *packed*: error models emit sparse flip positions / packed
+XOR masks directly (:meth:`~repro.dram.error_models.ErrorModel.flip_word_mask`,
+:meth:`~repro.dram.device.ApproximateDram.read_words`), so no per-bit boolean
+arrays are ever materialized.  For a fixed seed the results are bit-exact
+with the original boolean expansion, which survives as
+:func:`inject_bit_errors_reference` for property tests and benchmarking.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -53,6 +59,22 @@ def inject_bit_errors(values: np.ndarray, bits: int, error_model: ErrorModel,
     """Flip bits of ``values`` (stored at ``bits`` precision) per ``error_model``."""
     values = np.asarray(values, dtype=np.float32)
     original_shape = values.shape
+    words, codec_state = tensor_to_bits(values.ravel(), bits)
+    xor_mask = error_model.flip_word_mask(words, bits, layout, rng)
+    corrupted = bits_to_tensor(words ^ xor_mask, bits, codec_state)
+    return corrupted.reshape(original_shape)
+
+
+def inject_bit_errors_reference(values: np.ndarray, bits: int, error_model: ErrorModel,
+                                layout: DramLayout, rng: np.random.Generator) -> np.ndarray:
+    """The original boolean-expansion injection path (32x memory blowup).
+
+    Kept as the ground truth the packed engine is verified against: for the
+    same RNG state, :func:`inject_bit_errors` must return the same corrupted
+    tensor and leave ``rng`` in the same state.
+    """
+    values = np.asarray(values, dtype=np.float32)
+    original_shape = values.shape
     flat = values.ravel()
     words, codec_state = tensor_to_bits(flat, bits)
     stored_bits = ((words[:, None] >> np.arange(bits, dtype=np.uint64)) & np.uint64(1)).astype(bool)
@@ -60,6 +82,10 @@ def inject_bit_errors(values: np.ndarray, bits: int, error_model: ErrorModel,
     corrupted_words = flip_bits_in_words(words, bits, flip_mask)
     corrupted = bits_to_tensor(corrupted_words, bits, codec_state)
     return corrupted.reshape(original_shape)
+
+
+def _new_stats() -> Dict[str, int]:
+    return {"loads": 0, "values_loaded": 0}
 
 
 class BitErrorInjector:
@@ -95,7 +121,7 @@ class BitErrorInjector:
         self.enabled = True
         self._rng = np.random.default_rng(seed)
         self._model_cache: Dict[float, ErrorModel] = {}
-        self.stats = {"loads": 0, "values_loaded": 0}
+        self.stats = _new_stats()
 
     # -- configuration -----------------------------------------------------------
     def set_error_model(self, error_model: ErrorModel) -> None:
@@ -105,6 +131,18 @@ class BitErrorInjector:
     def set_global_ber(self, ber: float) -> None:
         """Rescale the default model to a new aggregate BER (curricular ramp)."""
         self.set_error_model(self.error_model.with_ber(ber))
+
+    def set_per_tensor_ber(self, per_tensor_ber: Dict[str, float]) -> None:
+        """Swap the per-tensor BER overrides (fine-grained sweep).
+
+        The derived-model cache is keyed by BER against the unchanged base
+        model, so previously derived models stay valid across assignments.
+        """
+        self.per_tensor_ber = dict(per_tensor_ber)
+
+    def reseed(self, seed: int) -> None:
+        """Restart the injection RNG stream (per-repeat determinism)."""
+        self._rng = np.random.default_rng(seed)
 
     def _model_for(self, spec: TensorSpec) -> ErrorModel:
         ber = self.per_tensor_ber.get(spec.name)
@@ -126,9 +164,7 @@ class BitErrorInjector:
         if model.expected_ber() <= 0.0:
             out = array
         else:
-            layout = DramLayout(row_size_bits=self.layout.row_size_bits,
-                                start_bit=self.layout.start_bit)
-            out = inject_bit_errors(array, self.bits, model, layout, self._rng)
+            out = inject_bit_errors(array, self.bits, model, self.layout, self._rng)
         if self.corrector is not None:
             out = self.corrector(out, spec)
         return out
@@ -155,9 +191,14 @@ class DeviceBackedInjector:
         self._rng = np.random.default_rng(seed)
         self._addresses: Dict[str, int] = {}
         self._next_bit = bank * device.geometry.bank_size_bytes * 8
+        self.stats = _new_stats()
 
     def set_operating_point(self, op_point: DramOperatingPoint) -> None:
         self.op_point = op_point
+
+    def reseed(self, seed: int) -> None:
+        """Restart the injection RNG stream (per-repeat determinism)."""
+        self._rng = np.random.default_rng(seed)
 
     def _address_of(self, spec: TensorSpec) -> int:
         address = self._addresses.get(spec.name)
@@ -174,19 +215,16 @@ class DeviceBackedInjector:
         return address
 
     def apply(self, array: np.ndarray, spec: TensorSpec) -> np.ndarray:
+        self.stats["loads"] += 1
+        self.stats["values_loaded"] += int(np.asarray(array).size)
         if not self.enabled:
             return array
         values = np.asarray(array, dtype=np.float32)
-        flat = values.ravel()
-        words, codec_state = tensor_to_bits(flat, self.bits)
-        stored_bits = (
-            (words[:, None] >> np.arange(self.bits, dtype=np.uint64)) & np.uint64(1)
-        ).astype(bool).ravel()
+        words, codec_state = tensor_to_bits(values.ravel(), self.bits)
         address = self._address_of(spec)
-        read_back = self.device.read_bits(stored_bits, address, self.op_point, rng=self._rng)
-        flips = read_back != stored_bits
-        corrupted_words = flip_bits_in_words(words, self.bits, flips)
-        out = bits_to_tensor(corrupted_words, self.bits, codec_state).reshape(values.shape)
+        read_back = self.device.read_words(words, self.bits, address, self.op_point,
+                                           rng=self._rng)
+        out = bits_to_tensor(read_back, self.bits, codec_state).reshape(values.shape)
         if self.corrector is not None:
             out = self.corrector(out, spec)
         return out

@@ -1,0 +1,222 @@
+"""Packed-word primitives shared by the error models and the device model.
+
+The original injection path expanded every tensor into a per-bit boolean
+array (a 32x memory blowup for FP32), drew one uniform per bit, and folded
+the resulting boolean flip mask back into words.  This module provides the
+building blocks of the packed replacement, which never materializes per-bit
+booleans and — crucially — is *bit-exact* with the boolean path for a fixed
+RNG seed:
+
+* the per-cell "weakness" uniforms are deterministic counter-based hashes, so
+  the set of bits with a non-zero flip probability (the *candidates*) can be
+  found with pure integer compares, chunk by chunk (:func:`hash_keys`,
+  :func:`uniform_threshold`);
+* the legacy path consumed exactly one ``rng.random()`` draw per stored bit.
+  PCG64 consumes one state step per double, and ``BitGenerator.advance``
+  skips steps without generating, so :func:`sample_flip_positions` draws
+  uniforms *only at candidate positions* while advancing the stream over all
+  other bits — the surviving draws (and therefore the flips) are identical to
+  what the dense path would have produced;
+* flips are applied as sparse XORs straight into the packed words
+  (:func:`xor_mask_from_positions`).
+
+Everything here is layout-agnostic: callers hand in flat bit indices and get
+back flat flip positions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Tuple
+
+import numpy as np
+
+#: bits processed per chunk while scanning for weak cells.  A multiple of
+#: every supported word width (4/8/16/32/64) so chunk edges never split a
+#: word.  Kept module-level so tests can shrink it to exercise chunk seams.
+CHUNK_BITS = 1 << 20
+
+#: above this candidate count (relative to the total bits) the per-candidate
+#: ``advance`` loop loses to drawing the uniforms densely in chunks.
+SPARSE_DENSITY_CUTOFF = 256
+
+_MANTISSA_SCALE = float(1 << 53)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 mix function: uint64 -> well-mixed uint64."""
+    z = (values + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def hash_keys(indices: np.ndarray, seed: int, stream: int) -> np.ndarray:
+    """53-bit integer hash keys underlying :func:`_hash_uniform`.
+
+    ``_hash_uniform`` maps these keys to floats via ``k / 2**53 + 1e-16``;
+    comparing keys against :func:`uniform_threshold` reproduces the float
+    comparison exactly without ever leaving the integer domain.  The mixing
+    is value-identical to :func:`_splitmix64` but runs in-place on two
+    buffers — this scan dominates the packed hot path.
+    """
+    indices = np.asarray(indices, dtype=np.uint64)
+    z = indices ^ np.uint64(seed * 0x9E3779B1 + stream * 0x85EBCA77)
+    z += np.uint64(0x9E3779B97F4A7C15)
+    shifted = z >> np.uint64(30)
+    z ^= shifted
+    z *= np.uint64(0xBF58476D1CE4E5B9)
+    np.right_shift(z, np.uint64(27), out=shifted)
+    z ^= shifted
+    z *= np.uint64(0x94D049BB133111EB)
+    np.right_shift(z, np.uint64(31), out=shifted)
+    z ^= shifted
+    z >>= np.uint64(11)
+    return z
+
+
+def _hash_uniform(indices: np.ndarray, seed: int, stream: int) -> np.ndarray:
+    """Deterministic per-index uniforms in (0, 1), independent across streams."""
+    # 53-bit mantissa keeps the uniform well away from exactly 0 or 1.
+    return hash_keys(indices, seed, stream).astype(np.float64) / _MANTISSA_SCALE + 1e-16
+
+
+def uniform_threshold(fraction: float) -> int:
+    """Smallest key ``k`` whose hashed uniform is >= ``fraction``.
+
+    A hashed cell is "weak" iff ``_hash_uniform < fraction``, i.e. iff its
+    :func:`hash_keys` value is strictly below this threshold.  The search
+    evaluates the same float expression ``_hash_uniform`` uses, so the
+    integer compare is exact — including the additive 1e-16 and any rounding
+    at the top of the range.
+    """
+    lo, hi = 0, 1 << 53
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if float(mid) / _MANTISSA_SCALE + 1e-16 >= fraction:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def iter_bit_chunks(num_bits: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` chunk bounds covering ``[0, num_bits)``."""
+    for start in range(0, num_bits, CHUNK_BITS):
+        yield start, min(start + CHUNK_BITS, num_bits)
+
+
+def scan_weak_positions(num_bits: int, start_bit: int,
+                        weak_in_chunk: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+    """Flat positions in ``[0, num_bits)`` whose cells are weak.
+
+    ``weak_in_chunk`` maps a chunk of *absolute* bit indices (tensor-relative
+    index plus ``start_bit``, the hash domain every error model keys on) to a
+    boolean weakness mask.  The chunked scan bounds peak memory regardless of
+    tensor size.
+    """
+    chunks = []
+    for start, stop in iter_bit_chunks(num_bits):
+        absolute = np.arange(start, stop, dtype=np.uint64) + np.uint64(start_bit)
+        weak = np.nonzero(weak_in_chunk(absolute))[0]
+        if weak.size:
+            chunks.append(weak.astype(np.int64) + start)
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(chunks)
+
+
+def make_bit_gather(words: np.ndarray, bits_per_word: int) -> Callable[[np.ndarray], np.ndarray]:
+    """Return ``bit_at(positions) -> bool array`` over packed ``words``.
+
+    Flat bit position ``i`` maps to bit ``i % bits_per_word`` (LSB-first) of
+    ``words[i // bits_per_word]`` — the same convention the boolean expansion
+    used.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+
+    def bit_at(positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        shifts = (positions % bits_per_word).astype(np.uint64)
+        return ((words[positions // bits_per_word] >> shifts) & np.uint64(1)).astype(bool)
+
+    return bit_at
+
+
+def xor_mask_from_positions(flip_positions: np.ndarray, num_words: int,
+                            bits_per_word: int) -> np.ndarray:
+    """Fold flat flip positions into a per-word uint64 XOR mask."""
+    xor = np.zeros(num_words, dtype=np.uint64)
+    flip_positions = np.asarray(flip_positions, dtype=np.int64)
+    if flip_positions.size:
+        shifts = (flip_positions % bits_per_word).astype(np.uint64)
+        np.bitwise_xor.at(xor, flip_positions // bits_per_word, np.uint64(1) << shifts)
+    return xor
+
+
+def skip_stream(rng: np.random.Generator, num_draws: int) -> None:
+    """Consume ``num_draws`` uniform draws without keeping them.
+
+    Uses ``BitGenerator.advance`` when the generator supports it (PCG64 and
+    Philox; one state step per double) and falls back to drawing-and-
+    discarding in chunks otherwise (e.g. MT19937) — either way the stream
+    ends where ``rng.random(num_draws)`` would have left it.
+    """
+    bit_generator = rng.bit_generator
+    if hasattr(bit_generator, "advance"):
+        bit_generator.advance(num_draws)
+        return
+    for start, stop in iter_bit_chunks(num_draws):
+        rng.random(stop - start)
+
+
+def sample_flip_positions(rng: np.random.Generator, total_bits: int,
+                          positions: np.ndarray, probabilities: np.ndarray) -> np.ndarray:
+    """Which candidate bits flip on this access — stream-exact vs. the dense path.
+
+    ``positions`` are the sorted flat indices with a non-zero flip
+    probability and ``probabilities`` their per-access failure probabilities.
+    The legacy path computed ``rng.random(total_bits) < probabilities``;
+    this draws the identical uniforms at the candidate positions (skipping
+    the rest of the stream with ``advance``, or drawing densely in chunks
+    when candidates are plentiful) and leaves the generator in exactly the
+    state a full ``rng.random(total_bits)`` would have.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    keep = probabilities > 0.0
+    if not keep.all():
+        positions, probabilities = positions[keep], probabilities[keep]
+    if positions.size == 0:
+        skip_stream(rng, total_bits)
+        return positions
+
+    bit_generator = rng.bit_generator
+    sparse_ok = (hasattr(bit_generator, "advance")
+                 and positions.size <= max(4096, total_bits // SPARSE_DENSITY_CUTOFF))
+    if sparse_ok:
+        draws = np.empty(positions.size, dtype=np.float64)
+        cursor = 0
+        for slot, position in enumerate(positions.tolist()):
+            gap = position - cursor
+            if gap:
+                bit_generator.advance(gap)
+            draws[slot] = rng.random()
+            cursor = position + 1
+        if total_bits > cursor:
+            bit_generator.advance(total_bits - cursor)
+        return positions[draws < probabilities]
+
+    flips = []
+    lo = 0
+    for start, stop in iter_bit_chunks(total_bits):
+        uniforms = rng.random(stop - start)
+        hi = int(np.searchsorted(positions, stop))
+        if hi > lo:
+            chunk_positions = positions[lo:hi]
+            chosen = uniforms[chunk_positions - start] < probabilities[lo:hi]
+            if chosen.any():
+                flips.append(chunk_positions[chosen])
+            lo = hi
+    if not flips:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(flips)

@@ -138,7 +138,10 @@ def tensor_to_bits(values: np.ndarray, bits: int,
 
     Returns (words, codec_state).  ``words`` is a uint64 array of per-element
     bit patterns (two's complement for integer precisions, IEEE-754 for FP32);
-    ``codec_state`` is whatever :func:`bits_to_tensor` needs to decode.
+    ``codec_state`` is whatever :func:`bits_to_tensor` needs to decode.  Bit
+    ``j`` of element ``e`` is flat DRAM bit ``e * bits + j`` (LSB-first) —
+    the layout contract the packed injection engine
+    (:mod:`repro.dram.packed`) and :func:`flip_bits_in_words` both assume.
     """
     values = np.asarray(values, dtype=np.float32)
     if bits == 32:
@@ -153,9 +156,14 @@ def tensor_to_bits(values: np.ndarray, bits: int,
 
 
 def bits_to_tensor(words: np.ndarray, bits: int, codec_state) -> np.ndarray:
-    """Decode raw bit patterns produced by :func:`tensor_to_bits` back to floats."""
+    """Decode raw bit patterns produced by :func:`tensor_to_bits` back to floats.
+
+    This sits on the injection hot path (every simulated weight/IFM load),
+    so it must not add passes over the data beyond the container conversion:
+    ``astype`` already copies, making the float32 view safe to return.
+    """
     if bits == 32:
-        return words.astype(np.uint32).view(np.float32).copy()
+        return words.astype(np.uint32).view(np.float32)
     qspec: QuantizationSpec = codec_state
     mask = (1 << bits) - 1
     words = words.astype(np.int64) & mask
