@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Macro-benchmark: the inference engine's static-store vs per-read semantics.
+
+Measures two things and writes them to ``BENCH_inference.json``:
+
+* **Characterization sweep** (the headline) — wall clock of a coarse
+  characterization-style BER sweep of the weight store (weights in
+  approximate DRAM, IFMs in a reliable partition — the paper's static DNN
+  storage model) under the legacy per-batch semantics vs the engine's
+  static-store semantics.  Static-store corrupts each weight tensor once per
+  BER point instead of once per batch, which is where every sweep's time
+  went before the engine existed.
+* **Serving throughput** — images/second at the nominal operating point and
+  at an approximate operating point under both semantics, across batch
+  sizes.  The static-store advantage grows as batches shrink (the
+  latency-oriented serving regime).
+
+Usage::
+
+    python benchmarks/bench_inference_throughput.py [--output PATH]
+        [--model NAME] [--batch-size N] [--check-speedup X]
+
+``--check-speedup X`` exits non-zero if the sweep speedup falls below ``X``
+(used by CI as a regression gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.bench import (  # noqa: E402
+    measure_characterization_sweep,
+    measure_inference_throughput,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_inference.json",
+                        help="where to write the JSON record")
+    parser.add_argument("--model", default="resnet101",
+                        help="model zoo entry to benchmark")
+    parser.add_argument("--batch-size", type=int, default=4,
+                        help="batch size of the characterization sweep")
+    parser.add_argument("--check-speedup", type=float, default=None,
+                        help="fail if the sweep speedup is below this")
+    args = parser.parse_args()
+
+    sweep = measure_characterization_sweep(args.model,
+                                           batch_size=args.batch_size)
+    print(f"characterization sweep ({args.model}, batch={args.batch_size}, "
+          f"BERs={sweep['bers']}):")
+    print(f"  per-read (legacy)  {sweep['per_read_seconds']:8.2f} s")
+    print(f"  static-store       {sweep['static_store_seconds']:8.2f} s")
+    print(f"  speedup            {sweep['speedup']:8.1f} x")
+
+    throughput = measure_inference_throughput(args.model)
+    print("\nserving throughput (images/sec, weight store at BER 1e-3):")
+    for row in throughput:
+        print(f"  batch {row['batch_size']:>3d}: nominal "
+              f"{row['nominal_images_per_sec']:>8,.0f}   static-store "
+              f"{row['static_store_images_per_sec']:>8,.0f}   per-read "
+              f"{row['per_read_images_per_sec']:>8,.0f}   "
+              f"({row['semantics_speedup']:.2f}x)")
+
+    record = {
+        "benchmark": "inference_throughput",
+        "headline": {
+            "name": f"{args.model}_weight_store_ber_sweep",
+            "speedup": sweep["speedup"],
+            "per_read_seconds": sweep["per_read_seconds"],
+            "static_store_seconds": sweep["static_store_seconds"],
+        },
+        "sweep": sweep,
+        "throughput": throughput,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output} (sweep speedup {sweep['speedup']:.1f}x)")
+
+    if args.check_speedup is not None and sweep["speedup"] < args.check_speedup:
+        print(f"FAIL: sweep speedup {sweep['speedup']:.1f}x "
+              f"< required {args.check_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

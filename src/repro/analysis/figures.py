@@ -92,15 +92,17 @@ def fig07_model_validation(model_name: str = "lenet",
     thresholds = ThresholdStore.from_network(network, dataset.train_x)
     corrector = ImplausibleValueCorrector(thresholds)
 
+    # One runner (and one engine session) serves every vendor, operating
+    # point and fitted model: each sweep call restarts its injection stream
+    # at the runner seed, which is stream-identical to the fresh-runner-per-
+    # point loops this replaces.
     result: Dict[str, Dict] = {}
+    runner = ExperimentRunner(network, dataset, metric=spec.metric, seed=seed)
     for vendor in vendors:
         device = ApproximateDram(vendor, geometry=PROFILING_GEOMETRY, seed=seed + 1)
         op_points = voltage_sweep_points(device, voltages)
 
-        device_curve_raw = accuracy_on_device(
-            network, dataset, device, op_points, corrector=corrector,
-            metric=spec.metric, seed=seed,
-        )
+        device_curve_raw = runner.device_sweep(device, op_points, corrector=corrector)
         device_curve = {op.vdd: acc for op, acc in device_curve_raw.items()}
 
         model_curve: Dict[float, float] = {}
@@ -112,9 +114,9 @@ def fig07_model_validation(model_name: str = "lenet",
                 fitted = profile_and_fit(device, op_point, rows_to_profile=8,
                                          trials=4, seed=seed)
                 fitted_model, fitted_id = fitted.model, fitted.model_id
-            curve = ber_sweep(network, dataset, fitted_model,
-                              [max(fitted_model.expected_ber(), 1e-12)],
-                              corrector=corrector, metric=spec.metric, seed=seed)
+            curve = runner.ber_sweep(fitted_model,
+                                     [max(fitted_model.expected_ber(), 1e-12)],
+                                     corrector=corrector)
             model_curve[op_point.vdd] = list(curve.values())[0]
         result[vendor] = {
             "device": device_curve,
@@ -135,17 +137,22 @@ def fig08_error_model_sensitivity(model_name: str = "resnet101",
                                   epochs: Optional[int] = None,
                                   with_correction: bool = False,
                                   seed: int = 0,
-                                  processes: int = 0) -> Dict:
+                                  processes: int = 0,
+                                  network=None, dataset=None) -> Dict:
     """{error_model_id: {bits: {BER: accuracy}}} for the baseline (unboosted) DNN.
 
     ``with_correction`` is off by default because Figure 8 studies the *raw*
     error tolerance of the baseline DNNs (Section 6.3), including the accuracy
     collapse from implausible FP32 values.  ``processes > 1`` parallelizes
     each BER sweep over a process pool (identical results, less wall clock).
+    Pass a pre-trained ``network`` (with its ``dataset``) to skip the
+    in-function training, e.g. when probing several correction settings of
+    the same baseline.
     """
     spec = get_spec(model_name)
-    network, dataset, _ = build_model_with_dataset(model_name, seed=seed)
-    Trainer(network, dataset, spec.training_config(epochs=epochs)).fit()
+    if network is None or dataset is None:
+        network, dataset, _ = build_model_with_dataset(model_name, seed=seed)
+        Trainer(network, dataset, spec.training_config(epochs=epochs)).fit()
     corrector = None
     if with_correction:
         corrector = ImplausibleValueCorrector(
@@ -173,12 +180,21 @@ def fig08_error_model_sensitivity(model_name: str = "resnet101",
 
 def fig09_boosted_on_device(model_name: str = "lenet",
                             vendor: str = "A",
-                            voltages: Sequence[float] = (1.05, 1.15, 1.25, 1.35),
-                            trcd_values_ns: Sequence[float] = (2.5, 5.0, 7.5, 10.0, 12.5),
-                            retrain_epochs: int = 8,
+                            voltages: Sequence[float] = (1.05, 1.07, 1.09, 1.35),
+                            trcd_values_ns: Sequence[float] = (3.0, 3.5, 4.0, 12.5),
+                            retrain_epochs: int = 12,
                             epochs: Optional[int] = None,
                             seed: int = 0) -> Dict:
-    """{"voltage"|"trcd": {"baseline": {x: acc}, "boosted": {x: acc}}}."""
+    """{"voltage"|"trcd": {"baseline": {x: acc}, "boosted": {x: acc}}}.
+
+    The default sweep points sit in the device's accuracy *transition*
+    region (vendor A's BER rises from ~1e-4 to ~1e-1 between 1.09 V and
+    1.05 V and between 4.0 ns and 3.0 ns) — at the paper-style coarse grids
+    the simulated module jumps straight from full accuracy to collapse and
+    no retraining effect is observable.  12 retraining epochs match the
+    paper's 10-15 epoch budget; shorter budgets trade away too much clean
+    accuracy on the scaled-down analogue.
+    """
     spec = get_spec(model_name)
     network, dataset, _ = build_model_with_dataset(model_name, seed=seed)
     Trainer(network, dataset, spec.training_config(epochs=epochs)).fit()
@@ -218,11 +234,17 @@ def fig09_boosted_on_device(model_name: str = "lenet",
 def fig10_retraining_ablation(model_name: str = "lenet",
                               bers: Sequence[float] = (1e-3, 5e-3, 1e-2, 5e-2),
                               target_ber: float = 1e-2,
-                              retrain_epochs: int = 8,
+                              retrain_epochs: int = 12,
                               epochs: Optional[int] = None,
                               seed: int = 0) -> Dict:
     """Left panel: baseline / poor-fit retrain / good-fit retrain accuracy-vs-BER.
-    Right panel: baseline / non-curricular / curricular accuracy-vs-BER."""
+    Right panel: baseline / non-curricular / curricular accuracy-vs-BER.
+
+    12 retraining epochs (the paper's 10-15 range) are needed for the
+    curricular ramp to both reach the target rate and recover clean
+    accuracy; with 8 epochs the boosted analogue wins at the target BER but
+    pays for it at low BER.
+    """
     spec = get_spec(model_name)
     network, dataset, _ = build_model_with_dataset(model_name, seed=seed)
     Trainer(network, dataset, spec.training_config(epochs=epochs)).fit()

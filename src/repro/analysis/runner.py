@@ -1,11 +1,14 @@
-"""Unified sweep/score engine for every injection experiment.
+"""Unified sweep runner for every injection experiment.
 
 Before this module existed, :mod:`repro.analysis.sweep`,
 :mod:`repro.core.characterization`, :mod:`repro.core.boosting` and the figure
 benchmarks each carried their own copy of the same loop: install an injector
 on the network, reseed it per repeat, evaluate, average, restore the previous
-injector.  :class:`ExperimentRunner` is that loop, written once, plus the
-things the copies could not share:
+injector.  That loop now lives in
+:class:`repro.engine.session.InferenceSession` (which also owns batching and
+the static-store/per-read read semantics); :class:`ExperimentRunner` binds one
+session to a (network, dataset, metric) triple and adds the sweep vocabulary
+plus the things the historical copies could not share:
 
 * **injector reuse** — one :class:`~repro.dram.injection.BitErrorInjector`
   (or :class:`~repro.dram.injection.DeviceBackedInjector`) is reused across
@@ -26,15 +29,13 @@ results stay bit-exact.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, Optional, Sequence
 
 from repro.dram.device import ApproximateDram, DramOperatingPoint
 from repro.dram.error_models import ErrorModel
 from repro.dram.injection import BitErrorInjector, Corrector, DeviceBackedInjector
+from repro.engine.session import InferenceSession, ReadSemantics
 from repro.nn.datasets import Dataset
-from repro.nn.metrics import evaluate
 from repro.nn.network import Network
 
 #: module-level worker state for process-pool sweeps (set by the initializer
@@ -42,8 +43,10 @@ from repro.nn.network import Network
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(network: Network, dataset: Dataset, metric: str) -> None:
-    _WORKER_STATE["runner"] = ExperimentRunner(network, dataset, metric=metric)
+def _init_worker(network: Network, dataset: Dataset, metric: str,
+                 semantics: ReadSemantics) -> None:
+    _WORKER_STATE["runner"] = ExperimentRunner(network, dataset, metric=metric,
+                                               semantics=semantics)
 
 
 def _worker_ber_point(error_model: ErrorModel, ber: float, bits: int,
@@ -54,12 +57,25 @@ def _worker_ber_point(error_model: ErrorModel, ber: float, bits: int,
 
 
 class ExperimentRunner:
-    """Scores one network/dataset pair under many injection scenarios."""
+    """Scores one network/dataset pair under many injection scenarios.
+
+    The install/reseed/evaluate/restore loop itself lives in
+    :class:`repro.engine.session.InferenceSession`; the runner binds one
+    session to the (network, dataset, metric) triple and layers the sweep
+    vocabulary (BER grids, device operating points, process-pool fan-out of
+    sweep points) on top.  ``semantics`` selects the session's read
+    semantics: the default :attr:`ReadSemantics.PER_READ` reproduces the
+    historical per-batch injection results bit-exactly, while
+    :attr:`ReadSemantics.STATIC_STORE` materializes corrupted weights once
+    per operating point (paper-faithful, and integer factors faster on
+    weight-dominated sweeps).
+    """
 
     def __init__(self, network: Network, dataset: Dataset, *,
                  metric: str = "accuracy", seed: int = 0,
                  repeats: int = 1, reseed_stride: int = 1,
-                 processes: int = 0):
+                 processes: int = 0,
+                 semantics: ReadSemantics = ReadSemantics.PER_READ):
         self.network = network
         self.dataset = dataset
         self.metric = metric
@@ -67,9 +83,16 @@ class ExperimentRunner:
         self.repeats = int(repeats)
         self.reseed_stride = int(reseed_stride)
         self.processes = int(processes)
-        self._baseline: Optional[float] = None
+        self.semantics = semantics
+        self.session = InferenceSession(
+            network, dataset, semantics=semantics, metric=metric, seed=seed,
+            repeats=repeats, reseed_stride=reseed_stride,
+        )
         self._pool = None
-        self.stats = {"evaluations": 0, "baseline_evaluations": 0}
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return self.session.stats
 
     # -- the shared loop ----------------------------------------------------------
     def baseline(self, dataset: Optional[Dataset] = None) -> float:
@@ -79,14 +102,7 @@ class ExperimentRunner:
         subsamples) are evaluated fresh, and a runner is bound to one network
         state — retraining the network warrants a new runner.
         """
-        if dataset is not None and dataset is not self.dataset:
-            return float(evaluate(self.network, dataset.val_x, dataset.val_y,
-                                  metric=self.metric))
-        if self._baseline is None:
-            self.stats["baseline_evaluations"] += 1
-            self._baseline = float(evaluate(self.network, self.dataset.val_x,
-                                            self.dataset.val_y, metric=self.metric))
-        return self._baseline
+        return self.session.baseline(dataset)
 
     def score(self, injector, *, repeats: Optional[int] = None,
               seed: Optional[int] = None, stride: Optional[int] = None,
@@ -96,27 +112,21 @@ class ExperimentRunner:
         The injector's RNG is restarted at ``seed + repeat * stride`` before
         each repeat (injection is stochastic; averaging a few streams tames
         the noise), and the network's previous injector is always restored.
+        Under static-store semantics the weights are materialized once per
+        operating point and only the IFM stream is reseeded per repeat.
         """
-        repeats = self.repeats if repeats is None else int(repeats)
-        seed = self.seed if seed is None else int(seed)
-        stride = self.reseed_stride if stride is None else int(stride)
-        dataset = dataset or self.dataset
-        network = self.network
-        scores: List[float] = []
-        previous = network.fault_injector
-        network.set_fault_injector(injector)
-        try:
-            for repeat in range(repeats):
-                if hasattr(injector, "reseed"):
-                    injector.reseed(seed + repeat * stride)
-                elif hasattr(injector, "_rng"):
-                    injector._rng = np.random.default_rng(seed + repeat * stride)
-                self.stats["evaluations"] += 1
-                scores.append(evaluate(network, dataset.val_x, dataset.val_y,
-                                       metric=self.metric))
-        finally:
-            network.set_fault_injector(previous)
-        return float(np.mean(scores))
+        return self.session.score(injector, repeats=repeats, seed=seed,
+                                  stride=stride, dataset=dataset)
+
+    def evaluate(self, injector=None, *, repeats: Optional[int] = None,
+                 seed: Optional[int] = None, stride: Optional[int] = None,
+                 dataset: Optional[Dataset] = None) -> float:
+        """Thin wrapper over the session: baseline when ``injector`` is None,
+        otherwise :meth:`score`."""
+        if injector is None:
+            return self.baseline(dataset)
+        return self.score(injector, repeats=repeats, seed=seed, stride=stride,
+                          dataset=dataset)
 
     # -- model-driven sweeps ------------------------------------------------------
     def _ber_point(self, error_model: ErrorModel, ber: float, bits: int,
@@ -171,15 +181,17 @@ class ExperimentRunner:
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.processes,
                 initializer=_init_worker,
-                initargs=(self.network, self.dataset, self.metric),
+                initargs=(self.network, self.dataset, self.metric,
+                          self.semantics),
             )
         return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool, if one was started."""
+        """Shut down the worker pools, if any were started."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        self.session.close()
 
     def __enter__(self) -> "ExperimentRunner":
         return self

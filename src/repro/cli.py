@@ -16,6 +16,7 @@ boost              run the full EDEN pipeline on one model (Sec. 3)
 evaluate-cpu       DRAM energy savings / speedup on the CPU platform (Figs. 13-14)
 evaluate-accel     DRAM energy savings on Eyeriss / TPU (Sec. 7.2)
 memsys             cycle-level memory-controller run at nominal vs reduced tRCD/VDD
+bench              inference-engine throughput: static-store vs per-read semantics
 """
 
 from __future__ import annotations
@@ -190,6 +191,41 @@ def cmd_memsys(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.engine.bench import (
+        measure_characterization_sweep,
+        measure_inference_throughput,
+    )
+
+    rows = measure_inference_throughput(
+        args.model, ber=args.ber, batch_sizes=tuple(args.batch_sizes),
+        seed=args.seed,
+    )
+    print(format_table(
+        ["batch", "nominal img/s", "static-store img/s", "per-read img/s",
+         "static/per-read"],
+        [(r["batch_size"], f"{r['nominal_images_per_sec']:.0f}",
+          f"{r['static_store_images_per_sec']:.0f}",
+          f"{r['per_read_images_per_sec']:.0f}",
+          f"{r['semantics_speedup']:.2f}x") for r in rows],
+        title=(f"{args.model}: inference throughput at BER {args.ber:g} "
+               "(weights in approximate DRAM)"),
+    ))
+    if args.sweep:
+        sweep = measure_characterization_sweep(
+            args.model, batch_size=args.sweep_batch_size, seed=args.seed,
+        )
+        print()
+        print(format_table(
+            ["semantics", "sweep seconds"],
+            [("per-read (legacy)", f"{sweep['per_read_seconds']:.2f}"),
+             ("static-store", f"{sweep['static_store_seconds']:.2f}"),
+             ("speedup", f"{sweep['speedup']:.1f}x")],
+            title=f"weight-store BER sweep over {sweep['bers']}",
+        ))
+    return 0
+
+
 # ---------------------------------------------------------------------------------
 # argument parsing
 # ---------------------------------------------------------------------------------
@@ -266,6 +302,18 @@ def build_parser() -> argparse.ArgumentParser:
     memsys.add_argument("--delta-trcd", type=float, default=5.5)
     memsys.add_argument("--seed", type=int, default=0)
     memsys.set_defaults(handler=cmd_memsys)
+
+    bench = subparsers.add_parser(
+        "bench", help="inference-engine throughput (static-store vs per-read)")
+    bench.add_argument("--model", default="lenet", help="model zoo entry to time")
+    bench.add_argument("--ber", type=float, default=1e-3,
+                       help="weight-store bit error rate")
+    bench.add_argument("--batch-sizes", nargs="+", type=int, default=[1, 16, 64])
+    bench.add_argument("--sweep", action="store_true",
+                       help="also time a characterization-style BER sweep")
+    bench.add_argument("--sweep-batch-size", type=int, default=4)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(handler=cmd_bench)
 
     return parser
 

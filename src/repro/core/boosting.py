@@ -22,11 +22,11 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.analysis.runner import ExperimentRunner
 from repro.core.config import EdenConfig
 from repro.core.correction import CorrectionMode, ImplausibleValueCorrector, ThresholdStore
 from repro.dram.error_models import ErrorModel
 from repro.dram.injection import BitErrorInjector
+from repro.engine import evaluate as engine_evaluate
 from repro.nn.datasets import Dataset
 from repro.nn.models import get_spec
 from repro.nn.network import Network
@@ -115,9 +115,8 @@ def _training_config_for(network: Network, config: EdenConfig, epochs: int) -> T
 def _evaluate_under_injection(network: Network, dataset: Dataset, injector,
                               metric: str, repeats: int, seed: int) -> float:
     """Mean validation score with the injector installed (stochastic injection)."""
-    runner = ExperimentRunner(network, dataset, metric=metric, seed=seed,
-                              repeats=repeats, reseed_stride=1)
-    return runner.score(injector)
+    return engine_evaluate(network, dataset, injector, metric=metric,
+                           repeats=repeats, seed=seed, reseed_stride=1)
 
 
 def _retrain(network: Network, dataset: Dataset, error_model: ErrorModel,

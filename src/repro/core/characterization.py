@@ -25,6 +25,7 @@ from repro.core.config import AccuracyTarget, EdenConfig
 from repro.core.correction import ImplausibleValueCorrector, ThresholdStore
 from repro.dram.error_models import ErrorModel
 from repro.dram.injection import BitErrorInjector
+from repro.engine.session import ReadSemantics
 from repro.nn.datasets import Dataset
 from repro.nn.network import Network
 from repro.nn.tensor import DataKind, TensorSpec
@@ -75,14 +76,21 @@ class FineCharacterization:
 
 
 def _validated_runner(runner: Optional[ExperimentRunner], network: Network,
-                      dataset: Dataset, metric: str) -> ExperimentRunner:
+                      dataset: Dataset, metric: str,
+                      semantics: Optional[ReadSemantics] = None,
+                      ) -> ExperimentRunner:
     """Build (or sanity-check) the shared runner for a characterization call.
 
-    A caller-supplied runner must be bound to the same network, dataset and
-    metric — anything else would silently characterize the wrong thing.
+    A caller-supplied runner must be bound to the same network, dataset,
+    metric and (when one was requested) read semantics — anything else would
+    silently characterize the wrong thing.  The runner's session is reused
+    across every point of the sweep, so in static-store mode each candidate
+    BER materializes its corrupted weights exactly once no matter how many
+    batches and repeats score it.
     """
     if runner is None:
-        return ExperimentRunner(network, dataset, metric=metric)
+        return ExperimentRunner(network, dataset, metric=metric,
+                                semantics=semantics or ReadSemantics.PER_READ)
     if runner.network is not network or runner.dataset is not dataset:
         raise ValueError("runner is bound to a different network/dataset than "
                          "the one being characterized")
@@ -90,6 +98,11 @@ def _validated_runner(runner: Optional[ExperimentRunner], network: Network,
         raise ValueError(
             f"runner is bound to metric {runner.metric!r} but characterization "
             f"was asked for {metric!r}"
+        )
+    if semantics is not None and runner.semantics is not semantics:
+        raise ValueError(
+            f"runner uses {runner.semantics.value!r} read semantics but the "
+            f"characterization was asked for {semantics.value!r}"
         )
     return runner
 
@@ -111,6 +124,7 @@ def coarse_grained_characterization(network: Network, dataset: Dataset,
                                     metric: str = "accuracy",
                                     thresholds: Optional[ThresholdStore] = None,
                                     runner: Optional[ExperimentRunner] = None,
+                                    semantics: Optional[ReadSemantics] = None,
                                     ) -> CoarseCharacterization:
     """Logarithmic-scale binary search for the highest uniformly-tolerable BER.
 
@@ -118,12 +132,16 @@ def coarse_grained_characterization(network: Network, dataset: Dataset,
     memoized baseline) across characterizations; it must be bound to the
     same ``network`` and ``dataset``.  Seeding conventions are enforced at
     the call sites, so any runner configuration yields identical results.
+    ``semantics`` picks the read semantics (None follows the supplied runner,
+    or per-read when the runner is built here): per-read preserves the
+    historical results bit-exactly; static-store is paper-faithful (weights
+    corrupted once per candidate BER) and faster.
     """
     config = config or EdenConfig()
     thresholds = thresholds or ThresholdStore.from_network(network, dataset.train_x)
     corrector = ImplausibleValueCorrector(thresholds)
 
-    runner = _validated_runner(runner, network, dataset, metric)
+    runner = _validated_runner(runner, network, dataset, metric, semantics)
     baseline_score = runner.baseline()
     floor = target.threshold(baseline_score)
 
@@ -177,6 +195,7 @@ def fine_grained_characterization(network: Network, dataset: Dataset,
                                   metric: str = "accuracy",
                                   thresholds: Optional[ThresholdStore] = None,
                                   runner: Optional[ExperimentRunner] = None,
+                                  semantics: Optional[ReadSemantics] = None,
                                   ) -> FineCharacterization:
     """Per-tensor BER sweep, bootstrapped at the coarse-grained BER.
 
@@ -192,11 +211,12 @@ def fine_grained_characterization(network: Network, dataset: Dataset,
 
     if coarse is None:
         coarse = coarse_grained_characterization(
-            network, dataset, error_model, target, config, metric, thresholds, runner
+            network, dataset, error_model, target, config, metric, thresholds,
+            runner, semantics,
         )
     baseline_score = coarse.baseline_score
 
-    runner = _validated_runner(runner, network, dataset, metric)
+    runner = _validated_runner(runner, network, dataset, metric, semantics)
 
     specs = network.data_type_specs(dtype_bits=config.bits)
     start_ber = coarse.max_tolerable_ber if coarse.max_tolerable_ber > 0 else config.ber_search_low

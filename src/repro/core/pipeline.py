@@ -26,7 +26,7 @@ from repro.core.characterization import (
     fine_grained_characterization,
 )
 from repro.core.config import AccuracyTarget, EdenConfig
-from repro.core.correction import ThresholdStore
+from repro.core.correction import ImplausibleValueCorrector, ThresholdStore
 from repro.core.mapping import (
     CoarseMapping,
     FineMapping,
@@ -36,7 +36,9 @@ from repro.core.mapping import (
 from repro.core.offload import profile_and_fit, reductions_for_ber
 from repro.dram.device import ApproximateDram, DramOperatingPoint
 from repro.dram.error_models import ErrorModel, make_error_model
+from repro.dram.injection import BitErrorInjector
 from repro.dram.partitions import PartitionTable
+from repro.engine.session import InferenceSession, ReadSemantics
 from repro.nn.datasets import Dataset
 from repro.nn.models import get_spec
 from repro.nn.network import Network
@@ -56,10 +58,20 @@ class EdenResult:
     delta_trcd_ns: float
     iterations: int
     history: List[float] = field(default_factory=list)   # tolerable BER per iteration
+    #: executable plan for serving the boosted network at the characterized
+    #: operating point: weights materialized once (static-store semantics),
+    #: per-tensor BERs from the fine-grained mapping when one was produced.
+    session: Optional[InferenceSession] = None
 
     @property
     def max_tolerable_ber(self) -> float:
         return self.coarse.max_tolerable_ber
+
+    def evaluate(self, dataset=None, metric: Optional[str] = None, **kwargs) -> float:
+        """Score the boosted network through the compiled inference session."""
+        if self.session is None:
+            raise ValueError("this EdenResult was built without a session")
+        return self.session.evaluate(dataset, metric, **kwargs)
 
     def summary(self) -> str:
         lines = [
@@ -185,6 +197,21 @@ class Eden:
         if partition_table is not None:
             coarse_map = coarse_grained_mapping(coarse, partition_table)
 
+        # Compile the serving plan: the boosted network with its weights
+        # materialized once at the characterized operating point (the paper's
+        # static storage model).  Fine-grained results carry their per-tensor
+        # BER assignment into the injector.
+        serving_injector = BitErrorInjector(
+            error_model.with_ber(coarse.max_tolerable_ber), bits=config.bits,
+            per_tensor_ber=fine.per_tensor_ber if fine is not None else None,
+            corrector=ImplausibleValueCorrector(thresholds), seed=config.seed,
+        )
+        session = InferenceSession(
+            current, dataset, injector=serving_injector,
+            semantics=ReadSemantics.STATIC_STORE, metric=metric,
+            seed=config.seed, repeats=config.evaluation_repeats,
+        )
+
         return EdenResult(
             network=current,
             boost=boost_result,
@@ -196,6 +223,7 @@ class Eden:
             delta_trcd_ns=delta_trcd,
             iterations=iterations,
             history=history,
+            session=session,
         )
 
     # -- convenience -------------------------------------------------------------

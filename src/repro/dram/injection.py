@@ -28,14 +28,14 @@ with the original boolean expansion, which survives as
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 import numpy as np
 
 from repro.dram.device import ApproximateDram, DramOperatingPoint
 from repro.dram.error_models import DramLayout, ErrorModel
 from repro.nn.quantization import bits_to_tensor, tensor_to_bits
-from repro.nn.tensor import TensorSpec
+from repro.nn.tensor import DataKind, TensorSpec
 
 #: signature of a post-load value corrector (implausible-value correction).
 Corrector = Callable[[np.ndarray, TensorSpec], np.ndarray]
@@ -103,6 +103,12 @@ class BitErrorInjector:
         mapping exposes different partitions' error rates to the DNN.
     corrector:
         Optional implausible-value corrector applied after injection.
+    data_kinds:
+        Optional subset of :class:`~repro.nn.tensor.DataKind` to inject into;
+        loads of any other kind pass through untouched.  ``{DataKind.WEIGHT}``
+        models a mapping that stores only the weights in approximate DRAM
+        while IFMs stay in a reliable partition.  None (the default) injects
+        into every load.
     enabled:
         Injection can be toggled without uninstalling the hook (used by the
         curricular retraining ramp when the current error rate is zero).
@@ -112,12 +118,14 @@ class BitErrorInjector:
                  per_tensor_ber: Optional[Dict[str, float]] = None,
                  corrector: Optional[Corrector] = None,
                  layout: Optional[DramLayout] = None,
+                 data_kinds: Optional[Iterable[DataKind]] = None,
                  seed: int = 0):
         self.error_model = error_model
         self.bits = int(bits)
         self.per_tensor_ber = dict(per_tensor_ber or {})
         self.corrector = corrector
         self.layout = layout or DramLayout()
+        self.data_kinds = frozenset(data_kinds) if data_kinds is not None else None
         self.enabled = True
         self._rng = np.random.default_rng(seed)
         self._model_cache: Dict[float, ErrorModel] = {}
@@ -159,6 +167,8 @@ class BitErrorInjector:
         self.stats["loads"] += 1
         self.stats["values_loaded"] += int(np.asarray(array).size)
         if not self.enabled:
+            return array
+        if self.data_kinds is not None and spec.kind not in self.data_kinds:
             return array
         model = self._model_for(spec)
         if model.expected_ber() <= 0.0:

@@ -1,0 +1,15 @@
+"""Inference engine: sessions that execute a Network at a DRAM operating point.
+
+See :mod:`repro.engine.session` for the two read-semantics modes
+(paper-faithful static-store vs legacy per-read) and
+:mod:`repro.engine.bench` for the throughput measurement helpers behind the
+``bench`` CLI subcommand and ``benchmarks/bench_inference_throughput.py``.
+"""
+
+from repro.engine.session import (
+    InferenceSession,
+    ReadSemantics,
+    evaluate,
+)
+
+__all__ = ["InferenceSession", "ReadSemantics", "evaluate"]

@@ -1,0 +1,128 @@
+"""Inference-throughput measurement for the engine layer.
+
+Shared by the ``bench`` CLI subcommand and
+``benchmarks/bench_inference_throughput.py`` (which records the numbers to
+``BENCH_inference.json`` and gates CI on the static-store speedup).
+
+Two measurements:
+
+* :func:`measure_inference_throughput` — images/second of the engine at the
+  nominal operating point (no injection) and at an approximate operating
+  point under both read semantics, per batch size.  Static-store pays the
+  weight corruption once per operating point, so its advantage grows as the
+  batch size shrinks — the latency-oriented serving regime where the legacy
+  path re-corrupted every weight tensor for every small batch.
+* :func:`measure_characterization_sweep` — wall clock of a coarse
+  characterization-style BER sweep of the *weight store* (weights in
+  approximate DRAM, IFMs in a reliable partition — the paper's static DNN
+  storage model) under both semantics.  This is the sweep shape that
+  dominated every experiment before the engine existed.
+
+Throughput numbers use untrained networks: accuracy is irrelevant to timing,
+and skipping training keeps the benchmark a pure measurement of the engine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+from repro.dram.error_models import make_error_model
+from repro.dram.injection import BitErrorInjector
+from repro.engine.session import InferenceSession, ReadSemantics
+from repro.nn.models import build_model_with_dataset, get_spec
+from repro.nn.tensor import DataKind
+
+#: BER grid of the sweep benchmark: the low / middle / top of the coarse
+#: characterization grid, so the measurement covers both sparse and dense
+#: flip regimes.
+SWEEP_BERS = (1e-4, 1e-3, 1e-2, 1e-1, 0.25)
+
+
+def _timed_evaluate(session: InferenceSession, **kwargs) -> float:
+    start = time.perf_counter()
+    session.evaluate(**kwargs)
+    return time.perf_counter() - start
+
+
+def measure_inference_throughput(model_name: str = "resnet101", *,
+                                 ber: float = 1e-3, model_id: int = 0,
+                                 batch_sizes: Sequence[int] = (1, 16, 64),
+                                 seed: int = 0) -> List[Dict]:
+    """Images/second per batch size: nominal vs approximate, both semantics."""
+    network, dataset, spec = build_model_with_dataset(model_name, seed=seed)
+    network.eval()
+    images = len(dataset.val_y)
+    error_model = make_error_model(model_id, ber, seed=seed)
+
+    rows: List[Dict] = []
+    for batch_size in batch_sizes:
+        row: Dict = {"model": model_name, "batch_size": int(batch_size), "ber": ber}
+        nominal = InferenceSession(network, dataset, metric=spec.metric,
+                                   batch_size=batch_size, seed=seed)
+        row["nominal_images_per_sec"] = images / _timed_evaluate(nominal)
+
+        for semantics, key in ((ReadSemantics.STATIC_STORE, "static_store"),
+                               (ReadSemantics.PER_READ, "per_read")):
+            injector = BitErrorInjector(error_model, bits=32,
+                                        data_kinds={DataKind.WEIGHT}, seed=seed)
+            session = InferenceSession(network, dataset, injector=injector,
+                                       semantics=semantics, metric=spec.metric,
+                                       batch_size=batch_size, seed=seed)
+            session.evaluate()   # warm the weak-cell position caches
+            row[f"{key}_images_per_sec"] = images / _timed_evaluate(session)
+        row["semantics_speedup"] = (row["static_store_images_per_sec"]
+                                    / row["per_read_images_per_sec"])
+        rows.append(row)
+    return rows
+
+
+def measure_characterization_sweep(model_name: str = "resnet101", *,
+                                   bers: Sequence[float] = SWEEP_BERS,
+                                   model_id: int = 0, batch_size: int = 4,
+                                   repeats: int = 1, seed: int = 0,
+                                   network=None, dataset=None) -> Dict:
+    """Wall clock of a weight-store BER sweep under both read semantics.
+
+    Returns the sweep scores alongside the timings so callers can also check
+    static-store determinism (two identically-seeded runs must agree).
+    """
+    if network is None or dataset is None:
+        network, dataset, spec = build_model_with_dataset(model_name, seed=seed)
+        metric = spec.metric
+    else:
+        metric = get_spec(model_name).metric
+    network.eval()
+    base_model = make_error_model(model_id, 1e-3, seed=seed)
+
+    def run_sweep(semantics: ReadSemantics) -> Dict:
+        injector = BitErrorInjector(base_model, bits=32,
+                                    data_kinds={DataKind.WEIGHT}, seed=seed)
+        session = InferenceSession(network, dataset, injector=injector,
+                                   semantics=semantics, metric=metric,
+                                   batch_size=batch_size, seed=seed,
+                                   repeats=repeats)
+        scores: Dict[float, float] = {}
+        start = time.perf_counter()
+        for ber in bers:
+            injector.set_error_model(base_model.with_ber(ber))
+            scores[float(ber)] = session.evaluate()
+        return {"seconds": time.perf_counter() - start, "scores": scores}
+
+    legacy = run_sweep(ReadSemantics.PER_READ)
+    static = run_sweep(ReadSemantics.STATIC_STORE)
+    static_again = run_sweep(ReadSemantics.STATIC_STORE)
+    if static["scores"] != static_again["scores"]:
+        raise AssertionError("static-store sweep is not deterministic for a "
+                             "fixed seed")
+    return {
+        "model": model_name,
+        "bers": [float(b) for b in bers],
+        "batch_size": int(batch_size),
+        "repeats": int(repeats),
+        "per_read_seconds": legacy["seconds"],
+        "static_store_seconds": static["seconds"],
+        "speedup": legacy["seconds"] / static["seconds"],
+        "per_read_scores": legacy["scores"],
+        "static_store_scores": static["scores"],
+    }

@@ -1,0 +1,527 @@
+"""The inference engine: operating-point-scoped execution of a Network.
+
+EDEN's storage model is *static*: the DNN's weights are written into
+approximate DRAM once and then read (with the same stored, possibly-corrupted
+bits) by every subsequent inference, while IFMs are transient values that are
+rewritten and reread per inference.  The historical evaluation path in this
+repo instead re-sampled fresh bit errors into every weight tensor on every
+batch — equivalent to re-writing the whole model between batches, and the
+dominant cost of every sweep.
+
+:class:`InferenceSession` compiles a :class:`~repro.nn.network.Network` plus
+an injector (error model / device operating point / quantization transform)
+into an executable plan under one of two read semantics:
+
+* :attr:`ReadSemantics.STATIC_STORE` — the paper-faithful default.  Weight
+  tensors are *materialized* into their corrupted form once per operating
+  point (one injector pass per tensor, seeded deterministically) and served
+  from an in-memory store on every subsequent load; IFM loads still pass
+  through the injector per read.  The store is invalidated automatically when
+  the session's operating point changes (new error model object, new BER
+  assignment, new DRAM operating point).
+* :attr:`ReadSemantics.PER_READ` — the historical behavior: every load of
+  every tensor draws fresh errors.  Bit-exact with the legacy per-batch path
+  for fixed seeds; the right model for transient-error studies (e.g. refresh
+  or timing glitches that corrupt the bus rather than the cells).
+
+The session owns batching (``batch_size``), repeat averaging with the
+historical reseeding conventions, and optional process-pool sharding of the
+evaluation set.  Sharded results are deterministic for a fixed seed but not
+bit-identical to the serial order in per-read mode (each shard consumes its
+own injection stream); with no injector, or in static-store mode with a
+pre-materialized store and error-free IFMs, shards reproduce the serial
+result exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.datasets import Dataset
+from repro.nn.metrics import evaluate as _metric_evaluate
+from repro.nn.network import Network
+from repro.nn.tensor import DataKind, TensorSpec
+
+#: sentinel distinguishing "argument not given" from an explicit None injector.
+_UNSET = object()
+
+#: module-level worker state for sharded evaluation (set once per worker by
+#: the pool initializer instead of pickling the network into every task).
+_WORKER_STATE: dict = {}
+
+
+class ReadSemantics(enum.Enum):
+    """How stored tensors are exposed to DRAM errors during inference."""
+
+    #: weights corrupted once per operating point (paper-faithful storage).
+    STATIC_STORE = "static-store"
+    #: fresh errors on every load of every tensor (legacy behavior).
+    PER_READ = "per-read"
+
+
+class _StaticStoreReader:
+    """Load hook that serves weights from a materialized store.
+
+    Weight loads return the corrupted tensor materialized at session compile
+    time (the arrays are treated as read-only by every layer, so no copy is
+    taken); any other load — IFMs, or a weight the store does not know —
+    passes through the wrapped injector per read.
+    """
+
+    __slots__ = ("inner", "store")
+
+    def __init__(self, inner, store: Dict[str, np.ndarray]):
+        self.inner = inner
+        self.store = store
+
+    def apply(self, array: np.ndarray, spec: TensorSpec) -> np.ndarray:
+        cached = self.store.get(spec.name)
+        if cached is not None:
+            return cached
+        if self.inner is None:
+            return array
+        return self.inner.apply(array, spec)
+
+
+def _injector_fingerprint(injector) -> tuple:
+    """Description of the operating point an injector exposes.
+
+    Error models are immutable (rescaling goes through ``with_ber``, which
+    returns a new instance), so identity of the model object — plus the
+    per-tensor BER assignment, the DRAM device/operating point/layout and
+    the precision — pins down exactly which corrupted store a configuration
+    produces.  Objects without value equality (models, correctors, devices)
+    are embedded *by reference*: tuple comparison falls back to identity,
+    and keeping the tuple as the store key keeps the objects alive, so a
+    garbage-collected-and-reallocated object can never alias a cached key.
+    Unknown injector types are embedded whole, which can only cause extra
+    re-materialization, never a stale store.
+    """
+    if injector is None:
+        return (None,)
+    parts: List = [type(injector).__name__, getattr(injector, "bits", None),
+                   getattr(injector, "enabled", True)]
+    model = getattr(injector, "error_model", None)
+    if model is not None:
+        parts.append(model)
+    per_tensor = getattr(injector, "per_tensor_ber", None)
+    if per_tensor is not None:
+        parts.append(tuple(sorted(per_tensor.items())))
+    for attr in ("device", "op_point", "bank", "layout"):
+        value = getattr(injector, attr, None)
+        if value is not None:
+            parts.append(value)
+    kinds = getattr(injector, "data_kinds", None)
+    if kinds is not None:
+        parts.append(tuple(sorted(k.value for k in kinds)))
+    corrector = getattr(injector, "corrector", _UNSET)
+    if corrector is not _UNSET:
+        parts.append(corrector)
+    inner = getattr(injector, "inner", None)
+    if inner is not None:
+        parts.append(_injector_fingerprint(inner))
+    if not hasattr(injector, "error_model") and not hasattr(injector, "op_point") \
+            and not hasattr(injector, "inner"):
+        parts.append(injector)
+    return tuple(parts)
+
+
+def _reseed(injector, seed: int) -> None:
+    """Restart an injector's stream using the runner's historical convention."""
+    if injector is None:
+        return
+    if hasattr(injector, "reseed"):
+        injector.reseed(seed)
+    elif hasattr(injector, "_rng"):
+        injector._rng = np.random.default_rng(seed)
+
+
+def _resolve_arrays(dataset) -> Tuple[np.ndarray, np.ndarray]:
+    """Accept a Dataset (validation split) or an (inputs, labels) pair."""
+    if dataset is None:
+        raise ValueError(
+            "no dataset to evaluate: pass one to evaluate()/baseline() or "
+            "construct the InferenceSession with a dataset"
+        )
+    if isinstance(dataset, Dataset):
+        return dataset.val_x, dataset.val_y
+    inputs, labels = dataset
+    return np.asarray(inputs), np.asarray(labels)
+
+
+class InferenceSession:
+    """Executable plan for evaluating one network under one injection setup.
+
+    Parameters
+    ----------
+    network, dataset:
+        The model and (optionally) the dataset whose validation split
+        :meth:`evaluate` scores by default.  ``dataset`` may also be an
+        ``(inputs, labels)`` pair.
+    injector:
+        Any load hook with ``apply(array, spec)`` —
+        :class:`~repro.dram.injection.BitErrorInjector`,
+        :class:`~repro.dram.injection.DeviceBackedInjector`,
+        :class:`~repro.nn.quantization.QuantizedLoadTransform`, or None for
+        injection-free evaluation.
+    semantics:
+        :class:`ReadSemantics`; static-store is the paper-faithful default.
+    batch_size:
+        Inference batch size (64 matches the historical evaluation path).
+    seed, repeats, reseed_stride:
+        Defaults for the repeat-averaging loop; per-call overrides win.
+    processes:
+        When > 1, :meth:`evaluate` shards the evaluation set over a cached
+        process pool.
+    """
+
+    def __init__(self, network: Network, dataset=None, *, injector=None,
+                 semantics: ReadSemantics = ReadSemantics.STATIC_STORE,
+                 metric: str = "accuracy", batch_size: int = 64,
+                 seed: int = 0, repeats: int = 1, reseed_stride: int = 1,
+                 processes: int = 0):
+        self.network = network
+        self.dataset = dataset
+        self.injector = injector
+        self.semantics = semantics
+        self.metric = metric
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        self.repeats = int(repeats)
+        self.reseed_stride = int(reseed_stride)
+        self.processes = int(processes)
+        self._baseline: Optional[float] = None
+        self._store: Optional[Dict[str, np.ndarray]] = None
+        #: fingerprint the store was materialized for; holds references to
+        #: the identity-compared objects inside it (see _injector_fingerprint).
+        self._store_key = None
+        self._weight_spec_cache: Optional[List[TensorSpec]] = None
+        self._pool = None
+        self.stats = {"evaluations": 0, "baseline_evaluations": 0,
+                      "materializations": 0}
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def from_error_model(cls, network: Network, dataset, error_model, *,
+                         ber: Optional[float] = None, bits: int = 32,
+                         per_tensor_ber: Optional[Dict[str, float]] = None,
+                         corrector=None, data_kinds=None, seed: int = 0,
+                         **kwargs) -> "InferenceSession":
+        """Session driving injection from a fitted/parametric error model."""
+        from repro.dram.injection import BitErrorInjector
+
+        if ber is not None:
+            error_model = error_model.with_ber(ber)
+        injector = BitErrorInjector(error_model, bits=bits,
+                                    per_tensor_ber=per_tensor_ber,
+                                    corrector=corrector, data_kinds=data_kinds,
+                                    seed=seed)
+        return cls(network, dataset, injector=injector, seed=seed, **kwargs)
+
+    @classmethod
+    def from_device(cls, network: Network, dataset, device, op_point, *,
+                    bits: int = 32, corrector=None, seed: int = 0,
+                    **kwargs) -> "InferenceSession":
+        """Session reading tensors from an ApproximateDram operating point."""
+        from repro.dram.injection import DeviceBackedInjector
+
+        injector = DeviceBackedInjector(device, op_point, bits=bits,
+                                        corrector=corrector, seed=seed)
+        return cls(network, dataset, injector=injector, seed=seed, **kwargs)
+
+    # -- configuration ------------------------------------------------------------
+    def set_injector(self, injector) -> None:
+        """Swap the injector (the store re-materializes on next use)."""
+        self.injector = injector
+        self.invalidate()
+
+    def set_semantics(self, semantics: ReadSemantics) -> None:
+        self.semantics = semantics
+
+    def invalidate(self) -> None:
+        """Drop the materialized store and the recorded weight-spec scan.
+
+        Call after reconfiguring the network (e.g.
+        :meth:`~repro.nn.network.Network.set_data_precision`): the next
+        evaluation re-records the load specs and re-materializes.
+        """
+        self._store = None
+        self._store_key = None
+        self._weight_spec_cache = None
+
+    # -- materialization ----------------------------------------------------------
+    def _weight_specs(self) -> List[TensorSpec]:
+        """Weight-kind specs in load order, exactly as the layers produce them.
+
+        Recorded once per session with ``dtype_bits=None`` so each spec keeps
+        the precision its layer advertises (``Network.set_data_precision``) —
+        injectors and correctors see the same ``spec.dtype_bits`` during
+        materialization as they would on a per-read load.  Reconfigure the
+        network's precision and call :meth:`invalidate` to re-record.
+        """
+        if self._weight_spec_cache is None:
+            self._weight_spec_cache = self.network.weight_specs(dtype_bits=None)
+        return self._weight_spec_cache
+
+    def materialize(self, injector=_UNSET, seed: Optional[int] = None
+                    ) -> Dict[str, np.ndarray]:
+        """Corrupt every weight tensor once and cache the result.
+
+        The injector's stream is restarted at a salted function of ``seed``
+        (the session seed by default) for the materialization pass, so the
+        same operating point and seed always produce the same stored weights
+        — regardless of what was evaluated before or how large the batches
+        are.  The salt keeps the weight-corruption stream disjoint from the
+        per-repeat IFM streams (which start at the unsalted ``seed``).  The
+        pre-existing stream is restored afterwards so per-read IFM injection
+        is unaffected; injectors exposing only ``reseed()`` (no ``_rng``
+        attribute) are instead re-seeded at the unsalted ``seed``.
+        """
+        injector = self.injector if injector is _UNSET else injector
+        seed = self.seed if seed is None else int(seed)
+        key = (_injector_fingerprint(injector), seed)
+        if self._store is not None and self._store_key == key:
+            return self._store
+        store: Dict[str, np.ndarray] = {}
+        if injector is not None:
+            params = self.network.named_parameters()
+            saved_rng = getattr(injector, "_rng", None)
+            _reseed(injector, seed ^ _MATERIALIZE_SEED_SALT)
+            try:
+                for spec in self._weight_specs():
+                    store[spec.name] = injector.apply(params[spec.name].data, spec)
+            finally:
+                if saved_rng is not None:
+                    injector._rng = saved_rng
+                else:
+                    # reseed()-only injectors (wrappers without a `_rng`
+                    # attribute) cannot have their exact stream position
+                    # restored; leave them at the unsalted seed — the state
+                    # every repeat loop starts from — instead of the
+                    # materialization stream's end.
+                    _reseed(injector, seed)
+            self.stats["materializations"] += 1
+        self._store = store
+        self._store_key = key
+        return store
+
+    def materialized_weights(self) -> Optional[Dict[str, np.ndarray]]:
+        """The current corrupted weight store (None before materialization)."""
+        return self._store
+
+    # -- evaluation ---------------------------------------------------------------
+    def baseline(self, dataset=None) -> float:
+        """Injection-free validation score (memoized for the own dataset)."""
+        if dataset is not None and dataset is not self.dataset:
+            inputs, labels = _resolve_arrays(dataset)
+            return float(_metric_evaluate(self.network, inputs, labels,
+                                          metric=self.metric,
+                                          batch_size=self.batch_size))
+        if self._baseline is None:
+            self.stats["baseline_evaluations"] += 1
+            inputs, labels = _resolve_arrays(self.dataset)
+            self._baseline = float(_metric_evaluate(self.network, inputs, labels,
+                                                    metric=self.metric,
+                                                    batch_size=self.batch_size))
+        return self._baseline
+
+    def evaluate(self, dataset=None, metric: Optional[str] = None, *,
+                 injector=_UNSET, semantics: Optional[ReadSemantics] = None,
+                 repeats: Optional[int] = None, seed: Optional[int] = None,
+                 stride: Optional[int] = None,
+                 processes: Optional[int] = None) -> float:
+        """Mean validation score under the session's injection setup.
+
+        The injector's stream is restarted at ``seed + repeat * stride``
+        before each repeat (matching every historical call site); in
+        static-store mode the reseed only affects the transient IFM stream —
+        the weight store stays fixed across repeats, as a real DRAM module
+        would behave.
+        """
+        injector = self.injector if injector is _UNSET else injector
+        semantics = self.semantics if semantics is None else semantics
+        repeats = self.repeats if repeats is None else int(repeats)
+        seed = self.seed if seed is None else int(seed)
+        stride = self.reseed_stride if stride is None else int(stride)
+        metric = self.metric if metric is None else metric
+        processes = self.processes if processes is None else int(processes)
+        inputs, labels = _resolve_arrays(dataset if dataset is not None
+                                         else self.dataset)
+
+        store: Optional[Dict[str, np.ndarray]] = None
+        if injector is not None and semantics is ReadSemantics.STATIC_STORE:
+            store = self.materialize(injector, seed=seed)
+
+        if processes > 1 and len(inputs) >= 2 * processes:
+            return self._evaluate_sharded(injector, store, inputs, labels,
+                                          metric, repeats, seed, stride,
+                                          processes)
+        return self._evaluate_serial(self.network, injector, store, inputs,
+                                     labels, metric, repeats, seed, stride)
+
+    #: alias matching the historical ExperimentRunner vocabulary.
+    def score(self, injector, *, repeats: Optional[int] = None,
+              seed: Optional[int] = None, stride: Optional[int] = None,
+              dataset=None, semantics: Optional[ReadSemantics] = None) -> float:
+        """Evaluate with an explicit injector (ExperimentRunner's ``score``)."""
+        return self.evaluate(dataset, injector=injector, semantics=semantics,
+                             repeats=repeats, seed=seed, stride=stride)
+
+    def _evaluate_serial(self, network: Network, injector, store, inputs,
+                         labels, metric, repeats, seed, stride) -> float:
+        if injector is None:
+            hook = network.fault_injector   # plain eval under the current hooks
+        elif store is not None:
+            hook = _StaticStoreReader(injector, store)
+        else:
+            hook = injector
+        scores: List[float] = []
+        previous = network.fault_injector
+        network.set_fault_injector(hook)
+        try:
+            for repeat in range(repeats):
+                if injector is not None:
+                    _reseed(injector, seed + repeat * stride)
+                self.stats["evaluations"] += 1
+                scores.append(_metric_evaluate(network, inputs, labels,
+                                               metric=metric,
+                                               batch_size=self.batch_size))
+        finally:
+            network.set_fault_injector(previous)
+        return float(np.mean(scores))
+
+    # -- sharded evaluation -------------------------------------------------------
+    def _worker_pool(self, processes: int):
+        """Lazily created, cached pool holding a snapshot of the network."""
+        if self._pool is None:
+            import concurrent.futures
+
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=processes,
+                initializer=_init_shard_worker,
+                initargs=(self.network, self.metric, self.batch_size),
+            )
+        return self._pool
+
+    def _evaluate_sharded(self, injector, store, inputs, labels, metric,
+                          repeats, seed, stride, processes) -> float:
+        """Fan contiguous dataset shards out over worker processes.
+
+        Each shard draws its own injection stream (seeded at ``seed +
+        shard_index * _SHARD_SEED_STRIDE``), so results are deterministic for
+        a fixed seed but not bit-identical to the serial evaluation order in
+        per-read mode.  The weight store, when present, is materialized once
+        here and shared by every shard — all shards see the same stored DNN,
+        exactly like clients of one DRAM module.
+        """
+        pool = self._worker_pool(processes)
+        bounds = _shard_bounds(len(inputs), processes)
+        futures = []
+        for index, (lo, hi) in enumerate(bounds):
+            futures.append(pool.submit(
+                _eval_shard, injector, store, inputs[lo:hi], labels[lo:hi],
+                metric, repeats, seed + index * _SHARD_SEED_STRIDE, stride,
+            ))
+        total = float(len(inputs))
+        self.stats["evaluations"] += repeats
+        return float(sum(f.result() * (hi - lo)
+                         for (lo, hi), f in zip(bounds, futures)) / total)
+
+    def close(self) -> None:
+        """Shut down the shard-worker pool, if one was started."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: shard streams are spaced far apart so neighbouring shards (and the repeat
+#: reseeds within them, stride <= a few hundred) can never collide.
+_SHARD_SEED_STRIDE = 100_003
+
+#: XOR salt separating the weight-materialization stream from the per-repeat
+#: IFM streams: repeat 0 reseeds at `seed`, so materializing at the same
+#: value would make stored-weight and IFM error positions perfectly
+#: correlated instead of independent draws.
+_MATERIALIZE_SEED_SALT = 0x5EED5EED
+
+
+def _shard_bounds(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-equal [lo, hi) shard bounds covering range(n)."""
+    base, extra = divmod(n, shards)
+    bounds = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + base + (1 if index < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _init_shard_worker(network: Network, metric: str, batch_size: int) -> None:
+    _WORKER_STATE["network"] = network
+    _WORKER_STATE["metric"] = metric
+    _WORKER_STATE["batch_size"] = batch_size
+
+
+def _eval_shard(injector, store, inputs, labels, metric, repeats, seed,
+                stride) -> float:
+    network: Network = _WORKER_STATE["network"]
+    previous = network.fault_injector
+    if injector is None:
+        # Mirror the serial path: a hook installed directly on the network
+        # (pickled into the worker's snapshot) stays in effect.
+        hook = previous
+    elif store is not None:
+        hook = _StaticStoreReader(injector, store)
+    else:
+        hook = injector
+    scores = []
+    network.set_fault_injector(hook)
+    try:
+        for repeat in range(repeats):
+            if injector is not None:
+                _reseed(injector, seed + repeat * stride)
+            scores.append(_metric_evaluate(network, inputs, labels,
+                                           metric=metric,
+                                           batch_size=_WORKER_STATE["batch_size"]))
+    finally:
+        network.set_fault_injector(previous)
+    return float(np.mean(scores))
+
+
+def evaluate(network: Network, dataset, injector=None, *,
+             metric: str = "accuracy",
+             semantics: ReadSemantics = ReadSemantics.PER_READ,
+             repeats: int = 1, seed: int = 0, reseed_stride: int = 1,
+             batch_size: int = 64) -> float:
+    """One-shot scoring helper: the shared install/reseed/evaluate/restore loop.
+
+    This is the single copy of the loop that used to be duplicated across the
+    sweep, characterization, retraining and table modules.  ``semantics``
+    defaults to :attr:`ReadSemantics.PER_READ` so existing call sites keep
+    their historical (bit-exact) results; pass
+    :attr:`ReadSemantics.STATIC_STORE` for paper-faithful stored-weight
+    behavior.  Callers that score repeatedly should hold an
+    :class:`InferenceSession`, which caches the materialized store and the
+    weight-spec scan across calls.
+    """
+    session = InferenceSession(network, dataset, injector=injector,
+                               semantics=semantics, metric=metric,
+                               batch_size=batch_size, seed=seed,
+                               repeats=repeats, reseed_stride=reseed_stride)
+    return session.evaluate()

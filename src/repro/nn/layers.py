@@ -34,6 +34,7 @@ class Layer:
         self.training: bool = False
         self.injector = None  # installed by Network during fault experiments
         self._ifm_bits: int = 32
+        self._weight_bits: int = 32
 
     # -- parameter / spec plumbing ------------------------------------------------
     def parameters(self) -> List[Parameter]:
@@ -58,7 +59,11 @@ class Layer:
         return self.injector.apply(array, spec)
 
     def load_param(self, param: Parameter) -> np.ndarray:
-        return self.load(param.data, param.spec(dtype_bits=self._ifm_bits))
+        # Weight loads advertise the *weight* storage precision: EDEN maps
+        # weights and IFMs to different DRAM partitions (possibly at
+        # different precisions), so a weight spec must never inherit the IFM
+        # bits the layer happens to read its activations at.
+        return self.load(param.data, param.spec(dtype_bits=self._weight_bits))
 
     def load_ifm(self, x: np.ndarray) -> np.ndarray:
         spec = self.ifm_spec(x.shape)
@@ -579,35 +584,59 @@ class DepthwiseSeparableConv(Layer):
 
 def set_layer_mode(layers: Sequence[Layer], training: bool) -> None:
     """Recursively propagate train/eval mode to composite layers."""
-    for layer in layers:
+    def assign(layer: Layer) -> None:
         layer.training = training
-        for attr in ("layers", "depthwise"):
+
+    _apply_to_layers(layers, assign)
+
+
+#: composite-layer child attributes, shared by every recursive setter below:
+#: lists of sub-layers, single composite children (recursed into), and leaf
+#: children that only need the attribute assigned.  A new composite layer
+#: only has to be registered here once.
+_CHILD_LIST_ATTRS = ("layers", "depthwise")
+_CHILD_COMPOSITE_ATTRS = ("body", "shortcut", "squeeze")
+_CHILD_LEAF_ATTRS = ("expand1", "expand3", "pointwise", "bn")
+
+
+def _apply_to_layers(layers: Sequence[Layer], assign) -> None:
+    """Apply ``assign(layer)`` to every layer and (recursively) its children."""
+    for layer in layers:
+        assign(layer)
+        for attr in _CHILD_LIST_ATTRS:
             children = getattr(layer, attr, None)
             if children:
-                set_layer_mode(children, training)
-        for attr in ("body", "shortcut", "squeeze"):
+                _apply_to_layers(children, assign)
+        for attr in _CHILD_COMPOSITE_ATTRS:
             child = getattr(layer, attr, None)
             if isinstance(child, Layer):
-                set_layer_mode([child], training)
-        for attr in ("expand1", "expand3", "pointwise", "bn"):
+                _apply_to_layers([child], assign)
+        for attr in _CHILD_LEAF_ATTRS:
             child = getattr(layer, attr, None)
             if isinstance(child, Layer):
-                child.training = training
+                assign(child)
+
+
+def set_layer_precision(layers: Sequence[Layer], weight_bits: Optional[int] = None,
+                        ifm_bits: Optional[int] = None) -> None:
+    """Recursively set the storage precision advertised by load specs.
+
+    ``None`` leaves the respective precision unchanged, so weight and IFM
+    bits can be set independently (EDEN's fine-grained mapping may store
+    them in partitions of different precision).
+    """
+    def assign(layer: Layer) -> None:
+        if weight_bits is not None:
+            layer._weight_bits = int(weight_bits)
+        if ifm_bits is not None:
+            layer._ifm_bits = int(ifm_bits)
+
+    _apply_to_layers(layers, assign)
 
 
 def set_layer_injector(layers: Sequence[Layer], injector) -> None:
     """Recursively install (or clear, with None) a fault injector."""
-    for layer in layers:
+    def assign(layer: Layer) -> None:
         layer.injector = injector
-        for attr in ("layers", "depthwise"):
-            children = getattr(layer, attr, None)
-            if children:
-                set_layer_injector(children, injector)
-        for attr in ("body", "shortcut", "squeeze"):
-            child = getattr(layer, attr, None)
-            if isinstance(child, Layer):
-                set_layer_injector([child], injector)
-        for attr in ("expand1", "expand3", "pointwise", "bn"):
-            child = getattr(layer, attr, None)
-            if isinstance(child, Layer):
-                child.injector = injector
+
+    _apply_to_layers(layers, assign)

@@ -18,7 +18,13 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn.layers import Layer, Sequential, set_layer_injector, set_layer_mode
+from repro.nn.layers import (
+    Layer,
+    Sequential,
+    set_layer_injector,
+    set_layer_mode,
+    set_layer_precision,
+)
 from repro.nn.tensor import DataKind, Parameter, TensorSpec
 
 
@@ -108,6 +114,17 @@ class Network:
     def fault_injector(self):
         return self._injector
 
+    def set_data_precision(self, weight_bits: Optional[int] = None,
+                           ifm_bits: Optional[int] = None) -> None:
+        """Set the storage precision advertised by weight / IFM load specs.
+
+        EDEN can map weights and IFMs to DRAM partitions of different
+        precision; injectors and correctors that key off ``spec.dtype_bits``
+        then see the right per-kind value.  ``None`` leaves a kind unchanged.
+        """
+        set_layer_precision(self.layers, weight_bits=weight_bits,
+                            ifm_bits=ifm_bits)
+
     # -- execution ----------------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
@@ -146,12 +163,16 @@ class Network:
             param.zero_grad()
 
     # -- EDEN-facing introspection --------------------------------------------------
-    def data_type_specs(self, dtype_bits: int = 32, batch_size: int = 1) -> List[TensorSpec]:
+    def data_type_specs(self, dtype_bits: Optional[int] = 32,
+                        batch_size: int = 1) -> List[TensorSpec]:
         """Inventory of weight and IFM data types seen during one inference.
 
         Runs a single dummy forward pass with a recording hook, exactly like a
         real error-injection run, so composite layers (residual blocks, fire
         modules) report the same set of data types the injector would touch.
+        ``dtype_bits=None`` keeps each spec at the precision its layer
+        advertises (see :meth:`set_data_precision`) instead of stamping a
+        uniform one.
         """
         recorder = _SpecRecorder()
         previous = self._injector
@@ -165,12 +186,14 @@ class Network:
             self.set_fault_injector(previous)
             if was_training:
                 self.train()
+        if dtype_bits is None:
+            return list(recorder.specs)
         return [spec.with_bits(dtype_bits) for spec in recorder.specs]
 
-    def weight_specs(self, dtype_bits: int = 32) -> List[TensorSpec]:
+    def weight_specs(self, dtype_bits: Optional[int] = 32) -> List[TensorSpec]:
         return [s for s in self.data_type_specs(dtype_bits) if s.kind is DataKind.WEIGHT]
 
-    def ifm_specs(self, dtype_bits: int = 32) -> List[TensorSpec]:
+    def ifm_specs(self, dtype_bits: Optional[int] = 32) -> List[TensorSpec]:
         return [s for s in self.data_type_specs(dtype_bits) if s.kind is DataKind.IFM]
 
     def footprint_bytes(self, dtype_bits: int = 32) -> int:

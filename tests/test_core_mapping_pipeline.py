@@ -186,6 +186,14 @@ class TestPipeline:
         result = eden.run(network.clone(), dataset, make_error_model(0, 1e-3, seed=0),
                           boost=False)
         assert result.boost is None
+        # The result carries a ready-to-serve inference session compiled at
+        # the characterized operating point (static-store semantics).
+        assert result.session is not None
+        assert result.session.injector.error_model.expected_ber() == \
+            pytest.approx(result.max_tolerable_ber)
+        score = result.evaluate()
+        assert 0.0 <= score <= 1.0
+        assert result.session.stats["materializations"] == 1
 
     def test_flow_against_device_produces_reductions(self, lenet_trained, device_vendor_a):
         network, dataset, _ = lenet_trained

@@ -222,3 +222,64 @@ class TestPoolingLayers:
         out = layer.forward(x)
         assert out.shape == (2, 48)
         assert layer.backward(out).shape == x.shape
+
+
+class TestLoadSpecPrecision:
+    """Weight and IFM load specs must advertise independent precisions.
+
+    Regression test for load_param leaking the IFM bits into weight specs:
+    EDEN can map weights and IFMs to DRAM partitions of different precision,
+    so an injector keying off ``spec.dtype_bits`` must see the per-kind value.
+    """
+
+    def _loads_by_kind(self, network):
+        recorder = RecordingInjector()
+        network.set_fault_injector(recorder)
+        try:
+            network.forward(np.zeros((1,) + network.input_shape, dtype=np.float32))
+        finally:
+            network.set_fault_injector(None)
+        weights = [s for s in recorder.specs if s.kind is DataKind.WEIGHT]
+        ifms = [s for s in recorder.specs if s.kind is DataKind.IFM]
+        return weights, ifms
+
+    def _network(self):
+        from repro.nn.network import Network
+
+        rng = _rng()
+        return Network("mixed", [
+            Conv2D("conv", 2, 3, 3, padding=1, rng=rng),
+            ReLU("relu"),
+            Flatten("flatten"),
+            Linear("fc", 3 * 4 * 4, 5, rng=rng),
+        ], input_shape=(2, 4, 4), num_classes=5)
+
+    def test_default_is_fp32_for_both_kinds(self):
+        weights, ifms = self._loads_by_kind(self._network())
+        assert weights and ifms
+        assert {s.dtype_bits for s in weights} == {32}
+        assert {s.dtype_bits for s in ifms} == {32}
+
+    def test_mixed_weight_ifm_precision(self):
+        network = self._network()
+        network.set_data_precision(weight_bits=8, ifm_bits=4)
+        weights, ifms = self._loads_by_kind(network)
+        assert {s.dtype_bits for s in weights} == {8}
+        assert {s.dtype_bits for s in ifms} == {4}
+
+    def test_precision_recurses_into_composites(self):
+        from repro.nn.layers import set_layer_precision
+
+        block = ResidualBlock("rb", 4, 4, rng=_rng())
+        fire = FireModule("fire", 4, 2, 2, rng=_rng())
+        set_layer_precision([block, fire], weight_bits=16, ifm_bits=8)
+        for layer in list(block.iter_layers()) + list(fire.iter_layers()):
+            assert layer._weight_bits == 16
+            assert layer._ifm_bits == 8
+
+    def test_partial_update_leaves_other_kind_unchanged(self):
+        network = self._network()
+        network.set_data_precision(weight_bits=16)
+        weights, ifms = self._loads_by_kind(network)
+        assert {s.dtype_bits for s in weights} == {16}
+        assert {s.dtype_bits for s in ifms} == {32}
