@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Macro-benchmark: the serving gateway vs batch-1 per-request serving.
+
+Measures the serving stack end to end and writes ``BENCH_serving.json``:
+
+* **Micro-batched vs batch-1 serial** (the headline) — wall clock of serving
+  N single-sample requests through the dynamic micro-batcher (coalesced
+  dispatches of up to ``--max-batch`` through one compiled static-store
+  plan) vs a gateway compiled at batch shape 1 (one forward pass per
+  request).  The per-layer cost of a forward pass amortizes over the batch,
+  so coalescing is where serving throughput comes from.
+* **Bit-identity** — coalesced results must equal strictly serial
+  per-request dispatch through the same compiled plan, bit for bit (static
+  batch shapes make a request's result independent of its batch
+  neighbours).  A mismatch fails the benchmark regardless of speed.
+* **Cold vs warm registry** — registering a (model, operating point) pair
+  compiles + materializes once; re-registering the same fingerprint is a
+  cache hit.
+* **Async front end** — concurrent client threads submitting through the
+  worker-thread batcher.
+
+Usage::
+
+    python benchmarks/bench_serving.py [--output PATH] [--model NAME]
+        [--requests N] [--max-batch N] [--check-speedup X]
+
+``--check-speedup X`` exits non-zero if the micro-batch speedup falls below
+``X`` (used by CI as a regression gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve.bench import measure_serving  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_serving.json",
+                        help="where to write the JSON record")
+    parser.add_argument("--model", default="lenet",
+                        help="model zoo entry to serve")
+    parser.add_argument("--ber", type=float, default=1e-3,
+                        help="weight-store bit error rate")
+    parser.add_argument("--requests", type=int, default=512,
+                        help="number of single-sample requests")
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="micro-batcher coalescing bound")
+    parser.add_argument("--check-speedup", type=float, default=None,
+                        help="fail if the micro-batch speedup is below this")
+    args = parser.parse_args()
+
+    record = measure_serving(args.model, ber=args.ber,
+                             n_requests=args.requests,
+                             max_batch=args.max_batch)
+    record = {
+        "benchmark": "serving_gateway",
+        "headline": {
+            "name": f"{args.model}_microbatch_vs_batch1_serial",
+            "speedup": record["microbatch_speedup"],
+            "serial_batch1_seconds": record["serial_batch1_seconds"],
+            "microbatched_seconds": record["microbatched_seconds"],
+            "bit_identical": record["bit_identical"],
+        },
+        **record,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+    print(f"serving {record['n_requests']} single-sample requests "
+          f"({args.model}, weight store at BER {args.ber:g}):")
+    print(f"  batch-1 serial       {record['serial_batch1_seconds']:8.3f} s  "
+          f"({record['serial_rps']:8,.0f} req/s)")
+    print(f"  micro-batched (<={args.max_batch:d})   "
+          f"{record['microbatched_seconds']:8.3f} s  "
+          f"({record['microbatched_rps']:8,.0f} req/s)")
+    print(f"  async, {record['client_threads']} clients     "
+          f"{record['async_seconds']:8.3f} s  "
+          f"({record['async_rps']:8,.0f} req/s)")
+    print(f"  speedup              {record['microbatch_speedup']:8.1f} x")
+    print(f"  bit-identical        {record['bit_identical']}")
+    print(f"  registry cold/warm   {record['cold_register_seconds'] * 1e3:.1f} ms "
+          f"/ {record['warm_register_seconds'] * 1e3:.2f} ms")
+
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output} "
+          f"(micro-batch speedup {record['microbatch_speedup']:.1f}x)")
+
+    if not record["bit_identical"]:
+        print("FAIL: micro-batched results are not bit-identical to serial "
+              "per-request dispatch", file=sys.stderr)
+        return 1
+    if (args.check_speedup is not None
+            and record["microbatch_speedup"] < args.check_speedup):
+        print(f"FAIL: micro-batch speedup {record['microbatch_speedup']:.1f}x "
+              f"< required {args.check_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

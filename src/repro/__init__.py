@@ -14,11 +14,17 @@ MICRO-52, 2019) as a self-contained Python library:
   correction, coarse/fine characterization, Algorithm-1 mapping, pipeline);
 * :mod:`repro.arch` -- the system-level evaluation substrate (CPU, GPU,
   Eyeriss/TPU accelerator models and the memory controller support);
+* :mod:`repro.memsys` -- the cycle-level DDR4 memory-system model;
+* :mod:`repro.engine` -- the inference engine (compiled sessions with
+  static-store / per-read read semantics);
+* :mod:`repro.serve` -- the serving gateway (session registry,
+  micro-batching, telemetry) over compiled sessions;
 * :mod:`repro.analysis` -- sweeps and table/figure regeneration used by the
   benchmark harness.
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-paper-vs-measured record of every table and figure.
+The ``docs/`` tree is the reference: ``docs/architecture.md`` (layer map and
+data flow), ``docs/error-models.md``, ``docs/engine.md``, and
+``docs/serving.md``.
 """
 
 __version__ = "1.0.0"

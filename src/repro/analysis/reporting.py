@@ -13,7 +13,18 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "",
                  float_format: str = "{:.4g}") -> str:
-    """Render rows as an aligned plain-text table."""
+    """Render ``rows`` as an aligned plain-text table.
+
+    ``headers`` labels the columns, ``title`` (optional) becomes the first
+    line, and float cells are rendered with ``float_format``.  Returns the
+    table as one newline-joined string.
+
+    >>> print(format_table(["x", "y"], [(1, 2.0), (10, 0.5)]))  # doctest: +NORMALIZE_WHITESPACE
+    x   y
+    --  ---
+    1   2
+    10  0.5
+    """
     rendered_rows: List[List[str]] = []
     for row in rows:
         rendered = []
@@ -41,16 +52,65 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = 
     return "\n".join(lines)
 
 
+def format_serving_report(snapshot: Mapping) -> str:
+    """Render a serving telemetry snapshot as plain-text tables.
+
+    ``snapshot`` is the dict produced by
+    :meth:`repro.serve.ServingTelemetry.snapshot` /
+    :meth:`repro.serve.ServingGateway.snapshot`: per-model request counts,
+    latency percentiles, throughput and batch occupancy under ``"models"``,
+    plus (optionally) the session registry's cache counters under
+    ``"registry"``.  Returns one printable string with a table per section.
+    """
+    sections: List[str] = []
+    models = snapshot.get("models", {})
+    rows = []
+    for name in sorted(models):
+        m = models[name]
+        rows.append((name, m["requests"], m["batches"],
+                     f"{m['mean_occupancy']:.1f}",
+                     f"{m['throughput_rps']:.0f}",
+                     f"{m['p50_ms']:.2f}", f"{m['p95_ms']:.2f}",
+                     f"{m['p99_ms']:.2f}"))
+    sections.append(format_table(
+        ["model", "requests", "batches", "occupancy", "req/s",
+         "p50 ms", "p95 ms", "p99 ms"],
+        rows, title="Serving telemetry"))
+    registry = snapshot.get("registry")
+    if registry is not None:
+        total = registry.get("hits", 0) + registry.get("misses", 0)
+        hit_rate = registry.get("hits", 0) / total if total else float("nan")
+        sections.append(format_table(
+            ["hits", "misses", "hit rate", "compilations", "evictions",
+             "stored MiB"],
+            [(registry.get("hits", 0), registry.get("misses", 0),
+              f"{hit_rate:.2f}", registry.get("compilations", 0),
+              registry.get("evictions", 0),
+              f"{registry.get('stored_bytes', 0) / 2**20:.2f}")],
+            title="Session registry"))
+    return "\n\n".join(sections)
+
+
 def format_series(series: Mapping, title: str = "", x_label: str = "x",
                   y_label: str = "y", float_format: str = "{:.4g}") -> str:
-    """Render an {x: y} mapping (one curve of a figure) as two aligned columns."""
+    """Render an {x: y} ``series`` (one curve of a figure) as two columns.
+
+    ``x_label``/``y_label`` head the columns; ``title`` and
+    ``float_format`` forward to :func:`format_table`.  Returns the rendered
+    table string.
+    """
     rows = [(k, v) for k, v in series.items()]
     return format_table([x_label, y_label], rows, title=title, float_format=float_format)
 
 
 def format_multi_series(curves: Mapping[str, Mapping], title: str = "",
                         x_label: str = "x", float_format: str = "{:.4g}") -> str:
-    """Render {curve_name: {x: y}} as one table with a column per curve."""
+    """Render ``curves`` ({curve_name: {x: y}}) as one column per curve.
+
+    Rows are the union of every curve's x values under ``x_label``; missing
+    points render empty.  ``title`` and ``float_format`` forward to
+    :func:`format_table`.  Returns the rendered table string.
+    """
     all_x: List = sorted({x for series in curves.values() for x in series})
     headers = [x_label] + list(curves)
     rows = []

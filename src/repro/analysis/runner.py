@@ -69,6 +69,11 @@ class ExperimentRunner:
     :attr:`ReadSemantics.STATIC_STORE` materializes corrupted weights once
     per operating point (paper-faithful, and integer factors faster on
     weight-dominated sweeps).
+
+    ``seed``, ``repeats`` and ``reseed_stride`` set the default
+    repeat-averaging loop (each repeat restarts the injection stream at
+    ``seed + repeat * reseed_stride``); ``processes`` > 1 fans independent
+    sweep points out over a worker pool.
     """
 
     def __init__(self, network: Network, dataset: Dataset, *,
@@ -92,15 +97,17 @@ class ExperimentRunner:
 
     @property
     def stats(self) -> Dict[str, int]:
+        """Evaluation counters of the underlying session (serial path only)."""
         return self.session.stats
 
     # -- the shared loop ----------------------------------------------------------
     def baseline(self, dataset: Optional[Dataset] = None) -> float:
-        """Injection-free validation score.
+        """Injection-free validation score on ``dataset``.
 
         Memoized only for the runner's own dataset: ad-hoc datasets (e.g.
         subsamples) are evaluated fresh, and a runner is bound to one network
-        state — retraining the network warrants a new runner.
+        state — retraining the network warrants a new runner.  Returns the
+        score.
         """
         return self.session.baseline(dataset)
 
@@ -110,10 +117,12 @@ class ExperimentRunner:
         """Mean validation score with ``injector`` installed.
 
         The injector's RNG is restarted at ``seed + repeat * stride`` before
-        each repeat (injection is stochastic; averaging a few streams tames
-        the noise), and the network's previous injector is always restored.
+        each of the ``repeats`` streams (injection is stochastic; averaging
+        a few streams tames the noise), and the network's previous injector
+        is always restored.  ``dataset`` defaults to the runner's own.
         Under static-store semantics the weights are materialized once per
         operating point and only the IFM stream is reseeded per repeat.
+        Returns the score averaged over repeats.
         """
         return self.session.score(injector, repeats=repeats, seed=seed,
                                   stride=stride, dataset=dataset)
@@ -121,8 +130,11 @@ class ExperimentRunner:
     def evaluate(self, injector=None, *, repeats: Optional[int] = None,
                  seed: Optional[int] = None, stride: Optional[int] = None,
                  dataset: Optional[Dataset] = None) -> float:
-        """Thin wrapper over the session: baseline when ``injector`` is None,
-        otherwise :meth:`score`."""
+        """Score ``injector`` (or the baseline when it is None) in one call.
+
+        ``repeats``/``seed``/``stride``/``dataset`` forward to :meth:`score`.
+        Returns :meth:`baseline` for ``injector=None``, else :meth:`score`.
+        """
         if injector is None:
             return self.baseline(dataset)
         return self.score(injector, repeats=repeats, seed=seed, stride=stride,
@@ -140,11 +152,14 @@ class ExperimentRunner:
                   bits: int = 32, corrector: Optional[Corrector] = None,
                   repeats: Optional[int] = None, seed: Optional[int] = None,
                   stride: Optional[int] = None) -> Dict[float, float]:
-        """Score at each bit error rate (the Figure 8/10 x-axis).
+        """Score at each bit error rate in ``bers`` (the Figure 8/10 x-axis).
 
-        Every point rescales the *base* model to the target BER and restarts
-        the injection stream, so points are order-independent — which is what
-        makes the process-pool fan-out below legal.
+        Every point rescales the base ``error_model`` to the target BER and
+        restarts the injection stream (``repeats`` streams from ``seed``
+        spaced by ``stride``), injecting at ``bits``-bit precision through
+        the optional ``corrector`` — so points are order-independent, which
+        is what makes the process-pool fan-out below legal.  Returns a
+        ``{ber: score}`` dict.
         """
         repeats = self.repeats if repeats is None else int(repeats)
         seed = self.seed if seed is None else int(seed)
@@ -222,13 +237,15 @@ class ExperimentRunner:
                      bits: int = 32, corrector: Optional[Corrector] = None,
                      repeats: Optional[int] = None, seed: Optional[int] = None,
                      ) -> Dict[DramOperatingPoint, float]:
-        """Score with tensors read from ``device`` at each operating point.
+        """Score with tensors read from ``device`` at each of ``op_points``.
 
-        One :class:`DeviceBackedInjector` serves every point: tensor base
-        addresses are assigned once (deterministically, in load order), so
-        the same weak cells corrupt the same tensor elements at every
-        operating point — matching real-device behaviour and the fresh-
-        injector-per-point results of the historical loop.
+        One :class:`DeviceBackedInjector` (at ``bits``-bit precision, with
+        the optional ``corrector``, averaging ``repeats`` streams from
+        ``seed``) serves every point: tensor base addresses are assigned
+        once (deterministically, in load order), so the same weak cells
+        corrupt the same tensor elements at every operating point — matching
+        real-device behaviour and the fresh-injector-per-point results of
+        the historical loop.  Returns an ``{op_point: score}`` dict.
         """
         seed = self.seed if seed is None else int(seed)
         repeats = self.repeats if repeats is None else int(repeats)

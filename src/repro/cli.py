@@ -17,6 +17,7 @@ evaluate-cpu       DRAM energy savings / speedup on the CPU platform (Figs. 13-1
 evaluate-accel     DRAM energy savings on Eyeriss / TPU (Sec. 7.2)
 memsys             cycle-level memory-controller run at nominal vs reduced tRCD/VDD
 bench              inference-engine throughput: static-store vs per-read semantics
+serve-bench        serving gateway: micro-batched vs batch-1 serial, registry, telemetry
 """
 
 from __future__ import annotations
@@ -226,6 +227,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_serving_report
+    from repro.serve.bench import measure_serving
+
+    record = measure_serving(args.model, ber=args.ber,
+                             n_requests=args.requests,
+                             max_batch=args.max_batch,
+                             client_threads=args.client_threads,
+                             seed=args.seed)
+    print(format_table(
+        ["serving mode", "seconds", "req/s"],
+        [("batch-1 serial", f"{record['serial_batch1_seconds']:.3f}",
+          f"{record['serial_rps']:.0f}"),
+         (f"micro-batched (≤{record['max_batch']})",
+          f"{record['microbatched_seconds']:.3f}",
+          f"{record['microbatched_rps']:.0f}"),
+         (f"async ({record['client_threads']} client threads)",
+          f"{record['async_seconds']:.3f}", f"{record['async_rps']:.0f}")],
+        title=(f"{args.model}: {record['n_requests']} single-sample requests, "
+               f"weight store at BER {args.ber:g}")))
+    print(f"\nmicro-batch speedup over batch-1 serial: "
+          f"{record['microbatch_speedup']:.2f}x")
+    print(f"batched == serial (bit-identical)      : {record['bit_identical']}")
+    print(f"registry compile: cold {record['cold_register_seconds'] * 1e3:.1f} ms, "
+          f"warm (cache hit) {record['warm_register_seconds'] * 1e3:.2f} ms")
+    print()
+    print(format_serving_report(record["telemetry"]))
+    return 0 if record["bit_identical"] else 1
+
+
 # ---------------------------------------------------------------------------------
 # argument parsing
 # ---------------------------------------------------------------------------------
@@ -314,6 +345,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--sweep-batch-size", type=int, default=4)
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(handler=cmd_bench)
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help="serving-gateway benchmark (micro-batched vs batch-1 serial)")
+    serve_bench.add_argument("--model", default="lenet",
+                             help="model zoo entry to serve")
+    serve_bench.add_argument("--ber", type=float, default=1e-3,
+                             help="weight-store bit error rate")
+    serve_bench.add_argument("--requests", type=int, default=256,
+                             help="number of single-sample requests")
+    serve_bench.add_argument("--max-batch", type=int, default=32,
+                             help="micro-batcher coalescing bound")
+    serve_bench.add_argument("--client-threads", type=int, default=4,
+                             help="concurrent clients for the async measurement")
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.set_defaults(handler=cmd_serve_bench)
 
     return parser
 

@@ -65,15 +65,47 @@ class EdenResult:
 
     @property
     def max_tolerable_ber(self) -> float:
+        """Coarse-grained maximum tolerable BER (the characterization result)."""
         return self.coarse.max_tolerable_ber
 
     def evaluate(self, dataset=None, metric: Optional[str] = None, **kwargs) -> float:
-        """Score the boosted network through the compiled inference session."""
+        """Score the boosted network through the compiled inference session.
+
+        ``dataset`` defaults to the session's own validation split and
+        ``metric`` to the model's registered metric; extra ``kwargs`` are
+        forwarded to :meth:`~repro.engine.session.InferenceSession.evaluate`.
+        Returns the mean validation score.
+        """
         if self.session is None:
             raise ValueError("this EdenResult was built without a session")
         return self.session.evaluate(dataset, metric, **kwargs)
 
+    def serve(self, gateway=None, *, name: Optional[str] = None, **config_kwargs):
+        """Register this result's compiled plan with a serving gateway.
+
+        The pipeline's characterized operating point (boosted weights, max
+        tolerable BER, fine-grained per-tensor BERs when available, value
+        correction) drops straight into live serving: the result's
+        static-store session becomes a gateway endpoint named ``name``
+        (default: the network's name).  Pass an existing ``gateway`` to add
+        this model next to others, or ``config_kwargs`` (forwarded to
+        :class:`~repro.serve.gateway.ServeConfig`) to build a fresh one.
+        Returns the gateway.
+        """
+        if self.session is None:
+            raise ValueError("this EdenResult was built without a session")
+        from repro.serve.gateway import ServeConfig, ServingGateway
+
+        if gateway is None:
+            gateway = ServingGateway(ServeConfig(**config_kwargs))
+        elif config_kwargs:
+            raise ValueError("pass config_kwargs only when creating a new "
+                             "gateway, not with an existing one")
+        gateway.register(name or self.network.name, session=self.session)
+        return gateway
+
     def summary(self) -> str:
+        """Return a multi-line human-readable summary of the flow's results."""
         lines = [
             f"EDEN result for {self.network.name!r}:",
             f"  baseline score            : {self.coarse.baseline_score:.4f}",
@@ -97,7 +129,17 @@ class EdenResult:
 
 
 class Eden:
-    """Orchestrates the three EDEN steps for one DNN on one approximate DRAM."""
+    """Orchestrates the three EDEN steps for one DNN on one approximate DRAM.
+
+    Parameters
+    ----------
+    accuracy_target:
+        The :class:`~repro.core.config.AccuracyTarget` characterization
+        searches against (default: within one percent of baseline).
+    config:
+        An :class:`~repro.core.config.EdenConfig` with retraining budgets,
+        search grids and seeds (defaults apply when omitted).
+    """
 
     def __init__(self, accuracy_target: Optional[AccuracyTarget] = None,
                  config: Optional[EdenConfig] = None):
@@ -139,7 +181,12 @@ class Eden:
         (offloading) or an :class:`ApproximateDram` to profile.  ``device`` is
         only needed to translate tolerable BERs into (ΔVDD, ΔtRCD); when
         omitted but ``error_source`` is a device, that device is used.
-        ``partition_table`` enables fine-grained mapping.
+        ``op_point`` pins the profiled operating point, ``partition_table``
+        enables fine-grained mapping (with ``fine_grained=True``), and
+        ``boost=False`` skips curricular retraining.  ``network`` and
+        ``dataset`` are the DNN and its train/validation data.  Returns an
+        :class:`EdenResult` carrying the boosted network, characterizations,
+        mappings, DRAM parameter reductions and a ready-to-serve session.
         """
         config = self.config
         metric = self._metric_for(network)
@@ -229,6 +276,11 @@ class Eden:
     # -- convenience -------------------------------------------------------------
     def run_with_uniform_model(self, network: Network, dataset: Dataset,
                                ber_seed: float = 1e-3, **kwargs) -> EdenResult:
-        """Run the flow against a plain uniform error model (Error Model 0)."""
+        """Run the flow against a plain uniform error model (Error Model 0).
+
+        ``ber_seed`` sets the model's initial BER (characterization rescales
+        it anyway); ``network``/``dataset``/``kwargs`` are forwarded to
+        :meth:`run`.  Returns that :class:`EdenResult`.
+        """
         model = make_error_model(0, ber_seed, seed=self.config.seed)
         return self.run(network, dataset, model, **kwargs)

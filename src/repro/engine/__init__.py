@@ -10,6 +10,8 @@ from repro.engine.session import (
     InferenceSession,
     ReadSemantics,
     evaluate,
+    injector_fingerprint,
 )
 
-__all__ = ["InferenceSession", "ReadSemantics", "evaluate"]
+__all__ = ["InferenceSession", "ReadSemantics", "evaluate",
+           "injector_fingerprint"]

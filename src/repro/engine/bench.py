@@ -49,7 +49,14 @@ def measure_inference_throughput(model_name: str = "resnet101", *,
                                  ber: float = 1e-3, model_id: int = 0,
                                  batch_sizes: Sequence[int] = (1, 16, 64),
                                  seed: int = 0) -> List[Dict]:
-    """Images/second per batch size: nominal vs approximate, both semantics."""
+    """Images/second per batch size: nominal vs approximate, both semantics.
+
+    ``model_name`` picks the zoo entry, ``ber``/``model_id`` the weight-store
+    error model, ``batch_sizes`` the serving batch sizes to time, and
+    ``seed`` fixes every stream.  Returns one record dict per batch size
+    with nominal / static-store / per-read images-per-second and the
+    semantics speedup.
+    """
     network, dataset, spec = build_model_with_dataset(model_name, seed=seed)
     network.eval()
     images = len(dataset.val_y)
@@ -84,7 +91,11 @@ def measure_characterization_sweep(model_name: str = "resnet101", *,
                                    network=None, dataset=None) -> Dict:
     """Wall clock of a weight-store BER sweep under both read semantics.
 
-    Returns the sweep scores alongside the timings so callers can also check
+    Sweeps ``model_name`` (or an explicitly passed ``network``/``dataset``
+    pair) over the ``bers`` grid with error model ``model_id``, evaluating
+    at ``batch_size`` with ``repeats`` reseeded streams per point from
+    ``seed``.  Returns a dict with the per-read and static-store timings,
+    the speedup, and the sweep scores — so callers can also check
     static-store determinism (two identically-seeded runs must agree).
     """
     if network is None or dataset is None:

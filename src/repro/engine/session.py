@@ -129,6 +129,19 @@ def _injector_fingerprint(injector) -> tuple:
     return tuple(parts)
 
 
+def injector_fingerprint(injector) -> tuple:
+    """Hashable description of the operating point ``injector`` exposes.
+
+    Two injectors with equal fingerprints produce the same materialized
+    weight store for the same seed; the fingerprint is therefore the cache
+    key used both by :class:`InferenceSession`'s store invalidation and by
+    :class:`repro.serve.SessionRegistry`.  See :func:`_injector_fingerprint`
+    for the exact embedding rules (objects without value equality are
+    compared by identity).  Returns a hashable tuple.
+    """
+    return _injector_fingerprint(injector)
+
+
 def _reseed(injector, seed: int) -> None:
     """Restart an injector's stream using the runner's historical convention."""
     if injector is None:
@@ -169,6 +182,9 @@ class InferenceSession:
         injection-free evaluation.
     semantics:
         :class:`ReadSemantics`; static-store is the paper-faithful default.
+    metric:
+        Metric name from :data:`repro.nn.metrics.METRICS` (``"accuracy"`` or
+        ``"map"``) that :meth:`evaluate` scores with.
     batch_size:
         Inference batch size (64 matches the historical evaluation path).
     seed, repeats, reseed_stride:
@@ -201,7 +217,7 @@ class InferenceSession:
         self._weight_spec_cache: Optional[List[TensorSpec]] = None
         self._pool = None
         self.stats = {"evaluations": 0, "baseline_evaluations": 0,
-                      "materializations": 0}
+                      "materializations": 0, "predictions": 0}
 
     # -- constructors -------------------------------------------------------------
     @classmethod
@@ -239,6 +255,7 @@ class InferenceSession:
         self.invalidate()
 
     def set_semantics(self, semantics: ReadSemantics) -> None:
+        """Switch the session's default read ``semantics`` for later calls."""
         self.semantics = semantics
 
     def invalidate(self) -> None:
@@ -246,11 +263,15 @@ class InferenceSession:
 
         Call after reconfiguring the network (e.g.
         :meth:`~repro.nn.network.Network.set_data_precision`): the next
-        evaluation re-records the load specs and re-materializes.
+        evaluation re-records the load specs and re-materializes.  The shard
+        worker pool is also shut down — its workers hold a pickled snapshot
+        of the network taken at pool creation, which the reconfiguration
+        just made stale.
         """
         self._store = None
         self._store_key = None
         self._weight_spec_cache = None
+        self.close()
 
     # -- materialization ----------------------------------------------------------
     def _weight_specs(self) -> List[TensorSpec]:
@@ -278,7 +299,8 @@ class InferenceSession:
         per-repeat IFM streams (which start at the unsalted ``seed``).  The
         pre-existing stream is restored afterwards so per-read IFM injection
         is unaffected; injectors exposing only ``reseed()`` (no ``_rng``
-        attribute) are instead re-seeded at the unsalted ``seed``.
+        attribute) are instead re-seeded at the unsalted ``seed``.  Returns
+        the ``{tensor name: corrupted array}`` store.
         """
         injector = self.injector if injector is _UNSET else injector
         seed = self.seed if seed is None else int(seed)
@@ -309,12 +331,18 @@ class InferenceSession:
         return store
 
     def materialized_weights(self) -> Optional[Dict[str, np.ndarray]]:
-        """The current corrupted weight store (None before materialization)."""
+        """Return the current corrupted weight store.
+
+        ``None`` before materialization (or after :meth:`invalidate`).
+        """
         return self._store
 
     # -- evaluation ---------------------------------------------------------------
     def baseline(self, dataset=None) -> float:
-        """Injection-free validation score (memoized for the own dataset)."""
+        """Return the injection-free validation score on ``dataset``.
+
+        Defaults to the session's own dataset, for which it is memoized.
+        """
         if dataset is not None and dataset is not self.dataset:
             inputs, labels = _resolve_arrays(dataset)
             return float(_metric_evaluate(self.network, inputs, labels,
@@ -335,11 +363,16 @@ class InferenceSession:
                  processes: Optional[int] = None) -> float:
         """Mean validation score under the session's injection setup.
 
-        The injector's stream is restarted at ``seed + repeat * stride``
-        before each repeat (matching every historical call site); in
-        static-store mode the reseed only affects the transient IFM stream —
-        the weight store stays fixed across repeats, as a real DRAM module
-        would behave.
+        Every argument defaults to the session's own setting: ``dataset``
+        and ``metric`` select what is scored, ``injector``/``semantics``
+        override the injection setup, ``repeats``/``seed``/``stride`` drive
+        the repeat-averaging loop, and ``processes`` > 1 shards the
+        evaluation set over a worker pool.  The injector's stream is
+        restarted at ``seed + repeat * stride`` before each repeat (matching
+        every historical call site); in static-store mode the reseed only
+        affects the transient IFM stream — the weight store stays fixed
+        across repeats, as a real DRAM module would behave.  Returns the
+        score averaged over repeats.
         """
         injector = self.injector if injector is _UNSET else injector
         semantics = self.semantics if semantics is None else semantics
@@ -366,9 +399,99 @@ class InferenceSession:
     def score(self, injector, *, repeats: Optional[int] = None,
               seed: Optional[int] = None, stride: Optional[int] = None,
               dataset=None, semantics: Optional[ReadSemantics] = None) -> float:
-        """Evaluate with an explicit injector (ExperimentRunner's ``score``)."""
+        """Evaluate with an explicit ``injector`` (the runner's vocabulary).
+
+        ``repeats``/``seed``/``stride``/``dataset``/``semantics`` forward to
+        :meth:`evaluate`.  Returns the mean score.
+        """
         return self.evaluate(dataset, injector=injector, semantics=semantics,
                              repeats=repeats, seed=seed, stride=stride)
+
+    # -- serving ------------------------------------------------------------------
+    def predict(self, inputs: np.ndarray, *, pad_to: Optional[int] = None,
+                ifm_errors: bool = False, seed: Optional[int] = None
+                ) -> np.ndarray:
+        """Raw network outputs for ``inputs`` under the compiled plan.
+
+        This is the serving entry point used by :mod:`repro.serve`: instead
+        of scoring a metric over a dataset it returns the network's output
+        rows, aligned with the ``inputs`` rows.
+
+        Parameters
+        ----------
+        inputs:
+            Array of shape ``(n,) + network.input_shape``.
+        pad_to:
+            When set, every forward pass runs at the *fixed* batch shape
+            ``(pad_to,) + input_shape``: inputs are processed in chunks of
+            ``pad_to`` rows, the last chunk zero-padded, and the padding rows
+            sliced off the result.  Static shapes make each row's output
+            independent of how many (and which) other requests share its
+            batch — the property the micro-batcher's bit-identity guarantee
+            rests on (BLAS kernels round differently for different matrix
+            shapes, so *dynamic* batch shapes do not have it).  ``None``
+            chunks by the session's ``batch_size`` without padding.
+        ifm_errors:
+            Static-store mode serves weights from the materialized store and,
+            by default, IFMs from reliable DRAM (no injection) — batching
+            then cannot perturb results.  ``True`` additionally routes IFM
+            loads through the injector, reseeded at ``seed`` per call:
+            deterministic per dispatch, but a row's errors depend on its
+            position in the batch, so coalesced and serial dispatches
+            diverge.
+        seed:
+            Stream seed for this call (defaults to the session seed); used to
+            key the store materialization and to reseed per-read/IFM streams.
+
+        Returns the stacked output rows as a float32 array of shape
+        ``(n, num_classes)``.
+        """
+        inputs = np.asarray(inputs, dtype=np.float32)
+        expected = tuple(self.network.input_shape)
+        if inputs.shape[1:] != expected:
+            raise ValueError(
+                f"predict() expects inputs of shape (n,) + {expected}, "
+                f"got {inputs.shape}"
+            )
+        seed = self.seed if seed is None else int(seed)
+        injector = self.injector
+        if injector is None:
+            hook = self.network.fault_injector
+        elif self.semantics is ReadSemantics.STATIC_STORE:
+            store = self.materialize(injector, seed=seed)
+            hook = _StaticStoreReader(injector if ifm_errors else None, store)
+        else:
+            hook = injector
+        reseed_stream = injector is not None and (
+            ifm_errors or self.semantics is ReadSemantics.PER_READ)
+
+        was_training = self.network.training
+        if was_training:
+            self.network.eval()
+        previous = self.network.fault_injector
+        self.network.set_fault_injector(hook)
+        try:
+            if reseed_stream:
+                _reseed(injector, seed)
+            chunk = int(pad_to) if pad_to else self.batch_size
+            outputs: List[np.ndarray] = []
+            for start in range(0, len(inputs), chunk):
+                block = inputs[start:start + chunk]
+                if pad_to and len(block) < chunk:
+                    padded = np.zeros((chunk,) + block.shape[1:],
+                                      dtype=block.dtype)
+                    padded[:len(block)] = block
+                    outputs.append(self.network.forward(padded)[:len(block)])
+                else:
+                    outputs.append(self.network.forward(block))
+        finally:
+            self.network.set_fault_injector(previous)
+            if was_training:
+                self.network.train()
+        self.stats["predictions"] += len(inputs)
+        if not outputs:
+            return np.empty((0, self.network.num_classes), dtype=np.float32)
+        return np.concatenate(outputs)
 
     def _evaluate_serial(self, network: Network, injector, store, inputs,
                          labels, metric, repeats, seed, stride) -> float:
@@ -512,13 +635,16 @@ def evaluate(network: Network, dataset, injector=None, *,
     """One-shot scoring helper: the shared install/reseed/evaluate/restore loop.
 
     This is the single copy of the loop that used to be duplicated across the
-    sweep, characterization, retraining and table modules.  ``semantics``
-    defaults to :attr:`ReadSemantics.PER_READ` so existing call sites keep
-    their historical (bit-exact) results; pass
+    sweep, characterization, retraining and table modules: score ``network``
+    on ``dataset`` with ``injector`` installed, at ``batch_size``, averaging
+    ``repeats`` streams reseeded at ``seed + repeat * reseed_stride``, under
+    the named ``metric``.  ``semantics`` defaults to
+    :attr:`ReadSemantics.PER_READ` so existing call sites keep their
+    historical (bit-exact) results; pass
     :attr:`ReadSemantics.STATIC_STORE` for paper-faithful stored-weight
     behavior.  Callers that score repeatedly should hold an
     :class:`InferenceSession`, which caches the materialized store and the
-    weight-spec scan across calls.
+    weight-spec scan across calls.  Returns the mean validation score.
     """
     session = InferenceSession(network, dataset, injector=injector,
                                semantics=semantics, metric=metric,

@@ -1,0 +1,35 @@
+"""Serving gateway over compiled inference sessions.
+
+This package is the deployment layer of the reproduction: EDEN's end state
+is a DNN written into approximate DRAM once and read back by live inference
+traffic, and :mod:`repro.serve` models exactly that over the engine's
+compiled static-store plans.  Three pieces compose:
+
+* :class:`SessionRegistry` — an LRU cache of compiled
+  :class:`~repro.engine.session.InferenceSession` plans keyed by the
+  injector fingerprint (model identity × operating point × per-tensor BERs)
+  with a configurable memory budget;
+* :class:`MicroBatcher` — dynamic coalescing of single-sample requests into
+  batched dispatches with a thread-based async front end;
+* :class:`ServingTelemetry` — per-model latency percentiles, throughput,
+  batch occupancy and cache counters;
+
+all wired together by :class:`ServingGateway`.  See ``docs/serving.md`` for
+the design and the tuning knobs, and ``examples/serving_gateway.py`` for an
+end-to-end walkthrough.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.gateway import ServeConfig, ServingGateway
+from repro.serve.registry import SessionRegistry, session_store_bytes
+from repro.serve.telemetry import ServingTelemetry, percentile
+
+__all__ = [
+    "MicroBatcher",
+    "ServeConfig",
+    "ServingGateway",
+    "SessionRegistry",
+    "ServingTelemetry",
+    "percentile",
+    "session_store_bytes",
+]

@@ -1,0 +1,224 @@
+"""Dynamic micro-batching of single-sample inference requests.
+
+Latency-oriented traffic arrives one sample at a time, but the engine's
+forward pass amortizes its per-layer cost over a batch.  :class:`MicroBatcher`
+sits between the two: clients :meth:`~MicroBatcher.submit` single samples and
+get a future back; a worker coalesces queued samples into batches of up to
+``max_batch`` (waiting at most ``max_wait_ms`` for stragglers), dispatches
+each batch through one compiled session, and splits the output rows back into
+the per-request futures.
+
+Determinism: when the dispatch function runs at a *static* batch shape
+(:meth:`InferenceSession.predict` with ``pad_to=max_batch``), a request's
+result is bit-identical however the queue happened to be coalesced — one
+request per batch, full batches, or anything between.  The correctness tests
+and the serving benchmark pin exactly this: coalesced results equal
+per-request serial evaluation, bit for bit, for fixed seeds.
+
+Two front ends share the same dispatch logic:
+
+* ``auto=True`` (default) — a daemon worker thread drains the queue, so
+  concurrent client threads share one compiled plan without further plumbing.
+* ``auto=False`` — nothing runs until :meth:`~MicroBatcher.flush`, which
+  drains the queue on the caller's thread in deterministic ``max_batch``
+  chunks (used by benchmarks and tests that need reproducible coalescing).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.serve.telemetry import ServingTelemetry
+
+
+class _Pending:
+    """One queued request: the sample, its future, and its enqueue time."""
+
+    __slots__ = ("sample", "future", "enqueued_at")
+
+    def __init__(self, sample: np.ndarray, enqueued_at: float):
+        self.sample = sample
+        self.future: Future = Future()
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatcher:
+    """Coalesces single-sample requests into batched dispatches.
+
+    Parameters
+    ----------
+    dispatch:
+        Callable mapping a stacked input array ``(n,) + sample_shape`` to an
+        output array whose row ``i`` is request ``i``'s result (typically a
+        bound :meth:`InferenceSession.predict`).
+    max_batch:
+        Largest number of requests coalesced into one dispatch.
+    max_wait_ms:
+        How long the worker holds an underfull batch open for stragglers
+        before dispatching it anyway (the classic latency/throughput knob).
+    name:
+        Model name used when recording telemetry.
+    telemetry:
+        Optional :class:`~repro.serve.telemetry.ServingTelemetry` that
+        receives per-request latencies and per-batch occupancy/service time.
+    auto:
+        ``True`` starts the background worker thread; ``False`` defers all
+        work to explicit :meth:`flush` calls.
+    """
+
+    def __init__(self, dispatch: Callable[[np.ndarray], np.ndarray], *,
+                 max_batch: int = 32, max_wait_ms: float = 2.0,
+                 name: str = "", telemetry: Optional[ServingTelemetry] = None,
+                 auto: bool = True):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.dispatch = dispatch
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.name = name
+        self.telemetry = telemetry
+        self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue()
+        self._closed = False
+        #: serializes every _run_batch (worker vs flush callers) and keeps
+        #: concurrent flushes from splitting one FIFO batch.
+        self._flush_lock = threading.Lock()
+        #: cheap guard pairing submit()'s closed-check with its enqueue, so a
+        #: request can never slip in after close() drained the queue.
+        self._state_lock = threading.Lock()
+        self._worker: Optional[threading.Thread] = None
+        if auto:
+            self._worker = threading.Thread(target=self._worker_loop,
+                                            name=f"microbatcher-{name or 'anon'}",
+                                            daemon=True)
+            self._worker.start()
+
+    # -- client side --------------------------------------------------------------
+    def submit(self, sample: np.ndarray) -> Future:
+        """Enqueue one ``sample`` (shape = the model's input shape).
+
+        Returns a :class:`concurrent.futures.Future` resolving to that
+        sample's output row.  Raises ``RuntimeError`` after :meth:`close`.
+        """
+        pending = _Pending(np.asarray(sample), time.perf_counter())
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.put(pending)
+        return pending.future
+
+    def flush(self) -> int:
+        """Drain the queue on the calling thread (manual mode).
+
+        Requests are dispatched in FIFO order in chunks of ``max_batch``.
+        Safe to call in auto mode too (the lock keeps worker and caller from
+        splitting one batch).  Returns the number of requests dispatched.
+        """
+        dispatched = 0
+        while True:
+            with self._flush_lock:
+                batch = self._take_ready_batch()
+                if not batch:
+                    return dispatched
+                self._run_batch(batch)
+            dispatched += len(batch)
+
+    def close(self) -> None:
+        """Stop accepting requests, flush the queue, and join the worker."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._worker is not None:
+            self._queue.put(None)          # wake the worker so it can exit
+            self._worker.join(timeout=5.0)
+            self._worker = None
+        self.flush()                       # serve anything still queued
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- batching core ------------------------------------------------------------
+    def _take_ready_batch(self) -> List[_Pending]:
+        """Non-blocking: up to ``max_batch`` requests already in the queue.
+
+        Callers must hold ``_flush_lock`` (it spans take + dispatch, so a
+        concurrent flush and the worker can neither split one FIFO batch nor
+        run the dispatch callable concurrently).
+        """
+        batch: List[_Pending] = []
+        while len(batch) < self.max_batch:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                batch.append(item)
+        return batch
+
+    def _wait_for_batch(self) -> Optional[List[_Pending]]:
+        """Blocking: one batch for the worker, or ``None`` on shutdown.
+
+        Blocks for the first request, then holds the batch open up to
+        ``max_wait_ms`` (or until full) before dispatching.
+        """
+        try:
+            first = self._queue.get(timeout=0.1)
+        except queue.Empty:
+            return [] if not self._closed else None
+        if first is None:
+            return None
+        batch = [first]
+        deadline = time.perf_counter() + self.max_wait_ms / 1e3
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is None:
+                with self._flush_lock:
+                    self._run_batch(batch)
+                return None
+            batch.append(item)
+        return batch
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._wait_for_batch()
+            if batch is None:
+                return
+            if batch:
+                with self._flush_lock:
+                    self._run_batch(batch)
+
+    def _run_batch(self, batch: List[_Pending]) -> None:
+        """Dispatch one coalesced batch and fan results back out."""
+        started = time.perf_counter()
+        try:
+            # np.stack inside the try: a shape-mismatched sample must fail
+            # its batch's futures, not kill the worker thread.
+            outputs = self.dispatch(np.stack([p.sample for p in batch]))
+        except Exception as error:       # propagate to every caller
+            for pending in batch:
+                pending.future.set_exception(error)
+            return
+        finished = time.perf_counter()
+        if self.telemetry is not None:
+            self.telemetry.record_batch(self.name, len(batch),
+                                        finished - started)
+        for row, pending in enumerate(batch):
+            if self.telemetry is not None:
+                self.telemetry.record_request(
+                    self.name, finished - pending.enqueued_at)
+            pending.future.set_result(outputs[row])

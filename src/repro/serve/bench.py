@@ -1,0 +1,158 @@
+"""Serving-gateway measurements behind ``serve-bench`` and CI.
+
+Shared by the ``repro.cli serve-bench`` subcommand and
+``benchmarks/bench_serving.py`` (which records ``BENCH_serving.json`` and
+gates CI).  One call to :func:`measure_serving` produces:
+
+* **batch-1 serial vs micro-batched** — wall clock of serving ``n_requests``
+  single-sample requests through a gateway compiled at batch shape 1 (every
+  request is its own forward pass) vs through a micro-batching gateway that
+  coalesces up to ``max_batch`` requests per dispatch.  The ratio is the
+  headline speedup CI gates on.
+* **bit-identity check** — within the micro-batching gateway, the coalesced
+  results are compared bit-for-bit against strictly serial per-request
+  dispatch through the same compiled plan (static batch shapes make the two
+  identical for fixed seeds).
+* **cold vs warm registry** — seconds to register an endpoint when the plan
+  must be compiled + materialized (cold) vs when the registry already holds
+  it (warm hit).
+* **async front end** — throughput of concurrent client threads submitting
+  through the worker-thread batcher.
+
+Untrained networks are used throughout: serving throughput does not depend
+on what the weights converged to, and skipping training keeps the benchmark
+a pure measurement of the serving stack.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.dram.error_models import make_error_model
+from repro.dram.injection import BitErrorInjector
+from repro.nn.models import build_model_with_dataset
+from repro.nn.tensor import DataKind
+from repro.serve.gateway import ServeConfig, ServingGateway
+
+
+def _request_set(dataset, n_requests: int) -> np.ndarray:
+    """``n_requests`` single-sample inputs, tiling the validation set."""
+    val_x = np.asarray(dataset.val_x)
+    repeats = -(-n_requests // len(val_x))        # ceil division
+    return np.concatenate([val_x] * repeats)[:n_requests]
+
+
+def measure_serving(model_name: str = "lenet", *, ber: float = 1e-3,
+                    model_id: int = 0, n_requests: int = 256,
+                    max_batch: int = 32, client_threads: int = 4,
+                    seed: int = 0) -> Dict:
+    """Measure the serving gateway against batch-1 per-request serving.
+
+    Builds ``model_name`` from the zoo, stores its weights in approximate
+    DRAM at ``ber`` (error model ``model_id``), and serves ``n_requests``
+    single-sample requests four ways (serial batch-1, micro-batched,
+    micro-batched via concurrent ``client_threads``, and the serial
+    reference for the bit-identity check).  ``max_batch`` is the
+    micro-batcher's coalescing bound and ``seed`` fixes every stream.
+    Returns a JSON-serializable dict with timings, the headline
+    ``microbatch_speedup``, ``bit_identical``, cold/warm registry seconds,
+    and the gateway telemetry snapshot.
+    """
+    network, dataset, spec = build_model_with_dataset(model_name, seed=seed)
+    network.eval()
+    requests = _request_set(dataset, n_requests)
+    error_model = make_error_model(model_id, ber, seed=seed)
+    injector = BitErrorInjector(error_model, bits=32,
+                                data_kinds={DataKind.WEIGHT}, seed=seed)
+
+    # -- cold vs warm registry ---------------------------------------------------
+    gateway = ServingGateway(ServeConfig(max_batch=max_batch,
+                                         auto_flush=False))
+    started = time.perf_counter()
+    gateway.register(model_name, network, dataset, injector=injector,
+                     seed=seed, metric=spec.metric)
+    cold_register_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    gateway.register(f"{model_name}-replica", network, dataset,
+                     injector=injector, seed=seed, metric=spec.metric)
+    warm_register_seconds = time.perf_counter() - started
+
+    # -- batch-1 serial per-request serving --------------------------------------
+    serial_gateway = ServingGateway(ServeConfig(max_batch=1,
+                                                auto_flush=False))
+    serial_gateway.register(model_name, network, dataset, injector=injector,
+                            seed=seed, metric=spec.metric)
+    serial_gateway.predict(model_name, requests[0])      # warm caches
+    started = time.perf_counter()
+    serial_outputs = serial_gateway.predict_many(model_name, requests,
+                                                 coalesce=False)
+    serial_seconds = time.perf_counter() - started
+
+    # -- micro-batched serving through the shared plan ---------------------------
+    gateway.predict(model_name, requests[0])             # warm caches
+    started = time.perf_counter()
+    batched_outputs = gateway.predict_many(model_name, requests,
+                                           coalesce=True)
+    batched_seconds = time.perf_counter() - started
+
+    # -- bit-identity: coalesced vs serial dispatch, same compiled shape ---------
+    reference_outputs = gateway.predict_many(model_name, requests,
+                                             coalesce=False)
+    # Raw byte comparison: bit-identity must hold even through NaN logits
+    # (corrupted FP32 weights produce them), which np.array_equal rejects.
+    bit_identical = (batched_outputs.shape == reference_outputs.shape and
+                     batched_outputs.tobytes() == reference_outputs.tobytes())
+
+    # -- async front end: concurrent clients, worker-thread batcher --------------
+    async_gateway = ServingGateway(ServeConfig(max_batch=max_batch,
+                                               max_wait_ms=2.0,
+                                               auto_flush=True))
+    async_gateway.register(model_name, network, dataset, injector=injector,
+                           seed=seed, metric=spec.metric)
+    async_gateway.predict(model_name, requests[0])       # warm caches
+    shards = np.array_split(requests, client_threads)
+
+    def client(shard: np.ndarray) -> None:
+        futures = [async_gateway.submit(model_name, sample)
+                   for sample in shard]
+        for future in futures:
+            future.result()
+
+    threads = [threading.Thread(target=client, args=(shard,))
+               for shard in shards]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    async_seconds = time.perf_counter() - started
+    async_gateway.close()
+
+    snapshot = gateway.snapshot()
+    record = {
+        "model": model_name,
+        "ber": float(ber),
+        "n_requests": int(n_requests),
+        "max_batch": int(max_batch),
+        "client_threads": int(client_threads),
+        "serial_batch1_seconds": serial_seconds,
+        "microbatched_seconds": batched_seconds,
+        "microbatch_speedup": serial_seconds / batched_seconds,
+        "async_seconds": async_seconds,
+        "serial_rps": n_requests / serial_seconds,
+        "microbatched_rps": n_requests / batched_seconds,
+        "async_rps": n_requests / async_seconds,
+        "bit_identical": bit_identical,
+        "cold_register_seconds": cold_register_seconds,
+        "warm_register_seconds": warm_register_seconds,
+        "registry": dict(gateway.registry.stats),
+        "telemetry": snapshot,
+        "serial_matches_batch1_predictions": bool(np.array_equal(
+            np.argmax(serial_outputs, axis=1),
+            np.argmax(batched_outputs, axis=1))),
+    }
+    return record

@@ -1,0 +1,155 @@
+"""Serving telemetry: latency percentiles, throughput, and batch occupancy.
+
+Every request that passes through a :class:`~repro.serve.gateway.ServingGateway`
+is timed end to end (enqueue to result) and every dispatched batch records its
+occupancy and service time.  :class:`ServingTelemetry` aggregates these per
+model; :meth:`ServingTelemetry.report` renders the aggregate through
+:func:`repro.analysis.reporting.format_serving_report`, next to the registry's
+cache hit/miss counters.
+
+All mutation goes through one lock, so batcher worker threads and client
+threads can record concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: latency samples kept per model; beyond this the window keeps the most
+#: recent samples (percentiles then describe recent traffic, which is what a
+#: serving dashboard wants).
+DEFAULT_WINDOW = 8192
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in 0..100).
+
+    Uses the nearest-rank definition (the smallest sample with at least
+    ``q``% of the distribution at or below it), which is exact for small
+    windows and never interpolates between samples.  Returns ``nan`` for an
+    empty list.
+
+    >>> percentile([4.0, 1.0, 3.0, 2.0], 50)
+    2.0
+    >>> percentile([5.0], 99)
+    5.0
+    """
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[min(rank, len(ordered)) - 1])
+
+
+class _ModelStats:
+    """Mutable per-model counters behind the telemetry lock."""
+
+    __slots__ = ("requests", "batches", "samples", "service_seconds",
+                 "latencies", "first_ts", "last_ts")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.batches = 0
+        self.samples = 0
+        self.service_seconds = 0.0
+        self.latencies: List[float] = []
+        self.first_ts: Optional[float] = None
+        self.last_ts: Optional[float] = None
+
+
+class ServingTelemetry:
+    """Per-model serving metrics: latency distribution, throughput, occupancy.
+
+    Parameters
+    ----------
+    window:
+        Number of latency samples retained per model (see
+        :data:`DEFAULT_WINDOW`).
+    clock:
+        Monotonic time source; injectable so tests can drive deterministic
+        timestamps.  Defaults to :func:`time.monotonic`.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW, clock=time.monotonic):
+        self._lock = threading.Lock()
+        self._models: Dict[str, _ModelStats] = {}
+        self._window = int(window)
+        self._clock = clock
+
+    # -- recording ----------------------------------------------------------------
+    def _stats_for(self, model: str) -> _ModelStats:
+        stats = self._models.get(model)
+        if stats is None:
+            stats = self._models[model] = _ModelStats()
+        return stats
+
+    def record_request(self, model: str, latency_seconds: float) -> None:
+        """Record one request's end-to-end ``latency_seconds`` for ``model``."""
+        now = self._clock()
+        with self._lock:
+            stats = self._stats_for(model)
+            stats.requests += 1
+            stats.latencies.append(float(latency_seconds))
+            if len(stats.latencies) > self._window:
+                del stats.latencies[:len(stats.latencies) - self._window]
+            if stats.first_ts is None:
+                stats.first_ts = now
+            stats.last_ts = now
+
+    def record_batch(self, model: str, occupancy: int,
+                     service_seconds: float) -> None:
+        """Record one dispatched batch for ``model``.
+
+        ``occupancy`` is the number of requests coalesced into the batch and
+        ``service_seconds`` the time its forward pass took.
+        """
+        with self._lock:
+            stats = self._stats_for(model)
+            stats.batches += 1
+            stats.samples += int(occupancy)
+            stats.service_seconds += float(service_seconds)
+
+    # -- reading ------------------------------------------------------------------
+    def snapshot(self, registry_stats: Optional[Dict[str, int]] = None) -> Dict:
+        """Aggregate metrics as a plain dict (one entry per model).
+
+        ``registry_stats`` (a :attr:`repro.serve.SessionRegistry.stats` dict)
+        is embedded under ``"registry"`` when given, so one snapshot carries
+        both traffic and cache behaviour.  Returns a JSON-serializable dict.
+        """
+        with self._lock:
+            models = {}
+            for name, stats in self._models.items():
+                elapsed = ((stats.last_ts - stats.first_ts)
+                           if stats.first_ts is not None else 0.0)
+                models[name] = {
+                    "requests": stats.requests,
+                    "batches": stats.batches,
+                    "mean_occupancy": (stats.samples / stats.batches
+                                       if stats.batches else 0.0),
+                    "throughput_rps": (stats.requests / elapsed
+                                       if elapsed > 0 else float("nan")),
+                    "service_seconds": stats.service_seconds,
+                    "p50_ms": percentile(stats.latencies, 50) * 1e3,
+                    "p95_ms": percentile(stats.latencies, 95) * 1e3,
+                    "p99_ms": percentile(stats.latencies, 99) * 1e3,
+                    "mean_ms": (sum(stats.latencies) / len(stats.latencies) * 1e3
+                                if stats.latencies else float("nan")),
+                }
+        result: Dict = {"models": models}
+        if registry_stats is not None:
+            result["registry"] = dict(registry_stats)
+        return result
+
+    def report(self, registry_stats: Optional[Dict[str, int]] = None) -> str:
+        """Render :meth:`snapshot` as plain text.
+
+        ``registry_stats`` cache counters are included when given.  Returns
+        the rendered table string.
+        """
+        from repro.analysis.reporting import format_serving_report
+
+        return format_serving_report(self.snapshot(registry_stats))

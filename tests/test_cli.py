@@ -11,7 +11,8 @@ class TestParser:
         subparsers = next(action for action in parser._actions
                           if hasattr(action, "choices") and action.choices)
         expected = {"list-models", "profile-dram", "fit-error-model", "characterize",
-                    "boost", "evaluate-cpu", "evaluate-accel", "memsys"}
+                    "boost", "evaluate-cpu", "evaluate-accel", "memsys",
+                    "bench", "serve-bench"}
         assert expected <= set(subparsers.choices)
 
     def test_missing_command_errors(self):
@@ -66,6 +67,14 @@ class TestCommands:
         assert main(["evaluate-accel"]) == 0
         out = capsys.readouterr().out
         assert "eyeriss" in out and "tpu" in out
+
+    def test_serve_bench(self, capsys):
+        assert main(["serve-bench", "--requests", "48", "--max-batch", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "micro-batch speedup" in out
+        assert "bit-identical" in out
+        assert "Serving telemetry" in out
+        assert "Session registry" in out
 
     def test_characterize_small_model(self, capsys):
         assert main(["characterize", "--model", "lenet", "--epochs", "1"]) == 0

@@ -1,0 +1,381 @@
+"""Serving gateway: registry eviction, batcher correctness, telemetry.
+
+The registry must compile each (model, operating point, seed) triple once,
+serve repeats from cache in LRU order, and evict least-recently-used stores
+under its count/memory budgets.  The micro-batcher's coalesced results must
+be bit-identical to strictly serial per-request dispatch for fixed seeds
+(the static-batch-shape execution contract), including through the threaded
+async front end.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dram.error_models import make_error_model
+from repro.dram.injection import BitErrorInjector
+from repro.engine import InferenceSession, ReadSemantics
+from repro.nn.tensor import DataKind
+from repro.serve import (
+    MicroBatcher,
+    ServeConfig,
+    ServingGateway,
+    SessionRegistry,
+    ServingTelemetry,
+    percentile,
+    session_store_bytes,
+)
+
+
+def _weight_injector(ber=1e-3, model_id=0, seed=0):
+    return BitErrorInjector(make_error_model(model_id, ber, seed=seed),
+                            bits=32, data_kinds={DataKind.WEIGHT}, seed=seed)
+
+
+class TestSessionRegistry:
+    def test_fingerprint_keyed_reuse(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        registry = SessionRegistry()
+        injector = _weight_injector()
+        first = registry.get_or_compile(network, dataset, injector=injector)
+        second = registry.get_or_compile(network, dataset, injector=injector)
+        assert first is second
+        assert first.stats["materializations"] == 1
+        assert registry.stats == {"hits": 1, "misses": 1, "compilations": 1,
+                                  "evictions": 0,
+                                  "stored_bytes": registry.stats["stored_bytes"]}
+
+    def test_distinct_operating_points_compile_separately(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        registry = SessionRegistry()
+        a = registry.get_or_compile(network, dataset,
+                                    injector=_weight_injector(1e-4))
+        b = registry.get_or_compile(network, dataset,
+                                    injector=_weight_injector(1e-2))
+        assert a is not b
+        assert registry.stats["compilations"] == 2
+
+    def test_lru_eviction_order(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        registry = SessionRegistry(max_sessions=2)
+        inj_a, inj_b, inj_c = (_weight_injector(b) for b in (1e-4, 1e-3, 1e-2))
+        registry.get_or_compile(network, dataset, injector=inj_a)
+        registry.get_or_compile(network, dataset, injector=inj_b)
+        # Touch A so B becomes least recently used, then insert C.
+        registry.get_or_compile(network, dataset, injector=inj_a)
+        registry.get_or_compile(network, dataset, injector=inj_c)
+        assert len(registry) == 2
+        assert registry.stats["evictions"] == 1
+        assert registry.key_of(network, inj_b) not in registry
+        assert registry.key_of(network, inj_a) in registry
+        assert registry.key_of(network, inj_c) in registry
+
+    def test_eviction_under_memory_budget(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        one_store = session_store_bytes(
+            SessionRegistry().get_or_compile(network, dataset,
+                                             injector=_weight_injector()))
+        registry = SessionRegistry(max_sessions=10,
+                                   memory_budget_bytes=int(one_store * 1.5))
+        registry.get_or_compile(network, dataset,
+                                injector=_weight_injector(1e-4))
+        evicted = registry.sessions()[0]
+        registry.get_or_compile(network, dataset,
+                                injector=_weight_injector(1e-3))
+        assert len(registry) == 1        # budget fits only one store
+        assert registry.stats["evictions"] == 1
+        # Eviction drops the materialized store but leaves the session usable.
+        assert evicted.materialized_weights() is None
+        assert registry.stats["stored_bytes"] <= int(one_store * 1.5)
+
+    def test_single_oversized_plan_still_serves(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        registry = SessionRegistry(memory_budget_bytes=1)
+        session = registry.get_or_compile(network, dataset,
+                                          injector=_weight_injector())
+        assert len(registry) == 1
+        assert session.materialized_weights()
+
+    def test_store_bytes_reaccounted_on_hit(self, lenet_clone):
+        """Lookups re-account each entry's store bytes, so lazily
+        materialized (or externally invalidated) stores keep the budget and
+        the stored_bytes stat honest."""
+        network, dataset, _ = lenet_clone
+        registry = SessionRegistry()
+        session = registry.get_or_compile(network, dataset,
+                                          injector=_weight_injector(),
+                                          materialize=False)
+        session.materialize()
+        registry.get(registry.key_of(network, session.injector))
+        assert registry.stats["stored_bytes"] == session_store_bytes(session)
+        assert registry.stats["stored_bytes"] == sum(
+            a.nbytes for a in session.materialized_weights().values())
+
+    def test_add_prebuilt_session_hits_on_recompile(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        injector = _weight_injector()
+        session = InferenceSession(network, dataset, injector=injector)
+        registry = SessionRegistry()
+        registry.add(session)
+        again = registry.get_or_compile(network, dataset, injector=injector)
+        assert again is session
+        assert registry.stats["hits"] == 1
+
+
+class TestMicroBatcher:
+    def test_coalesced_bit_identical_to_serial(self, lenet_clone):
+        """The acceptance property: coalesced dispatch == per-request serial
+        dispatch, bit for bit, for fixed seeds."""
+        network, dataset, spec = lenet_clone
+        gateway = ServingGateway(ServeConfig(max_batch=8, auto_flush=False))
+        gateway.register("m", network, dataset, injector=_weight_injector(),
+                         metric=spec.metric)
+        inputs = dataset.val_x[:20]      # 2 full batches + a partial one
+        batched = gateway.predict_many("m", inputs, coalesce=True)
+        serial = gateway.predict_many("m", inputs, coalesce=False)
+        assert batched.tobytes() == serial.tobytes()
+        gateway.close()
+
+    def test_async_front_end_matches_serial(self, lenet_clone):
+        """Concurrent submissions through the worker thread must produce the
+        same rows as serial dispatch, however the queue was coalesced."""
+        network, dataset, spec = lenet_clone
+        injector = _weight_injector()
+        sync_gateway = ServingGateway(ServeConfig(max_batch=8,
+                                                  auto_flush=False))
+        sync_gateway.register("m", network, dataset, injector=injector,
+                              metric=spec.metric)
+        inputs = dataset.val_x[:32]
+        serial = sync_gateway.predict_many("m", inputs, coalesce=False)
+        sync_gateway.close()
+
+        async_gateway = ServingGateway(ServeConfig(max_batch=8,
+                                                   max_wait_ms=1.0,
+                                                   auto_flush=True))
+        async_gateway.register("m", network, dataset, injector=injector,
+                               metric=spec.metric)
+        results = [None] * len(inputs)
+
+        def client(indices):
+            futures = [(async_gateway.submit("m", inputs[i]), i)
+                       for i in indices]
+            for future, i in futures:
+                results[i] = future.result()
+
+        threads = [threading.Thread(target=client,
+                                    args=(range(lo, len(inputs), 4),))
+                   for lo in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        async_gateway.close()
+        assert np.stack(results).tobytes() == serial.tobytes()
+
+    def test_max_batch_respected_and_occupancy_recorded(self):
+        telemetry = ServingTelemetry()
+        sizes = []
+
+        def dispatch(batch):
+            sizes.append(len(batch))
+            return batch.sum(axis=1, keepdims=True)
+
+        batcher = MicroBatcher(dispatch, max_batch=4, name="m",
+                               telemetry=telemetry, auto=False)
+        futures = [batcher.submit(np.full(3, i, dtype=np.float32))
+                   for i in range(11)]
+        batcher.flush()
+        assert sizes == [4, 4, 3]
+        for i, future in enumerate(futures):
+            assert future.result()[0] == pytest.approx(3.0 * i)
+        snapshot = telemetry.snapshot()["models"]["m"]
+        assert snapshot["requests"] == 11
+        assert snapshot["batches"] == 3
+        assert snapshot["mean_occupancy"] == pytest.approx(11 / 3)
+        batcher.close()
+
+    def test_dispatch_error_propagates_to_every_future(self):
+        def dispatch(batch):
+            raise RuntimeError("backend down")
+
+        batcher = MicroBatcher(dispatch, max_batch=4, auto=False)
+        futures = [batcher.submit(np.zeros(2)) for _ in range(3)]
+        batcher.flush()
+        for future in futures:
+            with pytest.raises(RuntimeError, match="backend down"):
+                future.result()
+        batcher.close()
+
+    def test_shape_mismatch_fails_batch_not_worker(self):
+        """A malformed sample must fail its batch's futures — and the worker
+        thread must survive to serve later requests."""
+        batcher = MicroBatcher(lambda batch: batch * 2, max_batch=4,
+                               max_wait_ms=1.0, auto=True)
+        bad = batcher.submit(np.zeros(3))
+        mismatched = batcher.submit(np.zeros(5))   # can't stack with (3,)
+        with pytest.raises(ValueError):
+            bad.result(timeout=5)
+        with pytest.raises(ValueError):
+            mismatched.result(timeout=5)
+        good = batcher.submit(np.ones(3))
+        assert good.result(timeout=5)[0] == pytest.approx(2.0)
+        batcher.close()
+
+    def test_submit_after_close_rejected(self):
+        batcher = MicroBatcher(lambda batch: batch, auto=False)
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit(np.zeros(2))
+
+
+class TestGateway:
+    def test_two_endpoints_route_independently(self, lenet_clone):
+        network, dataset, spec = lenet_clone
+        gateway = ServingGateway(ServeConfig(max_batch=4, auto_flush=False))
+        gateway.register("low", network, dataset,
+                         injector=_weight_injector(1e-5), metric=spec.metric)
+        gateway.register("high", network, dataset,
+                         injector=_weight_injector(1e-2), metric=spec.metric)
+        assert gateway.endpoints() == ["high", "low"]
+        sample = dataset.val_x[0]
+        low = gateway.predict("low", sample)
+        high = gateway.predict("high", sample)
+        assert low.shape == high.shape == (network.num_classes,)
+        assert gateway.session_for("low") is not gateway.session_for("high")
+        with pytest.raises(KeyError):
+            gateway.predict("missing", sample)
+        gateway.close()
+
+    def test_same_op_point_shares_compiled_plan(self, lenet_clone):
+        network, dataset, spec = lenet_clone
+        gateway = ServingGateway(ServeConfig(auto_flush=False))
+        injector = _weight_injector()
+        gateway.register("a", network, dataset, injector=injector,
+                         metric=spec.metric)
+        gateway.register("b", network, dataset, injector=injector,
+                         metric=spec.metric)
+        assert gateway.session_for("a") is gateway.session_for("b")
+        assert gateway.registry.stats["compilations"] == 1
+        assert gateway.registry.stats["hits"] == 1
+        gateway.close()
+
+    def test_report_mentions_models_and_cache(self, lenet_clone):
+        network, dataset, spec = lenet_clone
+        gateway = ServingGateway(ServeConfig(max_batch=4, auto_flush=False))
+        gateway.register("m", network, dataset, injector=_weight_injector(),
+                         metric=spec.metric)
+        gateway.predict_many("m", dataset.val_x[:6])
+        report = gateway.report()
+        assert "Serving telemetry" in report
+        assert "Session registry" in report
+        assert "m" in report
+        snapshot = gateway.snapshot()
+        assert snapshot["models"]["m"]["requests"] == 6
+        assert snapshot["registry"]["compilations"] == 1
+        gateway.close()
+
+    def test_classify_returns_label(self, lenet_clone):
+        network, dataset, spec = lenet_clone
+        gateway = ServingGateway(ServeConfig(max_batch=4, auto_flush=False))
+        gateway.register("m", network, dataset,
+                         injector=_weight_injector(1e-6), metric=spec.metric)
+        label = gateway.classify("m", dataset.val_x[0])
+        assert 0 <= label < network.num_classes
+        gateway.close()
+
+
+class TestSessionPredict:
+    def test_static_shapes_make_rows_batch_invariant(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        session = InferenceSession(network, dataset,
+                                   injector=_weight_injector())
+        alone = session.predict(dataset.val_x[:1], pad_to=8)
+        together = session.predict(dataset.val_x[:8], pad_to=8)
+        assert alone[0].tobytes() == together[0].tobytes()
+
+    def test_predict_rejects_bad_shape(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        session = InferenceSession(network, dataset)
+        with pytest.raises(ValueError, match="predict"):
+            session.predict(np.zeros((4, 3)))
+
+    def test_predict_restores_previous_hook(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        sentinel = _weight_injector()
+        network.set_fault_injector(sentinel)
+        session = InferenceSession(network, dataset,
+                                   injector=_weight_injector(1e-2))
+        session.predict(dataset.val_x[:2])
+        assert network.fault_injector is sentinel
+
+    def test_ifm_errors_deterministic_per_dispatch(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        injector = BitErrorInjector(make_error_model(0, 5e-3, seed=0),
+                                    bits=32, seed=0)
+        session = InferenceSession(network, dataset, injector=injector)
+        first = session.predict(dataset.val_x[:4], ifm_errors=True, seed=7)
+        second = session.predict(dataset.val_x[:4], ifm_errors=True, seed=7)
+        clean = session.predict(dataset.val_x[:4])
+        assert first.tobytes() == second.tobytes()
+        assert first.tobytes() != clean.tobytes()
+
+    def test_per_read_semantics_supported(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        session = InferenceSession(network, dataset,
+                                   injector=_weight_injector(1e-2),
+                                   semantics=ReadSemantics.PER_READ)
+        first = session.predict(dataset.val_x[:4], seed=3)
+        second = session.predict(dataset.val_x[:4], seed=3)
+        assert first.tobytes() == second.tobytes()
+
+
+class TestTelemetry:
+    def test_percentiles_and_throughput(self):
+        ticks = iter(np.arange(0.0, 10.0, 0.5))
+        telemetry = ServingTelemetry(clock=lambda: float(next(ticks)))
+        for latency in (0.010, 0.020, 0.030, 0.040):
+            telemetry.record_request("m", latency)
+        telemetry.record_batch("m", 4, 0.05)
+        stats = telemetry.snapshot()["models"]["m"]
+        assert stats["p50_ms"] == pytest.approx(20.0)
+        assert stats["p99_ms"] == pytest.approx(40.0)
+        # 4 requests over 1.5s of (injected) clock time.
+        assert stats["throughput_rps"] == pytest.approx(4 / 1.5)
+        assert stats["mean_occupancy"] == pytest.approx(4.0)
+
+    def test_latency_window_bounded(self):
+        telemetry = ServingTelemetry(window=10)
+        for i in range(100):
+            telemetry.record_request("m", float(i))
+        stats = telemetry.snapshot()["models"]["m"]
+        assert stats["requests"] == 100
+        assert stats["p50_ms"] >= 90_000    # only the newest 10 retained
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+        assert np.isnan(percentile([], 50))
+
+
+class TestEdenResultServe:
+    def test_pipeline_session_drops_into_gateway(self, lenet_clone):
+        from repro.core.config import EdenConfig
+        from repro.core.pipeline import Eden
+        from repro.dram.error_models import make_error_model
+
+        network, dataset, _ = lenet_clone
+        eden = Eden(config=EdenConfig(retrain_epochs=0, ber_search_steps=4,
+                                      evaluation_repeats=1, seed=0))
+        result = eden.run(network, dataset,
+                          make_error_model(0, 1e-3, seed=0), boost=False)
+        gateway = result.serve(max_batch=4, auto_flush=False)
+        assert gateway.endpoints() == [network.name]
+        row = gateway.predict(network.name, dataset.val_x[0])
+        assert row.shape == (network.num_classes,)
+        assert gateway.registry.stats["compilations"] == 1
+        # The same op point registered again is a cache hit, not a recompile.
+        result.serve(gateway, name="replica")
+        assert gateway.registry.stats["compilations"] == 1
+        assert gateway.registry.stats["hits"] == 1
+        gateway.close()
