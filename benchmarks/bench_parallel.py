@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Macro-benchmark: the shared-memory parallel executor vs serial sweeps.
+
+Measures :mod:`repro.parallel` end to end and writes ``BENCH_parallel.json``:
+
+* **Characterization sweep, serial vs N workers** (the headline) — the
+  coarse characterization's full BER grid scored through one
+  ``ExperimentRunner``, serially and through the shared-memory
+  ``SweepExecutor`` (zero-copy network/dataset views, one pickled injector
+  per task).  The score dicts must be equal bit for bit; the wall-clock
+  ratio is the speedup CI gates on.
+* **Device sweep** — the same comparison over ``ApproximateDram`` operating
+  points (the ``device_sweep`` ``processes`` gap is closed).
+* **Coarse characterization** — the full binary search with
+  ``config.processes`` set; every field, including the ``tested`` memo,
+  must match the serial run.
+* **Multi-process serving** — a gateway with ``dispatch_processes`` workers
+  attached to the shared plan export; coalesced results must be
+  bit-identical to in-process serial dispatch.
+
+Usage::
+
+    python benchmarks/bench_parallel.py [--output PATH] [--model NAME]
+        [--processes N] [--check-speedup X]
+
+Any bit-identity mismatch exits non-zero regardless of flags.
+``--check-speedup X`` additionally fails if the characterization-sweep
+speedup falls below ``X`` — the gate is only armed when the machine has at
+least ``--processes`` CPUs (a 1-core container cannot express parallelism;
+the JSON record always carries ``cpu_count`` alongside the measurement).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.parallel.bench import measure_parallel  # noqa: E402
+
+IDENTITY_KEYS = ("characterization_sweep_identical", "device_sweep_identical",
+                 "coarse_characterization_identical", "serving_identical")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_parallel.json",
+                        help="where to write the JSON record")
+    parser.add_argument("--model", default="lenet",
+                        help="model zoo entry to sweep")
+    parser.add_argument("--processes", type=int, default=4,
+                        help="executor worker count")
+    parser.add_argument("--epochs", type=int, default=2,
+                        help="training epochs before characterizing")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--check-speedup", type=float, default=None,
+                        help="fail if the characterization-sweep speedup is "
+                             "below this (armed only with enough CPUs)")
+    args = parser.parse_args()
+
+    record = measure_parallel(args.model, processes=args.processes,
+                              epochs=args.epochs, seed=args.seed)
+    record = {
+        "benchmark": "parallel_executor",
+        "headline": {
+            "name": f"{args.model}_characterization_sweep_{args.processes}_workers",
+            "speedup": record["characterization_sweep_speedup"],
+            "serial_seconds": record["characterization_sweep_serial_seconds"],
+            "parallel_seconds": record["characterization_sweep_parallel_seconds"],
+            "bit_identical": all(record[key] for key in IDENTITY_KEYS),
+        },
+        **record,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+    print(f"{args.model}: serial vs {args.processes} shared-memory workers "
+          f"({record['cpu_count']} CPUs visible)")
+    print(f"  characterization sweep   "
+          f"{record['characterization_sweep_serial_seconds']:7.2f} s -> "
+          f"{record['characterization_sweep_parallel_seconds']:7.2f} s "
+          f"({record['characterization_sweep_speedup']:.2f}x)  "
+          f"identical={record['characterization_sweep_identical']}")
+    print(f"  device sweep             "
+          f"{record['device_sweep_serial_seconds']:7.2f} s -> "
+          f"{record['device_sweep_parallel_seconds']:7.2f} s  "
+          f"identical={record['device_sweep_identical']}")
+    print(f"  coarse characterization  "
+          f"{record['coarse_characterization_serial_seconds']:7.2f} s -> "
+          f"{record['coarse_characterization_parallel_seconds']:7.2f} s  "
+          f"identical={record['coarse_characterization_identical']}")
+    print(f"  multi-process serving    identical={record['serving_identical']}")
+
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output} "
+          f"(characterization sweep speedup "
+          f"{record['characterization_sweep_speedup']:.2f}x)")
+
+    failed = [key for key in IDENTITY_KEYS if not record[key]]
+    if failed:
+        print(f"FAIL: parallel results not bit-identical to serial: {failed}",
+              file=sys.stderr)
+        return 1
+    if args.check_speedup is not None:
+        cpus = os.cpu_count() or 1
+        if cpus < args.processes:
+            print(f"NOTE: speedup gate skipped — only {cpus} CPU(s) visible, "
+                  f"{args.processes} workers cannot run concurrently")
+        elif record["characterization_sweep_speedup"] < args.check_speedup:
+            print(f"FAIL: characterization sweep speedup "
+                  f"{record['characterization_sweep_speedup']:.2f}x < required "
+                  f"{args.check_speedup}x", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

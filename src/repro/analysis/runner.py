@@ -17,9 +17,16 @@ plus the things the historical copies could not share:
   fresh injector with that seed;
 * **memoized baseline scores** — the injection-free score of a
   (network, dataset, metric) triple is computed once per runner;
-* **optional process-pool parallelism** — independent sweep points can be
-  fanned out across worker processes (``processes=N``).  Each point is
-  seeded independently, so parallel results are identical to serial ones.
+* **shared-memory parallelism** — with ``processes=N`` the runner holds one
+  :class:`repro.parallel.SweepExecutor`: the network and dataset are
+  exported to shared memory once, worker processes attach zero-copy views,
+  and every sweep family fans out through the same pool — BER grids
+  (:meth:`~ExperimentRunner.ber_sweep`), device operating points
+  (:meth:`~ExperimentRunner.device_sweep`), per-tensor BER assignments
+  (:meth:`~ExperimentRunner.per_tensor_sweep`) and the repeat loop of a
+  single point (:meth:`~ExperimentRunner.score`).  Each task is
+  independently seeded with exactly the stream the serial loop would have
+  restarted, so parallel results are bit-identical to serial ones.
 
 Seeding conventions differ between the historical call sites (``seed +
 repeat`` in the sweeps and retraining, ``seed + repeat * 101`` in the
@@ -29,7 +36,7 @@ results stay bit-exact.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.dram.device import ApproximateDram, DramOperatingPoint
 from repro.dram.error_models import ErrorModel
@@ -38,23 +45,6 @@ from repro.engine.session import InferenceSession, ReadSemantics
 from repro.nn.datasets import Dataset
 from repro.nn.network import Network
 
-#: module-level worker state for process-pool sweeps (set by the initializer
-#: once per worker instead of pickling the network into every task).
-_WORKER_STATE: dict = {}
-
-
-def _init_worker(network: Network, dataset: Dataset, metric: str,
-                 semantics: ReadSemantics) -> None:
-    _WORKER_STATE["runner"] = ExperimentRunner(network, dataset, metric=metric,
-                                               semantics=semantics)
-
-
-def _worker_ber_point(error_model: ErrorModel, ber: float, bits: int,
-                      corrector: Optional[Corrector], repeats: int, seed: int,
-                      stride: int) -> float:
-    runner: ExperimentRunner = _WORKER_STATE["runner"]
-    return runner._ber_point(error_model, ber, bits, corrector, repeats, seed, stride)
-
 
 class ExperimentRunner:
     """Scores one network/dataset pair under many injection scenarios.
@@ -62,18 +52,19 @@ class ExperimentRunner:
     The install/reseed/evaluate/restore loop itself lives in
     :class:`repro.engine.session.InferenceSession`; the runner binds one
     session to the (network, dataset, metric) triple and layers the sweep
-    vocabulary (BER grids, device operating points, process-pool fan-out of
-    sweep points) on top.  ``semantics`` selects the session's read
-    semantics: the default :attr:`ReadSemantics.PER_READ` reproduces the
-    historical per-batch injection results bit-exactly, while
-    :attr:`ReadSemantics.STATIC_STORE` materializes corrupted weights once
-    per operating point (paper-faithful, and integer factors faster on
-    weight-dominated sweeps).
+    vocabulary (BER grids, device operating points, per-tensor BER
+    assignments, shared-memory fan-out of sweep points) on top.
+    ``semantics`` selects the session's read semantics: the default
+    :attr:`ReadSemantics.PER_READ` reproduces the historical per-batch
+    injection results bit-exactly, while :attr:`ReadSemantics.STATIC_STORE`
+    materializes corrupted weights once per operating point (paper-faithful,
+    and integer factors faster on weight-dominated sweeps).
 
     ``seed``, ``repeats`` and ``reseed_stride`` set the default
     repeat-averaging loop (each repeat restarts the injection stream at
-    ``seed + repeat * reseed_stride``); ``processes`` > 1 fans independent
-    sweep points out over a worker pool.
+    ``seed + repeat * reseed_stride``); ``processes`` > 1 routes independent
+    work through a persistent :class:`repro.parallel.SweepExecutor` whose
+    workers hold zero-copy shared-memory views of the network and dataset.
     """
 
     def __init__(self, network: Network, dataset: Dataset, *,
@@ -93,7 +84,7 @@ class ExperimentRunner:
             network, dataset, semantics=semantics, metric=metric, seed=seed,
             repeats=repeats, reseed_stride=reseed_stride,
         )
-        self._pool = None
+        self._executor = None
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -122,8 +113,22 @@ class ExperimentRunner:
         is always restored.  ``dataset`` defaults to the runner's own.
         Under static-store semantics the weights are materialized once per
         operating point and only the IFM stream is reseeded per repeat.
-        Returns the score averaged over repeats.
+        With ``processes`` > 1 and several repeats, per-read repeat streams
+        are evaluated concurrently on the executor and averaged in repeat
+        order — bit-identical to the serial mean.  (Static-store repeats
+        stay serial: they share one weight store materialized at the base
+        ``seed``, which an isolated per-repeat task would have to rebuild
+        at its shifted seed, changing the stored weights.)  Returns the
+        score averaged over repeats.
         """
+        repeats = self.repeats if repeats is None else int(repeats)
+        seed = self.seed if seed is None else int(seed)
+        stride = self.reseed_stride if stride is None else int(stride)
+        if (self.processes > 1 and repeats > 1 and injector is not None
+                and self.semantics is ReadSemantics.PER_READ):
+            return self._sweep_executor().score_repeats(
+                injector, repeats=repeats, seed=seed, stride=stride,
+                dataset=self._executor_dataset(dataset))
         return self.session.score(injector, repeats=repeats, seed=seed,
                                   stride=stride, dataset=dataset)
 
@@ -141,13 +146,6 @@ class ExperimentRunner:
                           dataset=dataset)
 
     # -- model-driven sweeps ------------------------------------------------------
-    def _ber_point(self, error_model: ErrorModel, ber: float, bits: int,
-                   corrector: Optional[Corrector], repeats: int, seed: int,
-                   stride: int) -> float:
-        injector = BitErrorInjector(error_model.with_ber(ber), bits=bits,
-                                    corrector=corrector, seed=seed)
-        return self.score(injector, repeats=repeats, seed=seed, stride=stride)
-
     def ber_sweep(self, error_model: ErrorModel, bers: Sequence[float], *,
                   bits: int = 32, corrector: Optional[Corrector] = None,
                   repeats: Optional[int] = None, seed: Optional[int] = None,
@@ -158,7 +156,7 @@ class ExperimentRunner:
         restarts the injection stream (``repeats`` streams from ``seed``
         spaced by ``stride``), injecting at ``bits``-bit precision through
         the optional ``corrector`` — so points are order-independent, which
-        is what makes the process-pool fan-out below legal.  Returns a
+        is what makes the executor fan-out below legal.  Returns a
         ``{ber: score}`` dict.
         """
         repeats = self.repeats if repeats is None else int(repeats)
@@ -166,8 +164,16 @@ class ExperimentRunner:
         stride = self.reseed_stride if stride is None else int(stride)
 
         if self.processes > 1 and len(bers) > 1:
-            return self._ber_sweep_parallel(error_model, bers, bits, corrector,
-                                            repeats, seed, stride)
+            # One fresh injector per point, pickled into its task — the
+            # stream each worker restarts is exactly the serial one.
+            injectors = [
+                BitErrorInjector(error_model.with_ber(ber), bits=bits,
+                                 corrector=corrector, seed=seed)
+                for ber in bers
+            ]
+            scores = self._sweep_executor().score_many(
+                injectors, repeats=repeats, seed=seed, stride=stride)
+            return {float(ber): score for ber, score in zip(bers, scores)}
 
         # Serial path: one injector object, reused across all points.
         injector = BitErrorInjector(error_model, bits=bits, corrector=corrector,
@@ -178,58 +184,6 @@ class ExperimentRunner:
             results[float(ber)] = self.score(injector, repeats=repeats, seed=seed,
                                              stride=stride)
         return results
-
-    def _worker_pool(self):
-        """Lazily created, cached process pool (workers hold the network).
-
-        Spinning a pool per sweep would re-pickle the network into every
-        worker for every call; caching pays that once per runner.  The pool
-        is shut down by :meth:`close` / garbage collection / interpreter
-        exit.  Workers snapshot the network at pool creation — a runner (like
-        its serial memoization) is bound to one network state, so mutate or
-        retrain the network and you need a fresh runner.  ``stats`` only
-        counts serial evaluations; worker-side counts stay in the workers.
-        """
-        if self._pool is None:
-            import concurrent.futures
-
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.processes,
-                initializer=_init_worker,
-                initargs=(self.network, self.dataset, self.metric,
-                          self.semantics),
-            )
-        return self._pool
-
-    def close(self) -> None:
-        """Shut down the worker pools, if any were started."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-        self.session.close()
-
-    def __enter__(self) -> "ExperimentRunner":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    def __del__(self):  # pragma: no cover - GC timing dependent
-        try:
-            self.close()
-        except Exception:
-            pass
-
-    def _ber_sweep_parallel(self, error_model: ErrorModel, bers: Sequence[float],
-                            bits: int, corrector: Optional[Corrector],
-                            repeats: int, seed: int, stride: int) -> Dict[float, float]:
-        pool = self._worker_pool()
-        futures = [
-            pool.submit(_worker_ber_point, error_model, float(ber), bits,
-                        corrector, repeats, seed, stride)
-            for ber in bers
-        ]
-        return {float(ber): future.result() for ber, future in zip(bers, futures)}
 
     # -- device-backed sweeps -----------------------------------------------------
     def device_sweep(self, device: ApproximateDram,
@@ -245,10 +199,25 @@ class ExperimentRunner:
         once (deterministically, in load order), so the same weak cells
         corrupt the same tensor elements at every operating point — matching
         real-device behaviour and the fresh-injector-per-point results of
-        the historical loop.  Returns an ``{op_point: score}`` dict.
+        the historical loop.  With ``processes`` > 1 each point runs as its
+        own executor task with a fresh, identically-addressed injector —
+        bit-identical to the serial loop.  Returns an ``{op_point: score}``
+        dict.
         """
         seed = self.seed if seed is None else int(seed)
         repeats = self.repeats if repeats is None else int(repeats)
+
+        if self.processes > 1 and len(op_points) > 1:
+            injectors = [
+                DeviceBackedInjector(device, op_point, bits=bits,
+                                     corrector=corrector, seed=seed)
+                for op_point in op_points
+            ]
+            scores = self._sweep_executor().score_many(
+                injectors, repeats=repeats, seed=seed,
+                stride=self.reseed_stride)
+            return {op: score for op, score in zip(op_points, scores)}
+
         injector = DeviceBackedInjector(device, op_points[0] if op_points else
                                         DramOperatingPoint.nominal(),
                                         bits=bits, corrector=corrector, seed=seed)
@@ -257,3 +226,106 @@ class ExperimentRunner:
             injector.set_operating_point(op_point)
             results[op_point] = self.score(injector, repeats=repeats, seed=seed)
         return results
+
+    # -- per-tensor sweeps --------------------------------------------------------
+    def per_tensor_sweep(self, error_model: ErrorModel,
+                         assignments: Sequence[Dict[str, float]], *,
+                         bits: int = 32,
+                         corrector: Optional[Corrector] = None,
+                         repeats: Optional[int] = None,
+                         seed: Optional[int] = None,
+                         stride: Optional[int] = None,
+                         dataset: Optional[Dataset] = None) -> List[float]:
+        """Score a list of per-tensor BER ``assignments`` (fine-grained axis).
+
+        Each assignment maps tensor names to the BER their DRAM partition
+        would exhibit (the fine-grained mapping vocabulary); every one is
+        scored with ``error_model`` rescaled per tensor, at ``bits``-bit
+        precision through the optional ``corrector``, averaging ``repeats``
+        streams from ``seed`` spaced by ``stride`` on ``dataset`` (the
+        runner's own by default).  Assignments are independent, so with
+        ``processes`` > 1 they fan out over the executor — bit-identical to
+        the serial loop, which reuses one injector and swaps the assignment
+        per point.  Returns the scores in assignment order.
+        """
+        repeats = self.repeats if repeats is None else int(repeats)
+        seed = self.seed if seed is None else int(seed)
+        stride = self.reseed_stride if stride is None else int(stride)
+
+        if self.processes > 1 and len(assignments) > 1:
+            injectors = [
+                BitErrorInjector(error_model, bits=bits,
+                                 per_tensor_ber=assignment,
+                                 corrector=corrector, seed=seed)
+                for assignment in assignments
+            ]
+            return self._sweep_executor().score_many(
+                injectors, repeats=repeats, seed=seed, stride=stride,
+                dataset=self._executor_dataset(dataset))
+
+        injector = BitErrorInjector(error_model, bits=bits,
+                                    corrector=corrector, seed=seed)
+        scores: List[float] = []
+        for assignment in assignments:
+            injector.set_per_tensor_ber(assignment)
+            scores.append(self.session.score(injector, repeats=repeats,
+                                             seed=seed, stride=stride,
+                                             dataset=dataset))
+        return scores
+
+    # -- executor plumbing --------------------------------------------------------
+    def _executor_dataset(self, dataset):
+        """Translate a per-call dataset into executor task form.
+
+        ``None`` (and the runner's own dataset) mean "use the shared-memory
+        copy the workers already hold"; anything else ships its arrays
+        inline with each task.  Returns ``None`` or an ``(inputs, labels)``
+        pair.
+        """
+        if dataset is None or dataset is self.dataset:
+            return None
+        if isinstance(dataset, Dataset):
+            return (dataset.val_x, dataset.val_y)
+        return dataset
+
+    def _sweep_executor(self):
+        """Lazily created, cached :class:`repro.parallel.SweepExecutor`.
+
+        The executor exports the network and dataset to shared memory once
+        and keeps its worker pool alive across sweeps; it is shut down by
+        :meth:`close` / garbage collection / interpreter exit.  Workers
+        snapshot the network at pool creation — a runner (like its serial
+        memoization) is bound to one network state, so mutate or retrain
+        the network and you need a fresh runner.  ``stats`` only counts
+        serial evaluations; worker-side counts stay in the workers.
+        Returns the executor.
+        """
+        if self._executor is None:
+            from repro.parallel import SweepExecutor
+
+            self._executor = SweepExecutor(
+                self.network, self.dataset, metric=self.metric,
+                semantics=self.semantics,
+                batch_size=self.session.batch_size,
+                processes=self.processes,
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the executor pool, if one was started."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        self.session.close()
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

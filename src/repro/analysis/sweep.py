@@ -67,14 +67,18 @@ def ber_sweep(network: Network, dataset: Dataset, error_model: ErrorModel,
 def accuracy_on_device(network: Network, dataset: Dataset, device: ApproximateDram,
                        op_points: Sequence[DramOperatingPoint], bits: int = 32,
                        corrector=None, metric: str = "accuracy", seed: int = 0,
+                       processes: int = 0,
                        semantics: ReadSemantics = ReadSemantics.PER_READ,
                        ) -> Dict[DramOperatingPoint, float]:
     """Accuracy of ``network`` when its tensors are read from ``device``.
 
     Used for the real-DRAM experiments (Figures 7 and 9): every weight/IFM
     load goes through the behavioural device at the given operating point
-    (``semantics`` as in :func:`ber_sweep`).
+    (``semantics`` and ``processes`` as in :func:`ber_sweep` — operating
+    points fan out over the shared-memory executor with bit-identical
+    results).
     """
-    runner = ExperimentRunner(network, dataset, metric=metric, seed=seed,
-                              semantics=semantics)
-    return runner.device_sweep(device, op_points, bits=bits, corrector=corrector)
+    with ExperimentRunner(network, dataset, metric=metric, seed=seed,
+                          processes=processes, semantics=semantics) as runner:
+        return runner.device_sweep(device, op_points, bits=bits,
+                                   corrector=corrector)

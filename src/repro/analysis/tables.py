@@ -81,12 +81,15 @@ def table3_coarse_characterization(models: Optional[Sequence[str]] = None,
                                    target: Optional[AccuracyTarget] = None,
                                    config: Optional[EdenConfig] = None,
                                    epochs: Optional[int] = None,
-                                   seed: int = 0) -> List[Dict]:
+                                   seed: int = 0,
+                                   processes: int = 0) -> List[Dict]:
     """Table 3: per-DNN maximum tolerable BER and the ΔVDD/ΔtRCD it permits.
 
     For each model and precision: train the baseline, run the coarse-grained
     characterization against Error Model 0, then translate the tolerable BER
     into the most aggressive (ΔVDD, ΔtRCD) of the target device.
+    ``processes`` > 1 fans the characterization grid out over the
+    shared-memory executor (bit-identical results).
     """
     device = device or ApproximateDram("A", seed=seed)
     target = target or AccuracyTarget.within_one_percent()
@@ -107,6 +110,7 @@ def table3_coarse_characterization(models: Optional[Sequence[str]] = None,
                 evaluation_repeats=model_config.evaluation_repeats,
                 bits=bits,
                 seed=seed,
+                processes=processes or model_config.processes,
             )
             error_model = make_error_model(0, 1e-3, seed=seed)
             coarse = coarse_grained_characterization(

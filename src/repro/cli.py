@@ -17,6 +17,7 @@ evaluate-cpu       DRAM energy savings / speedup on the CPU platform (Figs. 13-1
 evaluate-accel     DRAM energy savings on Eyeriss / TPU (Sec. 7.2)
 memsys             cycle-level memory-controller run at nominal vs reduced tRCD/VDD
 bench              inference-engine throughput: static-store vs per-read semantics
+parallel-bench     shared-memory executor: serial vs N-worker sweeps, bit-identity
 serve-bench        serving gateway: micro-batched vs batch-1 serial, registry, telemetry
 """
 
@@ -92,7 +93,8 @@ def cmd_fit_error_model(args: argparse.Namespace) -> int:
 def cmd_characterize(args: argparse.Namespace) -> int:
     from repro.analysis.tables import table3_coarse_characterization
 
-    rows = table3_coarse_characterization(models=[args.model], epochs=args.epochs)
+    rows = table3_coarse_characterization(models=[args.model], epochs=args.epochs,
+                                          processes=args.processes)
     headers = list(rows[0].keys()) if rows else []
     print(format_table(headers, [[row[h] for h in headers] for row in rows],
                        title="Coarse-grained characterization (paper Table 3)"))
@@ -227,6 +229,41 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_parallel_bench(args: argparse.Namespace) -> int:
+    from repro.parallel.bench import measure_parallel
+
+    record = measure_parallel(args.model, processes=args.processes,
+                              epochs=args.epochs, seed=args.seed)
+    rows = [
+        ("characterization sweep",
+         f"{record['characterization_sweep_serial_seconds']:.2f}",
+         f"{record['characterization_sweep_parallel_seconds']:.2f}",
+         record["characterization_sweep_identical"]),
+        ("device sweep",
+         f"{record['device_sweep_serial_seconds']:.2f}",
+         f"{record['device_sweep_parallel_seconds']:.2f}",
+         record["device_sweep_identical"]),
+        ("coarse characterization",
+         f"{record['coarse_characterization_serial_seconds']:.2f}",
+         f"{record['coarse_characterization_parallel_seconds']:.2f}",
+         record["coarse_characterization_identical"]),
+    ]
+    print(format_table(
+        ["experiment", "serial (s)", f"{record['processes']} workers (s)",
+         "bit-identical"],
+        rows,
+        title=(f"{args.model}: shared-memory executor vs serial "
+               f"({record['cpu_count']} CPUs visible)")))
+    print(f"\ncharacterization sweep speedup: "
+          f"{record['characterization_sweep_speedup']:.2f}x")
+    print(f"multi-process serving bit-identical: {record['serving_identical']}")
+    identical = (record["characterization_sweep_identical"]
+                 and record["device_sweep_identical"]
+                 and record["coarse_characterization_identical"]
+                 and record["serving_identical"])
+    return 0 if identical else 1
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_serving_report
     from repro.serve.bench import measure_serving
@@ -306,6 +343,9 @@ def build_parser() -> argparse.ArgumentParser:
     characterize = subparsers.add_parser(
         "characterize", help="coarse-grained DNN characterization (Table 3)")
     _add_common_model_arguments(characterize)
+    characterize.add_argument("--processes", type=int, default=0,
+                              help="worker processes for the BER grid "
+                                   "(bit-identical to serial)")
     characterize.set_defaults(handler=cmd_characterize)
 
     boost = subparsers.add_parser("boost", help="run the full EDEN pipeline on one model")
@@ -345,6 +385,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--sweep-batch-size", type=int, default=4)
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(handler=cmd_bench)
+
+    parallel_bench = subparsers.add_parser(
+        "parallel-bench",
+        help="shared-memory parallel executor benchmark (serial vs N workers)")
+    parallel_bench.add_argument("--model", default="lenet",
+                                help="model zoo entry to sweep")
+    parallel_bench.add_argument("--processes", type=int, default=4,
+                                help="executor worker count")
+    parallel_bench.add_argument("--epochs", type=int, default=2,
+                                help="training epochs before characterizing")
+    parallel_bench.add_argument("--seed", type=int, default=0)
+    parallel_bench.set_defaults(handler=cmd_parallel_bench)
 
     serve_bench = subparsers.add_parser(
         "serve-bench",

@@ -26,7 +26,6 @@ from repro.core.config import EdenConfig
 from repro.core.correction import CorrectionMode, ImplausibleValueCorrector, ThresholdStore
 from repro.dram.error_models import ErrorModel
 from repro.dram.injection import BitErrorInjector
-from repro.engine import evaluate as engine_evaluate
 from repro.nn.datasets import Dataset
 from repro.nn.models import get_spec
 from repro.nn.network import Network
@@ -113,10 +112,23 @@ def _training_config_for(network: Network, config: EdenConfig, epochs: int) -> T
 
 
 def _evaluate_under_injection(network: Network, dataset: Dataset, injector,
-                              metric: str, repeats: int, seed: int) -> float:
-    """Mean validation score with the injector installed (stochastic injection)."""
-    return engine_evaluate(network, dataset, injector, metric=metric,
-                           repeats=repeats, seed=seed, reseed_stride=1)
+                              metric: str, repeats: int, seed: int,
+                              processes: int = 0) -> float:
+    """Mean validation score with the injector installed (stochastic injection).
+
+    Routed through :class:`~repro.analysis.runner.ExperimentRunner` so that
+    ``processes`` > 1 fans the independent repeat streams out over the
+    shared-memory executor — bit-identical to the serial mean, because each
+    repeat restarts the stream at ``seed + repeat`` either way.  A fresh
+    runner per call keeps the worker snapshots in step with the network,
+    which retraining mutates between the two evaluations.
+    """
+    # Late import: the runner lives in repro.analysis, above this layer.
+    from repro.analysis.runner import ExperimentRunner
+
+    with ExperimentRunner(network, dataset, metric=metric,
+                          processes=processes) as runner:
+        return runner.score(injector, repeats=repeats, seed=seed, stride=1)
 
 
 def _retrain(network: Network, dataset: Dataset, error_model: ErrorModel,
@@ -135,7 +147,8 @@ def _retrain(network: Network, dataset: Dataset, error_model: ErrorModel,
     )
     boosted = network.clone()
     baseline_score = _evaluate_under_injection(
-        boosted, dataset, eval_injector, metric, config.evaluation_repeats, config.seed
+        boosted, dataset, eval_injector, metric, config.evaluation_repeats,
+        config.seed, config.processes,
     )
 
     train_injector = BitErrorInjector(
@@ -157,7 +170,8 @@ def _retrain(network: Network, dataset: Dataset, error_model: ErrorModel,
     boosted.set_fault_injector(None)
 
     boosted_score = _evaluate_under_injection(
-        boosted, dataset, eval_injector, metric, config.evaluation_repeats, config.seed
+        boosted, dataset, eval_injector, metric, config.evaluation_repeats,
+        config.seed, config.processes,
     )
     return BoostResult(
         network=boosted,

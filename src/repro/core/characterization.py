@@ -78,19 +78,22 @@ class FineCharacterization:
 def _validated_runner(runner: Optional[ExperimentRunner], network: Network,
                       dataset: Dataset, metric: str,
                       semantics: Optional[ReadSemantics] = None,
-                      ) -> ExperimentRunner:
+                      processes: int = 0) -> ExperimentRunner:
     """Build (or sanity-check) the shared runner for a characterization call.
 
     A caller-supplied runner must be bound to the same network, dataset,
     metric and (when one was requested) read semantics — anything else would
-    silently characterize the wrong thing.  The runner's session is reused
-    across every point of the sweep, so in static-store mode each candidate
-    BER materializes its corrupted weights exactly once no matter how many
-    batches and repeats score it.
+    silently characterize the wrong thing (its own ``processes`` setting
+    wins over the ``processes`` argument, which only configures a runner
+    built here).  The runner's session is reused across every point of the
+    sweep, so in static-store mode each candidate BER materializes its
+    corrupted weights exactly once no matter how many batches and repeats
+    score it.
     """
     if runner is None:
         return ExperimentRunner(network, dataset, metric=metric,
-                                semantics=semantics or ReadSemantics.PER_READ)
+                                semantics=semantics or ReadSemantics.PER_READ,
+                                processes=processes)
     if runner.network is not network or runner.dataset is not dataset:
         raise ValueError("runner is bound to a different network/dataset than "
                          "the one being characterized")
@@ -135,18 +138,36 @@ def coarse_grained_characterization(network: Network, dataset: Dataset,
     ``semantics`` picks the read semantics (None follows the supplied runner,
     or per-read when the runner is built here): per-read preserves the
     historical results bit-exactly; static-store is paper-faithful (weights
-    corrupted once per candidate BER) and faster.
+    corrupted once per candidate BER) and faster.  When the runner
+    parallelizes (``processes`` > 1, from the argument or from
+    ``config.processes``), the whole candidate grid is prefetched
+    speculatively through the shared-memory executor and the binary search
+    consults the prefetched scores — every consulted score is the one the
+    serial search would have computed, so the returned characterization
+    (including its ``tested`` memo) is bit-identical to the serial run.
     """
     config = config or EdenConfig()
     thresholds = thresholds or ThresholdStore.from_network(network, dataset.train_x)
     corrector = ImplausibleValueCorrector(thresholds)
 
-    runner = _validated_runner(runner, network, dataset, metric, semantics)
+    runner = _validated_runner(runner, network, dataset, metric, semantics,
+                               config.processes)
     baseline_score = runner.baseline()
     floor = target.threshold(baseline_score)
 
     grid = np.array(config.ber_grid())
     tested: Dict[float, float] = {}
+
+    # Speculative prefetch: grid points are order-independent (each restarts
+    # the stream at the same seed/stride), so a parallel runner can score
+    # them all up front; the search below probes exactly as the serial one
+    # does and records only the points it actually consults.
+    prefetched: Dict[float, float] = {}
+    if runner.processes > 1 and len(grid) > 1:
+        prefetched = runner.ber_sweep(
+            error_model, [float(ber) for ber in grid], bits=config.bits,
+            corrector=corrector, repeats=config.evaluation_repeats,
+            seed=config.seed, stride=_CHARACTERIZATION_RESEED_STRIDE)
 
     # One injector serves the whole search; per candidate BER only the model
     # is swapped and the stream restarted (stream-identical to a fresh one).
@@ -155,10 +176,12 @@ def coarse_grained_characterization(network: Network, dataset: Dataset,
     injector = _scored_injector(error_model, config, corrector)
 
     def score_at(ber: float) -> float:
-        injector.set_error_model(error_model.with_ber(ber))
-        score = runner.score(injector, repeats=config.evaluation_repeats,
-                             seed=config.seed,
-                             stride=_CHARACTERIZATION_RESEED_STRIDE)
+        score = prefetched.get(float(ber))
+        if score is None:
+            injector.set_error_model(error_model.with_ber(ber))
+            score = runner.score(injector, repeats=config.evaluation_repeats,
+                                 seed=config.seed,
+                                 stride=_CHARACTERIZATION_RESEED_STRIDE)
         tested[float(ber)] = score
         return score
 
@@ -203,7 +226,11 @@ def fine_grained_characterization(network: Network, dataset: Dataset,
     tries to multiply one data type's BER by ``config.fine_step_factor``,
     keeps the increase if the (subsampled) validation score stays above the
     accuracy floor, and removes the data type from the sweep list otherwise —
-    the paper's "DNN data sweep procedure".
+    the paper's "DNN data sweep procedure".  The round structure is
+    data-dependent (a candidate builds on the acceptances earlier in its
+    round), so rounds stay serial; a parallel runner still fans each
+    candidate's repeat streams out over the executor, which is
+    bit-identical to the serial mean.
     """
     config = config or EdenConfig()
     thresholds = thresholds or ThresholdStore.from_network(network, dataset.train_x)
@@ -216,7 +243,8 @@ def fine_grained_characterization(network: Network, dataset: Dataset,
         )
     baseline_score = coarse.baseline_score
 
-    runner = _validated_runner(runner, network, dataset, metric, semantics)
+    runner = _validated_runner(runner, network, dataset, metric, semantics,
+                               config.processes)
 
     specs = network.data_type_specs(dtype_bits=config.bits)
     start_ber = coarse.max_tolerable_ber if coarse.max_tolerable_ber > 0 else config.ber_search_low

@@ -75,6 +75,10 @@ class EdenConfig:
     # numeric precision of the DNN stored in approximate DRAM
     bits: int = 32
     seed: int = 0
+    # worker processes for the characterization / boosting evaluations
+    # (> 1 routes through repro.parallel.SweepExecutor; results are
+    # bit-identical to the serial run)
+    processes: int = 0
 
     def __post_init__(self) -> None:
         if self.retrain_epochs < 0:
@@ -93,6 +97,8 @@ class EdenConfig:
             raise ValueError("fine_step_factor must exceed 1.0")
         if self.bits not in (4, 8, 16, 32):
             raise ValueError("bits must be one of 4, 8, 16, 32")
+        if self.processes < 0:
+            raise ValueError("processes must be non-negative")
 
     def ber_grid(self) -> Sequence[float]:
         """Logarithmically spaced BER candidates for the coarse search."""

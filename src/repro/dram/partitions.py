@@ -23,13 +23,16 @@ from repro.dram.voltage import NOMINAL_VDD
 
 def operating_point_cost(op_point: DramOperatingPoint,
                          nominal_vdd: float = NOMINAL_VDD,
-                         nominal_trcd_ns: float = 12.5) -> float:
+                         nominal_trcd_ns: float = NOMINAL_DDR4_TIMING.trcd_ns
+                         ) -> float:
     """Scalar "how much are we still paying" score; lower is more aggressive.
 
     Combines the dynamic-energy scale (VDD^2 term) and the remaining fraction
     of the nominal activation latency, which is what EDEN trades off when it
     picks the partition parameters with "the largest parameter reduction"
-    (Algorithm 1, line 8).
+    (Algorithm 1, line 8).  The defaults derive from the shared nominal
+    models (``NOMINAL_VDD``, ``NOMINAL_DDR4_TIMING``) so Algorithm 1's cost
+    ranking cannot drift from the timing model.
     """
     energy_term = (op_point.vdd / nominal_vdd) ** 2
     latency_term = op_point.trcd_ns / nominal_trcd_ns
@@ -68,13 +71,22 @@ class DramPartition:
         return min(candidates, key=lambda item: operating_point_cost(item[0]))
 
     def reserve(self, size_bytes: int) -> None:
-        """Consume capacity when a DNN data type is assigned here."""
-        if size_bytes > self.available_bytes:
+        """Consume capacity when a DNN data type is assigned here.
+
+        ``size_bytes`` is truncated to whole bytes *before* the capacity
+        check (so a fractional request can never pass the comparison yet
+        subtract less), must be non-negative (a negative request would
+        silently grow capacity), and is validated before any mutation.
+        """
+        size = int(size_bytes)
+        if size < 0:
+            raise ValueError(f"cannot reserve a negative size ({size_bytes}B)")
+        if size > self.available_bytes:
             raise ValueError(
                 f"partition {self.partition_id} has {self.available_bytes}B free, "
-                f"cannot reserve {size_bytes}B"
+                f"cannot reserve {size}B"
             )
-        self.available_bytes -= int(size_bytes)
+        self.available_bytes -= size
 
     def reset_capacity(self) -> None:
         self.available_bytes = self.size_bytes

@@ -36,6 +36,8 @@ result exactly.
 from __future__ import annotations
 
 import enum
+import threading
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -51,6 +53,31 @@ _UNSET = object()
 #: module-level worker state for sharded evaluation (set once per worker by
 #: the pool initializer instead of pickling the network into every task).
 _WORKER_STATE: dict = {}
+
+
+#: one lock per live Network object (weakly keyed, so a lock's lifetime is
+#: exactly its network's).  Sessions install load hooks on the network for
+#: the duration of an evaluation/dispatch, and plan exports briefly stub the
+#: network's tensors while pickling its skeleton — any two such critical
+#: sections on the same network must not overlap.
+_NETWORK_LOCKS: "weakref.WeakKeyDictionary[Network, threading.RLock]" = \
+    weakref.WeakKeyDictionary()
+_NETWORK_LOCKS_GUARD = threading.Lock()
+
+
+def network_lock(network: Network) -> threading.RLock:
+    """Return the canonical lock serializing stateful uses of ``network``.
+
+    The engine installs load hooks on the network during a dispatch and the
+    parallel layer stubs its tensors while pickling a skeleton; everything
+    that temporarily mutates (or snapshots) a shared network must hold this
+    lock.  One re-entrant lock per live network object, weakly keyed.
+    """
+    with _NETWORK_LOCKS_GUARD:
+        lock = _NETWORK_LOCKS.get(network)
+        if lock is None:
+            lock = _NETWORK_LOCKS[network] = threading.RLock()
+        return lock
 
 
 class ReadSemantics(enum.Enum):
@@ -216,6 +243,11 @@ class InferenceSession:
         self._store_key = None
         self._weight_spec_cache: Optional[List[TensorSpec]] = None
         self._pool = None
+        #: cached shared-memory export of the compiled plan (see export_plan);
+        #: the config tuple records the store key and injector inclusion it
+        #: was built for, so a fingerprint change re-exports.
+        self._exported = None
+        self._exported_config = None
         self.stats = {"evaluations": 0, "baseline_evaluations": 0,
                       "materializations": 0, "predictions": 0}
 
@@ -271,7 +303,15 @@ class InferenceSession:
         self._store = None
         self._store_key = None
         self._weight_spec_cache = None
+        self._drop_export()
         self.close()
+
+    def _drop_export(self) -> None:
+        """Unlink the shared-memory plan export, if one exists."""
+        if self._exported is not None:
+            self._exported.close()
+            self._exported = None
+            self._exported_config = None
 
     # -- materialization ----------------------------------------------------------
     def _weight_specs(self) -> List[TensorSpec]:
@@ -336,6 +376,44 @@ class InferenceSession:
         ``None`` before materialization (or after :meth:`invalidate`).
         """
         return self._store
+
+    def export_plan(self, *, include_injector: bool = False):
+        """Export the compiled plan to shared memory for worker processes.
+
+        Materializes the weight store (when the session has an injector
+        under static-store semantics; per-read sessions export no store)
+        and packs it — together with the clean weights, the network
+        skeleton and the dataset's validation split — into shared-memory
+        segments keyed by the session's current injector fingerprint.  The export is cached:
+        repeated calls under an unchanged fingerprint return the same
+        :class:`repro.parallel.plan.ExportedPlan`, while a changed
+        fingerprint (or :meth:`invalidate`) unlinks the stale segments and
+        re-exports under a fresh token, which attached workers pick up on
+        their next task — fingerprint invalidation across processes.
+        ``include_injector`` additionally ships the pickled injector for
+        workers that keep injecting per read.  Returns the
+        :class:`~repro.parallel.plan.ExportedPlan` (owned by the session;
+        dropped by :meth:`invalidate`).
+        """
+        # Late import: repro.parallel sits above the engine in the layer map
+        # (the same documented exception repro.serve uses for reporting).
+        from repro.parallel.plan import export_session_plan
+
+        if self.injector is not None and \
+                self.semantics is ReadSemantics.STATIC_STORE:
+            # Per-read sessions export no store — materializing one would be
+            # pure waste; static-store sessions materialize here so the
+            # config below reflects the store actually exported.
+            self.materialize()
+        config = (_injector_fingerprint(self.injector), self.seed,
+                  self.semantics, bool(include_injector))
+        if self._exported is not None and self._exported_config == config:
+            return self._exported
+        self._drop_export()
+        self._exported = export_session_plan(self,
+                                             include_injector=include_injector)
+        self._exported_config = config
+        return self._exported
 
     # -- evaluation ---------------------------------------------------------------
     def baseline(self, dataset=None) -> float:

@@ -56,7 +56,10 @@ class MicroBatcher:
     dispatch:
         Callable mapping a stacked input array ``(n,) + sample_shape`` to an
         output array whose row ``i`` is request ``i``'s result (typically a
-        bound :meth:`InferenceSession.predict`).
+        bound :meth:`InferenceSession.predict`).  If it also exposes
+        ``submit(batch) -> Future`` (e.g.
+        :class:`repro.parallel.PlanDispatcher`), :meth:`flush` pipelines
+        every ready batch through it concurrently.
     max_batch:
         Largest number of requests coalesced into one dispatch.
     max_wait_ms:
@@ -117,11 +120,27 @@ class MicroBatcher:
 
         Requests are dispatched in FIFO order in chunks of ``max_batch``.
         Safe to call in auto mode too (the lock keeps worker and caller from
-        splitting one batch).  Returns the number of requests dispatched.
+        splitting one batch).  A process-backed dispatcher (anything
+        exposing ``submit(batch) -> Future``, e.g.
+        :class:`repro.parallel.PlanDispatcher`) has every ready batch
+        submitted before the first result is awaited, so all its workers
+        run concurrently; batch composition — and therefore every result —
+        is identical to the sequential path.  Returns the number of
+        requests dispatched.
         """
+        submit = getattr(self.dispatch, "submit", None)
         dispatched = 0
         while True:
             with self._flush_lock:
+                if submit is not None:
+                    batches = []
+                    while True:
+                        batch = self._take_ready_batch()
+                        if not batch:
+                            break
+                        batches.append(batch)
+                    self._run_batches_pipelined(batches, submit)
+                    return dispatched + sum(len(batch) for batch in batches)
                 batch = self._take_ready_batch()
                 if not batch:
                     return dispatched
@@ -152,16 +171,24 @@ class MicroBatcher:
 
         Callers must hold ``_flush_lock`` (it spans take + dispatch, so a
         concurrent flush and the worker can neither split one FIFO batch nor
-        run the dispatch callable concurrently).
+        run the dispatch callable concurrently).  The ``None`` shutdown
+        sentinel is re-enqueued, never discarded: it is the worker's only
+        wake-up signal, and a flush racing :meth:`close` must not make the
+        join wait out the worker's poll timeout.
         """
         batch: List[_Pending] = []
+        saw_sentinel = False
         while len(batch) < self.max_batch:
             try:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
-            if item is not None:
-                batch.append(item)
+            if item is None:
+                saw_sentinel = True
+                continue
+            batch.append(item)
+        if saw_sentinel:
+            self._queue.put(None)
         return batch
 
     def _wait_for_batch(self) -> Optional[List[_Pending]]:
@@ -201,6 +228,53 @@ class MicroBatcher:
             if batch:
                 with self._flush_lock:
                     self._run_batch(batch)
+
+    def _run_batches_pipelined(self, batches: List[List[_Pending]],
+                               submit) -> None:
+        """Submit every batch through ``submit``, then fan results back out.
+
+        All batches go in before any result is awaited, so a process-backed
+        dispatcher keeps its whole worker pool busy; results are gathered
+        (and futures resolved) in FIFO batch order.  A failed submission or
+        execution fails only its own batch's futures.  Telemetry times each
+        batch from its own submission to its own completion (recorded by a
+        done-callback, so a batch finishing while an earlier one is still
+        being gathered is not billed for the head-of-line wait).  Callers
+        must hold ``_flush_lock``.
+        """
+        in_flight = []
+        done_at: dict = {}
+        for batch in batches:
+            started = time.perf_counter()
+            try:
+                # np.stack inside the try: a shape-mismatched sample must
+                # fail its batch's futures, not abort the whole flush.
+                future = submit(np.stack([p.sample for p in batch]))
+            except Exception as error:
+                for pending in batch:
+                    pending.future.set_exception(error)
+                continue
+            future.add_done_callback(
+                lambda f: done_at.setdefault(id(f), time.perf_counter()))
+            in_flight.append((batch, started, future))
+        for batch, started, future in in_flight:
+            try:
+                outputs = future.result()
+            except Exception as error:
+                for pending in batch:
+                    pending.future.set_exception(error)
+                continue
+            # The done-callback can still be in flight right after result()
+            # returns; fall back to "now", which is at most a hair later.
+            finished = done_at.get(id(future)) or time.perf_counter()
+            if self.telemetry is not None:
+                self.telemetry.record_batch(self.name, len(batch),
+                                            finished - started)
+            for row, pending in enumerate(batch):
+                if self.telemetry is not None:
+                    self.telemetry.record_request(
+                        self.name, finished - pending.enqueued_at)
+                pending.future.set_result(outputs[row])
 
     def _run_batch(self, batch: List[_Pending]) -> None:
         """Dispatch one coalesced batch and fan results back out."""

@@ -27,20 +27,24 @@ Endpoints that share one underlying :class:`~repro.nn.network.Network`
 object (e.g. the same model registered at two operating points) are
 serialized through a per-network lock: the engine installs its load hook on
 the network for the duration of a dispatch, so two plans must not execute on
-the same network concurrently.
+the same network concurrently.  With ``dispatch_processes`` > 0 each
+endpoint instead runs its dispatches in worker processes holding private
+network copies whose weights are zero-copy shared-memory views of the
+compiled plan (:class:`repro.parallel.PlanDispatcher`) — bit-identical
+results, no per-network contention, and the forward passes stop competing
+for the serving process's GIL.
 """
 
 from __future__ import annotations
 
 import threading
-import weakref
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.engine.session import InferenceSession
+from repro.engine.session import InferenceSession, network_lock
 from repro.nn.network import Network
 from repro.serve.batcher import MicroBatcher
 from repro.serve.registry import SessionRegistry
@@ -58,7 +62,13 @@ class ServeConfig:
     ``memory_budget_bytes`` bound the session registry; ``auto_flush``
     selects the threaded front end (``False`` defers dispatch to explicit
     ``flush()`` calls — deterministic, used by benchmarks); ``ifm_errors``
-    opts endpoints into per-dispatch IFM injection.
+    opts endpoints into per-dispatch IFM injection.  ``dispatch_processes``
+    > 0 runs each endpoint's dispatches in that many worker *processes*
+    attached zero-copy to the endpoint's shared-memory plan export
+    (:class:`repro.parallel.PlanDispatcher`): results stay bit-identical to
+    in-process dispatch, endpoints sharing one network stop contending on
+    the per-network lock, and the numpy-bound forward passes leave the
+    serving process's GIL alone.
     """
 
     max_batch: int = 32
@@ -68,34 +78,25 @@ class ServeConfig:
     memory_budget_bytes: Optional[int] = None
     auto_flush: bool = True
     ifm_errors: bool = False
+    dispatch_processes: int = 0
 
 
 class _Endpoint:
-    """A registered model name bound to its session and batcher."""
+    """A registered model name bound to its session, batcher and dispatcher."""
 
-    __slots__ = ("name", "session", "batcher")
+    __slots__ = ("name", "session", "batcher", "dispatcher")
 
     def __init__(self, name: str, session: InferenceSession,
-                 batcher: MicroBatcher):
+                 batcher: MicroBatcher, dispatcher=None):
         self.name = name
         self.session = session
         self.batcher = batcher
+        self.dispatcher = dispatcher
 
-
-#: one lock per live Network object: sessions install load hooks on the
-#: network during a dispatch, so plans sharing a network must not overlap.
-#: Weakly keyed, so a lock's lifetime is exactly its network's.
-_NETWORK_LOCKS: "weakref.WeakKeyDictionary[Network, threading.Lock]" = \
-    weakref.WeakKeyDictionary()
-_NETWORK_LOCKS_GUARD = threading.Lock()
-
-
-def _lock_for(network: Network) -> threading.Lock:
-    with _NETWORK_LOCKS_GUARD:
-        lock = _NETWORK_LOCKS.get(network)
-        if lock is None:
-            lock = _NETWORK_LOCKS[network] = threading.Lock()
-        return lock
+    def close(self) -> None:
+        self.batcher.close()
+        if self.dispatcher is not None:
+            self.dispatcher.close()
 
 
 class ServingGateway:
@@ -149,29 +150,48 @@ class ServingGateway:
             session = self.registry.get_or_compile(
                 network, dataset, injector=injector, seed=seed,
                 **session_kwargs)
-        batcher = MicroBatcher(self._dispatcher(session),
+        dispatch, dispatcher = self._dispatcher(session)
+        batcher = MicroBatcher(dispatch,
                                max_batch=self.config.max_batch,
                                max_wait_ms=self.config.max_wait_ms,
                                name=name, telemetry=self.telemetry,
                                auto=self.config.auto_flush)
         with self._lock:
             previous = self._endpoints.get(name)
-            self._endpoints[name] = _Endpoint(name, session, batcher)
+            self._endpoints[name] = _Endpoint(name, session, batcher,
+                                              dispatcher)
         if previous is not None:
-            previous.batcher.close()
+            previous.close()
         return session
 
     def _dispatcher(self, session: InferenceSession):
-        """Dispatch closure: static-shape predict under the network lock."""
+        """Build the endpoint's dispatch path for ``session``.
+
+        Returns a ``(dispatch callable, dispatcher or None)`` pair: with
+        ``dispatch_processes`` > 0 the callable is a
+        :class:`repro.parallel.PlanDispatcher` running the exported plan in
+        worker processes (returned again as the closeable dispatcher);
+        otherwise it is an in-process closure running static-shape
+        ``predict`` under the per-network lock.
+        """
         pad_to = self.config.max_batch if self.config.pad_batches else None
         ifm_errors = self.config.ifm_errors
-        lock = _lock_for(session.network)
+        if self.config.dispatch_processes > 0:
+            # Late import: repro.parallel builds on the engine and is only
+            # needed for multi-process gateways.
+            from repro.parallel import PlanDispatcher
+
+            dispatcher = PlanDispatcher(
+                session, processes=self.config.dispatch_processes,
+                pad_to=pad_to, ifm_errors=ifm_errors)
+            return dispatcher, dispatcher
+        lock = network_lock(session.network)
 
         def dispatch(batch: np.ndarray) -> np.ndarray:
             with lock:
                 return session.predict(batch, pad_to=pad_to,
                                        ifm_errors=ifm_errors)
-        return dispatch
+        return dispatch, None
 
     def _endpoint(self, name: str) -> _Endpoint:
         endpoint = self._endpoints.get(name)
@@ -255,13 +275,13 @@ class ServingGateway:
         return self.telemetry.report(self.registry.stats)
 
     def close(self) -> None:
-        """Close every endpoint's batcher; the registry's sessions survive."""
+        """Close every endpoint's batcher and dispatcher; sessions survive."""
         self._closed = True
         with self._lock:
             endpoints = list(self._endpoints.values())
             self._endpoints.clear()
         for endpoint in endpoints:
-            endpoint.batcher.close()
+            endpoint.close()
 
     def __enter__(self) -> "ServingGateway":
         return self

@@ -19,11 +19,39 @@ costs one recompilation, never correctness.
 
 from __future__ import annotations
 
+import itertools
+import threading
+import weakref
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.session import InferenceSession, injector_fingerprint
 from repro.nn.network import Network
+
+#: monotonically increasing identity tokens for live networks.  ``id()`` is
+#: unusable as a cache key: CPython reuses addresses after garbage
+#: collection, so a *new* network could alias a dead one's cached session
+#: and serve stale weights.  Tokens are handed out once per network object
+#: (weakly keyed, so they die with the network) and never reused.
+_MODEL_TOKENS: "weakref.WeakKeyDictionary[Network, int]" = \
+    weakref.WeakKeyDictionary()
+_MODEL_TOKENS_GUARD = threading.Lock()
+_MODEL_TOKEN_COUNTER = itertools.count()
+
+
+def model_token(network: Network) -> int:
+    """Stable, never-reused identity token for a live ``network`` object.
+
+    Two calls with the same object return the same token; a different
+    object — even one allocated at a reused ``id()`` after the first was
+    collected — always gets a fresh one.  Returns the token as an int.
+    """
+    with _MODEL_TOKENS_GUARD:
+        token = _MODEL_TOKENS.get(network)
+        if token is None:
+            token = next(_MODEL_TOKEN_COUNTER)
+            _MODEL_TOKENS[network] = token
+        return token
 
 
 class _Entry:
@@ -81,14 +109,16 @@ class SessionRegistry:
     def key_of(network: Network, injector=None, seed: int = 0) -> tuple:
         """Cache key for a (``network``, ``injector``, ``seed``) combination.
 
-        Model identity is the network object itself (name plus ``id``), the
-        operating point is the injector fingerprint — which embeds the error
-        model, per-tensor BER assignment, device operating point and
-        precision — and ``seed`` selects the materialization stream.  Returns
-        a hashable tuple.
+        Model identity is the network object itself (name plus the stable
+        :func:`model_token` — *not* ``id()``, which CPython reuses after
+        garbage collection and would let a new network alias a dead one's
+        cached session), the operating point is the injector fingerprint —
+        which embeds the error model, per-tensor BER assignment, device
+        operating point and precision — and ``seed`` selects the
+        materialization stream.  Returns a hashable tuple.
         """
-        return (network.name, id(network), injector_fingerprint(injector),
-                int(seed))
+        return (network.name, model_token(network),
+                injector_fingerprint(injector), int(seed))
 
     # -- lookup / insert ----------------------------------------------------------
     def get(self, key: tuple) -> Optional[InferenceSession]:

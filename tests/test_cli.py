@@ -12,7 +12,7 @@ class TestParser:
                           if hasattr(action, "choices") and action.choices)
         expected = {"list-models", "profile-dram", "fit-error-model", "characterize",
                     "boost", "evaluate-cpu", "evaluate-accel", "memsys",
-                    "bench", "serve-bench"}
+                    "bench", "parallel-bench", "serve-bench"}
         assert expected <= set(subparsers.choices)
 
     def test_missing_command_errors(self):
@@ -75,6 +75,21 @@ class TestCommands:
         assert "bit-identical" in out
         assert "Serving telemetry" in out
         assert "Session registry" in out
+
+    def test_parallel_bench_registered_with_defaults(self):
+        args = build_parser().parse_args(["parallel-bench"])
+        assert args.model == "lenet"
+        assert args.processes == 4
+        assert args.handler is not None
+
+    def test_characterize_parallel_matches_serial(self, capsys):
+        assert main(["characterize", "--model", "lenet", "--epochs", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["characterize", "--model", "lenet", "--epochs", "1",
+                     "--processes", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # The parallel grid prefetch must not change a single reported value.
+        assert parallel_out == serial_out
 
     def test_characterize_small_model(self, capsys):
         assert main(["characterize", "--model", "lenet", "--epochs", "1"]) == 0

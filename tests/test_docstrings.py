@@ -37,6 +37,12 @@ AUDITED_MODULES = [
     "repro/analysis/runner.py",
     "repro/analysis/reporting.py",
     "repro/core/pipeline.py",
+    "repro/parallel/__init__.py",
+    "repro/parallel/shm.py",
+    "repro/parallel/plan.py",
+    "repro/parallel/executor.py",
+    "repro/parallel/dispatch.py",
+    "repro/parallel/bench.py",
     "repro/serve/__init__.py",
     "repro/serve/registry.py",
     "repro/serve/batcher.py",

@@ -220,8 +220,40 @@ class TestPartitions:
         partition.reset_capacity()
         assert partition.available_bytes == 1000
 
+    def test_reserve_rejects_negative_sizes(self):
+        # A negative reservation would silently *grow* capacity.
+        partition = DramPartition(0, PartitionLevel.BANK, 1000)
+        with pytest.raises(ValueError):
+            partition.reserve(-1)
+        assert partition.available_bytes == 1000
+
+    def test_reserve_truncates_before_validating(self):
+        # The capacity check must see the same truncated size that gets
+        # subtracted: historically 1000.7 was compared raw (and refused) but
+        # 999.9 passed raw and subtracted int(999.9) == 999 — check and
+        # mutation disagreed.  Both must now go through whole-byte sizes.
+        partition = DramPartition(0, PartitionLevel.BANK, 1000)
+        partition.reserve(999.9)
+        assert partition.available_bytes == 1
+        partition.reset_capacity()
+        partition.reserve(1000.7)      # truncates to exactly the free space
+        assert partition.available_bytes == 0
+
     def test_operating_point_cost_ordering(self):
         assert operating_point_cost(self._op(0.3)) < operating_point_cost(self._op(0.0))
+
+    def test_operating_point_cost_default_follows_timing_model(self):
+        # The default nominal tRCD must come from NOMINAL_DDR4_TIMING, not a
+        # hard-coded literal that could drift from the timing model.
+        from repro.dram.timing import NOMINAL_DDR4_TIMING
+        from repro.dram.voltage import NOMINAL_VDD
+
+        op = self._op(0.0)
+        assert operating_point_cost(op) == operating_point_cost(
+            op, nominal_vdd=NOMINAL_VDD,
+            nominal_trcd_ns=NOMINAL_DDR4_TIMING.trcd_ns)
+        nominal = DramOperatingPoint.nominal()
+        assert operating_point_cost(nominal) == pytest.approx(2.0)
 
     def test_table_from_device(self, device_vendor_a):
         ops = [self._op(0.1), self._op(0.3)]

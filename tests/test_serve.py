@@ -122,6 +122,40 @@ class TestSessionRegistry:
         assert again is session
         assert registry.stats["hits"] == 1
 
+    def test_key_survives_id_reuse(self):
+        """A new network allocated at a dead network's id() must not alias
+        its cache key (CPython reuses addresses after garbage collection)."""
+        from repro.nn.layers import Linear
+        from repro.nn.network import Network as _Network
+
+        def build():
+            return _Network("tiny", [Linear("fc", 4, 2)], (4,), 2)
+
+        # Build/drop networks, recording each dead network's key by the id
+        # it occupied, until CPython hands a new network a dead one's id
+        # (with nothing else allocating, that happens within a few
+        # iterations; 512 is a wide safety margin).
+        dead_keys = {}
+        for _ in range(512):
+            candidate = build()
+            dead_key = dead_keys.get(id(candidate))
+            if dead_key is not None:
+                # Same name, same id, same (absent) injector and seed — but
+                # a different object, so it must get a fresh key rather
+                # than alias the dead network's cache entry.
+                assert SessionRegistry.key_of(candidate) != dead_key
+                return
+            dead_keys[id(candidate)] = SessionRegistry.key_of(candidate)
+            del candidate
+        pytest.fail("allocator never reused an id")
+
+    def test_model_token_stable_per_object(self, lenet_clone):
+        from repro.serve.registry import model_token
+
+        network, _, _ = lenet_clone
+        assert model_token(network) == model_token(network)
+        assert model_token(network) != model_token(network.clone())
+
 
 class TestMicroBatcher:
     def test_coalesced_bit_identical_to_serial(self, lenet_clone):
@@ -227,6 +261,108 @@ class TestMicroBatcher:
         batcher.close()
         with pytest.raises(RuntimeError):
             batcher.submit(np.zeros(2))
+
+    def test_pipelined_flush_matches_sequential_dispatch(self):
+        """A dispatcher exposing submit() gets every ready batch in flight
+        at once; results (and FIFO order) must match sequential dispatch."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        class PoolDispatch:
+            def __init__(self):
+                self.pool = ThreadPoolExecutor(max_workers=4)
+                self.submitted = 0
+
+            def submit(self, batch):
+                self.submitted += 1
+                return self.pool.submit(lambda b: b * 3.0, batch)
+
+            def __call__(self, batch):
+                return self.submit(batch).result()
+
+        dispatcher = PoolDispatch()
+        batcher = MicroBatcher(dispatcher, max_batch=4, auto=False)
+        futures = [batcher.submit(np.full(2, i, dtype=np.float32))
+                   for i in range(10)]
+        assert batcher.flush() == 10
+        assert dispatcher.submitted == 3          # 4 + 4 + 2, all pipelined
+        for i, future in enumerate(futures):
+            assert future.result()[0] == pytest.approx(3.0 * i)
+        batcher.close()
+        dispatcher.pool.shutdown()
+
+    def test_pipelined_flush_error_fails_only_its_batch(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        def work(batch):
+            if batch[0, 0] == 0:
+                raise RuntimeError("worker died")
+            return batch
+
+        class PoolDispatch:
+            pool = ThreadPoolExecutor(max_workers=2)
+
+            def submit(self, batch):
+                return self.pool.submit(work, batch)
+
+            def __call__(self, batch):
+                return self.submit(batch).result()
+
+        batcher = MicroBatcher(PoolDispatch(), max_batch=2, auto=False)
+        bad = [batcher.submit(np.zeros(2, dtype=np.float32))
+               for _ in range(2)]
+        good = [batcher.submit(np.ones(2, dtype=np.float32))
+                for _ in range(2)]
+        batcher.flush()
+        for future in bad:
+            with pytest.raises(RuntimeError, match="worker died"):
+                future.result()
+        for future in good:
+            assert future.result()[0] == pytest.approx(1.0)
+        batcher.close()
+
+    def test_flush_preserves_shutdown_sentinel(self):
+        """A flush draining the queue must re-enqueue the ``None`` shutdown
+        sentinel, not swallow the worker's only wake-up signal."""
+        batcher = MicroBatcher(lambda batch: batch, max_batch=4, auto=False)
+        batcher._queue.put(None)                 # sentinel ahead of a request
+        future = batcher.submit(np.ones(2))
+        with batcher._flush_lock:
+            batch = batcher._take_ready_batch()
+        assert [p.future for p in batch] == [future]
+        # The sentinel must still be queued for the worker to consume.
+        assert any(item is None for item in list(batcher._queue.queue))
+        batcher.close()
+
+    def test_close_during_concurrent_flush_does_not_stall(self):
+        """close() must join the worker promptly even when concurrent
+        flushes race it for the queue (and could historically swallow the
+        shutdown sentinel, leaving close to wait out the join timeout)."""
+        import time
+
+        batcher = MicroBatcher(lambda batch: batch * 2, max_batch=2,
+                               max_wait_ms=50.0, auto=True)
+        stop = threading.Event()
+
+        def flusher():
+            while not stop.is_set():
+                batcher.flush()
+
+        flushers = [threading.Thread(target=flusher) for _ in range(3)]
+        for thread in flushers:
+            thread.start()
+        futures = [batcher.submit(np.ones(2)) for _ in range(16)]
+        worker = batcher._worker
+        started = time.perf_counter()
+        batcher.close()
+        elapsed = time.perf_counter() - started
+        stop.set()
+        for thread in flushers:
+            thread.join()
+        assert not worker.is_alive()
+        # Well under the 5 s join timeout a swallowed sentinel would cost.
+        assert elapsed < 2.0
+        for future in futures:
+            assert future.result(timeout=1)[0] == pytest.approx(2.0)
 
 
 class TestGateway:
