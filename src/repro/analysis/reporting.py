@@ -58,23 +58,26 @@ def format_serving_report(snapshot: Mapping) -> str:
     ``snapshot`` is the dict produced by
     :meth:`repro.serve.ServingTelemetry.snapshot` /
     :meth:`repro.serve.ServingGateway.snapshot`: per-model request counts,
-    latency percentiles, throughput and batch occupancy under ``"models"``,
-    plus (optionally) the session registry's cache counters under
-    ``"registry"``.  Returns one printable string with a table per section.
+    shed (refused by admission control) and expired (dropped past deadline)
+    counts, latency percentiles, throughput and batch occupancy under
+    ``"models"``, plus (optionally) the session registry's cache counters
+    under ``"registry"``.  Returns one printable string with a table per
+    section.
     """
     sections: List[str] = []
     models = snapshot.get("models", {})
     rows = []
     for name in sorted(models):
         m = models[name]
-        rows.append((name, m["requests"], m["batches"],
+        rows.append((name, m["requests"], m.get("shed", 0),
+                     m.get("expired", 0), m["batches"],
                      f"{m['mean_occupancy']:.1f}",
                      f"{m['throughput_rps']:.0f}",
                      f"{m['p50_ms']:.2f}", f"{m['p95_ms']:.2f}",
                      f"{m['p99_ms']:.2f}"))
     sections.append(format_table(
-        ["model", "requests", "batches", "occupancy", "req/s",
-         "p50 ms", "p95 ms", "p99 ms"],
+        ["model", "requests", "shed", "expired", "batches", "occupancy",
+         "req/s", "p50 ms", "p95 ms", "p99 ms"],
         rows, title="Serving telemetry"))
     registry = snapshot.get("registry")
     if registry is not None:

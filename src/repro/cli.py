@@ -19,6 +19,8 @@ memsys             cycle-level memory-controller run at nominal vs reduced tRCD/
 bench              inference-engine throughput: static-store vs per-read semantics
 parallel-bench     shared-memory executor: serial vs N-worker sweeps, bit-identity
 serve-bench        serving gateway: micro-batched vs batch-1 serial, registry, telemetry
+serve              HTTP/JSON inference server with admission control (Ctrl-C drains)
+loadgen            deterministic traffic scenarios against a serve URL (or self-hosted)
 """
 
 from __future__ import annotations
@@ -294,6 +296,122 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if record["bit_identical"] else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.bench import build_serving_gateway
+    from repro.serve.server import InferenceServer, ServerConfig
+
+    gateway, _session, _dataset = build_serving_gateway(
+        args.model, ber=args.ber, seed=args.seed, epochs=args.epochs,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms)
+    server = InferenceServer(gateway, ServerConfig(
+        host=args.host, port=args.port, max_queue_depth=args.queue_depth,
+        default_deadline_ms=args.deadline_ms))
+
+    async def main() -> None:
+        await server.start()
+        print(f"serving {args.model!r} on {server.base_url} "
+              f"(queue depth {args.queue_depth}, Ctrl-C drains)")
+        print(f"  curl {server.base_url}/healthz")
+        print(f"  curl {server.base_url}/metrics")
+        print(f"  curl -X POST {server.base_url}/v1/models/{args.model}:predict"
+              f" -d '{{\"sample\": ...}}'")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\ndrained and stopped")
+    finally:
+        gateway.close()
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.serve import loadgen
+    from repro.serve.bench import build_serving_gateway, request_set
+
+    handle = None
+    gateway = session = None
+    if args.url:
+        base_url, endpoint = args.url, (args.endpoint or args.model)
+    else:
+        from repro.serve.server import ServerConfig, serve_in_thread
+
+        gateway, session, dataset = build_serving_gateway(
+            args.model, ber=args.ber, seed=args.seed,
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms)
+        handle = serve_in_thread(gateway, ServerConfig(
+            max_queue_depth=args.queue_depth))
+        base_url, endpoint = handle.base_url, args.model
+
+    target = loadgen.HttpTarget(base_url)
+    try:
+        if handle is not None:
+            samples = request_set(dataset, args.requests)
+        else:
+            # Remote server: seeded random inputs at the advertised shape.
+            advertised = target.models().get("models", {})
+            if endpoint not in advertised:
+                print(f"no endpoint {endpoint!r} on {base_url}; server "
+                      f"offers: {sorted(advertised)}", file=sys.stderr)
+                return 1
+            shape = advertised[endpoint]["input_shape"]
+            samples = np.random.default_rng(args.seed).standard_normal(
+                (args.requests, *shape)).astype(np.float32)
+        if args.scenario == "steady":
+            result = loadgen.run_steady(target, endpoint, samples,
+                                        concurrency=args.concurrency,
+                                        deadline_ms=args.deadline_ms)
+        elif args.scenario == "burst":
+            result = loadgen.run_burst(target, endpoint, samples,
+                                       deadline_ms=args.deadline_ms)
+        elif args.scenario == "ramp":
+            result = loadgen.run_ramp(target, endpoint, samples,
+                                      start_rps=args.rate / 4,
+                                      end_rps=args.rate, seed=args.seed,
+                                      deadline_ms=args.deadline_ms)
+        else:
+            result = loadgen.run_open_loop(target, endpoint, samples,
+                                           rate_rps=args.rate,
+                                           seed=args.seed,
+                                           deadline_ms=args.deadline_ms)
+        record = result.to_record()
+        print(format_table(
+            ["metric", "value"],
+            [("scenario", record["scenario"]),
+             ("requests", record["sent"]),
+             ("ok", record["ok"]), ("shed", record["shed"]),
+             ("expired", record["expired"]), ("errors", record["errors"]),
+             ("achieved req/s", f"{record['achieved_rps']:.0f}"),
+             ("p50 ms", f"{record['latency_ms']['p50']:.2f}"),
+             ("p99 ms", f"{record['latency_ms']['p99']:.2f}")],
+            title=f"loadgen {args.scenario} against {base_url}"))
+        bit_identical = None
+        if session is not None and record["ok"] == record["sent"]:
+            reference = session.predict(samples, pad_to=args.max_batch)
+            bit_identical = (result.stacked_rows().tobytes()
+                             == reference.tobytes())
+            print(f"\nbit-identical to in-process predict: {bit_identical}")
+        if handle is not None:
+            print()
+            print(gateway.report())
+        return 0 if record["errors"] == 0 and bit_identical in (None, True) \
+            else 1
+    finally:
+        target.close()
+        if handle is not None:
+            handle.stop()
+        if gateway is not None:
+            gateway.close()
+
+
 # ---------------------------------------------------------------------------------
 # argument parsing
 # ---------------------------------------------------------------------------------
@@ -413,6 +531,59 @@ def build_parser() -> argparse.ArgumentParser:
                              help="concurrent clients for the async measurement")
     serve_bench.add_argument("--seed", type=int, default=0)
     serve_bench.set_defaults(handler=cmd_serve_bench)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="HTTP/JSON inference server with admission control (Ctrl-C drains)")
+    serve.add_argument("--model", default="lenet", help="model zoo entry to serve")
+    serve.add_argument("--ber", type=float, default=1e-3,
+                       help="weight-store bit error rate")
+    serve.add_argument("--epochs", type=int, default=0,
+                       help="training epochs before serving (0 = untrained)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listening port (0 = ephemeral)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batcher coalescing bound")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batcher straggler wait")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission control: max in-flight requests before 429")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request deadline (504 past it)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(handler=cmd_serve)
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="deterministic traffic scenarios against a serve URL (or self-hosted)")
+    loadgen_parser.add_argument("--scenario", default="steady",
+                                choices=("steady", "burst", "open-loop", "ramp"),
+                                help="traffic pattern to generate")
+    loadgen_parser.add_argument("--url", default=None,
+                                help="server base URL; omitted = stand one up in-process")
+    loadgen_parser.add_argument("--endpoint", default=None,
+                                help="endpoint name on a --url server (default: --model)")
+    loadgen_parser.add_argument("--model", default="lenet",
+                                help="model zoo entry for the self-hosted server")
+    loadgen_parser.add_argument("--ber", type=float, default=1e-3,
+                                help="weight-store bit error rate (self-hosted)")
+    loadgen_parser.add_argument("--requests", type=int, default=96,
+                                help="number of requests to generate")
+    loadgen_parser.add_argument("--concurrency", type=int, default=4,
+                                help="closed-loop worker count (steady)")
+    loadgen_parser.add_argument("--rate", type=float, default=200.0,
+                                help="arrival rate for open-loop/ramp (req/s)")
+    loadgen_parser.add_argument("--queue-depth", type=int, default=64,
+                                help="admission bound of the self-hosted server")
+    loadgen_parser.add_argument("--max-batch", type=int, default=8,
+                                help="self-hosted micro-batcher bound")
+    loadgen_parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                                help="self-hosted straggler wait")
+    loadgen_parser.add_argument("--deadline-ms", type=float, default=None,
+                                help="per-request deadline")
+    loadgen_parser.add_argument("--seed", type=int, default=0)
+    loadgen_parser.set_defaults(handler=cmd_loadgen)
 
     return parser
 

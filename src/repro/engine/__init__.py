@@ -7,11 +7,12 @@ See :mod:`repro.engine.session` for the two read-semantics modes
 """
 
 from repro.engine.session import (
+    DeadlineExceeded,
     InferenceSession,
     ReadSemantics,
     evaluate,
     injector_fingerprint,
 )
 
-__all__ = ["InferenceSession", "ReadSemantics", "evaluate",
-           "injector_fingerprint"]
+__all__ = ["DeadlineExceeded", "InferenceSession", "ReadSemantics",
+           "evaluate", "injector_fingerprint"]

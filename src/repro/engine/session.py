@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import enum
 import threading
+import time
 import weakref
 from typing import Dict, List, Optional, Tuple
 
@@ -78,6 +79,17 @@ def network_lock(network: Network) -> threading.RLock:
         if lock is None:
             lock = _NETWORK_LOCKS[network] = threading.RLock()
         return lock
+
+
+class DeadlineExceeded(RuntimeError):
+    """A dispatch's deadline passed before (or while) the engine served it.
+
+    Raised by :meth:`InferenceSession.predict` when a ``deadline`` is given
+    and the monotonic clock passes it at a chunk boundary, and set on request
+    futures the serving layer drops at dispatch time (an expired request is
+    shed instead of burning a forward pass — see
+    :meth:`repro.serve.MicroBatcher.submit`).
+    """
 
 
 class ReadSemantics(enum.Enum):
@@ -487,8 +499,8 @@ class InferenceSession:
 
     # -- serving ------------------------------------------------------------------
     def predict(self, inputs: np.ndarray, *, pad_to: Optional[int] = None,
-                ifm_errors: bool = False, seed: Optional[int] = None
-                ) -> np.ndarray:
+                ifm_errors: bool = False, seed: Optional[int] = None,
+                deadline: Optional[float] = None) -> np.ndarray:
         """Raw network outputs for ``inputs`` under the compiled plan.
 
         This is the serving entry point used by :mod:`repro.serve`: instead
@@ -520,6 +532,14 @@ class InferenceSession:
         seed:
             Stream seed for this call (defaults to the session seed); used to
             key the store materialization and to reseed per-read/IFM streams.
+        deadline:
+            Optional absolute :func:`time.perf_counter` timestamp.  Checked
+            before each chunk's forward pass: once the clock passes it,
+            :class:`DeadlineExceeded` is raised instead of computing rows
+            nobody will wait for.  A dispatch already past its deadline
+            therefore costs nothing; one that expires mid-call aborts at the
+            next chunk boundary (individual forward passes are never
+            interrupted).
 
         Returns the stacked output rows as a float32 array of shape
         ``(n, num_classes)``.
@@ -554,6 +574,10 @@ class InferenceSession:
             chunk = int(pad_to) if pad_to else self.batch_size
             outputs: List[np.ndarray] = []
             for start in range(0, len(inputs), chunk):
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise DeadlineExceeded(
+                        f"deadline passed with {len(inputs) - start} of "
+                        f"{len(inputs)} rows unserved")
                 block = inputs[start:start + chunk]
                 if pad_to and len(block) < chunk:
                     padded = np.zeros((chunk,) + block.shape[1:],

@@ -14,22 +14,42 @@ compiled static-store plans.  Three pieces compose:
 * :class:`ServingTelemetry` — per-model latency percentiles, throughput,
   batch occupancy and cache counters;
 
-all wired together by :class:`ServingGateway`.  See ``docs/serving.md`` for
-the design and the tuning knobs, and ``examples/serving_gateway.py`` for an
-end-to-end walkthrough.
+all wired together by :class:`ServingGateway`.  Above the gateway sits the
+network-facing layer: :class:`InferenceServer` (:mod:`repro.serve.server`),
+an asyncio HTTP/JSON front end with bounded-queue admission control,
+per-request deadlines, ``/healthz``/``/metrics`` endpoints and graceful
+drain, and :mod:`repro.serve.loadgen`, the deterministic load-generation
+harness (closed-loop, Poisson open-loop, burst/ramp/mix scenarios) that
+stress-tests it.  See ``docs/serving.md`` for the design and the tuning
+knobs, and ``examples/serving_gateway.py`` / ``examples/http_serving.py``
+for end-to-end walkthroughs.
 """
 
 from repro.serve.batcher import MicroBatcher
 from repro.serve.gateway import ServeConfig, ServingGateway
 from repro.serve.registry import SessionRegistry, session_store_bytes
+from repro.serve.server import (
+    InferenceServer,
+    ServerConfig,
+    ServerHandle,
+    decode_rows,
+    encode_rows,
+    serve_in_thread,
+)
 from repro.serve.telemetry import ServingTelemetry, percentile
 
 __all__ = [
+    "InferenceServer",
     "MicroBatcher",
     "ServeConfig",
+    "ServerConfig",
+    "ServerHandle",
     "ServingGateway",
     "SessionRegistry",
     "ServingTelemetry",
+    "decode_rows",
+    "encode_rows",
     "percentile",
+    "serve_in_thread",
     "session_store_bytes",
 ]

@@ -34,18 +34,21 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.engine.session import DeadlineExceeded
 from repro.serve.telemetry import ServingTelemetry
 
 
 class _Pending:
-    """One queued request: the sample, its future, and its enqueue time."""
+    """One queued request: sample, future, enqueue time, optional deadline."""
 
-    __slots__ = ("sample", "future", "enqueued_at")
+    __slots__ = ("sample", "future", "enqueued_at", "deadline")
 
-    def __init__(self, sample: np.ndarray, enqueued_at: float):
+    def __init__(self, sample: np.ndarray, enqueued_at: float,
+                 deadline: Optional[float] = None):
         self.sample = sample
         self.future: Future = Future()
         self.enqueued_at = enqueued_at
+        self.deadline = deadline
 
 
 class MicroBatcher:
@@ -102,13 +105,20 @@ class MicroBatcher:
             self._worker.start()
 
     # -- client side --------------------------------------------------------------
-    def submit(self, sample: np.ndarray) -> Future:
+    def submit(self, sample: np.ndarray, *,
+               deadline: Optional[float] = None) -> Future:
         """Enqueue one ``sample`` (shape = the model's input shape).
 
-        Returns a :class:`concurrent.futures.Future` resolving to that
-        sample's output row.  Raises ``RuntimeError`` after :meth:`close`.
+        ``deadline``, when given, is an absolute :func:`time.perf_counter`
+        timestamp plumbed into dispatch: a request still queued when its
+        deadline passes is dropped at dispatch time — its future fails with
+        :class:`repro.engine.DeadlineExceeded`, telemetry counts it as
+        expired, and the forward pass runs without it (the batch is never
+        padded with rows nobody will read).  Returns a
+        :class:`concurrent.futures.Future` resolving to that sample's output
+        row.  Raises ``RuntimeError`` after :meth:`close`.
         """
-        pending = _Pending(np.asarray(sample), time.perf_counter())
+        pending = _Pending(np.asarray(sample), time.perf_counter(), deadline)
         with self._state_lock:
             if self._closed:
                 raise RuntimeError("batcher is closed")
@@ -126,7 +136,7 @@ class MicroBatcher:
         submitted before the first result is awaited, so all its workers
         run concurrently; batch composition — and therefore every result —
         is identical to the sequential path.  Returns the number of
-        requests dispatched.
+        requests drained from the queue (served, or failed as expired).
         """
         submit = getattr(self.dispatch, "submit", None)
         dispatched = 0
@@ -229,6 +239,33 @@ class MicroBatcher:
                 with self._flush_lock:
                     self._run_batch(batch)
 
+    def _drop_expired(self, batch: List[_Pending]) -> List[_Pending]:
+        """Claim a batch's futures, dropping expired or abandoned requests.
+
+        Called at dispatch time, immediately before a batch is stacked.  An
+        expired request's future gets :class:`DeadlineExceeded`, telemetry
+        counts it as expired, and it never occupies a batch row.  Every
+        surviving future is transitioned to *running* via
+        ``set_running_or_notify_cancel`` — the executor handshake that makes
+        the later ``set_result``/``set_exception`` race-free against clients
+        cancelling futures (e.g. the HTTP front end's timed-out awaits);
+        a future already cancelled by its client is silently discarded.
+        Returns the still-live requests in their FIFO positions.
+        """
+        now = time.perf_counter()
+        live: List[_Pending] = []
+        for pending in batch:
+            if pending.deadline is not None and now > pending.deadline:
+                if pending.future.set_running_or_notify_cancel():
+                    if self.telemetry is not None:
+                        self.telemetry.record_expired(self.name)
+                    pending.future.set_exception(DeadlineExceeded(
+                        f"request expired after "
+                        f"{(now - pending.enqueued_at) * 1e3:.1f} ms in queue"))
+            elif pending.future.set_running_or_notify_cancel():
+                live.append(pending)
+        return live
+
     def _run_batches_pipelined(self, batches: List[List[_Pending]],
                                submit) -> None:
         """Submit every batch through ``submit``, then fan results back out.
@@ -245,6 +282,9 @@ class MicroBatcher:
         in_flight = []
         done_at: dict = {}
         for batch in batches:
+            batch = self._drop_expired(batch)
+            if not batch:
+                continue
             started = time.perf_counter()
             try:
                 # np.stack inside the try: a shape-mismatched sample must
@@ -278,6 +318,9 @@ class MicroBatcher:
 
     def _run_batch(self, batch: List[_Pending]) -> None:
         """Dispatch one coalesced batch and fan results back out."""
+        batch = self._drop_expired(batch)
+        if not batch:
+            return
         started = time.perf_counter()
         try:
             # np.stack inside the try: a shape-mismatched sample must fail

@@ -39,11 +39,48 @@ from repro.nn.tensor import DataKind
 from repro.serve.gateway import ServeConfig, ServingGateway
 
 
-def _request_set(dataset, n_requests: int) -> np.ndarray:
-    """``n_requests`` single-sample inputs, tiling the validation set."""
+def request_set(dataset, n_requests: int) -> np.ndarray:
+    """``n_requests`` single-sample inputs, tiling ``dataset``'s validation set.
+
+    Returns the stacked inputs as an array of shape
+    ``(n_requests,) + input_shape``.
+    """
     val_x = np.asarray(dataset.val_x)
     repeats = -(-n_requests // len(val_x))        # ceil division
     return np.concatenate([val_x] * repeats)[:n_requests]
+
+
+#: backwards-compatible alias (pre-HTTP-front-end name).
+_request_set = request_set
+
+
+def build_serving_gateway(model: str = "lenet", *, ber: float = 1e-3,
+                          model_id: int = 0, seed: int = 0, epochs: int = 0,
+                          max_batch: int = 32, max_wait_ms: float = 2.0):
+    """Build the canonical one-endpoint serving gateway for ``model``.
+
+    The shared builder behind ``repro.cli serve`` / ``loadgen`` and
+    ``benchmarks/bench_server.py``: builds ``model`` from the zoo (trained
+    for ``epochs`` when > 0; untrained serves fine for throughput work),
+    stores its weights in approximate DRAM at ``ber`` (error model
+    ``model_id``, stream fixed by ``seed``), and registers it under its
+    model name on a gateway whose micro-batcher runs at
+    ``max_batch``/``max_wait_ms``.  Returns ``(gateway, session, dataset)``.
+    """
+    from repro.nn.training import Trainer
+
+    network, dataset, spec = build_model_with_dataset(model, seed=seed)
+    if epochs > 0:
+        Trainer(network, dataset, spec.training_config(epochs=epochs)).fit()
+    network.eval()
+    injector = BitErrorInjector(make_error_model(model_id, ber, seed=seed),
+                                bits=32, data_kinds={DataKind.WEIGHT},
+                                seed=seed)
+    gateway = ServingGateway(ServeConfig(max_batch=max_batch,
+                                         max_wait_ms=max_wait_ms))
+    session = gateway.register(model, network, dataset, injector=injector,
+                               seed=seed, metric=spec.metric)
+    return gateway, session, dataset
 
 
 def measure_serving(model_name: str = "lenet", *, ber: float = 1e-3,
@@ -64,7 +101,7 @@ def measure_serving(model_name: str = "lenet", *, ber: float = 1e-3,
     """
     network, dataset, spec = build_model_with_dataset(model_name, seed=seed)
     network.eval()
-    requests = _request_set(dataset, n_requests)
+    requests = request_set(dataset, n_requests)
     error_model = make_error_model(model_id, ber, seed=seed)
     injector = BitErrorInjector(error_model, bits=32,
                                 data_kinds={DataKind.WEIGHT}, seed=seed)

@@ -209,14 +209,19 @@ class ServingGateway:
         return self._endpoint(name).session
 
     # -- request paths ------------------------------------------------------------
-    def submit(self, name: str, sample: np.ndarray) -> Future:
+    def submit(self, name: str, sample: np.ndarray, *,
+               deadline: Optional[float] = None) -> Future:
         """Enqueue one ``sample`` for endpoint ``name``.
 
-        Returns a future resolving to the model's output row for that
-        sample.  The async front end: many client threads can submit against
-        one compiled plan.
+        ``deadline`` (an absolute :func:`time.perf_counter` timestamp)
+        travels with the request into dispatch: if it passes while the
+        request is still queued, the future fails with
+        :class:`repro.engine.DeadlineExceeded` instead of occupying a batch
+        row — see :meth:`MicroBatcher.submit`.  Returns a future resolving
+        to the model's output row for that sample.  The async front end:
+        many client threads can submit against one compiled plan.
         """
-        return self._endpoint(name).batcher.submit(sample)
+        return self._endpoint(name).batcher.submit(sample, deadline=deadline)
 
     def predict(self, name: str, sample: np.ndarray) -> np.ndarray:
         """Blocking single-sample inference on endpoint ``name``.

@@ -1,0 +1,556 @@
+"""Asyncio HTTP/JSON front end over the serving gateway.
+
+This is the network-facing layer of the serving stack: an
+:class:`InferenceServer` accepts HTTP/1.1 requests on an asyncio event loop,
+admits them against a bounded queue, and bridges each admitted request into a
+:class:`~repro.serve.gateway.ServingGateway`'s micro-batcher (a plain
+``queue.Queue`` hand-off to the batcher's worker thread, so the event loop
+never blocks on a forward pass).  Everything is standard library: ``asyncio``
+streams for the transport, ``json`` for the wire format, ``base64`` for the
+bit-exact output encoding.
+
+Routes
+------
+``POST /v1/models/<name>:predict``
+    Body ``{"sample": [...]}`` (one input) or ``{"inputs": [[...], ...]}``
+    (several), optional ``"deadline_ms"``.  Responds with the output rows
+    both human-readable (``argmax``) and bit-exact (``outputs_b64``: base64
+    of each row's float32 bytes — JSON floats cannot round-trip NaN logits,
+    base64 can).
+``GET /healthz``
+    Liveness + admission state: ``ok`` or ``draining``, registered
+    endpoints, in-flight count.
+``GET /metrics``
+    The serving telemetry report as plain text
+    (:func:`repro.analysis.reporting.format_serving_report`);
+    ``/metrics?format=json`` returns the raw snapshot dict.
+``GET /v1/models``
+    The registered endpoint names.
+
+Admission control
+-----------------
+At most ``max_queue_depth`` predict requests may be in flight at once; the
+next one is *shed* with a ``429`` response (and counted in
+:class:`~repro.serve.telemetry.ServingTelemetry`) instead of growing an
+unbounded queue.  Every admitted request carries a deadline (request
+``deadline_ms``, ``X-Deadline-Ms`` header, or the configured default): a
+request still queued when its deadline passes is dropped by the batcher at
+dispatch time (never burning a forward pass), and one that completes too
+late is answered ``504`` — both counted as expired.  Shutdown is graceful:
+:meth:`InferenceServer.stop` stops accepting new work, waits for in-flight
+requests up to ``drain_timeout_s``, then tears the connections down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.session import DeadlineExceeded
+from repro.serve.gateway import ServingGateway
+
+#: HTTP reason phrases for the status codes the server emits.
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+@dataclass
+class ServerConfig:
+    """Tuning knobs of an :class:`InferenceServer`.
+
+    ``host``/``port`` select the listening socket (``port=0`` binds an
+    ephemeral port, reported by :attr:`InferenceServer.port` once started);
+    ``max_queue_depth`` bounds how many predict requests may be in flight
+    before admission control sheds with ``429``; ``default_deadline_ms``
+    (``None`` = no deadline) applies to requests that do not carry their
+    own; ``drain_timeout_s`` bounds how long :meth:`InferenceServer.stop`
+    waits for in-flight requests before cancelling their connections; and
+    ``max_body_bytes`` rejects oversized request bodies with ``413``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_queue_depth: int = 64
+    default_deadline_ms: Optional[float] = None
+    drain_timeout_s: float = 5.0
+    max_body_bytes: int = 16 * 2**20
+
+
+def json_safe(value):
+    """Recursively replace non-finite floats with ``None`` for strict JSON.
+
+    ``value`` is any snapshot-shaped structure (dicts/lists/scalars).
+    Telemetry snapshots legitimately contain ``nan`` (no traffic yet, empty
+    latency window), but ``json.dumps`` would emit the non-standard ``NaN``
+    literal that RFC 8259 parsers (jq, ``JSON.parse``) reject — so the wire
+    gets ``null`` instead.  Returns the sanitized copy.
+    """
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, float) and not np.isfinite(value):
+        return None
+    return value
+
+
+def encode_rows(rows: np.ndarray) -> list:
+    """Base64-encode each float32 row of ``rows`` for bit-exact transport.
+
+    JSON numbers cannot carry NaN payloads (and text round-trips are where
+    bit-identity guarantees go to die), so output rows travel as base64 of
+    their raw little-endian float32 bytes.  Returns a list of ASCII strings,
+    one per row.
+    """
+    rows = np.ascontiguousarray(rows, dtype=np.float32)
+    return [base64.b64encode(row.tobytes()).decode("ascii") for row in rows]
+
+
+def decode_rows(encoded: list) -> np.ndarray:
+    """Decode :func:`encode_rows` output back into a float32 array.
+
+    ``encoded`` is the ``outputs_b64`` list of a predict response.  Returns
+    the stacked rows as a ``(len(encoded), num_classes)`` float32 array,
+    bit-identical to the array the server encoded.
+    """
+    rows = [np.frombuffer(base64.b64decode(item), dtype=np.float32)
+            for item in encoded]
+    return np.stack(rows) if rows else np.empty((0, 0), dtype=np.float32)
+
+
+class InferenceServer:
+    """Asyncio HTTP front end serving a :class:`ServingGateway`.
+
+    Parameters
+    ----------
+    gateway:
+        The gateway whose endpoints this server exposes.  Its telemetry
+        object also receives the server's shed/expired counts, so one
+        ``/metrics`` scrape shows traffic, admission and cache behaviour
+        together.
+    config:
+        A :class:`ServerConfig`; defaults apply when omitted.
+    """
+
+    def __init__(self, gateway: ServingGateway,
+                 config: Optional[ServerConfig] = None):
+        if not gateway.config.auto_flush:
+            raise ValueError(
+                "InferenceServer needs a gateway with auto_flush=True: the "
+                "event loop only enqueues requests, so the batcher's worker "
+                "thread must dispatch them")
+        self.gateway = gateway
+        self.config = config or ServerConfig()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connection_tasks: set = set()
+        self._inflight = 0
+        self._draining = False
+        self._started_at: Optional[float] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and start accepting connections.
+
+        Must run on the event loop that will serve traffic.  After this
+        returns, :attr:`port` holds the actually bound port (useful with
+        ``port=0``).
+        """
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.perf_counter()
+
+    async def stop(self) -> None:
+        """Drain and shut down: the graceful-shutdown path.
+
+        Stops accepting new connections, refuses new predict requests with
+        ``503`` while draining, waits up to ``drain_timeout_s`` for
+        in-flight requests to finish, then closes the listener.  Requests
+        admitted before the drain began get their responses.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        deadline = time.perf_counter() + self.config.drain_timeout_s
+        while self._inflight > 0 and time.perf_counter() < deadline:
+            await asyncio.sleep(0.005)
+        # Idle keep-alive connections (and any request that outlived the
+        # drain window) are cancelled so no task survives into loop close.
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks,
+                                 return_exceptions=True)
+        if self._server is not None:
+            # Python 3.12 made wait_closed() wait for open *client*
+            # connections too; a keep-alive client that never disconnects
+            # must not hold shutdown hostage, so the wait is bounded.
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), timeout=1.0)
+            except asyncio.TimeoutError:    # pragma: no cover - timing
+                pass
+            self._server = None
+
+    @property
+    def base_url(self) -> str:
+        """The server's root URL (valid once :meth:`start` has run)."""
+        return f"http://{self.config.host}:{self.port}"
+
+    # -- connection handling ------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        """Serve HTTP/1.1 requests on one connection until it closes."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                try:
+                    status, payload, content_type = await self._route(
+                        method, path, headers, body)
+                except Exception as error:   # pragma: no cover - defensive
+                    status, payload, content_type = 500, {
+                        "error": "internal", "detail": repr(error),
+                    }, "application/json"
+                # A malformed request line or an unread oversized body
+                # poisons the stream; close instead of parsing garbage.
+                keep_alive = (headers.get("connection", "").lower() != "close"
+                              and method not in ("BAD", "TOOBIG"))
+                writer.write(_render_response(status, payload, content_type,
+                                              keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._connection_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):  # pragma: no cover - teardown
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one HTTP request; ``None`` on a cleanly closed connection.
+
+        ``reader`` is the connection's stream.  Returns
+        ``(method, path, headers, body)`` with header names lower-cased, or
+        ``None`` at EOF before a request line.
+        """
+        try:
+            line = await reader.readline()
+        except ValueError:                  # request line over the 64 KiB limit
+            return "BAD", "", {}, b""
+        if not line or not line.strip():
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return "BAD", "", {}, b""
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:              # header line over the limit
+                return "BAD", target, {}, b""
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:                  # "Content-Length: abc"
+            return "BAD", target, headers, b""
+        if length < 0:
+            return "BAD", target, headers, b""
+        if length > self.config.max_body_bytes:
+            return "TOOBIG", target, headers, b""
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    # -- routing ------------------------------------------------------------------
+    async def _route(self, method: str, target: str,
+                     headers: Dict[str, str], body: bytes
+                     ) -> Tuple[int, object, str]:
+        """Dispatch one parsed request.
+
+        ``method``/``target``/``headers``/``body`` come from
+        :meth:`_read_request`.  Returns ``(status, payload, content_type)``
+        where ``payload`` is a JSON-serializable object or a plain string.
+        """
+        if method == "BAD":
+            return 400, {"error": "malformed request line"}, "application/json"
+        if method == "TOOBIG":
+            return 413, {"error": "body too large"}, "application/json"
+        path, _, query = target.partition("?")
+        if method == "GET":
+            if path == "/healthz":
+                return 200, self._health(), "application/json"
+            if path == "/metrics":
+                if "format=json" in query:
+                    return 200, json_safe(self.gateway.snapshot()), \
+                        "application/json"
+                return 200, self.gateway.report() + "\n", "text/plain"
+            if path == "/v1/models":
+                models = {}
+                for name in self.gateway.endpoints():
+                    network = self.gateway.session_for(name).network
+                    models[name] = {
+                        "input_shape": [int(d) for d in network.input_shape],
+                        "num_classes": int(network.num_classes),
+                    }
+                return 200, {"endpoints": self.gateway.endpoints(),
+                             "models": models}, "application/json"
+            return 404, {"error": f"no route {path!r}"}, "application/json"
+        if method != "POST":
+            return 405, {"error": f"method {method} not allowed"}, \
+                "application/json"
+        if path.startswith("/v1/models/") and path.endswith(":predict"):
+            name = path[len("/v1/models/"):-len(":predict")]
+            return await self._predict(name, headers, body)
+        return 404, {"error": f"no route {path!r}"}, "application/json"
+
+    def _health(self) -> Dict:
+        """The ``/healthz`` payload: liveness plus admission state.
+
+        Returns a JSON-serializable dict with the serving status
+        (``ok``/``draining``), endpoint names, in-flight request count and
+        the admission limit.
+        """
+        return {
+            "status": "draining" if self._draining else "ok",
+            "endpoints": self.gateway.endpoints(),
+            "inflight": self._inflight,
+            "max_queue_depth": self.config.max_queue_depth,
+            "uptime_s": (time.perf_counter() - self._started_at
+                         if self._started_at is not None else 0.0),
+        }
+
+    # -- the predict path ---------------------------------------------------------
+    async def _predict(self, name: str, headers: Dict[str, str],
+                       body: bytes) -> Tuple[int, Dict, str]:
+        """Admit, dispatch and answer one predict request for endpoint ``name``.
+
+        ``headers`` may carry ``x-deadline-ms``; ``body`` is the JSON
+        request.  Returns the ``(status, payload, content_type)`` triple:
+        ``200`` with encoded rows, ``429`` when shed, ``503`` while
+        draining, ``504`` past deadline, ``400``/``404`` on bad input.
+        """
+        telemetry = self.gateway.telemetry
+        if name not in self.gateway.endpoints():
+            return 404, {"error": f"no endpoint {name!r}",
+                         "endpoints": self.gateway.endpoints()}, \
+                "application/json"
+        # -- admission control: bounded queue depth -------------------------------
+        if self._draining:
+            telemetry.record_shed(name)
+            return 503, {"error": "draining"}, "application/json"
+        if self._inflight >= self.config.max_queue_depth:
+            telemetry.record_shed(name)
+            return 429, {"error": "shed", "inflight": self._inflight,
+                         "max_queue_depth": self.config.max_queue_depth}, \
+                "application/json"
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError) as error:
+            return 400, {"error": f"bad JSON body: {error}"}, "application/json"
+        if not isinstance(payload, dict):
+            return 400, {"error": "body must be a JSON object"}, \
+                "application/json"
+        if "sample" in payload:
+            raw, single = [payload["sample"]], True
+        elif "inputs" in payload:
+            raw, single = payload["inputs"], False
+        else:
+            return 400, {"error": "body needs 'sample' or 'inputs'"}, \
+                "application/json"
+        expected = tuple(self.gateway.session_for(name).network.input_shape)
+        try:
+            inputs = np.asarray(raw, dtype=np.float32)
+        except (TypeError, ValueError) as error:
+            return 400, {"error": f"bad input array: {error}"}, \
+                "application/json"
+        if inputs.shape[1:] != expected or inputs.ndim < 1 or not len(inputs):
+            return 400, {"error": f"inputs must have shape (n,) + {expected},"
+                                  f" got {inputs.shape}"}, "application/json"
+
+        deadline_ms = payload.get("deadline_ms",
+                                  headers.get("x-deadline-ms",
+                                              self.config.default_deadline_ms))
+        admitted_at = time.perf_counter()
+        deadline = (admitted_at + float(deadline_ms) / 1e3
+                    if deadline_ms is not None else None)
+
+        self._inflight += 1
+        try:
+            loop = asyncio.get_running_loop()
+            pending = [self.gateway.submit(name, sample, deadline=deadline)
+                       for sample in inputs]
+            futures = [asyncio.wrap_future(future, loop=loop)
+                       for future in pending]
+            gathered = asyncio.gather(*futures)
+            try:
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    rows = await asyncio.wait_for(gathered, max(remaining, 0.0))
+                else:
+                    rows = await gathered
+            except asyncio.TimeoutError:
+                # The batcher is the authority on requests it *claimed*
+                # (it counts the ones it drops at dispatch); the server
+                # counts only samples it cancels un-dispatched here, so one
+                # late request can never be double-counted as expired.
+                cancelled = [future.cancel() for future in pending]
+                if any(cancelled):
+                    telemetry.record_expired(name)
+                return 504, {"error": "deadline",
+                             "deadline_ms": float(deadline_ms)}, \
+                    "application/json"
+            except DeadlineExceeded as error:
+                # Dropped by the batcher at dispatch time (already counted).
+                gathered.exception()        # retrieve, silencing the logger
+                return 504, {"error": "deadline", "detail": str(error),
+                             "deadline_ms": float(deadline_ms)}, \
+                    "application/json"
+        finally:
+            self._inflight -= 1
+        outputs = np.stack(rows)
+        response = {
+            "model": name,
+            "rows": int(len(outputs)),
+            "argmax": [int(i) for i in np.argmax(outputs, axis=1)],
+            "outputs_b64": encode_rows(outputs),
+            "dtype": "float32",
+            "latency_ms": (time.perf_counter() - admitted_at) * 1e3,
+        }
+        if single:
+            response["argmax"] = response["argmax"][0]
+        return 200, response, "application/json"
+
+
+def _render_response(status: int, payload, content_type: str,
+                     keep_alive: bool) -> bytes:
+    """Serialize one HTTP/1.1 response.
+
+    ``payload`` is JSON-encoded unless it is already a string; ``status``,
+    ``content_type`` and ``keep_alive`` fill the status line and headers.
+    Returns the response bytes ready for the socket.
+    """
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+    else:
+        body = json.dumps(payload).encode("utf-8")
+    head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n")
+    return head.encode("latin-1") + body
+
+
+class ServerHandle:
+    """A running server on a background thread, with a blocking stop.
+
+    Produced by :func:`serve_in_thread`; tests, benchmarks and the load
+    generator use it to stand a real HTTP server up around an in-process
+    gateway.  The event loop runs on a daemon thread; :meth:`stop` drains
+    the server, stops the loop and joins the thread.
+    """
+
+    def __init__(self, server: InferenceServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def base_url(self) -> str:
+        """Root URL of the running server."""
+        return self.server.base_url
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (ephemeral ports resolved)."""
+        return int(self.server.port)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully drain the server and join its thread.
+
+        ``timeout`` bounds the wait for the drain + join.  Safe to call
+        twice.  Returns after the loop thread has exited.
+        """
+        if self._loop.is_closed():
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop).result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(gateway: ServingGateway,
+                    config: Optional[ServerConfig] = None) -> ServerHandle:
+    """Start an :class:`InferenceServer` on a fresh background event loop.
+
+    ``gateway`` supplies the endpoints; ``config`` the socket and admission
+    knobs (an ephemeral port by default, so parallel test runs never
+    collide).  Blocks until the socket is bound.  Returns a
+    :class:`ServerHandle` whose ``base_url`` is ready for traffic.
+    """
+    server = InferenceServer(gateway, config)
+    started = threading.Event()
+    state: Dict[str, object] = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        state["loop"] = loop
+        try:
+            loop.run_until_complete(server.start())
+        except Exception as error:       # surface bind failures to the caller
+            state["error"] = error
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-http-server",
+                              daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):
+        raise RuntimeError("HTTP server failed to start within 30 s")
+    error = state.get("error")
+    if error is not None:
+        raise RuntimeError(f"HTTP server failed to start: {error!r}")
+    return ServerHandle(server, state["loop"], thread)

@@ -2,7 +2,9 @@
 
 Every request that passes through a :class:`~repro.serve.gateway.ServingGateway`
 is timed end to end (enqueue to result) and every dispatched batch records its
-occupancy and service time.  :class:`ServingTelemetry` aggregates these per
+occupancy and service time; requests refused by admission control (shed) or
+dropped past their deadline (expired) are counted per model alongside the
+served traffic.  :class:`ServingTelemetry` aggregates these per
 model; :meth:`ServingTelemetry.report` renders the aggregate through
 :func:`repro.analysis.reporting.format_serving_report`, next to the registry's
 cache hit/miss counters.
@@ -48,7 +50,7 @@ class _ModelStats:
     """Mutable per-model counters behind the telemetry lock."""
 
     __slots__ = ("requests", "batches", "samples", "service_seconds",
-                 "latencies", "first_ts", "last_ts")
+                 "latencies", "first_ts", "last_ts", "shed", "expired")
 
     def __init__(self) -> None:
         self.requests = 0
@@ -58,6 +60,8 @@ class _ModelStats:
         self.latencies: List[float] = []
         self.first_ts: Optional[float] = None
         self.last_ts: Optional[float] = None
+        self.shed = 0
+        self.expired = 0
 
 
 class ServingTelemetry:
@@ -87,7 +91,18 @@ class ServingTelemetry:
         return stats
 
     def record_request(self, model: str, latency_seconds: float) -> None:
-        """Record one request's end-to-end ``latency_seconds`` for ``model``."""
+        """Record one request's end-to-end ``latency_seconds`` for ``model``.
+
+        Window semantics at the boundary: the latency window holds exactly
+        the most recent ``min(requests, window)`` samples.  Recording the
+        ``window + 1``-th sample appends the new latency and drops the
+        oldest *within one locked section*, and :meth:`snapshot` takes the
+        same lock — so a report issued while the window wraps sees either
+        the pre-wrap window or the post-wrap window, never an over-full or
+        half-updated list.  Percentiles therefore always describe a
+        consistent suffix of the traffic; only the cumulative ``requests``
+        counter remembers how much history the window has forgotten.
+        """
         now = self._clock()
         with self._lock:
             stats = self._stats_for(model)
@@ -98,6 +113,28 @@ class ServingTelemetry:
             if stats.first_ts is None:
                 stats.first_ts = now
             stats.last_ts = now
+
+    def record_shed(self, model: str) -> None:
+        """Count one request for ``model`` refused by admission control.
+
+        Shed requests never reach dispatch, so they contribute no latency
+        sample and do not advance the throughput clock — only the ``shed``
+        counter (surfaced in :meth:`snapshot` and the serving report).
+        """
+        with self._lock:
+            self._stats_for(model).shed += 1
+
+    def record_expired(self, model: str) -> None:
+        """Count one admitted request for ``model`` dropped past its deadline.
+
+        Recorded exactly once per dropped request: by the dispatch path when
+        it discards a claimed request whose deadline passed in the queue
+        (see :meth:`repro.serve.MicroBatcher.submit`), or by the HTTP front
+        end for requests it cancels un-dispatched after its await times out
+        — whoever owns the request at that moment, never both.
+        """
+        with self._lock:
+            self._stats_for(model).expired += 1
 
     def record_batch(self, model: str, occupancy: int,
                      service_seconds: float) -> None:
@@ -127,6 +164,8 @@ class ServingTelemetry:
                            if stats.first_ts is not None else 0.0)
                 models[name] = {
                     "requests": stats.requests,
+                    "shed": stats.shed,
+                    "expired": stats.expired,
                     "batches": stats.batches,
                     "mean_occupancy": (stats.samples / stats.batches
                                        if stats.batches else 0.0),

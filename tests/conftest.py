@@ -7,6 +7,9 @@ mutate the network (installing injectors, retraining) always work on a clone.
 
 from __future__ import annotations
 
+import faulthandler
+import os
+
 import numpy as np
 import pytest
 
@@ -15,6 +18,30 @@ from repro.dram.geometry import DramGeometry
 from repro.nn.datasets import make_classification_dataset
 from repro.nn.models import build_model_with_dataset
 from repro.nn.training import Trainer
+
+
+#: per-test hang watchdog in seconds (0 disables).  Server/concurrency tests
+#: block on queues, sockets and thread joins; a deadlock there must dump
+#: every thread's stack and kill the run instead of hanging the suite until
+#: the CI job timeout.  300 s is far above any single test's honest runtime.
+WATCHDOG_SECONDS = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.fixture(autouse=True)
+def _hang_watchdog():
+    """Arm a ``faulthandler`` dump-and-exit timer around every test.
+
+    ``faulthandler.dump_traceback_later(exit=True)`` fires from a C-level
+    watchdog thread, so it triggers even when every Python thread is
+    deadlocked — the stuck test fails fast with all stacks on stderr.
+    The timer is re-armed per test and cancelled on completion.
+    """
+    if WATCHDOG_SECONDS <= 0:
+        yield
+        return
+    faulthandler.dump_traceback_later(WATCHDOG_SECONDS, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()
 
 
 #: small DRAM geometry used by tests that profile the device (many short rows

@@ -12,7 +12,8 @@ class TestParser:
                           if hasattr(action, "choices") and action.choices)
         expected = {"list-models", "profile-dram", "fit-error-model", "characterize",
                     "boost", "evaluate-cpu", "evaluate-accel", "memsys",
-                    "bench", "parallel-bench", "serve-bench"}
+                    "bench", "parallel-bench", "serve-bench", "serve",
+                    "loadgen"}
         assert expected <= set(subparsers.choices)
 
     def test_missing_command_errors(self):
@@ -81,6 +82,34 @@ class TestCommands:
         assert args.model == "lenet"
         assert args.processes == 4
         assert args.handler is not None
+
+    def test_serve_registered_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.model == "lenet"
+        assert args.port == 8080
+        assert args.queue_depth == 64
+        assert args.deadline_ms is None
+        assert args.handler is not None
+
+    def test_loadgen_scenario_choices(self):
+        args = build_parser().parse_args(["loadgen", "--scenario", "burst"])
+        assert args.scenario == "burst"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--scenario", "bogus"])
+
+    def test_loadgen_self_hosted_steady(self, capsys):
+        assert main(["loadgen", "--requests", "24", "--concurrency", "2",
+                     "--max-batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "loadgen steady" in out
+        assert "bit-identical to in-process predict: True" in out
+        assert "Serving telemetry" in out
+
+    def test_loadgen_self_hosted_burst_sheds(self, capsys):
+        assert main(["loadgen", "--scenario", "burst", "--requests", "32",
+                     "--queue-depth", "2", "--max-batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "burst" in out
 
     def test_characterize_parallel_matches_serial(self, capsys):
         assert main(["characterize", "--model", "lenet", "--epochs", "1"]) == 0

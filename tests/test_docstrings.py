@@ -49,12 +49,15 @@ AUDITED_MODULES = [
     "repro/serve/telemetry.py",
     "repro/serve/gateway.py",
     "repro/serve/bench.py",
+    "repro/serve/server.py",
+    "repro/serve/loadgen.py",
 ]
 
 #: modules whose embedded doctests run as part of the gate.
 DOCTESTED_MODULES = [
     "repro.analysis.reporting",
     "repro.serve.telemetry",
+    "repro.serve.loadgen",
 ]
 
 #: decorators that turn a function into an attribute-like member whose

@@ -493,6 +493,138 @@ class TestTelemetry:
         assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
         assert np.isnan(percentile([], 50))
 
+    def test_window_wrap_at_exact_boundary(self):
+        """Percentile semantics across the window boundary: at exactly
+        ``window`` samples nothing is evicted; one more sample drops
+        exactly the oldest, so percentiles describe the newest ``window``
+        samples while the requests counter keeps the full history."""
+        telemetry = ServingTelemetry(window=4)
+        for latency in (1.0, 2.0, 3.0, 4.0):       # fills the window exactly
+            telemetry.record_request("m", latency)
+        stats = telemetry.snapshot()["models"]["m"]
+        assert stats["p50_ms"] == pytest.approx(2_000.0)
+        assert stats["p99_ms"] == pytest.approx(4_000.0)
+        telemetry.record_request("m", 5.0)          # wraps: evicts the 1.0
+        stats = telemetry.snapshot()["models"]["m"]
+        assert stats["requests"] == 5               # cumulative, unwindowed
+        assert stats["p50_ms"] == pytest.approx(3_000.0)   # over [2, 3, 4, 5]
+        assert stats["p99_ms"] == pytest.approx(5_000.0)
+        assert stats["mean_ms"] == pytest.approx(3_500.0)
+
+    def test_wrap_mid_report_sees_consistent_window(self):
+        """A snapshot racing the wrap must see a consistent window: never
+        more than ``window`` samples, percentiles always from real
+        samples."""
+        telemetry = ServingTelemetry(window=8)
+        stop = threading.Event()
+
+        def writer():
+            latency = 0.0
+            while not stop.is_set():
+                latency += 1.0
+                telemetry.record_request("m", latency)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            last_requests = 0
+            for _ in range(200):
+                stats = telemetry.snapshot()["models"]["m"]
+                if not stats["requests"]:
+                    continue
+                assert stats["requests"] >= last_requests
+                last_requests = stats["requests"]
+                # Nearest-rank percentiles of a consistent window are real
+                # recorded samples with p50 <= p95 <= p99 <= newest.
+                assert stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+                assert stats["p99_ms"] <= stats["requests"] * 1e3 + 1e-6
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_shed_and_expired_counters_surface_in_report(self):
+        from repro.analysis.reporting import format_serving_report
+
+        telemetry = ServingTelemetry()
+        telemetry.record_request("m", 0.010)
+        telemetry.record_shed("m")
+        telemetry.record_shed("m")
+        telemetry.record_expired("m")
+        stats = telemetry.snapshot()["models"]["m"]
+        assert stats["shed"] == 2
+        assert stats["expired"] == 1
+        assert stats["requests"] == 1       # shed/expired are not requests
+        report = format_serving_report(telemetry.snapshot())
+        assert "shed" in report and "expired" in report
+
+    def test_shed_only_model_renders(self):
+        """A model that only ever shed (never served) must still render a
+        row without NaN crashes in the report path."""
+        from repro.analysis.reporting import format_serving_report
+
+        telemetry = ServingTelemetry()
+        telemetry.record_shed("overloaded")
+        report = format_serving_report(telemetry.snapshot())
+        assert "overloaded" in report
+
+
+class TestBatcherDeadlines:
+    def test_expired_request_dropped_at_dispatch(self):
+        """A queued request whose deadline passed is dropped at dispatch:
+        its future fails with DeadlineExceeded, the live neighbours still
+        dispatch, and telemetry counts the expiry."""
+        import time as _time
+
+        from repro.engine import DeadlineExceeded
+
+        telemetry = ServingTelemetry()
+        sizes = []
+
+        def dispatch(batch):
+            sizes.append(len(batch))
+            return batch * 2
+
+        batcher = MicroBatcher(dispatch, max_batch=8, name="m",
+                               telemetry=telemetry, auto=False)
+        expired = batcher.submit(np.ones(2),
+                                 deadline=_time.perf_counter() - 1.0)
+        live = batcher.submit(np.ones(2))
+        batcher.flush()
+        with pytest.raises(DeadlineExceeded):
+            expired.result(timeout=1)
+        assert live.result(timeout=1)[0] == pytest.approx(2.0)
+        assert sizes == [1]                  # the expired row never dispatched
+        stats = telemetry.snapshot()["models"]["m"]
+        assert stats["expired"] == 1
+        assert stats["requests"] == 1
+        batcher.close()
+
+    def test_all_expired_batch_skips_dispatch_entirely(self):
+        import time as _time
+
+        calls = []
+        batcher = MicroBatcher(lambda b: calls.append(len(b)) or b,
+                               max_batch=4, auto=False)
+        futures = [batcher.submit(np.ones(2),
+                                  deadline=_time.perf_counter() - 1.0)
+                   for _ in range(3)]
+        batcher.flush()
+        assert calls == []                   # no forward pass burned
+        for future in futures:
+            assert future.exception(timeout=1) is not None
+        batcher.close()
+
+    def test_cancelled_future_discarded_without_crashing_worker(self):
+        """A client that cancels (e.g. the HTTP front end timing out) must
+        not crash the dispatch fan-out for its batch neighbours."""
+        batcher = MicroBatcher(lambda b: b * 3, max_batch=4, auto=False)
+        doomed = batcher.submit(np.ones(2))
+        survivor = batcher.submit(np.ones(2))
+        assert doomed.cancel()
+        batcher.flush()
+        assert survivor.result(timeout=1)[0] == pytest.approx(3.0)
+        batcher.close()
+
 
 class TestEdenResultServe:
     def test_pipeline_session_drops_into_gateway(self, lenet_clone):
