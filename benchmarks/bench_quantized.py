@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Macro-benchmark: the fused integer-GEMM plan vs the FP32 static store.
+
+Measures serving-shaped dispatch throughput (``predict(pad_to=...)`` one
+micro-batch at a time) through both execution paths of the same zoo model
+and writes the record to ``BENCH_quantized.json``:
+
+* **FP32 static store** — the historical serving configuration: weights
+  stored as corrupted float32, forwards on the training kernels.
+* **Fused integer plan** — weights stored as int8 codes (bit errors applied
+  to the codes), executed by the compiled integer-GEMM schedule: quantize
+  activations once per layer, exact integer GEMM on the stored codes,
+  dequantize once at the layer output.
+
+The headline is the int8/FP32 dispatch-rate ratio.  Usage::
+
+    python benchmarks/bench_quantized.py [--output PATH] [--model NAME]
+        [--dtype D] [--pad-to N] [--rows N] [--passes N] [--check-speedup X]
+
+``--check-speedup X`` exits non-zero if the speedup falls below ``X``
+(used by CI as a regression gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.bench import measure_quantized_throughput  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_quantized.json",
+                        help="where to write the JSON record")
+    parser.add_argument("--model", default="lenet",
+                        help="model zoo entry to benchmark")
+    parser.add_argument("--dtype", default="int8",
+                        choices=("int8", "int4", "int16"),
+                        help="stored integer precision of the fused plan")
+    parser.add_argument("--ber", type=float, default=1e-3,
+                        help="weight-store bit error rate")
+    parser.add_argument("--pad-to", type=int, default=16,
+                        help="static dispatch shape (rows per micro-batch)")
+    parser.add_argument("--rows", type=int, default=1024,
+                        help="rows served per timed pass")
+    parser.add_argument("--passes", type=int, default=5,
+                        help="timed passes (best counts)")
+    parser.add_argument("--check-speedup", type=float, default=None,
+                        help="fail if the quantized speedup is below this")
+    args = parser.parse_args()
+
+    record = measure_quantized_throughput(
+        args.model, ber=args.ber, dtype=args.dtype, pad_to=args.pad_to,
+        n_rows=args.rows, passes=args.passes)
+    print(f"serving dispatch rate ({args.model}, {args.pad_to}-row "
+          f"dispatches, store at BER {args.ber:g}):")
+    print(f"  fp32 static store   {record['fp32_rows_per_sec']:>10,.0f} rows/s")
+    print(f"  {args.dtype} fused plan     "
+          f"{record['quantized_rows_per_sec']:>10,.0f} rows/s")
+    print(f"  speedup             {record['speedup']:>10.2f} x")
+
+    payload = {
+        "benchmark": "quantized_throughput",
+        "headline": {
+            "name": f"{args.model}_{args.dtype}_dispatch_speedup",
+            "speedup": record["speedup"],
+            "fp32_rows_per_sec": record["fp32_rows_per_sec"],
+            "quantized_rows_per_sec": record["quantized_rows_per_sec"],
+        },
+        "record": record,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output} (speedup {record['speedup']:.2f}x)")
+
+    if args.check_speedup is not None and record["speedup"] < args.check_speedup:
+        print(f"FAIL: quantized speedup {record['speedup']:.2f}x "
+              f"< required {args.check_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

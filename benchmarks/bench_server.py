@@ -61,12 +61,17 @@ def main() -> int:
                         help="micro-batcher coalescing bound")
     parser.add_argument("--rate", type=float, default=400.0,
                         help="open-loop arrival rate (req/s)")
+    parser.add_argument("--dtype", default="int8",
+                        choices=("fp32", "int8", "int4", "int16"),
+                        help="stored precision / execution path of the "
+                             "endpoint (integer dtypes serve through the "
+                             "fused integer-GEMM plan)")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
     gateway, session, dataset = build_serving_gateway(
         args.model, ber=args.ber, seed=args.seed,
-        max_batch=args.max_batch, max_wait_ms=2.0)
+        max_batch=args.max_batch, max_wait_ms=2.0, dtype=args.dtype)
     handle = serve_in_thread(gateway, ServerConfig(
         max_queue_depth=args.queue_depth))
     target = loadgen.HttpTarget(handle.base_url)
@@ -111,6 +116,8 @@ def main() -> int:
             "burst_admitted_correct": bool(admitted_correct),
         },
         "model": args.model,
+        "dtype": args.dtype,
+        "execution_mode": session.mode_label(),
         "ber": float(args.ber),
         "queue_depth": int(args.queue_depth),
         "max_batch": int(args.max_batch),
@@ -125,8 +132,8 @@ def main() -> int:
     }
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
 
-    print(f"HTTP front end ({args.model}, weight store at BER {args.ber:g}, "
-          f"queue depth {args.queue_depth}):")
+    print(f"HTTP front end ({args.model}, {args.dtype} weight store at BER "
+          f"{args.ber:g}, queue depth {args.queue_depth}):")
     print(f"  steady   {steady.sent} requests, "
           f"{steady.to_record()['achieved_rps']:7,.0f} req/s, "
           f"bit-identical to in-process predict: {bit_identical}")

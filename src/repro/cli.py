@@ -200,6 +200,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.engine.bench import (
         measure_characterization_sweep,
         measure_inference_throughput,
+        measure_quantized_throughput,
     )
 
     rows = measure_inference_throughput(
@@ -216,6 +217,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
         title=(f"{args.model}: inference throughput at BER {args.ber:g} "
                "(weights in approximate DRAM)"),
     ))
+    if args.dtype != "fp32":
+        record = measure_quantized_throughput(
+            args.model, ber=args.ber, dtype=args.dtype, seed=args.seed)
+        print()
+        print(format_table(
+            ["execution path", "rows/s"],
+            [("fp32 static store", f"{record['fp32_rows_per_sec']:.0f}"),
+             (f"{args.dtype} fused integer plan",
+              f"{record['quantized_rows_per_sec']:.0f}"),
+             ("speedup", f"{record['speedup']:.2f}x")],
+            title=(f"{args.model}: {record['pad_to']}-row serving dispatches, "
+                   f"{args.dtype} store at BER {args.ber:g}"),
+        ))
     if args.sweep:
         sweep = measure_characterization_sweep(
             args.model, batch_size=args.sweep_batch_size, seed=args.seed,
@@ -274,7 +288,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                              n_requests=args.requests,
                              max_batch=args.max_batch,
                              client_threads=args.client_threads,
-                             seed=args.seed)
+                             seed=args.seed, dtype=args.dtype)
     print(format_table(
         ["serving mode", "seconds", "req/s"],
         [("batch-1 serial", f"{record['serial_batch1_seconds']:.3f}",
@@ -285,7 +299,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
          (f"async ({record['client_threads']} client threads)",
           f"{record['async_seconds']:.3f}", f"{record['async_rps']:.0f}")],
         title=(f"{args.model}: {record['n_requests']} single-sample requests, "
-               f"weight store at BER {args.ber:g}")))
+               f"{args.dtype} weight store at BER {args.ber:g}")))
     print(f"\nmicro-batch speedup over batch-1 serial: "
           f"{record['microbatch_speedup']:.2f}x")
     print(f"batched == serial (bit-identical)      : {record['bit_identical']}")
@@ -304,7 +318,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     gateway, _session, _dataset = build_serving_gateway(
         args.model, ber=args.ber, seed=args.seed, epochs=args.epochs,
-        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms)
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        dtype=args.dtype)
     server = InferenceServer(gateway, ServerConfig(
         host=args.host, port=args.port, max_queue_depth=args.queue_depth,
         default_deadline_ms=args.deadline_ms))
@@ -502,6 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also time a characterization-style BER sweep")
     bench.add_argument("--sweep-batch-size", type=int, default=4)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--dtype", default="fp32",
+                       choices=("fp32", "int8", "int4"),
+                       help="also time the fused integer plan at this "
+                            "stored precision (fp32 = skip)")
     bench.set_defaults(handler=cmd_bench)
 
     parallel_bench = subparsers.add_parser(
@@ -529,6 +548,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="micro-batcher coalescing bound")
     serve_bench.add_argument("--client-threads", type=int, default=4,
                              help="concurrent clients for the async measurement")
+    serve_bench.add_argument("--dtype", default="fp32",
+                             choices=("fp32", "int8", "int4"),
+                             help="stored precision / execution path of the "
+                                  "endpoints under test")
     serve_bench.add_argument("--seed", type=int, default=0)
     serve_bench.set_defaults(handler=cmd_serve_bench)
 
@@ -551,6 +574,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission control: max in-flight requests before 429")
     serve.add_argument("--deadline-ms", type=float, default=None,
                        help="default per-request deadline (504 past it)")
+    serve.add_argument("--dtype", default="fp32",
+                       choices=("fp32", "int8", "int4"),
+                       help="stored precision: integer dtypes serve through "
+                            "the fused integer-GEMM plan")
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(handler=cmd_serve)
 

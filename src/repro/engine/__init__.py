@@ -6,6 +6,11 @@ See :mod:`repro.engine.session` for the two read-semantics modes
 ``bench`` CLI subcommand and ``benchmarks/bench_inference_throughput.py``.
 """
 
+from repro.engine.quantized import (
+    QuantizedPlan,
+    compile_quantized_plan,
+    integer_plan_supported,
+)
 from repro.engine.session import (
     DeadlineExceeded,
     InferenceSession,
@@ -13,6 +18,8 @@ from repro.engine.session import (
     evaluate,
     injector_fingerprint,
 )
+from repro.nn.quantization import ExecutionMode
 
-__all__ = ["DeadlineExceeded", "InferenceSession", "ReadSemantics",
-           "evaluate", "injector_fingerprint"]
+__all__ = ["DeadlineExceeded", "ExecutionMode", "InferenceSession",
+           "QuantizedPlan", "ReadSemantics", "compile_quantized_plan",
+           "evaluate", "injector_fingerprint", "integer_plan_supported"]

@@ -46,6 +46,7 @@ import numpy as np
 from repro.nn.datasets import Dataset
 from repro.nn.metrics import evaluate as _metric_evaluate
 from repro.nn.network import Network
+from repro.nn.quantization import ExecutionMode
 from repro.nn.tensor import DataKind, TensorSpec
 
 #: sentinel distinguishing "argument not given" from an explicit None injector.
@@ -231,13 +232,21 @@ class InferenceSession:
     processes:
         When > 1, :meth:`evaluate` shards the evaluation set over a cached
         process pool.
+    execution_mode:
+        :class:`~repro.nn.quantization.ExecutionMode` (or its string name)
+        selecting the GEMM path.  ``FP32`` (the default) is the historical
+        float path.  ``INTEGER`` compiles the static store into a fused
+        integer plan (:mod:`repro.engine.quantized`) and raises if the
+        injector does not support one; ``AUTO`` takes the integer path when
+        supported and falls back to ``FP32`` otherwise.
     """
 
     def __init__(self, network: Network, dataset=None, *, injector=None,
                  semantics: ReadSemantics = ReadSemantics.STATIC_STORE,
                  metric: str = "accuracy", batch_size: int = 64,
                  seed: int = 0, repeats: int = 1, reseed_stride: int = 1,
-                 processes: int = 0):
+                 processes: int = 0,
+                 execution_mode=ExecutionMode.FP32):
         self.network = network
         self.dataset = dataset
         self.injector = injector
@@ -248,6 +257,12 @@ class InferenceSession:
         self.repeats = int(repeats)
         self.reseed_stride = int(reseed_stride)
         self.processes = int(processes)
+        self.execution_mode = ExecutionMode.resolve(execution_mode)
+        #: compiled integer plans, keyed by (injector fingerprint, seed).
+        self._qplans: Dict[tuple, object] = {}
+        #: plan adopted from another process's export (see
+        #: :meth:`adopt_quantized_plan`); takes precedence over compilation.
+        self._adopted_qplan = None
         self._baseline: Optional[float] = None
         self._store: Optional[Dict[str, np.ndarray]] = None
         #: fingerprint the store was materialized for; holds references to
@@ -315,6 +330,9 @@ class InferenceSession:
         self._store = None
         self._store_key = None
         self._weight_spec_cache = None
+        # Compiled integer plans derive from the store; an adopted plan is
+        # externally owned (shared memory) and survives invalidation.
+        self._qplans.clear()
         self._drop_export()
         self.close()
 
@@ -427,6 +445,101 @@ class InferenceSession:
         self._exported_config = config
         return self._exported
 
+    # -- integer execution --------------------------------------------------------
+    def _integer_mode_active(self, injector, semantics) -> bool:
+        """Whether a call with this ``injector``/``semantics`` runs fused.
+
+        Raises ``ValueError`` when the mode is an explicit ``INTEGER`` but
+        the configuration cannot support it (wrong injector type or
+        per-read semantics) — a silent FP32 fallback there would misreport
+        what was measured.  ``AUTO`` falls back instead.
+        """
+        if self._adopted_qplan is not None:
+            return True
+        if injector is None or self.execution_mode is ExecutionMode.FP32:
+            return False
+        from repro.engine.quantized import integer_plan_supported
+
+        supported = (semantics is ReadSemantics.STATIC_STORE
+                     and integer_plan_supported(injector))
+        if self.execution_mode is ExecutionMode.INTEGER and not supported:
+            raise ValueError(
+                "execution_mode=INTEGER needs static-store semantics and a "
+                "QuantizedLoadTransform at int4/int8/int16 (without an ECC "
+                "corrector); use AUTO for a graceful FP32 fallback")
+        return supported
+
+    def _quantized_plan(self, injector, seed: int):
+        """The compiled (or adopted) integer plan for this operating point."""
+        if self._adopted_qplan is not None:
+            return self._adopted_qplan
+        key = (_injector_fingerprint(injector), int(seed))
+        plan = self._qplans.get(key)
+        if plan is None:
+            from repro.engine.quantized import compile_quantized_plan
+
+            plan = compile_quantized_plan(self, injector, seed=seed)
+            self._qplans[key] = plan
+        return plan
+
+    def adopt_quantized_plan(self, plan) -> None:
+        """Serve an externally compiled :class:`QuantizedPlan` directly.
+
+        Used by plan-dispatcher workers: the owner process compiles the plan
+        once and exports its code arrays through shared memory; workers
+        adopt the rebuilt plan instead of re-materializing and re-recovering
+        it.  An adopted plan pins the session to integer execution.
+        """
+        self._adopted_qplan = plan
+
+    def mode_label(self) -> str:
+        """Wire-format label of the session's GEMM path.
+
+        Returns ``"int{bits}"`` (e.g. ``"int8"``) when the session executes
+        through a fused integer plan, else ``"fp32"`` — the string
+        ``GET /v1/models`` advertises per endpoint.
+        """
+        if self._adopted_qplan is not None:
+            return f"int{self._adopted_qplan.bits}"
+        try:
+            active = self._integer_mode_active(self.injector, self.semantics)
+        except ValueError:
+            active = False
+        return f"int{self.injector.bits}" if active else "fp32"
+
+    def _run_with_plan(self, plan, body):
+        """Run ``body()`` with ``plan``'s kernels and float store installed.
+
+        The fused kernels are attached to the shared network object, so the
+        whole critical section holds the network lock; the float-store
+        reader serves the remaining (non-GEMM) weight loads and passes IFMs
+        through untouched — the integer path always reads IFMs from
+        reliable DRAM, like ``predict`` defaults to.
+        """
+        network = self.network
+        with network_lock(network):
+            was_training = network.training
+            if was_training:
+                network.eval()
+            previous = network.fault_injector
+            # The injector swap walks every layer twice per dispatch; skip it
+            # when the plan leaves nothing for the reader to serve (every
+            # store tensor became codes behind a kernel) and no stale
+            # injector could intercept a load.
+            swap_hook = bool(plan.float_store) or previous is not None
+            if swap_hook:
+                network.set_fault_injector(
+                    _StaticStoreReader(None, plan.float_store))
+            plan.install(network)
+            try:
+                return body()
+            finally:
+                plan.uninstall(network)
+                if swap_hook:
+                    network.set_fault_injector(previous)
+                if was_training:
+                    network.train()
+
     # -- evaluation ---------------------------------------------------------------
     def baseline(self, dataset=None) -> float:
         """Return the injection-free validation score on ``dataset``.
@@ -473,6 +586,12 @@ class InferenceSession:
         processes = self.processes if processes is None else int(processes)
         inputs, labels = _resolve_arrays(dataset if dataset is not None
                                          else self.dataset)
+
+        if self._integer_mode_active(injector, semantics):
+            # The fused plan executes in-process (its kernels are exact, so
+            # there is nothing sharding could change but scheduling).
+            return self._evaluate_integer(injector, inputs, labels, metric,
+                                          repeats, seed)
 
         store: Optional[Dict[str, np.ndarray]] = None
         if injector is not None and semantics is ReadSemantics.STATIC_STORE:
@@ -553,6 +672,19 @@ class InferenceSession:
             )
         seed = self.seed if seed is None else int(seed)
         injector = self.injector
+
+        if self._integer_mode_active(injector, self.semantics):
+            if ifm_errors:
+                raise ValueError(
+                    "integer execution serves IFMs from reliable DRAM; use "
+                    "execution_mode=FP32 (or AUTO without a quantized "
+                    "transform) for ifm_errors=True")
+            plan = self._quantized_plan(injector, seed)
+            outputs = self._run_with_plan(
+                plan, lambda: self._forward_chunks(inputs, pad_to, deadline))
+            self.stats["predictions"] += len(inputs)
+            return self._stack_outputs(outputs)
+
         if injector is None:
             hook = self.network.fault_injector
         elif self.semantics is ReadSemantics.STATIC_STORE:
@@ -571,26 +703,35 @@ class InferenceSession:
         try:
             if reseed_stream:
                 _reseed(injector, seed)
-            chunk = int(pad_to) if pad_to else self.batch_size
-            outputs: List[np.ndarray] = []
-            for start in range(0, len(inputs), chunk):
-                if deadline is not None and time.perf_counter() > deadline:
-                    raise DeadlineExceeded(
-                        f"deadline passed with {len(inputs) - start} of "
-                        f"{len(inputs)} rows unserved")
-                block = inputs[start:start + chunk]
-                if pad_to and len(block) < chunk:
-                    padded = np.zeros((chunk,) + block.shape[1:],
-                                      dtype=block.dtype)
-                    padded[:len(block)] = block
-                    outputs.append(self.network.forward(padded)[:len(block)])
-                else:
-                    outputs.append(self.network.forward(block))
+            outputs = self._forward_chunks(inputs, pad_to, deadline)
         finally:
             self.network.set_fault_injector(previous)
             if was_training:
                 self.network.train()
         self.stats["predictions"] += len(inputs)
+        return self._stack_outputs(outputs)
+
+    def _forward_chunks(self, inputs: np.ndarray, pad_to: Optional[int],
+                        deadline: Optional[float]) -> List[np.ndarray]:
+        """The shared chunk loop behind :meth:`predict` (both GEMM paths)."""
+        chunk = int(pad_to) if pad_to else self.batch_size
+        outputs: List[np.ndarray] = []
+        for start in range(0, len(inputs), chunk):
+            if deadline is not None and time.perf_counter() > deadline:
+                raise DeadlineExceeded(
+                    f"deadline passed with {len(inputs) - start} of "
+                    f"{len(inputs)} rows unserved")
+            block = inputs[start:start + chunk]
+            if pad_to and len(block) < chunk:
+                padded = np.zeros((chunk,) + block.shape[1:],
+                                  dtype=block.dtype)
+                padded[:len(block)] = block
+                outputs.append(self.network.forward(padded)[:len(block)])
+            else:
+                outputs.append(self.network.forward(block))
+        return outputs
+
+    def _stack_outputs(self, outputs: List[np.ndarray]) -> np.ndarray:
         if not outputs:
             return np.empty((0, self.network.num_classes), dtype=np.float32)
         return np.concatenate(outputs)
@@ -617,6 +758,28 @@ class InferenceSession:
         finally:
             network.set_fault_injector(previous)
         return float(np.mean(scores))
+
+    def _evaluate_integer(self, injector, inputs, labels, metric, repeats,
+                          seed) -> float:
+        """Scoring loop over the fused integer plan.
+
+        The store is fixed and the plan serves IFMs reliably, so every
+        repeat is the same deterministic computation — matching the fake
+        path's static-store behavior, where reseeding between repeats only
+        moves streams the quantized transform never draws from.
+        """
+        plan = self._quantized_plan(injector, seed)
+
+        def body() -> float:
+            scores: List[float] = []
+            for _ in range(repeats):
+                self.stats["evaluations"] += 1
+                scores.append(_metric_evaluate(self.network, inputs, labels,
+                                               metric=metric,
+                                               batch_size=self.batch_size))
+            return float(np.mean(scores))
+
+        return self._run_with_plan(plan, body)
 
     # -- sharded evaluation -------------------------------------------------------
     def _worker_pool(self, processes: int):

@@ -35,6 +35,12 @@ class Layer:
         self.injector = None  # installed by Network during fault experiments
         self._ifm_bits: int = 32
         self._weight_bits: int = 32
+        #: fused inference kernel installed by a compiled quantized plan
+        #: (see repro.engine.quantized).  When set, forward() bypasses the
+        #: load hooks entirely — the plan already owns the stored (possibly
+        #: corrupted) representation.  Underscore-prefixed and closing over
+        #: ndarrays, so plan export strips it from pickled skeletons.
+        self._int_kernel = None
 
     # -- parameter / spec plumbing ------------------------------------------------
     def parameters(self) -> List[Parameter]:
@@ -120,6 +126,8 @@ class Conv2D(Layer):
         return params
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if self._int_kernel is not None and not self.training:
+            return self._int_kernel(x)
         x = self.load_ifm(x)
         weight = self.load_param(self.weight)
         bias = self.bias.data if self.bias is not None else None
@@ -170,6 +178,8 @@ class Linear(Layer):
         return params
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if self._int_kernel is not None and not self.training:
+            return self._int_kernel(x)
         x = self.load_ifm(x)
         weight = self.load_param(self.weight)
         bias = self.bias.data if self.bias is not None else None
@@ -196,6 +206,8 @@ class ReLU(Layer):
         return None  # activations feeding a ReLU were already loaded by the producer
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if self._int_kernel is not None and not self.training:
+            return self._int_kernel(x)
         out, self._mask = F.relu_forward(x)
         return out
 
@@ -217,6 +229,8 @@ class MaxPool2D(Layer):
         return None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if self._int_kernel is not None and not self.training:
+            return self._int_kernel(x)
         out, self._cache = F.max_pool2d_forward(x, self.kernel_size, self.stride)
         return out
 

@@ -16,8 +16,10 @@ the bit-error injector uses.
 
 from __future__ import annotations
 
+import enum
+import zlib
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +28,70 @@ from repro.nn.tensor import TensorSpec
 
 #: numeric precisions evaluated in the paper
 SUPPORTED_BITS = (4, 8, 16, 32)
+
+#: precisions the integer execution path can hold as code arrays
+INTEGER_BITS = (4, 8, 16)
+
+
+class ExecutionMode(enum.Enum):
+    """How a compiled plan executes its GEMM layers.
+
+    ``FP32`` is the historical float path: weights (possibly fake-quantized
+    by a :class:`QuantizedLoadTransform`) are served as float32 arrays and
+    every ``Linear``/``Conv2D`` runs a float GEMM.  ``INTEGER`` is the fused
+    quantized hot path: weights stay *integer code arrays* (int8/int4/int16
+    symmetric codes, bit errors applied to the codes) and GEMM layers run an
+    exact integer-accumulate kernel, dequantizing once at the layer output.
+    ``AUTO`` resolves to ``INTEGER`` when the session's injector and read
+    semantics support it and falls back to ``FP32`` otherwise.
+    """
+
+    FP32 = "fp32"
+    INTEGER = "integer"
+    AUTO = "auto"
+
+    @classmethod
+    def resolve(cls, value) -> "ExecutionMode":
+        """Coerce a mode name (or mode) into an :class:`ExecutionMode`."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown execution mode {value!r}; expected one of "
+                f"{[mode.value for mode in cls]}")
+
+
+def code_dtype(bits: int) -> np.dtype:
+    """Narrowest signed container for ``bits``-bit symmetric codes.
+
+    int4 codes occupy one int8 byte each in working arrays — the 4-bit
+    *packed* layout is what the DRAM bit-image (:func:`tensor_to_bits`, 4
+    bits per element in uint64 words) and the injection engine operate on.
+    """
+    if bits not in INTEGER_BITS:
+        raise ValueError(f"no integer container for {bits}-bit tensors")
+    return np.dtype(np.int8 if bits <= 8 else np.int16)
+
+
+def quantize_codes(values: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Quantize floats to codes in the narrowest signed container."""
+    return quantize(values, spec).astype(code_dtype(spec.bits))
+
+
+def recover_codes(stored: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Invert :func:`dequantize` on a stored (possibly corrupted) tensor.
+
+    A bit-flipped b-bit code can land on any two's-complement pattern —
+    including ``-2^(b-1)``, one below ``spec.qmin`` — so recovery must not
+    clip the way :func:`quantize` does.  Exact for every b-bit pattern:
+    ``|code| <= 2^(b-1) <= 32768`` keeps the float32 rounding error of
+    ``code * scale`` far below half a step.  Returns the code array in the
+    container :func:`code_dtype` picks.
+    """
+    codes = np.rint(np.asarray(stored, dtype=np.float64) / spec.scale)
+    return codes.astype(code_dtype(spec.bits))
 
 
 @dataclass(frozen=True)
@@ -103,13 +169,25 @@ class QuantizedLoadTransform:
             raise ValueError(f"unsupported precision {bits}")
         self.bits = bits
         self.inner = inner
-        self._spec_cache: Dict[str, QuantizationSpec] = {}
+        #: per-tensor scales, keyed by name and *data fingerprint*: a cache
+        #: keyed on the name alone served stale scales after a parameter was
+        #: retrained or mutated in place.  One entry per name bounds the
+        #: cache (IFM tensors fingerprint differently on every batch).
+        self._spec_cache: Dict[str, Tuple[tuple, QuantizationSpec]] = {}
+
+    @staticmethod
+    def _fingerprint(values: np.ndarray) -> tuple:
+        """Cheap content fingerprint of ``values`` (shape + CRC of bytes)."""
+        contiguous = np.ascontiguousarray(values)
+        return (contiguous.shape, zlib.crc32(contiguous.view(np.uint8).data))
 
     def spec_for(self, name: str, values: np.ndarray) -> QuantizationSpec:
-        spec = self._spec_cache.get(name)
-        if spec is None:
-            spec = make_spec(values, self.bits)
-            self._spec_cache[name] = spec
+        fingerprint = self._fingerprint(values)
+        cached = self._spec_cache.get(name)
+        if cached is not None and cached[0] == fingerprint:
+            return cached[1]
+        spec = make_spec(values, self.bits)
+        self._spec_cache[name] = (fingerprint, spec)
         return spec
 
     def apply(self, array: np.ndarray, spec: TensorSpec) -> np.ndarray:

@@ -32,12 +32,18 @@ _WORKER_STATE: Dict[str, object] = {}
 def _init_plan_worker(handle: PlanHandle, batch_size: int) -> None:
     plan = attach_plan(handle)
     network = plan.network
-    if plan.store is not None:
+    session = InferenceSession(network, batch_size=batch_size)
+    if plan.qplan is not None:
+        # Integer plan: the worker adopts the owner's compiled plan (code
+        # arrays mapped zero-copy from shared memory) instead of installing
+        # a float store reader — predict() runs the fused kernels.
+        session.adopt_quantized_plan(plan.qplan)
+    elif plan.store is not None:
         network.set_fault_injector(_StaticStoreReader(plan.injector, plan.store))
     elif plan.injector is not None:
         network.set_fault_injector(plan.injector)
     _WORKER_STATE["injector"] = plan.injector
-    _WORKER_STATE["session"] = InferenceSession(network, batch_size=batch_size)
+    _WORKER_STATE["session"] = session
 
 
 def _predict_task(batch: np.ndarray, pad_to: Optional[int],
@@ -83,6 +89,11 @@ class PlanDispatcher:
 
         self.pad_to = pad_to
         self.ifm_errors = ifm_errors
+        if ifm_errors and session._integer_mode_active(session.injector,
+                                                       session.semantics):
+            raise ValueError(
+                "ifm_errors dispatch needs the FP32 path; integer-mode "
+                "sessions serve IFMs from reliable DRAM")
         per_read = (session.injector is not None
                     and session.semantics is ReadSemantics.PER_READ)
         #: reseed workers per dispatch only when they inject per read.

@@ -43,11 +43,11 @@ _WORKER_STATE: Dict[str, InferenceSession] = {}
 
 
 def _init_worker(handle: PlanHandle, metric: str, semantics: ReadSemantics,
-                 batch_size: int) -> None:
+                 batch_size: int, execution_mode) -> None:
     plan = attach_plan(handle)
     _WORKER_STATE["session"] = InferenceSession(
         plan.network, plan.dataset, semantics=semantics, metric=metric,
-        batch_size=batch_size,
+        batch_size=batch_size, execution_mode=execution_mode,
     )
 
 
@@ -73,18 +73,29 @@ class SweepExecutor:
     processes:
         Worker count (must be >= 2 to be worth having; 1 is accepted and
         simply serializes through one worker).
+    execution_mode:
+        :class:`~repro.nn.quantization.ExecutionMode` (or its name) for the
+        worker sessions.  Workers compile their own integer plans from the
+        shipped injector — deterministically, so parallel quantized scores
+        are bit-identical to the owner's serial ones.
     """
 
     def __init__(self, network: Network, dataset=None, *,
                  metric: str = "accuracy",
                  semantics: ReadSemantics = ReadSemantics.PER_READ,
-                 batch_size: int = 64, processes: int = 2):
+                 batch_size: int = 64, processes: int = 2,
+                 execution_mode=None):
+        from repro.nn.quantization import ExecutionMode
+
         if processes < 1:
             raise ValueError("processes must be >= 1")
         self.processes = int(processes)
         self.metric = metric
         self.semantics = semantics
         self.batch_size = int(batch_size)
+        self.execution_mode = ExecutionMode.resolve(
+            execution_mode if execution_mode is not None
+            else ExecutionMode.FP32)
         self._plan = export_network_plan(network, dataset)
         import concurrent.futures
 
@@ -94,7 +105,8 @@ class SweepExecutor:
             max_workers=self.processes,
             mp_context=fork_context(),
             initializer=_init_worker,
-            initargs=(self._plan.handle, metric, semantics, self.batch_size),
+            initargs=(self._plan.handle, metric, semantics, self.batch_size,
+                      self.execution_mode),
         )
 
     # -- task submission ----------------------------------------------------------

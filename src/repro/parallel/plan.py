@@ -76,7 +76,11 @@ def network_skeleton(network: Network) -> bytes:
             param.momentum_buffer = None
         for layer in network.leaf_layers():
             for name, value in list(vars(layer).items()):
-                if name.startswith("_") and _holds_arrays(value):
+                # Callables cover installed fused kernels (`_int_kernel`
+                # closures capture full weight-code arrays and would not
+                # pickle as part of a skeleton anyway).
+                if name.startswith("_") and value is not None and \
+                        (_holds_arrays(value) or callable(value)):
                     saved_caches.append((layer, name, value))
                     setattr(layer, name, None)
         network.set_fault_injector(None)
@@ -130,6 +134,12 @@ class PlanHandle:
     store: Optional[StoreHandle] = None
     store_key: Optional[str] = None
     injector: Optional[bytes] = None
+    #: pickled metadata of a compiled integer plan (bits, per-tensor scales,
+    #: which store entries are code arrays).  When set, ``store`` carries the
+    #: *integer code arrays* plus the non-GEMM float store — no float detour
+    #: for the quantized weights — and workers rebuild a
+    #: :class:`repro.engine.quantized.QuantizedPlan` from the mapped views.
+    qplan: Optional[bytes] = None
 
 
 class ExportedPlan:
@@ -234,7 +244,28 @@ def export_session_plan(session, *, include_injector: bool = False
         segments = [weights]
         store_handle = None
         store_key = None
-        if (session.injector is not None
+        qplan_bytes = None
+        integer_mode = session._integer_mode_active(session.injector,
+                                                    session.semantics)
+        if integer_mode:
+            # Zero-copy quantized lane: ship the recovered code arrays (int8/
+            # int16) and the non-GEMM float store — the corrupted float store
+            # never crosses the process boundary.
+            plan = session._quantized_plan(session.injector, session.seed)
+            store_segment = SharedTensorStore.create(
+                {**plan.codes, **plan.float_store}, token_prefix="store")
+            segments.append(store_segment)
+            store_handle = store_segment.handle
+            store_key = f"{session._store_key!r}:int{plan.bits}"
+            qplan_bytes = pickle.dumps(
+                {"bits": plan.bits,
+                 "weight_scales": dict(plan.weight_scales),
+                 "ifm_scales": {name: spec.scale
+                                for name, spec in plan.ifm_specs.items()},
+                 "code_names": list(plan.codes),
+                 "float_names": list(plan.float_store)},
+                protocol=pickle.HIGHEST_PROTOCOL)
+        elif (session.injector is not None
                 and session.semantics is ReadSemantics.STATIC_STORE):
             store = session.materialize()
             store_segment = SharedTensorStore.create(store,
@@ -246,7 +277,8 @@ def export_session_plan(session, *, include_injector: bool = False
         if dataset_store is not None:
             segments.append(dataset_store)
         injector_bytes = None
-        if include_injector and session.injector is not None:
+        if include_injector and session.injector is not None and \
+                not integer_mode:
             injector_bytes = pickle.dumps(session.injector,
                                           protocol=pickle.HIGHEST_PROTOCOL)
         handle = PlanHandle(
@@ -257,6 +289,7 @@ def export_session_plan(session, *, include_injector: bool = False
             store=store_handle,
             store_key=store_key,
             injector=injector_bytes,
+            qplan=qplan_bytes,
         )
         return ExportedPlan(handle, segments)
 
@@ -277,7 +310,28 @@ class AttachedPlan:
             views = attach_store(handle.dataset)
             self.dataset = (views["inputs"], views["labels"])
         self.store: Optional[Dict[str, np.ndarray]] = None
-        if handle.store is not None:
+        self.qplan = None
+        if handle.qplan is not None:
+            # Integer plan: the store segment holds code arrays plus the
+            # non-GEMM float store; rebuild the executable plan around the
+            # mapped views (`store` stays None — the int8 codes must never be
+            # served as float weights).
+            from repro.engine.quantized import QuantizedPlan
+            from repro.nn.quantization import QuantizationSpec
+
+            meta = pickle.loads(handle.qplan)
+            views = attach_store(handle.store)
+            bits = meta["bits"]
+            self.qplan = QuantizedPlan(
+                bits=bits,
+                codes={name: views[name] for name in meta["code_names"]},
+                weight_scales=meta["weight_scales"],
+                ifm_specs={name: QuantizationSpec(bits=bits, scale=scale)
+                           for name, scale in meta["ifm_scales"].items()},
+                float_store={name: views[name]
+                             for name in meta["float_names"]},
+            )
+        elif handle.store is not None:
             self.store = attach_store(handle.store)
         self.injector = (pickle.loads(handle.injector)
                          if handle.injector is not None else None)

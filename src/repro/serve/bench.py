@@ -53,10 +53,40 @@ def request_set(dataset, n_requests: int) -> np.ndarray:
 #: backwards-compatible alias (pre-HTTP-front-end name).
 _request_set = request_set
 
+#: serving dtypes reachable from the CLI and benchmark drivers.
+SERVING_DTYPES = ("fp32", "int8", "int4", "int16")
+
+
+def serving_injector(dtype: str, *, ber: float, model_id: int, seed: int):
+    """Injector + execution mode for a serving endpoint at ``dtype``.
+
+    The weight store runs at ``ber`` with error model ``model_id`` and its
+    streams fixed by ``seed``.  ``fp32`` returns the historical float
+    injector.  Integer dtypes store the model as b-bit codes (bit errors
+    applied to the codes) and select integer execution: the returned
+    :class:`~repro.nn.quantization.QuantizedLoadTransform` wraps the bit
+    error injector, and the mode is ``"integer"`` so a misconfigured
+    endpoint fails loudly instead of silently serving FP32.  Returns the
+    ``(injector, execution_mode)`` pair to pass to ``register``.
+    """
+    if dtype not in SERVING_DTYPES:
+        raise ValueError(f"unknown serving dtype {dtype!r}; "
+                         f"expected one of {SERVING_DTYPES}")
+    bits = 32 if dtype == "fp32" else int(dtype[3:])
+    inner = BitErrorInjector(make_error_model(model_id, ber, seed=seed),
+                             bits=bits, data_kinds={DataKind.WEIGHT},
+                             seed=seed)
+    if dtype == "fp32":
+        return inner, "fp32"
+    from repro.nn.quantization import QuantizedLoadTransform
+
+    return QuantizedLoadTransform(bits, inner=inner), "integer"
+
 
 def build_serving_gateway(model: str = "lenet", *, ber: float = 1e-3,
                           model_id: int = 0, seed: int = 0, epochs: int = 0,
-                          max_batch: int = 32, max_wait_ms: float = 2.0):
+                          max_batch: int = 32, max_wait_ms: float = 2.0,
+                          dtype: str = "fp32"):
     """Build the canonical one-endpoint serving gateway for ``model``.
 
     The shared builder behind ``repro.cli serve`` / ``loadgen`` and
@@ -65,7 +95,10 @@ def build_serving_gateway(model: str = "lenet", *, ber: float = 1e-3,
     stores its weights in approximate DRAM at ``ber`` (error model
     ``model_id``, stream fixed by ``seed``), and registers it under its
     model name on a gateway whose micro-batcher runs at
-    ``max_batch``/``max_wait_ms``.  Returns ``(gateway, session, dataset)``.
+    ``max_batch``/``max_wait_ms``.  ``dtype`` selects the stored precision
+    and execution path (see :func:`serving_injector`); integer dtypes
+    serve through the fused integer-GEMM plan.  Returns
+    ``(gateway, session, dataset)``.
     """
     from repro.nn.training import Trainer
 
@@ -73,20 +106,20 @@ def build_serving_gateway(model: str = "lenet", *, ber: float = 1e-3,
     if epochs > 0:
         Trainer(network, dataset, spec.training_config(epochs=epochs)).fit()
     network.eval()
-    injector = BitErrorInjector(make_error_model(model_id, ber, seed=seed),
-                                bits=32, data_kinds={DataKind.WEIGHT},
-                                seed=seed)
+    injector, execution_mode = serving_injector(dtype, ber=ber,
+                                                model_id=model_id, seed=seed)
     gateway = ServingGateway(ServeConfig(max_batch=max_batch,
                                          max_wait_ms=max_wait_ms))
     session = gateway.register(model, network, dataset, injector=injector,
-                               seed=seed, metric=spec.metric)
+                               seed=seed, metric=spec.metric,
+                               execution_mode=execution_mode)
     return gateway, session, dataset
 
 
 def measure_serving(model_name: str = "lenet", *, ber: float = 1e-3,
                     model_id: int = 0, n_requests: int = 256,
                     max_batch: int = 32, client_threads: int = 4,
-                    seed: int = 0) -> Dict:
+                    seed: int = 0, dtype: str = "fp32") -> Dict:
     """Measure the serving gateway against batch-1 per-request serving.
 
     Builds ``model_name`` from the zoo, stores its weights in approximate
@@ -94,7 +127,9 @@ def measure_serving(model_name: str = "lenet", *, ber: float = 1e-3,
     single-sample requests four ways (serial batch-1, micro-batched,
     micro-batched via concurrent ``client_threads``, and the serial
     reference for the bit-identity check).  ``max_batch`` is the
-    micro-batcher's coalescing bound and ``seed`` fixes every stream.
+    micro-batcher's coalescing bound, ``seed`` fixes every stream, and
+    ``dtype`` selects the stored precision / execution path of every
+    endpoint under test (see :func:`serving_injector`).
     Returns a JSON-serializable dict with timings, the headline
     ``microbatch_speedup``, ``bit_identical``, cold/warm registry seconds,
     and the gateway telemetry snapshot.
@@ -102,27 +137,29 @@ def measure_serving(model_name: str = "lenet", *, ber: float = 1e-3,
     network, dataset, spec = build_model_with_dataset(model_name, seed=seed)
     network.eval()
     requests = request_set(dataset, n_requests)
-    error_model = make_error_model(model_id, ber, seed=seed)
-    injector = BitErrorInjector(error_model, bits=32,
-                                data_kinds={DataKind.WEIGHT}, seed=seed)
+    injector, execution_mode = serving_injector(dtype, ber=ber,
+                                                model_id=model_id, seed=seed)
 
     # -- cold vs warm registry ---------------------------------------------------
     gateway = ServingGateway(ServeConfig(max_batch=max_batch,
                                          auto_flush=False))
     started = time.perf_counter()
     gateway.register(model_name, network, dataset, injector=injector,
-                     seed=seed, metric=spec.metric)
+                     seed=seed, metric=spec.metric,
+                     execution_mode=execution_mode)
     cold_register_seconds = time.perf_counter() - started
     started = time.perf_counter()
     gateway.register(f"{model_name}-replica", network, dataset,
-                     injector=injector, seed=seed, metric=spec.metric)
+                     injector=injector, seed=seed, metric=spec.metric,
+                     execution_mode=execution_mode)
     warm_register_seconds = time.perf_counter() - started
 
     # -- batch-1 serial per-request serving --------------------------------------
     serial_gateway = ServingGateway(ServeConfig(max_batch=1,
                                                 auto_flush=False))
     serial_gateway.register(model_name, network, dataset, injector=injector,
-                            seed=seed, metric=spec.metric)
+                            seed=seed, metric=spec.metric,
+                            execution_mode=execution_mode)
     serial_gateway.predict(model_name, requests[0])      # warm caches
     started = time.perf_counter()
     serial_outputs = serial_gateway.predict_many(model_name, requests,
@@ -149,7 +186,8 @@ def measure_serving(model_name: str = "lenet", *, ber: float = 1e-3,
                                                max_wait_ms=2.0,
                                                auto_flush=True))
     async_gateway.register(model_name, network, dataset, injector=injector,
-                           seed=seed, metric=spec.metric)
+                           seed=seed, metric=spec.metric,
+                           execution_mode=execution_mode)
     async_gateway.predict(model_name, requests[0])       # warm caches
     shards = np.array_split(requests, client_threads)
 
@@ -172,6 +210,7 @@ def measure_serving(model_name: str = "lenet", *, ber: float = 1e-3,
     snapshot = gateway.snapshot()
     record = {
         "model": model_name,
+        "dtype": dtype,
         "ber": float(ber),
         "n_requests": int(n_requests),
         "max_batch": int(max_batch),

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.engine.session import InferenceSession, injector_fingerprint
 from repro.nn.network import Network
+from repro.nn.quantization import ExecutionMode
 
 #: monotonically increasing identity tokens for live networks.  ``id()`` is
 #: unusable as a cache key: CPython reuses addresses after garbage
@@ -106,7 +107,8 @@ class SessionRegistry:
 
     # -- keys ---------------------------------------------------------------------
     @staticmethod
-    def key_of(network: Network, injector=None, seed: int = 0) -> tuple:
+    def key_of(network: Network, injector=None, seed: int = 0,
+               execution_mode=None) -> tuple:
         """Cache key for a (``network``, ``injector``, ``seed``) combination.
 
         Model identity is the network object itself (name plus the stable
@@ -115,10 +117,19 @@ class SessionRegistry:
         cached session), the operating point is the injector fingerprint —
         which embeds the error model, per-tensor BER assignment, device
         operating point and precision — and ``seed`` selects the
-        materialization stream.  Returns a hashable tuple.
+        materialization stream.  ``execution_mode`` (an
+        :class:`~repro.nn.quantization.ExecutionMode` or its name) joins the
+        key when it is not the FP32 default: the same operating point
+        compiled for integer execution is a different plan and must never
+        alias the float one.  Returns a hashable tuple.
         """
-        return (network.name, model_token(network),
-                injector_fingerprint(injector), int(seed))
+        key = (network.name, model_token(network),
+               injector_fingerprint(injector), int(seed))
+        if execution_mode is not None:
+            mode = ExecutionMode.resolve(execution_mode)
+            if mode is not ExecutionMode.FP32:
+                key += (mode.value,)
+        return key
 
     # -- lookup / insert ----------------------------------------------------------
     def get(self, key: tuple) -> Optional[InferenceSession]:
@@ -153,7 +164,8 @@ class SessionRegistry:
         cached session is returned untouched — registering the same model at
         the same operating point N times compiles once.  Returns the session.
         """
-        key = self.key_of(network, injector, seed)
+        key = self.key_of(network, injector, seed,
+                          execution_mode=session_kwargs.get("execution_mode"))
         session = self.get(key)
         if session is not None:
             return session
@@ -179,7 +191,8 @@ class SessionRegistry:
         registry always tracks the session its callers actually serve.
         Returns the cache key.
         """
-        key = self.key_of(session.network, session.injector, session.seed)
+        key = self.key_of(session.network, session.injector, session.seed,
+                          execution_mode=session.execution_mode)
         if materialize and session.injector is not None:
             session.materialize()
         existing = self._entries.get(key)

@@ -110,11 +110,21 @@ def encode_rows(rows: np.ndarray) -> list:
 
     JSON numbers cannot carry NaN payloads (and text round-trips are where
     bit-identity guarantees go to die), so output rows travel as base64 of
-    their raw little-endian float32 bytes.  Returns a list of ASCII strings,
-    one per row.
+    their raw little-endian float32 bytes.  Each row is encoded from a
+    memoryview slice of the output buffer itself — ``b64encode`` accepts
+    buffers, so no per-row ``tobytes`` copy is taken; the engine's output
+    is already float32-contiguous on the hot path, making the wire encode
+    a single pass over the buffer.  Returns a list of ASCII strings, one
+    per row.
     """
     rows = np.ascontiguousarray(rows, dtype=np.float32)
-    return [base64.b64encode(row.tobytes()).decode("ascii") for row in rows]
+    if rows.size == 0:
+        return ["" for _ in range(len(rows))]
+    flat = memoryview(rows).cast("B")
+    row_nbytes = rows.itemsize * int(np.prod(rows.shape[1:]))
+    return [base64.b64encode(
+                flat[start:start + row_nbytes]).decode("ascii")
+            for start in range(0, len(rows) * row_nbytes, row_nbytes)]
 
 
 def decode_rows(encoded: list) -> np.ndarray:
@@ -315,10 +325,12 @@ class InferenceServer:
             if path == "/v1/models":
                 models = {}
                 for name in self.gateway.endpoints():
-                    network = self.gateway.session_for(name).network
+                    session = self.gateway.session_for(name)
+                    network = session.network
                     models[name] = {
                         "input_shape": [int(d) for d in network.input_shape],
                         "num_classes": int(network.num_classes),
+                        "execution_mode": session.mode_label(),
                     }
                 return 200, {"endpoints": self.gateway.endpoints(),
                              "models": models}, "application/json"
