@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Macro-benchmark: the multi-replica router tier under generated load.
+
+Spawns N local :class:`repro.serve.server.InferenceServer` replica
+processes from ONE shared-memory plan export (no per-replica recompile or
+re-materialization), fronts them with
+:class:`repro.serve.router.RouterServer`, drives the router with the
+deterministic load harness and writes ``BENCH_router.json``:
+
+* **Bit-identity gate** (always enforced) — the steady scenario through
+  the router, balanced across all replicas, must be tobytes-identical to
+  serial in-process ``session.predict`` for the same fixed seeds.  Every
+  replica adopts the same materialized store and the gateway's static
+  batch shapes make results occupancy-independent, so which replica served
+  a request must never show up in the bytes.
+* **Scale-out gate** (needs >= 4 visible CPUs) — aggregate steady RPS with
+  3 local replicas must be at least 2x the 1-replica RPS through the same
+  router.  On smaller containers (the 1-CPU CI runner) the replicas would
+  time-share one core, so the gate auto-skips exactly like
+  ``bench_parallel``'s speedup gate; the bit-identity gate still runs.
+
+Usage::
+
+    python benchmarks/bench_router.py [--output PATH] [--model NAME]
+        [--requests N] [--replicas N] [--concurrency N]
+
+Exits non-zero when an enforced gate fails (used by the CI ``router``
+job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.parallel.plan import export_session_plan              # noqa: E402
+from repro.serve import loadgen                                  # noqa: E402
+from repro.serve.bench import build_serving_gateway, request_set  # noqa: E402
+from repro.serve.gateway import ServeConfig                      # noqa: E402
+from repro.serve.replica import ReplicaManager                   # noqa: E402
+from repro.serve.router import RouterConfig, route_in_thread     # noqa: E402
+from repro.serve.server import ServerConfig                      # noqa: E402
+
+
+def measure_topology(plan, model: str, samples: np.ndarray, *,
+                     replicas: int, max_batch: int, queue_depth: int,
+                     concurrency: int) -> dict:
+    """Steady-scenario throughput through a router over ``replicas`` replicas.
+
+    ``plan`` is the shared :class:`~repro.parallel.plan.ExportedPlan` every
+    replica adopts, ``model`` the endpoint name, ``samples`` the request
+    set; ``max_batch``/``queue_depth`` configure each replica and
+    ``concurrency`` the closed-loop client.  Returns a dict with the
+    :class:`~repro.serve.loadgen.LoadResult` record, the per-replica
+    request spread and the router's final metrics.
+    """
+    manager = ReplicaManager(
+        {model: plan},
+        serve_config=ServeConfig(max_batch=max_batch),
+        server_config=ServerConfig(max_queue_depth=queue_depth))
+    handle = None
+    target = None
+    try:
+        spawned = manager.spawn_many(replicas)
+        handle = route_in_thread(spawned, manager, RouterConfig())
+        target = loadgen.HttpTarget(handle.base_url)
+        loadgen.run_steady(target, model, samples[:4 * replicas],
+                           concurrency=concurrency)        # warm every replica
+        result = loadgen.run_steady(target, model, samples,
+                                    concurrency=concurrency)
+        metrics = target.metrics()
+    finally:
+        if target is not None:
+            target.close()
+        if handle is not None:
+            handle.stop()
+        manager.close()
+    return {
+        "replicas": replicas,
+        "steady": result.to_record(),
+        "replica_spread": result.replica_counts(),
+        "router": metrics["router"],
+        "rows": result.stacked_rows() if result.ok == result.sent else None,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_router.json",
+                        help="where to write the JSON record")
+    parser.add_argument("--model", default="lenet",
+                        help="model zoo entry to serve")
+    parser.add_argument("--ber", type=float, default=1e-3,
+                        help="weight-store bit error rate")
+    parser.add_argument("--requests", type=int, default=192,
+                        help="steady-scenario request count")
+    parser.add_argument("--replicas", type=int, default=3,
+                        help="replica count of the scaled topology")
+    parser.add_argument("--concurrency", type=int, default=12,
+                        help="closed-loop client workers")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="per-replica admission bound")
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="per-replica micro-batcher coalescing bound")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required RPS ratio (scaled over 1 replica)")
+    parser.add_argument("--dtype", default="int8",
+                        choices=("fp32", "int8", "int4", "int16"),
+                        help="stored precision / execution path of the "
+                             "endpoint")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    cpus = os.cpu_count() or 1
+    # Same environment-aware policy as bench_parallel: replicas time-share
+    # cores below 4 CPUs, so the scale-out gate cannot be meaningful there.
+    gate_speedup = cpus >= 4
+
+    gateway, session, dataset = build_serving_gateway(
+        args.model, ber=args.ber, seed=args.seed,
+        max_batch=args.max_batch, max_wait_ms=2.0, dtype=args.dtype)
+    samples = request_set(dataset, args.requests)
+    reference = session.predict(samples, pad_to=args.max_batch)
+    plan = export_session_plan(session)
+    try:
+        single = measure_topology(
+            plan, args.model, samples, replicas=1,
+            max_batch=args.max_batch, queue_depth=args.queue_depth,
+            concurrency=args.concurrency)
+        scaled = measure_topology(
+            plan, args.model, samples, replicas=args.replicas,
+            max_batch=args.max_batch, queue_depth=args.queue_depth,
+            concurrency=args.concurrency)
+    finally:
+        plan.close()
+        gateway.close()
+
+    def identical(topology: dict) -> bool:
+        rows = topology.pop("rows")
+        return rows is not None and rows.tobytes() == reference.tobytes()
+
+    single_identical = identical(single)
+    scaled_identical = identical(scaled)
+    bit_identical = single_identical and scaled_identical
+    rps_single = single["steady"]["achieved_rps"]
+    rps_scaled = scaled["steady"]["achieved_rps"]
+    speedup = rps_scaled / rps_single if rps_single > 0 else float("nan")
+
+    record = {
+        "benchmark": "router",
+        "headline": {
+            "name": f"{args.model}_router_{args.replicas}x_scaling",
+            "bit_identical": bool(bit_identical),
+            "rps_1_replica": rps_single,
+            f"rps_{args.replicas}_replicas": rps_scaled,
+            "speedup": speedup,
+            "speedup_gated": bool(gate_speedup),
+            "min_speedup": float(args.min_speedup),
+        },
+        "model": args.model,
+        "dtype": args.dtype,
+        "execution_mode": session.mode_label(),
+        "ber": float(args.ber),
+        "requests": int(args.requests),
+        "concurrency": int(args.concurrency),
+        "queue_depth": int(args.queue_depth),
+        "max_batch": int(args.max_batch),
+        "cpus_visible": int(cpus),
+        "single": single,
+        "scaled": scaled,
+        "bit_identical": bool(bit_identical),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"router tier ({args.model}, {args.dtype} weight store at BER "
+          f"{args.ber:g}, {cpus} CPU(s) visible):")
+    print(f"  1 replica   {rps_single:7,.0f} req/s  "
+          f"(bit-identical: {single_identical})")
+    print(f"  {args.replicas} replicas  {rps_scaled:7,.0f} req/s  "
+          f"(bit-identical: {scaled_identical})  "
+          f"spread: {scaled['replica_spread']}")
+    print(f"  aggregate speedup: {speedup:.2f}x "
+          f"(gate: >= {args.min_speedup:.1f}x, "
+          f"{'enforced' if gate_speedup else 'auto-skipped below 4 CPUs'})")
+    print(f"\nwrote {args.output}")
+
+    if not bit_identical:
+        print("FAIL: steady responses through the router are not "
+              "bit-identical to serial in-process predict", file=sys.stderr)
+        return 1
+    if gate_speedup and speedup < args.min_speedup:
+        print(f"FAIL: {args.replicas}-replica aggregate RPS is only "
+              f"{speedup:.2f}x the single-replica RPS "
+              f"(need >= {args.min_speedup:.1f}x)", file=sys.stderr)
+        return 1
+    if not gate_speedup:
+        print(f"NOTE: scale-out gate skipped ({cpus} CPU(s) < 4); "
+              "bit-identity gate enforced")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -346,6 +346,64 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_route(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.bench import build_serving_gateway
+    from repro.serve.gateway import ServeConfig
+    from repro.serve.replica import ReplicaManager
+    from repro.serve.router import RouterConfig, RouterServer
+    from repro.serve.server import ServerConfig
+
+    gateway, session, _dataset = build_serving_gateway(
+        args.model, ber=args.ber, seed=args.seed, epochs=args.epochs,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        dtype=args.dtype)
+    manager = ReplicaManager(
+        {args.model: session},
+        serve_config=ServeConfig(max_batch=args.max_batch,
+                                 max_wait_ms=args.max_wait_ms),
+        server_config=ServerConfig(max_queue_depth=args.queue_depth,
+                                   default_deadline_ms=args.deadline_ms))
+    try:
+        replicas = manager.spawn_many(args.replicas)
+    except RuntimeError as error:
+        print(f"failed to spawn replicas: {error}", file=sys.stderr)
+        manager.close()
+        gateway.close()
+        return 1
+    router = RouterServer(list(replicas) + list(args.replica_url or []),
+                          manager,
+                          RouterConfig(host=args.host, port=args.port))
+
+    async def main() -> None:
+        await router.start()
+        print(f"routing {args.model!r} on {router.base_url} across "
+              f"{len(replicas)} local replica(s)"
+              + (f" + {len(args.replica_url)} remote"
+                 if args.replica_url else "")
+              + " (Ctrl-C drains)")
+        for replica in replicas:
+            print(f"  {replica.name}: {replica.url}")
+        print(f"  curl {router.base_url}/healthz")
+        print(f"  curl {router.base_url}/metrics")
+        print(f"  curl -X POST {router.base_url}/v1/models/{args.model}:predict"
+              f" -d '{{\"sample\": ...}}'")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await router.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\ndrained and stopped")
+    finally:
+        manager.close()
+        gateway.close()
+    return 0
+
+
 def cmd_loadgen(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -580,6 +638,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "the fused integer-GEMM plan")
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(handler=cmd_serve)
+
+    route = subparsers.add_parser(
+        "route",
+        help="multi-replica router: N server processes sharing one plan "
+             "export behind a balancing front end (Ctrl-C drains)")
+    route.add_argument("--model", default="lenet",
+                       help="model zoo entry to serve")
+    route.add_argument("--replicas", type=int, default=2,
+                       help="local replica processes to spawn")
+    route.add_argument("--replica-url", action="append", default=None,
+                       help="additional remote replica base URL (repeatable)")
+    route.add_argument("--ber", type=float, default=1e-3,
+                       help="weight-store bit error rate")
+    route.add_argument("--epochs", type=int, default=0,
+                       help="training epochs before serving (0 = untrained)")
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=8080,
+                       help="router listening port (0 = ephemeral)")
+    route.add_argument("--max-batch", type=int, default=32,
+                       help="per-replica micro-batcher coalescing bound")
+    route.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="per-replica micro-batcher straggler wait")
+    route.add_argument("--queue-depth", type=int, default=64,
+                       help="per-replica admission bound (the router spills "
+                            "around full queues)")
+    route.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request deadline (504 past it)")
+    route.add_argument("--dtype", default="fp32",
+                       choices=("fp32", "int8", "int4"),
+                       help="stored precision: integer dtypes serve through "
+                            "the fused integer-GEMM plan")
+    route.add_argument("--seed", type=int, default=0)
+    route.set_defaults(handler=cmd_route)
 
     loadgen_parser = subparsers.add_parser(
         "loadgen",

@@ -25,7 +25,7 @@ have restarted, and shared-memory views are bit-exact aliases of the
 owner's tensors.  See ``docs/parallel.md``.
 """
 
-from repro.parallel.dispatch import PlanDispatcher
+from repro.parallel.dispatch import PlanDispatcher, session_from_plan
 from repro.parallel.executor import SweepExecutor
 from repro.parallel.plan import (
     AttachedPlan,
@@ -53,4 +53,5 @@ __all__ = [
     "export_session_plan",
     "network_skeleton",
     "restore_network",
+    "session_from_plan",
 ]

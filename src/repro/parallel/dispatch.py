@@ -29,7 +29,22 @@ from repro.parallel.plan import PlanHandle, attach_plan
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _init_plan_worker(handle: PlanHandle, batch_size: int) -> None:
+def session_from_plan(handle: PlanHandle,
+                      batch_size: int = 64) -> InferenceSession:
+    """Build a serving session in this process from an exported plan.
+
+    ``handle`` is a :class:`~repro.parallel.plan.PlanHandle`; the segments
+    it names are attached zero-copy (cached per process by token) and an
+    :class:`~repro.engine.session.InferenceSession` is assembled around the
+    rebuilt network exactly as the exporting session would execute:
+    integer plans are adopted (fused kernels over the shared code arrays),
+    static stores are installed as the network's load hook, and per-read
+    injectors are installed directly.  ``batch_size`` sets the session's
+    chunking default.  This is how a dispatch worker or a
+    :mod:`repro.serve.replica` server process turns one shared plan export
+    into an executable endpoint without recompiling or re-materializing.
+    Returns the ready-to-``predict`` session.
+    """
     plan = attach_plan(handle)
     network = plan.network
     session = InferenceSession(network, batch_size=batch_size)
@@ -42,8 +57,13 @@ def _init_plan_worker(handle: PlanHandle, batch_size: int) -> None:
         network.set_fault_injector(_StaticStoreReader(plan.injector, plan.store))
     elif plan.injector is not None:
         network.set_fault_injector(plan.injector)
+    return session
+
+
+def _init_plan_worker(handle: PlanHandle, batch_size: int) -> None:
+    plan = attach_plan(handle)
     _WORKER_STATE["injector"] = plan.injector
-    _WORKER_STATE["session"] = session
+    _WORKER_STATE["session"] = session_from_plan(handle, batch_size)
 
 
 def _predict_task(batch: np.ndarray, pad_to: Optional[int],

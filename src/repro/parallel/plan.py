@@ -148,12 +148,23 @@ class ExportedPlan:
     Created by :func:`export_network_plan` / :func:`export_session_plan`
     (``handle`` plus the backing ``segments`` are assembled there, not
     caller-supplied); :meth:`close` unlinks every segment.
+
+    Exports are reference-counted for multi-adopter lifetimes: the creator
+    holds one reference (consumed by :meth:`close`), and any other component
+    that must outlive the creator's interest — e.g. a
+    :class:`repro.serve.replica.ReplicaManager` that respawns crashed
+    replicas from the same segments long after the owning session re-exported
+    — takes its own with :meth:`retain` and drops it with :meth:`release`.
+    The segments are unlinked only when the last reference is gone, so a
+    session's fingerprint-driven re-export can never pull live shared memory
+    out from under a replica that still needs to adopt it.
     """
 
     def __init__(self, handle: PlanHandle,
                  segments: List[SharedTensorStore]):
         self.handle = handle
         self._segments = segments
+        self._refs = 1
         self._closed = False
 
     @property
@@ -161,13 +172,47 @@ class ExportedPlan:
         """Total shared-memory bytes held by this export."""
         return sum(segment.nbytes for segment in self._segments)
 
+    @property
+    def refs(self) -> int:
+        """Live reference count (0 once the segments are unlinked)."""
+        return self._refs
+
+    def retain(self) -> "ExportedPlan":
+        """Take an additional reference on this export.
+
+        Each successful ``retain()`` must be balanced by one
+        :meth:`release`; the segments stay mapped-able until every
+        reference is dropped.  Raises ``RuntimeError`` once the export has
+        already been unlinked (a late adopter must re-export instead of
+        attaching segments that no longer exist).  Returns ``self`` so
+        adopters can write ``plan = export.retain()``.
+        """
+        if self._refs <= 0:
+            raise RuntimeError(
+                "plan export already unlinked; re-export before retaining")
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; unlink the segments when none remain."""
+        if self._refs <= 0:
+            return
+        self._refs -= 1
+        if self._refs == 0:
+            for segment in self._segments:
+                segment.close()
+
     def close(self) -> None:
-        """Unlink every shared segment of this export (idempotent)."""
+        """Drop the creator's reference (idempotent).
+
+        The segments are unlinked immediately when no adopter holds a
+        :meth:`retain` reference, and otherwise when the last adopter
+        calls :meth:`release`.
+        """
         if self._closed:
             return
         self._closed = True
-        for segment in self._segments:
-            segment.close()
+        self.release()
 
     def __enter__(self) -> "ExportedPlan":
         return self

@@ -20,27 +20,46 @@ an asyncio HTTP/JSON front end with bounded-queue admission control,
 per-request deadlines, ``/healthz``/``/metrics`` endpoints and graceful
 drain, and :mod:`repro.serve.loadgen`, the deterministic load-generation
 harness (closed-loop, Poisson open-loop, burst/ramp/mix scenarios) that
-stress-tests it.  See ``docs/serving.md`` for the design and the tuning
-knobs, and ``examples/serving_gateway.py`` / ``examples/http_serving.py``
-for end-to-end walkthroughs.
+stress-tests it.  The scale-out tier on top is
+:class:`RouterServer` (:mod:`repro.serve.router`) fronting N replica
+servers spawned by :class:`ReplicaManager` (:mod:`repro.serve.replica`)
+from one shared-memory plan export: consistent-hash affinity,
+backpressure-aware spill, health-driven eviction and respawn — with
+responses bit-identical no matter which replica serves.  See
+``docs/serving.md`` for the design and the tuning knobs, and
+``examples/serving_gateway.py`` / ``examples/http_serving.py`` for
+end-to-end walkthroughs.
 """
 
 from repro.serve.batcher import MicroBatcher
 from repro.serve.gateway import ServeConfig, ServingGateway
 from repro.serve.registry import SessionRegistry, session_store_bytes
+from repro.serve.replica import LocalReplica, ReplicaManager
+from repro.serve.router import (
+    HashRing,
+    RouterConfig,
+    RouterServer,
+    route_in_thread,
+)
 from repro.serve.server import (
     InferenceServer,
     ServerConfig,
     ServerHandle,
     decode_rows,
     encode_rows,
+    run_in_thread,
     serve_in_thread,
 )
 from repro.serve.telemetry import ServingTelemetry, percentile
 
 __all__ = [
+    "HashRing",
     "InferenceServer",
+    "LocalReplica",
     "MicroBatcher",
+    "ReplicaManager",
+    "RouterConfig",
+    "RouterServer",
     "ServeConfig",
     "ServerConfig",
     "ServerHandle",
@@ -50,6 +69,8 @@ __all__ = [
     "decode_rows",
     "encode_rows",
     "percentile",
+    "route_in_thread",
+    "run_in_thread",
     "serve_in_thread",
     "session_store_bytes",
 ]

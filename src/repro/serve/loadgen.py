@@ -52,21 +52,24 @@ class RequestRecord:
     ``index`` is the request's position in the scenario plan, ``endpoint``
     the model it targeted, ``status`` the (HTTP or synthesized) status code,
     ``latency_s`` the client-observed latency, ``row`` the decoded output
-    row for successful requests (``None`` otherwise) and ``error`` a short
-    diagnostic for failures.
+    row for successful requests (``None`` otherwise), ``error`` a short
+    diagnostic for failures and ``replica`` the serving replica's name when
+    the response came through the router tier (``X-Repro-Replica``).
     """
 
-    __slots__ = ("index", "endpoint", "status", "latency_s", "row", "error")
+    __slots__ = ("index", "endpoint", "status", "latency_s", "row", "error",
+                 "replica")
 
     def __init__(self, index: int, endpoint: str, status: int,
                  latency_s: float, row: Optional[np.ndarray] = None,
-                 error: str = ""):
+                 error: str = "", replica: Optional[str] = None):
         self.index = index
         self.endpoint = endpoint
         self.status = status
         self.latency_s = latency_s
         self.row = row
         self.error = error
+        self.replica = replica
 
     @property
     def ok(self) -> bool:
@@ -149,13 +152,41 @@ class LoadResult:
                 f"{self.sent - self.ok} of {self.sent} were not")
         return np.stack([r.row for r in self.records])
 
+    def status_counts(self) -> Dict[str, int]:
+        """Histogram of response statuses, keyed by the status code as text.
+
+        Returns e.g. ``{"200": 250, "429": 6}`` — what :meth:`to_record`
+        persists instead of the raw per-request list (hundreds of repeated
+        ``200`` entries bloating every ``BENCH_*.json``); assertions that
+        need plan-order statuses read ``records`` directly.
+        """
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            key = str(record.status)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def replica_counts(self) -> Dict[str, int]:
+        """Requests served per replica (router runs; empty otherwise).
+
+        Returns a histogram of :attr:`RequestRecord.replica` over the
+        records that carried one — how ``bench_router`` shows the balancer
+        actually spread traffic.
+        """
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            if record.replica is not None:
+                counts[record.replica] = counts.get(record.replica, 0) + 1
+        return counts
+
     def to_record(self) -> Dict:
         """Summarize the run as a JSON-serializable dict.
 
         Returns scenario name and parameters, outcome counters, duration,
         achieved request rate, client-side latency percentiles over the
-        successful requests, and the per-request status list (plan order) —
-        everything ``benchmarks/bench_server.py`` persists.
+        successful requests, and the status histogram (raw per-request
+        statuses stay on :attr:`records`) — everything
+        ``benchmarks/bench_server.py`` persists.
         """
         latencies = [r.latency_s for r in self.records if r.ok]
         return {
@@ -176,7 +207,7 @@ class LoadResult:
                 "mean": (sum(latencies) / len(latencies) * 1e3
                          if latencies else float("nan")),
             },
-            "statuses": [r.status for r in self.records],
+            "status_counts": self.status_counts(),
         }
 
 
@@ -211,18 +242,21 @@ class HttpTarget:
         return connection
 
     def _request(self, method: str, path: str,
-                 body: Optional[bytes] = None) -> Dict:
+                 body: Optional[bytes] = None,
+                 headers: Optional[Dict[str, str]] = None) -> Dict:
         """One HTTP exchange; reconnects once on a dropped keep-alive.
 
-        ``method``/``path``/``body`` describe the request.  Returns
-        ``{"status": int, "payload": parsed JSON or text}``.
+        ``method``/``path``/``body`` describe the request; ``headers`` are
+        extra request headers.  Returns ``{"status": int, "payload": parsed
+        JSON or text, "headers": response header dict (lower-cased names)}``.
         """
+        sent = dict(headers or {})
+        if body:
+            sent.setdefault("Content-Type", "application/json")
         for attempt in (0, 1):
             connection = self._connection()
             try:
-                connection.request(method, path, body=body,
-                                   headers={"Content-Type": "application/json"}
-                                   if body else {})
+                connection.request(method, path, body=body, headers=sent)
                 response = connection.getresponse()
                 data = response.read()
                 break
@@ -235,25 +269,31 @@ class HttpTarget:
             payload = json.loads(data.decode("utf-8"))
         except ValueError:
             payload = data.decode("utf-8", errors="replace")
-        return {"status": response.status, "payload": payload}
+        return {"status": response.status, "payload": payload,
+                "headers": {name.lower(): value
+                            for name, value in response.getheaders()}}
 
     def predict(self, endpoint: str, sample: np.ndarray,
-                deadline_ms: Optional[float] = None
-                ) -> RequestRecord:
+                deadline_ms: Optional[float] = None,
+                affinity: Optional[str] = None) -> RequestRecord:
         """Issue one predict request for ``sample`` against ``endpoint``.
 
-        ``deadline_ms`` rides in the request body when given.  Returns a
-        :class:`RequestRecord` (index 0 — scenarios re-index) carrying the
-        status, client latency and, on success, the decoded output row.
+        ``deadline_ms`` rides in the request body when given; ``affinity``
+        is sent as ``X-Affinity-Key`` so a router pins the request to the
+        key's replica.  Returns a :class:`RequestRecord` (index 0 —
+        scenarios re-index) carrying the status, client latency, the
+        serving replica when a router reported one and, on success, the
+        decoded output row.
         """
         body = {"sample": np.asarray(sample, dtype=np.float32).tolist()}
         if deadline_ms is not None:
             body["deadline_ms"] = float(deadline_ms)
         encoded = json.dumps(body).encode("utf-8")
+        headers = {"X-Affinity-Key": affinity} if affinity is not None else None
         started = time.perf_counter()
         try:
             result = self._request(
-                "POST", f"/v1/models/{endpoint}:predict", encoded)
+                "POST", f"/v1/models/{endpoint}:predict", encoded, headers)
         except (http.client.HTTPException, ConnectionError, OSError) as error:
             return RequestRecord(0, endpoint, -1,
                                  time.perf_counter() - started,
@@ -267,7 +307,8 @@ class HttpTarget:
         elif isinstance(payload, dict):
             error = str(payload.get("error", ""))
         return RequestRecord(0, endpoint, result["status"], latency, row,
-                             error)
+                             error,
+                             replica=result["headers"].get("x-repro-replica"))
 
     def health(self) -> Dict:
         """Fetch ``/healthz``; returns the parsed JSON payload."""
@@ -310,11 +351,15 @@ class GatewayTarget:
         self.gateway = gateway
 
     def predict(self, endpoint: str, sample: np.ndarray,
-                deadline_ms: Optional[float] = None) -> RequestRecord:
+                deadline_ms: Optional[float] = None,
+                affinity: Optional[str] = None) -> RequestRecord:
         """Submit ``sample`` to ``endpoint`` and wait for its row.
 
-        ``deadline_ms`` converts to an absolute dispatch deadline.  Returns
-        a :class:`RequestRecord` with a synthesized status.
+        ``deadline_ms`` converts to an absolute dispatch deadline;
+        ``affinity`` is accepted for interface parity with
+        :class:`HttpTarget` and ignored (there is no replica set in
+        process).  Returns a :class:`RequestRecord` with a synthesized
+        status.
         """
         deadline = (time.perf_counter() + deadline_ms / 1e3
                     if deadline_ms is not None else None)
@@ -346,9 +391,10 @@ def _run_plan(target, plan: List[Dict], *, concurrency: int,
     """Execute a request ``plan`` with ``concurrency`` worker threads.
 
     Each plan entry is ``{"index", "endpoint", "sample", "deadline_ms",
-    "offset_s"?}``; entries with an ``offset_s`` fire no earlier than that
-    offset from the run start (open-loop pacing), others fire as soon as a
-    worker is free (closed-loop).  ``start_barrier=True`` lines every
+    "offset_s"?, "affinity"?}``; entries with an ``offset_s`` fire no
+    earlier than that offset from the run start (open-loop pacing), others
+    fire as soon as a worker is free (closed-loop); an ``affinity`` key
+    rides on the request (router traffic pinning).  ``start_barrier=True`` lines every
     worker up on a barrier first (burst traffic).  Returns one
     :class:`RequestRecord` per entry.
     """
@@ -374,7 +420,8 @@ def _run_plan(target, plan: List[Dict], *, concurrency: int,
                 if delay > 0:
                     time.sleep(delay)
             record = target.predict(entry["endpoint"], entry["sample"],
-                                    entry.get("deadline_ms"))
+                                    entry.get("deadline_ms"),
+                                    affinity=entry.get("affinity"))
             record.index = entry["index"]
             records[position] = record
 
@@ -406,23 +453,27 @@ def _plan_entries(endpoint: str, samples: np.ndarray,
 # -----------------------------------------------------------------------------------
 
 def run_steady(target, endpoint: str, samples: np.ndarray, *,
-               concurrency: int = 4,
-               deadline_ms: Optional[float] = None) -> LoadResult:
+               concurrency: int = 4, deadline_ms: Optional[float] = None,
+               affinity: Optional[str] = None) -> LoadResult:
     """Closed-loop steady traffic: every sample served exactly once.
 
     ``concurrency`` workers each keep one request in flight on ``target``
     against ``endpoint`` until ``samples`` is exhausted; ``deadline_ms``
-    rides on every request when given.  With load bounded by the worker
-    count, a correctly sized server admits everything — making this the
-    scenario the bit-identity gate runs on.  Returns the
-    :class:`LoadResult`.
+    rides on every request when given, and ``affinity`` pins the whole
+    run's traffic to one router replica (one session's worth of affine
+    load).  With load bounded by the worker count, a correctly sized
+    server admits everything — making this the scenario the bit-identity
+    gate runs on.  Returns the :class:`LoadResult`.
     """
     plan = _plan_entries(endpoint, samples, deadline_ms)
+    if affinity is not None:
+        for entry in plan:
+            entry["affinity"] = affinity
     started = time.perf_counter()
     records = _run_plan(target, plan, concurrency=concurrency)
     return LoadResult("steady", records, time.perf_counter() - started,
                       {"endpoint": endpoint, "concurrency": concurrency,
-                       "deadline_ms": deadline_ms})
+                       "deadline_ms": deadline_ms, "affinity": affinity})
 
 
 def run_burst(target, endpoint: str, samples: np.ndarray, *,

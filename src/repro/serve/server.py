@@ -105,6 +105,105 @@ def json_safe(value):
     return value
 
 
+async def read_http_request(reader: asyncio.StreamReader,
+                            max_body_bytes: int
+                            ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one HTTP request from ``reader``; ``None`` on clean close.
+
+    The shared request parser behind :class:`InferenceServer` and the
+    router tier (:class:`repro.serve.router.RouterServer`).  Bodies over
+    ``max_body_bytes`` and malformed framing are reported through the
+    sentinel methods ``"TOOBIG"`` / ``"BAD"`` rather than exceptions, so a
+    protocol error answers a 4xx instead of killing the connection task.
+    Returns ``(method, path, headers, body)`` with header names
+    lower-cased, or ``None`` at EOF before a request line.
+    """
+    try:
+        line = await reader.readline()
+    except ValueError:                  # request line over the 64 KiB limit
+        return "BAD", "", {}, b""
+    if not line or not line.strip():
+        return None
+    try:
+        method, target, _version = line.decode("latin-1").split(None, 2)
+    except ValueError:
+        return "BAD", "", {}, b""
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readline()
+        except ValueError:              # header line over the limit
+            return "BAD", target, {}, b""
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:                  # "Content-Length: abc"
+        return "BAD", target, headers, b""
+    if length < 0:
+        return "BAD", target, headers, b""
+    if length > max_body_bytes:
+        return "TOOBIG", target, headers, b""
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+async def handle_http_connection(reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter,
+                                 route, max_body_bytes: int,
+                                 tasks: set) -> None:
+    """Serve HTTP/1.1 requests on one connection until it closes.
+
+    The shared per-connection loop of the serving front ends: ``route`` is
+    an async callable ``(method, path, headers, body) -> (status, payload,
+    content_type[, extra_headers])`` (:meth:`InferenceServer._route` or the
+    router's), ``max_body_bytes`` bounds request bodies, and the connection
+    task registers itself in ``tasks`` so shutdown can cancel idle
+    keep-alive connections.  ``reader``/``writer`` are the connection's
+    asyncio streams.
+    """
+    task = asyncio.current_task()
+    if task is not None:
+        tasks.add(task)
+    try:
+        while True:
+            request = await read_http_request(reader, max_body_bytes)
+            if request is None:
+                break
+            method, path, headers, body = request
+            try:
+                result = await route(method, path, headers, body)
+            except Exception as error:   # pragma: no cover - defensive
+                result = (500, {"error": "internal", "detail": repr(error)},
+                          "application/json")
+            status, payload, content_type = result[:3]
+            extra_headers = result[3] if len(result) > 3 else None
+            # A malformed request line or an unread oversized body
+            # poisons the stream; close instead of parsing garbage.
+            keep_alive = (headers.get("connection", "").lower() != "close"
+                          and method not in ("BAD", "TOOBIG"))
+            writer.write(_render_response(status, payload, content_type,
+                                          keep_alive,
+                                          extra_headers=extra_headers))
+            await writer.drain()
+            if not keep_alive:
+                break
+    except (ConnectionResetError, asyncio.IncompleteReadError,
+            asyncio.CancelledError):
+        pass
+    finally:
+        if task is not None:
+            tasks.discard(task)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):  # pragma: no cover - teardown
+            pass
+
+
 def encode_rows(rows: np.ndarray) -> list:
     """Base64-encode each float32 row of ``rows`` for bit-exact transport.
 
@@ -222,82 +321,9 @@ class InferenceServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         """Serve HTTP/1.1 requests on one connection until it closes."""
-        task = asyncio.current_task()
-        if task is not None:
-            self._connection_tasks.add(task)
-        try:
-            while True:
-                request = await self._read_request(reader)
-                if request is None:
-                    break
-                method, path, headers, body = request
-                try:
-                    status, payload, content_type = await self._route(
-                        method, path, headers, body)
-                except Exception as error:   # pragma: no cover - defensive
-                    status, payload, content_type = 500, {
-                        "error": "internal", "detail": repr(error),
-                    }, "application/json"
-                # A malformed request line or an unread oversized body
-                # poisons the stream; close instead of parsing garbage.
-                keep_alive = (headers.get("connection", "").lower() != "close"
-                              and method not in ("BAD", "TOOBIG"))
-                writer.write(_render_response(status, payload, content_type,
-                                              keep_alive))
-                await writer.drain()
-                if not keep_alive:
-                    break
-        except (ConnectionResetError, asyncio.IncompleteReadError,
-                asyncio.CancelledError):
-            pass
-        finally:
-            if task is not None:
-                self._connection_tasks.discard(task)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError,
-                    asyncio.CancelledError):  # pragma: no cover - teardown
-                pass
-
-    async def _read_request(self, reader: asyncio.StreamReader
-                            ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-        """Parse one HTTP request; ``None`` on a cleanly closed connection.
-
-        ``reader`` is the connection's stream.  Returns
-        ``(method, path, headers, body)`` with header names lower-cased, or
-        ``None`` at EOF before a request line.
-        """
-        try:
-            line = await reader.readline()
-        except ValueError:                  # request line over the 64 KiB limit
-            return "BAD", "", {}, b""
-        if not line or not line.strip():
-            return None
-        try:
-            method, target, _version = line.decode("latin-1").split(None, 2)
-        except ValueError:
-            return "BAD", "", {}, b""
-        headers: Dict[str, str] = {}
-        while True:
-            try:
-                line = await reader.readline()
-            except ValueError:              # header line over the limit
-                return "BAD", target, {}, b""
-            if not line or line in (b"\r\n", b"\n"):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0") or "0")
-        except ValueError:                  # "Content-Length: abc"
-            return "BAD", target, headers, b""
-        if length < 0:
-            return "BAD", target, headers, b""
-        if length > self.config.max_body_bytes:
-            return "TOOBIG", target, headers, b""
-        body = await reader.readexactly(length) if length else b""
-        return method, target, headers, body
+        await handle_http_connection(reader, writer, self._route,
+                                     self.config.max_body_bytes,
+                                     self._connection_tasks)
 
     # -- routing ------------------------------------------------------------------
     async def _route(self, method: str, target: str,
@@ -319,8 +345,9 @@ class InferenceServer:
                 return 200, self._health(), "application/json"
             if path == "/metrics":
                 if "format=json" in query:
-                    return 200, json_safe(self.gateway.snapshot()), \
-                        "application/json"
+                    snapshot = self.gateway.snapshot()
+                    snapshot["server"] = self._gauges(snapshot)
+                    return 200, json_safe(snapshot), "application/json"
                 return 200, self.gateway.report() + "\n", "text/plain"
             if path == "/v1/models":
                 models = {}
@@ -342,6 +369,27 @@ class InferenceServer:
             name = path[len("/v1/models/"):-len(":predict")]
             return await self._predict(name, headers, body)
         return 404, {"error": f"no route {path!r}"}, "application/json"
+
+    def _gauges(self, snapshot: Dict) -> Dict:
+        """Live admission-state gauges for ``/metrics?format=json``.
+
+        ``snapshot`` is the gateway telemetry snapshot being served (its
+        per-model ``shed``/``expired`` counters are summed here).  These
+        are the balancer's inputs: a router polling a replica needs the
+        *live* in-flight queue depth — not just the static
+        ``max_queue_depth`` limit ``/healthz`` reports — plus the shed and
+        expired totals whose deltas reveal a replica that is refusing or
+        expiring work.  Returns the JSON-safe gauge dict.
+        """
+        models = snapshot.get("models", {})
+        return {
+            "inflight": self._inflight,
+            "max_queue_depth": self.config.max_queue_depth,
+            "queue_free": max(self.config.max_queue_depth - self._inflight, 0),
+            "draining": self._draining,
+            "shed_total": sum(m.get("shed", 0) for m in models.values()),
+            "expired_total": sum(m.get("expired", 0) for m in models.values()),
+        }
 
     def _health(self) -> Dict:
         """The ``/healthz`` payload: liveness plus admission state.
@@ -462,21 +510,30 @@ class InferenceServer:
 
 
 def _render_response(status: int, payload, content_type: str,
-                     keep_alive: bool) -> bytes:
+                     keep_alive: bool,
+                     extra_headers: Optional[Dict[str, str]] = None) -> bytes:
     """Serialize one HTTP/1.1 response.
 
-    ``payload`` is JSON-encoded unless it is already a string; ``status``,
-    ``content_type`` and ``keep_alive`` fill the status line and headers.
-    Returns the response bytes ready for the socket.
+    ``payload`` is JSON-encoded unless it is already a string (UTF-8) or raw
+    ``bytes`` (passed through untouched — the router proxies replica bodies
+    this way without re-encoding); ``status``, ``content_type`` and
+    ``keep_alive`` fill the status line and headers, and ``extra_headers``
+    appends additional response headers (e.g. the router's
+    ``X-Repro-Replica``).  Returns the response bytes ready for the socket.
     """
-    if isinstance(payload, str):
+    if isinstance(payload, bytes):
+        body = payload
+    elif isinstance(payload, str):
         body = payload.encode("utf-8")
     else:
         body = json.dumps(payload).encode("utf-8")
+    extras = "".join(f"{name}: {value}\r\n"
+                     for name, value in (extra_headers or {}).items())
     head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extras}"
             "\r\n")
     return head.encode("latin-1") + body
 
@@ -484,13 +541,16 @@ def _render_response(status: int, payload, content_type: str,
 class ServerHandle:
     """A running server on a background thread, with a blocking stop.
 
-    Produced by :func:`serve_in_thread`; tests, benchmarks and the load
-    generator use it to stand a real HTTP server up around an in-process
-    gateway.  The event loop runs on a daemon thread; :meth:`stop` drains
-    the server, stops the loop and joins the thread.
+    Produced by :func:`run_in_thread` (and :func:`serve_in_thread`); tests,
+    benchmarks and the load generator use it to stand a real HTTP front end
+    up around an in-process gateway or a router tier.  ``server`` is the
+    served object (anything with async ``stop()`` plus ``base_url``/``port``),
+    ``loop`` its event loop and ``thread`` the thread running that loop.
+    The loop runs on a daemon thread; :meth:`stop` drains the server, stops
+    the loop and joins the thread.
     """
 
-    def __init__(self, server: InferenceServer, loop: asyncio.AbstractEventLoop,
+    def __init__(self, server, loop: asyncio.AbstractEventLoop,
                  thread: threading.Thread):
         self.server = server
         self._loop = loop
@@ -526,16 +586,17 @@ class ServerHandle:
         self.stop()
 
 
-def serve_in_thread(gateway: ServingGateway,
-                    config: Optional[ServerConfig] = None) -> ServerHandle:
-    """Start an :class:`InferenceServer` on a fresh background event loop.
+def run_in_thread(server, thread_name: str = "repro-http-server"
+                  ) -> ServerHandle:
+    """Run any async server on a fresh background event loop.
 
-    ``gateway`` supplies the endpoints; ``config`` the socket and admission
-    knobs (an ephemeral port by default, so parallel test runs never
-    collide).  Blocks until the socket is bound.  Returns a
-    :class:`ServerHandle` whose ``base_url`` is ready for traffic.
+    ``server`` is any object with ``async start()`` / ``async stop()``
+    coroutine methods and ``base_url``/``port`` attributes valid after
+    ``start`` — an :class:`InferenceServer` or a
+    :class:`repro.serve.router.RouterServer`; ``thread_name`` labels the
+    loop thread.  Blocks until ``start`` has completed (socket bound).
+    Returns a :class:`ServerHandle` wrapping the running server.
     """
-    server = InferenceServer(gateway, config)
     started = threading.Event()
     state: Dict[str, object] = {}
 
@@ -557,8 +618,7 @@ def serve_in_thread(gateway: ServingGateway,
             loop.run_until_complete(loop.shutdown_asyncgens())
             loop.close()
 
-    thread = threading.Thread(target=run, name="repro-http-server",
-                              daemon=True)
+    thread = threading.Thread(target=run, name=thread_name, daemon=True)
     thread.start()
     if not started.wait(timeout=30.0):
         raise RuntimeError("HTTP server failed to start within 30 s")
@@ -566,3 +626,15 @@ def serve_in_thread(gateway: ServingGateway,
     if error is not None:
         raise RuntimeError(f"HTTP server failed to start: {error!r}")
     return ServerHandle(server, state["loop"], thread)
+
+
+def serve_in_thread(gateway: ServingGateway,
+                    config: Optional[ServerConfig] = None) -> ServerHandle:
+    """Start an :class:`InferenceServer` on a fresh background event loop.
+
+    ``gateway`` supplies the endpoints; ``config`` the socket and admission
+    knobs (an ephemeral port by default, so parallel test runs never
+    collide).  Blocks until the socket is bound.  Returns a
+    :class:`ServerHandle` whose ``base_url`` is ready for traffic.
+    """
+    return run_in_thread(InferenceServer(gateway, config))

@@ -13,7 +13,7 @@ class TestParser:
         expected = {"list-models", "profile-dram", "fit-error-model", "characterize",
                     "boost", "evaluate-cpu", "evaluate-accel", "memsys",
                     "bench", "parallel-bench", "serve-bench", "serve",
-                    "loadgen"}
+                    "loadgen", "route"}
         assert expected <= set(subparsers.choices)
 
     def test_missing_command_errors(self):

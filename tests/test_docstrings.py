@@ -51,6 +51,8 @@ AUDITED_MODULES = [
     "repro/serve/bench.py",
     "repro/serve/server.py",
     "repro/serve/loadgen.py",
+    "repro/serve/replica.py",
+    "repro/serve/router.py",
 ]
 
 #: modules whose embedded doctests run as part of the gate.

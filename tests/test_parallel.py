@@ -266,6 +266,44 @@ class TestSessionExport:
             assert attached.store[name].tobytes() == array.tobytes()
         session.invalidate()
 
+    def test_retained_export_survives_owner_close(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        injector = BitErrorInjector(make_error_model(0, 1e-3, seed=0),
+                                    data_kinds={DataKind.WEIGHT}, seed=0)
+        session = InferenceSession(network, dataset, injector=injector,
+                                   semantics=ReadSemantics.STATIC_STORE)
+        exported = session.export_plan()
+        assert exported.refs == 1
+        # An adopter (the ReplicaManager path) takes its own reference...
+        assert exported.retain() is exported
+        assert exported.refs == 2
+        # ...so the owning session's invalidate must NOT unlink the
+        # segments out from under it.
+        session.invalidate()
+        assert exported._closed
+        assert exported.refs == 1
+        attached = attach_plan(exported.handle)
+        store = attached.store
+        assert len(store) > 0
+        # The adopter's release is the last reference: now it unlinks.
+        exported.release()
+        assert exported.refs == 0
+        exported.release()                   # over-release is a no-op
+        assert exported.refs == 0
+
+    def test_retain_after_unlink_raises(self, lenet_clone):
+        network, dataset, _ = lenet_clone
+        injector = BitErrorInjector(make_error_model(0, 1e-3, seed=0),
+                                    data_kinds={DataKind.WEIGHT}, seed=0)
+        session = InferenceSession(network, dataset, injector=injector,
+                                   semantics=ReadSemantics.STATIC_STORE)
+        exported = session.export_plan()
+        session.invalidate()                 # refs 1 -> 0: unlinked
+        assert exported.refs == 0
+        with pytest.raises(RuntimeError):
+            exported.retain()
+        exported.close()                     # idempotent after unlink
+
 
 class TestMultiProcessServing:
     def test_dispatch_processes_bit_identical(self, lenet_clone):

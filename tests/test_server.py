@@ -312,7 +312,11 @@ class TestLoadgenScenarios:
         json.dumps(record)               # machine-readable, JSON-safe
         assert record["sent"] == (record["ok"] + record["shed"]
                                   + record["expired"] + record["errors"])
-        assert len(record["statuses"]) == record["sent"]
+        assert sum(record["status_counts"].values()) == record["sent"]
+        assert all(isinstance(key, str) for key in record["status_counts"])
+        assert "statuses" not in record     # the raw list stays in memory
+        assert sum(1 for r in result.records if r.status == 200) == \
+            int(record["status_counts"].get("200", 0))
         assert record["latency_ms"]["p50"] <= record["latency_ms"]["p99"]
 
     def test_stacked_rows_refuses_partial_results(self):
@@ -322,3 +326,34 @@ class TestLoadgenScenarios:
         result = loadgen.LoadResult("steady", records, 1.0)
         with pytest.raises(ValueError, match="needs every request"):
             result.stacked_rows()
+
+    def test_status_and_replica_histograms(self):
+        records = [loadgen.RequestRecord(0, "m", 200, 0.0, replica="r-0"),
+                   loadgen.RequestRecord(1, "m", 200, 0.0, replica="r-1"),
+                   loadgen.RequestRecord(2, "m", 429, 0.0, replica="r-0"),
+                   loadgen.RequestRecord(3, "m", 200, 0.0)]
+        result = loadgen.LoadResult("steady", records, 1.0)
+        assert result.status_counts() == {"200": 3, "429": 1}
+        assert result.replica_counts() == {"r-0": 2, "r-1": 1}
+        # Raw statuses survive on the in-memory records for assertions.
+        assert [r.status for r in result.records] == [200, 200, 429, 200]
+
+
+class TestServerGauges:
+    def test_metrics_json_exposes_live_admission_gauges(self, served_lenet):
+        _gw, _s, dataset, _h, target = served_lenet
+        assert target.predict("lenet", dataset.val_x[0]).ok
+        gauges = target.metrics()["server"]
+        assert gauges["inflight"] == 0           # nothing in flight now
+        assert gauges["max_queue_depth"] == 4
+        assert gauges["queue_free"] == 4
+        assert gauges["draining"] is False
+        assert gauges["shed_total"] >= 0
+        assert gauges["expired_total"] >= 0
+
+    def test_shed_total_counts_admission_refusals(self, served_lenet):
+        _gw, _s, dataset, _h, target = served_lenet
+        burst = loadgen.run_burst(target, "lenet", dataset.val_x[:32])
+        assert burst.shed > 0                    # queue depth is 4
+        gauges = target.metrics()["server"]
+        assert gauges["shed_total"] >= burst.shed
