@@ -1,7 +1,9 @@
 #!/usr/bin/env python
 """Macro-benchmark: the inference engine's static-store vs per-read semantics.
 
-Measures two things and writes them to ``BENCH_inference.json``:
+Measures two things and records them through the shared perf-history
+harness (:mod:`repro.analysis.perfhistory`) — the ``BENCH_inference.json``
+latest-run snapshot plus an append-only ``BENCH_history.jsonl`` entry:
 
 * **Characterization sweep** (the headline) — wall clock of a coarse
   characterization-style BER sweep of the weight store (weights in
@@ -18,40 +20,40 @@ Measures two things and writes them to ``BENCH_inference.json``:
 Usage::
 
     python benchmarks/bench_inference_throughput.py [--output PATH]
-        [--model NAME] [--batch-size N] [--check-speedup X]
+        [--history PATH] [--model NAME] [--batch-size N]
 
-``--check-speedup X`` exits non-zero if the sweep speedup falls below ``X``
-(used by CI as a regression gate).
+Gate policy (registry + semantics: ``docs/benchmarks.md``): sweep-speedup
+regressions are enforced by ``repro.cli perf check``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 from pathlib import Path
 
-import numpy as np
-
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis.perfhistory import (  # noqa: E402
+    BENCHMARKS,
+    add_harness_arguments,
+    finish_run,
+)
 from repro.engine.bench import (  # noqa: E402
     measure_characterization_sweep,
     measure_inference_throughput,
 )
 
+SPEC = BENCHMARKS["inference"]
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_inference.json",
-                        help="where to write the JSON record")
+    add_harness_arguments(parser, SPEC)
     parser.add_argument("--model", default="resnet101",
                         help="model zoo entry to benchmark")
     parser.add_argument("--batch-size", type=int, default=4,
                         help="batch size of the characterization sweep")
-    parser.add_argument("--check-speedup", type=float, default=None,
-                        help="fail if the sweep speedup is below this")
     args = parser.parse_args()
 
     sweep = measure_characterization_sweep(args.model,
@@ -71,7 +73,7 @@ def main() -> int:
               f"{row['per_read_images_per_sec']:>8,.0f}   "
               f"({row['semantics_speedup']:.2f}x)")
 
-    record = {
+    payload = {
         "benchmark": "inference_throughput",
         "headline": {
             "name": f"{args.model}_weight_store_ber_sweep",
@@ -81,17 +83,23 @@ def main() -> int:
         },
         "sweep": sweep,
         "throughput": throughput,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
     }
-    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
-    print(f"\nwrote {args.output} (sweep speedup {sweep['speedup']:.1f}x)")
-
-    if args.check_speedup is not None and sweep["speedup"] < args.check_speedup:
-        print(f"FAIL: sweep speedup {sweep['speedup']:.1f}x "
-              f"< required {args.check_speedup}x", file=sys.stderr)
-        return 1
-    return 0
+    batch1 = throughput[0]
+    metrics = {
+        "sweep_speedup": sweep["speedup"],
+        "per_read_seconds": sweep["per_read_seconds"],
+        "static_store_seconds": sweep["static_store_seconds"],
+        "batch1_static_store_images_per_sec":
+            batch1["static_store_images_per_sec"],
+        "batch1_semantics_speedup": batch1["semantics_speedup"],
+    }
+    units = {
+        "sweep_speedup": "x", "per_read_seconds": "s",
+        "static_store_seconds": "s",
+        "batch1_static_store_images_per_sec": "img/s",
+        "batch1_semantics_speedup": "x",
+    }
+    return finish_run(SPEC, args, metrics, payload, units)
 
 
 if __name__ == "__main__":

@@ -3,23 +3,23 @@
 
 Measures end-to-end ``inject_bit_errors`` throughput (values/second) on the
 acceptance configuration — a 1M-element FP32 tensor at BER 1e-4 — plus a few
-secondary points, and writes the numbers to ``BENCH_injection.json`` so
-future PRs can track the trajectory.
+secondary points, and records the run through the shared perf-history
+harness (:mod:`repro.analysis.perfhistory`): the ``BENCH_injection.json``
+latest-run snapshot plus an append-only ``BENCH_history.jsonl`` entry.
 
 Usage::
 
     python benchmarks/bench_injection_throughput.py [--output PATH]
-        [--size N] [--check-speedup X]
+        [--history PATH] [--size N]
 
-``--check-speedup X`` exits non-zero if the headline speedup falls below
-``X`` (used by CI as a regression gate).
+Gate policy (registry + semantics: ``docs/benchmarks.md``): the
+packed-vs-reference bit-identity gate fails the run unconditionally;
+speedup regressions are enforced by ``repro.cli perf check``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
 from pathlib import Path
@@ -28,11 +28,18 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis.perfhistory import (  # noqa: E402
+    BENCHMARKS,
+    add_harness_arguments,
+    finish_run,
+)
 from repro.dram.error_models import DramLayout, make_error_model  # noqa: E402
 from repro.dram.injection import (  # noqa: E402
     inject_bit_errors,
     inject_bit_errors_reference,
 )
+
+SPEC = BENCHMARKS["injection"]
 
 
 def _time_call(fn, *args, repeats: int = 1) -> float:
@@ -76,8 +83,7 @@ def bench_config(name: str, *, size: int, bits: int, model_id: int, ber: float,
                                                 np.random.default_rng(7))
     packed_out = inject_bit_errors(values, bits, model, layout,
                                    np.random.default_rng(7))
-    if not np.array_equal(reference_out, packed_out, equal_nan=True):
-        raise AssertionError(f"{name}: packed output diverged from reference")
+    identical = bool(np.array_equal(reference_out, packed_out, equal_nan=True))
 
     return {
         "name": name,
@@ -90,17 +96,15 @@ def bench_config(name: str, *, size: int, bits: int, model_id: int, ber: float,
         "after_warm_values_per_sec": size / warm_s,
         "speedup": reference_s / cold_s,
         "warm_speedup": reference_s / warm_s,
+        "bit_identical": identical,
     }
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_injection.json",
-                        help="where to write the JSON record")
+    add_harness_arguments(parser, SPEC)
     parser.add_argument("--size", type=int, default=1_000_000,
                         help="elements in the headline tensor")
-    parser.add_argument("--check-speedup", type=float, default=None,
-                        help="fail if the headline speedup is below this")
     args = parser.parse_args()
 
     configs = [
@@ -124,21 +128,25 @@ def main() -> int:
               f"   speedup {result['speedup']:.1f}x / {result['warm_speedup']:.0f}x")
 
     headline = results[0]
-    record = {
+    payload = {
         "benchmark": "injection_throughput",
         "headline": headline,
         "results": results,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
     }
-    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
-    print(f"\nwrote {args.output} (headline speedup {headline['speedup']:.1f}x)")
-
-    if args.check_speedup is not None and headline["speedup"] < args.check_speedup:
-        print(f"FAIL: headline speedup {headline['speedup']:.1f}x "
-              f"< required {args.check_speedup}x", file=sys.stderr)
-        return 1
-    return 0
+    metrics = {
+        "bit_identical": all(r["bit_identical"] for r in results),
+        "headline_speedup": headline["speedup"],
+        "headline_warm_speedup": headline["warm_speedup"],
+        "reference_values_per_sec": headline["before_values_per_sec"],
+        "cold_values_per_sec": headline["after_values_per_sec"],
+        "warm_values_per_sec": headline["after_warm_values_per_sec"],
+    }
+    units = {
+        "headline_speedup": "x", "headline_warm_speedup": "x",
+        "reference_values_per_sec": "values/s",
+        "cold_values_per_sec": "values/s", "warm_values_per_sec": "values/s",
+    }
+    return finish_run(SPEC, args, metrics, payload, units)
 
 
 if __name__ == "__main__":

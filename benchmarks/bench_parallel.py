@@ -1,14 +1,17 @@
 #!/usr/bin/env python
 """Macro-benchmark: the shared-memory parallel executor vs serial sweeps.
 
-Measures :mod:`repro.parallel` end to end and writes ``BENCH_parallel.json``:
+Measures :mod:`repro.parallel` end to end and records it through the shared
+perf-history harness (:mod:`repro.analysis.perfhistory`) — the
+``BENCH_parallel.json`` latest-run snapshot plus an append-only
+``BENCH_history.jsonl`` entry:
 
 * **Characterization sweep, serial vs N workers** (the headline) — the
   coarse characterization's full BER grid scored through one
   ``ExperimentRunner``, serially and through the shared-memory
   ``SweepExecutor`` (zero-copy network/dataset views, one pickled injector
   per task).  The score dicts must be equal bit for bit; the wall-clock
-  ratio is the speedup CI gates on.
+  ratio is the speedup the perf harness gates on.
 * **Device sweep** — the same comparison over ``ApproximateDram`` operating
   points (the ``device_sweep`` ``processes`` gap is closed).
 * **Coarse characterization** — the full binary search with
@@ -20,30 +23,31 @@ Measures :mod:`repro.parallel` end to end and writes ``BENCH_parallel.json``:
 
 Usage::
 
-    python benchmarks/bench_parallel.py [--output PATH] [--model NAME]
-        [--processes N] [--check-speedup X]
+    python benchmarks/bench_parallel.py [--output PATH] [--history PATH]
+        [--model NAME] [--processes N]
 
-Any bit-identity mismatch exits non-zero regardless of flags.
-``--check-speedup X`` additionally fails if the characterization-sweep
-speedup falls below ``X`` — the gate is only armed when the machine has at
-least ``--processes`` CPUs (a 1-core container cannot express parallelism;
-the JSON record always carries ``cpu_count`` alongside the measurement).
+Gate policy (registry + semantics: ``docs/benchmarks.md``): every
+bit-identity gate fails the run unconditionally; the speedup gate is
+environment-aware (skipped below 4 visible CPUs) and enforced by
+``repro.cli perf check``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import sys
 from pathlib import Path
 
-import numpy as np
-
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis.perfhistory import (  # noqa: E402
+    BENCHMARKS,
+    add_harness_arguments,
+    finish_run,
+)
 from repro.parallel.bench import measure_parallel  # noqa: E402
+
+SPEC = BENCHMARKS["parallel"]
 
 IDENTITY_KEYS = ("characterization_sweep_identical", "device_sweep_identical",
                  "coarse_characterization_identical", "serving_identical")
@@ -51,8 +55,7 @@ IDENTITY_KEYS = ("characterization_sweep_identical", "device_sweep_identical",
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_parallel.json",
-                        help="where to write the JSON record")
+    add_harness_arguments(parser, SPEC)
     parser.add_argument("--model", default="lenet",
                         help="model zoo entry to sweep")
     parser.add_argument("--processes", type=int, default=4,
@@ -60,14 +63,11 @@ def main() -> int:
     parser.add_argument("--epochs", type=int, default=2,
                         help="training epochs before characterizing")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--check-speedup", type=float, default=None,
-                        help="fail if the characterization-sweep speedup is "
-                             "below this (armed only with enough CPUs)")
     args = parser.parse_args()
 
     record = measure_parallel(args.model, processes=args.processes,
                               epochs=args.epochs, seed=args.seed)
-    record = {
+    payload = {
         "benchmark": "parallel_executor",
         "headline": {
             "name": f"{args.model}_characterization_sweep_{args.processes}_workers",
@@ -77,8 +77,6 @@ def main() -> int:
             "bit_identical": all(record[key] for key in IDENTITY_KEYS),
         },
         **record,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
     }
 
     print(f"{args.model}: serial vs {args.processes} shared-memory workers "
@@ -98,27 +96,21 @@ def main() -> int:
           f"identical={record['coarse_characterization_identical']}")
     print(f"  multi-process serving    identical={record['serving_identical']}")
 
-    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
-    print(f"\nwrote {args.output} "
-          f"(characterization sweep speedup "
-          f"{record['characterization_sweep_speedup']:.2f}x)")
-
-    failed = [key for key in IDENTITY_KEYS if not record[key]]
-    if failed:
-        print(f"FAIL: parallel results not bit-identical to serial: {failed}",
-              file=sys.stderr)
-        return 1
-    if args.check_speedup is not None:
-        cpus = os.cpu_count() or 1
-        if cpus < args.processes:
-            print(f"NOTE: speedup gate skipped — only {cpus} CPU(s) visible, "
-                  f"{args.processes} workers cannot run concurrently")
-        elif record["characterization_sweep_speedup"] < args.check_speedup:
-            print(f"FAIL: characterization sweep speedup "
-                  f"{record['characterization_sweep_speedup']:.2f}x < required "
-                  f"{args.check_speedup}x", file=sys.stderr)
-            return 1
-    return 0
+    metrics = {key: bool(record[key]) for key in IDENTITY_KEYS}
+    metrics.update({
+        "characterization_sweep_speedup":
+            record["characterization_sweep_speedup"],
+        "characterization_sweep_serial_seconds":
+            record["characterization_sweep_serial_seconds"],
+        "characterization_sweep_parallel_seconds":
+            record["characterization_sweep_parallel_seconds"],
+    })
+    units = {
+        "characterization_sweep_speedup": "x",
+        "characterization_sweep_serial_seconds": "s",
+        "characterization_sweep_parallel_seconds": "s",
+    }
+    return finish_run(SPEC, args, metrics, payload, units)
 
 
 if __name__ == "__main__":

@@ -3,7 +3,9 @@
 
 Measures serving-shaped dispatch throughput (``predict(pad_to=...)`` one
 micro-batch at a time) through both execution paths of the same zoo model
-and writes the record to ``BENCH_quantized.json``:
+and records it through the shared perf-history harness
+(:mod:`repro.analysis.perfhistory`) — the ``BENCH_quantized.json``
+latest-run snapshot plus an append-only ``BENCH_history.jsonl`` entry:
 
 * **FP32 static store** — the historical serving configuration: weights
   stored as corrupted float32, forwards on the training kernels.
@@ -14,32 +16,34 @@ and writes the record to ``BENCH_quantized.json``:
 
 The headline is the int8/FP32 dispatch-rate ratio.  Usage::
 
-    python benchmarks/bench_quantized.py [--output PATH] [--model NAME]
-        [--dtype D] [--pad-to N] [--rows N] [--passes N] [--check-speedup X]
+    python benchmarks/bench_quantized.py [--output PATH] [--history PATH]
+        [--model NAME] [--dtype D] [--pad-to N] [--rows N] [--passes N]
 
-``--check-speedup X`` exits non-zero if the speedup falls below ``X``
-(used by CI as a regression gate).
+Gate policy (registry + semantics: ``docs/benchmarks.md``): speedup
+regressions are enforced by ``repro.cli perf check``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 from pathlib import Path
 
-import numpy as np
-
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis.perfhistory import (  # noqa: E402
+    BENCHMARKS,
+    add_harness_arguments,
+    finish_run,
+)
 from repro.engine.bench import measure_quantized_throughput  # noqa: E402
+
+SPEC = BENCHMARKS["quantized"]
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_quantized.json",
-                        help="where to write the JSON record")
+    add_harness_arguments(parser, SPEC)
     parser.add_argument("--model", default="lenet",
                         help="model zoo entry to benchmark")
     parser.add_argument("--dtype", default="int8",
@@ -53,8 +57,6 @@ def main() -> int:
                         help="rows served per timed pass")
     parser.add_argument("--passes", type=int, default=5,
                         help="timed passes (best counts)")
-    parser.add_argument("--check-speedup", type=float, default=None,
-                        help="fail if the quantized speedup is below this")
     args = parser.parse_args()
 
     record = measure_quantized_throughput(
@@ -76,17 +78,15 @@ def main() -> int:
             "quantized_rows_per_sec": record["quantized_rows_per_sec"],
         },
         "record": record,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
     }
-    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {args.output} (speedup {record['speedup']:.2f}x)")
-
-    if args.check_speedup is not None and record["speedup"] < args.check_speedup:
-        print(f"FAIL: quantized speedup {record['speedup']:.2f}x "
-              f"< required {args.check_speedup}x", file=sys.stderr)
-        return 1
-    return 0
+    metrics = {
+        "speedup": record["speedup"],
+        "fp32_rows_per_sec": record["fp32_rows_per_sec"],
+        "quantized_rows_per_sec": record["quantized_rows_per_sec"],
+    }
+    units = {"speedup": "x", "fp32_rows_per_sec": "rows/s",
+             "quantized_rows_per_sec": "rows/s"}
+    return finish_run(SPEC, args, metrics, payload, units)
 
 
 if __name__ == "__main__":

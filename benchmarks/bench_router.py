@@ -5,7 +5,10 @@ Spawns N local :class:`repro.serve.server.InferenceServer` replica
 processes from ONE shared-memory plan export (no per-replica recompile or
 re-materialization), fronts them with
 :class:`repro.serve.router.RouterServer`, drives the router with the
-deterministic load harness and writes ``BENCH_router.json``:
+deterministic load harness and records the run through the shared
+perf-history harness (:mod:`repro.analysis.perfhistory`) — the
+``BENCH_router.json`` latest-run snapshot plus an append-only
+``BENCH_history.jsonl`` entry:
 
 * **Bit-identity gate** (always enforced) — the steady scenario through
   the router, balanced across all replicas, must be tobytes-identical to
@@ -13,27 +16,21 @@ deterministic load harness and writes ``BENCH_router.json``:
   replica adopts the same materialized store and the gateway's static
   batch shapes make results occupancy-independent, so which replica served
   a request must never show up in the bytes.
-* **Scale-out gate** (needs >= 4 visible CPUs) — aggregate steady RPS with
-  3 local replicas must be at least 2x the 1-replica RPS through the same
-  router.  On smaller containers (the 1-CPU CI runner) the replicas would
-  time-share one core, so the gate auto-skips exactly like
-  ``bench_parallel``'s speedup gate; the bit-identity gate still runs.
+* **Scale-out gate** — aggregate steady RPS with 3 local replicas vs the
+  1-replica RPS through the same router.  Environment-aware (skipped below
+  4 visible CPUs) and enforced by ``repro.cli perf check``; gate policy
+  and skip semantics live in ``docs/benchmarks.md``.
 
 Usage::
 
-    python benchmarks/bench_router.py [--output PATH] [--model NAME]
-        [--requests N] [--replicas N] [--concurrency N]
-
-Exits non-zero when an enforced gate fails (used by the CI ``router``
-job).
+    python benchmarks/bench_router.py [--output PATH] [--history PATH]
+        [--model NAME] [--requests N] [--replicas N] [--concurrency N]
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import sys
 from pathlib import Path
 
@@ -41,6 +38,11 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis.perfhistory import (  # noqa: E402
+    BENCHMARKS,
+    add_harness_arguments,
+    finish_run,
+)
 from repro.parallel.plan import export_session_plan              # noqa: E402
 from repro.serve import loadgen                                  # noqa: E402
 from repro.serve.bench import build_serving_gateway, request_set  # noqa: E402
@@ -48,6 +50,8 @@ from repro.serve.gateway import ServeConfig                      # noqa: E402
 from repro.serve.replica import ReplicaManager                   # noqa: E402
 from repro.serve.router import RouterConfig, route_in_thread     # noqa: E402
 from repro.serve.server import ServerConfig                      # noqa: E402
+
+SPEC = BENCHMARKS["router"]
 
 
 def measure_topology(plan, model: str, samples: np.ndarray, *,
@@ -94,8 +98,7 @@ def measure_topology(plan, model: str, samples: np.ndarray, *,
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_router.json",
-                        help="where to write the JSON record")
+    add_harness_arguments(parser, SPEC)
     parser.add_argument("--model", default="lenet",
                         help="model zoo entry to serve")
     parser.add_argument("--ber", type=float, default=1e-3,
@@ -110,8 +113,6 @@ def main() -> int:
                         help="per-replica admission bound")
     parser.add_argument("--max-batch", type=int, default=16,
                         help="per-replica micro-batcher coalescing bound")
-    parser.add_argument("--min-speedup", type=float, default=2.0,
-                        help="required RPS ratio (scaled over 1 replica)")
     parser.add_argument("--dtype", default="int8",
                         choices=("fp32", "int8", "int4", "int16"),
                         help="stored precision / execution path of the "
@@ -120,10 +121,6 @@ def main() -> int:
     args = parser.parse_args()
 
     cpus = os.cpu_count() or 1
-    # Same environment-aware policy as bench_parallel: replicas time-share
-    # cores below 4 CPUs, so the scale-out gate cannot be meaningful there.
-    gate_speedup = cpus >= 4
-
     gateway, session, dataset = build_serving_gateway(
         args.model, ber=args.ber, seed=args.seed,
         max_batch=args.max_batch, max_wait_ms=2.0, dtype=args.dtype)
@@ -154,7 +151,7 @@ def main() -> int:
     rps_scaled = scaled["steady"]["achieved_rps"]
     speedup = rps_scaled / rps_single if rps_single > 0 else float("nan")
 
-    record = {
+    payload = {
         "benchmark": "router",
         "headline": {
             "name": f"{args.model}_router_{args.replicas}x_scaling",
@@ -162,8 +159,6 @@ def main() -> int:
             "rps_1_replica": rps_single,
             f"rps_{args.replicas}_replicas": rps_scaled,
             "speedup": speedup,
-            "speedup_gated": bool(gate_speedup),
-            "min_speedup": float(args.min_speedup),
         },
         "model": args.model,
         "dtype": args.dtype,
@@ -177,10 +172,7 @@ def main() -> int:
         "single": single,
         "scaled": scaled,
         "bit_identical": bool(bit_identical),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
     }
-    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
 
     print(f"router tier ({args.model}, {args.dtype} weight store at BER "
           f"{args.ber:g}, {cpus} CPU(s) visible):")
@@ -189,24 +181,18 @@ def main() -> int:
     print(f"  {args.replicas} replicas  {rps_scaled:7,.0f} req/s  "
           f"(bit-identical: {scaled_identical})  "
           f"spread: {scaled['replica_spread']}")
-    print(f"  aggregate speedup: {speedup:.2f}x "
-          f"(gate: >= {args.min_speedup:.1f}x, "
-          f"{'enforced' if gate_speedup else 'auto-skipped below 4 CPUs'})")
-    print(f"\nwrote {args.output}")
+    print(f"  aggregate speedup: {speedup:.2f}x")
 
-    if not bit_identical:
-        print("FAIL: steady responses through the router are not "
-              "bit-identical to serial in-process predict", file=sys.stderr)
-        return 1
-    if gate_speedup and speedup < args.min_speedup:
-        print(f"FAIL: {args.replicas}-replica aggregate RPS is only "
-              f"{speedup:.2f}x the single-replica RPS "
-              f"(need >= {args.min_speedup:.1f}x)", file=sys.stderr)
-        return 1
-    if not gate_speedup:
-        print(f"NOTE: scale-out gate skipped ({cpus} CPU(s) < 4); "
-              "bit-identity gate enforced")
-    return 0
+    metrics = {
+        "bit_identical": bool(bit_identical),
+        "scaleout_speedup": float(speedup),
+        "rps_1_replica": float(rps_single),
+        "rps_scaled": float(rps_scaled),
+        "scaled_replicas": int(args.replicas),
+    }
+    units = {"scaleout_speedup": "x", "rps_1_replica": "req/s",
+             "rps_scaled": "req/s", "scaled_replicas": "replicas"}
+    return finish_run(SPEC, args, metrics, payload, units)
 
 
 if __name__ == "__main__":

@@ -3,7 +3,10 @@
 
 Stands a real :class:`repro.serve.server.InferenceServer` up around an
 in-process gateway, drives it with the deterministic load-generation
-harness (``repro.serve.loadgen``) and writes ``BENCH_server.json``:
+harness (``repro.serve.loadgen``) and records the run through the shared
+perf-history harness (:mod:`repro.analysis.perfhistory`) — the
+``BENCH_server.json`` latest-run snapshot plus an append-only
+``BENCH_history.jsonl`` entry:
 
 * **Steady scenario + bit-identity gate** (the headline) — a closed-loop
   client covers every request exactly once; the full HTTP response set
@@ -19,34 +22,36 @@ harness (``repro.serve.loadgen``) and writes ``BENCH_server.json``:
 
 Usage::
 
-    python benchmarks/bench_server.py [--output PATH] [--model NAME]
-        [--requests N] [--queue-depth N] [--burst N]
+    python benchmarks/bench_server.py [--output PATH] [--history PATH]
+        [--model NAME] [--requests N] [--queue-depth N] [--burst N]
 
-Exits non-zero when the bit-identity or the shedding gate fails (used by
-the CI ``server`` job).
+Gate policy (registry + semantics: ``docs/benchmarks.md``): all three
+gates here are hard — they fail the run unconditionally.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 from pathlib import Path
 
-import numpy as np
-
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis.perfhistory import (  # noqa: E402
+    BENCHMARKS,
+    add_harness_arguments,
+    finish_run,
+)
 from repro.serve import loadgen                               # noqa: E402
 from repro.serve.bench import build_serving_gateway, request_set  # noqa: E402
 from repro.serve.server import ServerConfig, serve_in_thread  # noqa: E402
 
+SPEC = BENCHMARKS["server"]
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_server.json",
-                        help="where to write the JSON record")
+    add_harness_arguments(parser, SPEC)
     parser.add_argument("--model", default="lenet",
                         help="model zoo entry to serve")
     parser.add_argument("--ber", type=float, default=1e-3,
@@ -106,12 +111,13 @@ def main() -> int:
         handle.stop()
         gateway.close()
 
-    record = {
+    steady_record = steady.to_record()
+    payload = {
         "benchmark": "http_server",
         "headline": {
             "name": f"{args.model}_http_steady_bit_identity",
             "bit_identical": bool(bit_identical),
-            "steady_rps": steady.to_record()["achieved_rps"],
+            "steady_rps": steady_record["achieved_rps"],
             "burst_shed": int(burst.shed),
             "burst_admitted_correct": bool(admitted_correct),
         },
@@ -121,42 +127,35 @@ def main() -> int:
         "ber": float(args.ber),
         "queue_depth": int(args.queue_depth),
         "max_batch": int(args.max_batch),
-        "steady": steady.to_record(),
+        "steady": steady_record,
         "burst": burst.to_record(),
         "open_loop": open_loop.to_record(),
         "bit_identical": bool(bit_identical),
         "burst_admitted_correct": bool(admitted_correct),
         "telemetry": snapshot,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
     }
-    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
 
     print(f"HTTP front end ({args.model}, {args.dtype} weight store at BER "
           f"{args.ber:g}, queue depth {args.queue_depth}):")
     print(f"  steady   {steady.sent} requests, "
-          f"{steady.to_record()['achieved_rps']:7,.0f} req/s, "
+          f"{steady_record['achieved_rps']:7,.0f} req/s, "
           f"bit-identical to in-process predict: {bit_identical}")
     print(f"  burst    {burst.sent} at once -> {burst.ok} served, "
           f"{burst.shed} shed, admitted rows correct: {admitted_correct}")
     print(f"  open     {open_loop.sent} Poisson arrivals at {args.rate:.0f}/s "
           f"-> {open_loop.ok} ok, {open_loop.shed} shed")
-    print(f"\nwrote {args.output}")
 
-    if not bit_identical:
-        print("FAIL: steady-scenario HTTP responses are not bit-identical to "
-              "serial in-process predict", file=sys.stderr)
-        return 1
-    if burst.shed == 0:
-        print(f"FAIL: burst of {burst.sent} against queue depth "
-              f"{args.queue_depth} shed nothing - admission control is not "
-              "engaging", file=sys.stderr)
-        return 1
-    if not admitted_correct:
-        print("FAIL: a burst response differs from its reference row",
-              file=sys.stderr)
-        return 1
-    return 0
+    metrics = {
+        "bit_identical": bool(bit_identical),
+        "burst_shed": int(burst.shed),
+        "burst_admitted_correct": bool(admitted_correct),
+        "steady_rps": steady_record["achieved_rps"],
+        "steady_p99_ms": steady_record["latency_ms"]["p99"],
+        "open_loop_rps": open_loop.to_record()["achieved_rps"],
+    }
+    units = {"burst_shed": "requests", "steady_rps": "req/s",
+             "steady_p99_ms": "ms", "open_loop_rps": "req/s"}
+    return finish_run(SPEC, args, metrics, payload, units)
 
 
 if __name__ == "__main__":

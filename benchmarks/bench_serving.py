@@ -1,7 +1,10 @@
 #!/usr/bin/env python
 """Macro-benchmark: the serving gateway vs batch-1 per-request serving.
 
-Measures the serving stack end to end and writes ``BENCH_serving.json``:
+Measures the serving stack end to end and records it through the shared
+perf-history harness (:mod:`repro.analysis.perfhistory`) — the
+``BENCH_serving.json`` latest-run snapshot plus an append-only
+``BENCH_history.jsonl`` entry:
 
 * **Micro-batched vs batch-1 serial** (the headline) — wall clock of serving
   N single-sample requests through the dynamic micro-batcher (coalesced
@@ -21,32 +24,35 @@ Measures the serving stack end to end and writes ``BENCH_serving.json``:
 
 Usage::
 
-    python benchmarks/bench_serving.py [--output PATH] [--model NAME]
-        [--requests N] [--max-batch N] [--check-speedup X]
+    python benchmarks/bench_serving.py [--output PATH] [--history PATH]
+        [--model NAME] [--requests N] [--max-batch N]
 
-``--check-speedup X`` exits non-zero if the micro-batch speedup falls below
-``X`` (used by CI as a regression gate).
+Gate policy (registry + semantics: ``docs/benchmarks.md``): the
+bit-identity gate fails the run unconditionally; micro-batch speedup
+regressions are enforced by ``repro.cli perf check``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 from pathlib import Path
 
-import numpy as np
-
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis.perfhistory import (  # noqa: E402
+    BENCHMARKS,
+    add_harness_arguments,
+    finish_run,
+)
 from repro.serve.bench import measure_serving  # noqa: E402
+
+SPEC = BENCHMARKS["serving"]
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_serving.json",
-                        help="where to write the JSON record")
+    add_harness_arguments(parser, SPEC)
     parser.add_argument("--model", default="lenet",
                         help="model zoo entry to serve")
     parser.add_argument("--ber", type=float, default=1e-3,
@@ -55,14 +61,12 @@ def main() -> int:
                         help="number of single-sample requests")
     parser.add_argument("--max-batch", type=int, default=32,
                         help="micro-batcher coalescing bound")
-    parser.add_argument("--check-speedup", type=float, default=None,
-                        help="fail if the micro-batch speedup is below this")
     args = parser.parse_args()
 
     record = measure_serving(args.model, ber=args.ber,
                              n_requests=args.requests,
                              max_batch=args.max_batch)
-    record = {
+    payload = {
         "benchmark": "serving_gateway",
         "headline": {
             "name": f"{args.model}_microbatch_vs_batch1_serial",
@@ -72,8 +76,6 @@ def main() -> int:
             "bit_identical": record["bit_identical"],
         },
         **record,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
     }
 
     print(f"serving {record['n_requests']} single-sample requests "
@@ -91,20 +93,21 @@ def main() -> int:
     print(f"  registry cold/warm   {record['cold_register_seconds'] * 1e3:.1f} ms "
           f"/ {record['warm_register_seconds'] * 1e3:.2f} ms")
 
-    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
-    print(f"\nwrote {args.output} "
-          f"(micro-batch speedup {record['microbatch_speedup']:.1f}x)")
-
-    if not record["bit_identical"]:
-        print("FAIL: micro-batched results are not bit-identical to serial "
-              "per-request dispatch", file=sys.stderr)
-        return 1
-    if (args.check_speedup is not None
-            and record["microbatch_speedup"] < args.check_speedup):
-        print(f"FAIL: micro-batch speedup {record['microbatch_speedup']:.1f}x "
-              f"< required {args.check_speedup}x", file=sys.stderr)
-        return 1
-    return 0
+    metrics = {
+        "bit_identical": bool(record["bit_identical"]),
+        "microbatch_speedup": record["microbatch_speedup"],
+        "serial_rps": record["serial_rps"],
+        "microbatched_rps": record["microbatched_rps"],
+        "async_rps": record["async_rps"],
+        "cold_register_seconds": record["cold_register_seconds"],
+        "warm_register_seconds": record["warm_register_seconds"],
+    }
+    units = {
+        "microbatch_speedup": "x", "serial_rps": "req/s",
+        "microbatched_rps": "req/s", "async_rps": "req/s",
+        "cold_register_seconds": "s", "warm_register_seconds": "s",
+    }
+    return finish_run(SPEC, args, metrics, payload, units)
 
 
 if __name__ == "__main__":

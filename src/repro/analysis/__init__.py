@@ -7,7 +7,11 @@
 * :mod:`repro.analysis.figures`   — data series for each figure of the paper;
 * :mod:`repro.analysis.tables`    — structured rows for each table;
 * :mod:`repro.analysis.reporting` — plain-text rendering used by the examples
-  and the benchmark harness (no plotting dependencies are available offline).
+  and the benchmark harness (no plotting dependencies are available offline);
+* :mod:`repro.analysis.perfhistory` — the perf-history harness behind every
+  ``benchmarks/bench_*.py`` script: benchmark/gate registry, environment
+  fingerprints, the append-only ``BENCH_history.jsonl`` store, and
+  baseline-window degradation gates (see ``docs/benchmarks.md``).
 """
 
 from repro.analysis.runner import ExperimentRunner

@@ -135,10 +135,16 @@ def make_spec(values: np.ndarray, bits: int) -> QuantizationSpec:
 
 
 def quantize(values: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
-    """Quantize float values to signed integers (int64 container)."""
+    """Quantize float values to signed integers (int64 container).
+
+    The division runs in float64 (matching :func:`recover_codes`): a
+    float32 quotient would underflow for subnormal scales — ``scale``
+    below ~1.4e-45 rounds to 0.0 in float32, turning every quotient into
+    inf/nan and the cast into garbage codes.
+    """
     if spec.is_float:
         raise ValueError("FP32 tensors are not integer-quantized")
-    q = np.round(values / spec.scale)
+    q = np.round(np.asarray(values, dtype=np.float64) / spec.scale)
     return np.clip(q, spec.qmin, spec.qmax).astype(np.int64)
 
 def dequantize(codes: np.ndarray, spec: QuantizationSpec) -> np.ndarray:

@@ -13,8 +13,17 @@ class TestParser:
         expected = {"list-models", "profile-dram", "fit-error-model", "characterize",
                     "boost", "evaluate-cpu", "evaluate-accel", "memsys",
                     "bench", "parallel-bench", "serve-bench", "serve",
-                    "loadgen", "route"}
+                    "loadgen", "route", "perf"}
         assert expected <= set(subparsers.choices)
+
+    def test_perf_subcommands_registered(self):
+        for sub in ("report", "check", "list"):
+            args = build_parser().parse_args(["perf", sub])
+            assert args.perf_command == sub
+            assert args.history == "BENCH_history.jsonl"
+            assert args.benchmark is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf"])
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

@@ -36,6 +36,7 @@ AUDITED_MODULES = [
     "repro/engine/bench.py",
     "repro/analysis/runner.py",
     "repro/analysis/reporting.py",
+    "repro/analysis/perfhistory.py",
     "repro/core/pipeline.py",
     "repro/parallel/__init__.py",
     "repro/parallel/shm.py",
