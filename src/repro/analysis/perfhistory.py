@@ -27,7 +27,7 @@ The pieces
   floor as an absolute minimum, and *skip* (rather than silently pass)
   when the environment cannot express the measurement — the one documented
   skip policy, see ``docs/benchmarks.md``.
-* :data:`BENCHMARKS` — the registry of all seven benchmarks and their
+* :data:`BENCHMARKS` — the registry of all eight benchmarks and their
   gates; ``repro.cli perf {report,check,list}`` renders trends and
   evaluates gates from it.
 
@@ -386,7 +386,7 @@ class BenchmarkSpec:
     gates: Tuple[GateSpec, ...] = ()
 
 
-#: all seven benchmarks and every CI gate decision, in one place.  Floors
+#: all eight benchmarks and every CI gate decision, in one place.  Floors
 #: mirror the historical ``--check-*`` thresholds; the skip policy for
 #: ``min_cpus`` gates is documented in ``docs/benchmarks.md``.
 BENCHMARKS: Dict[str, BenchmarkSpec] = {
@@ -446,6 +446,13 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
                             kind="identity"),
                    GateSpec("scaleout_speedup", "scaleout_speedup",
                             floor=2.0, min_cpus=4))),
+        BenchmarkSpec(
+            "ecc", "BENCH_ecc.json", "bench_ecc.py",
+            "ECC-corrected weight store vs raw burst corruption",
+            gates=(GateSpec("corrected_store_identity", "store_bit_identical",
+                            kind="identity"),
+                   GateSpec("corrected_accounting", "corrected_symbols",
+                            kind="positive"))),
     )
 }
 

@@ -59,10 +59,10 @@ def format_serving_report(snapshot: Mapping) -> str:
     :meth:`repro.serve.ServingTelemetry.snapshot` /
     :meth:`repro.serve.ServingGateway.snapshot`: per-model request counts,
     shed (refused by admission control) and expired (dropped past deadline)
-    counts, latency percentiles, throughput and batch occupancy under
-    ``"models"``, plus (optionally) the session registry's cache counters
-    under ``"registry"``.  Returns one printable string with a table per
-    section.
+    counts, ECC decode counters (corrected / uncorrectable codewords),
+    latency percentiles, throughput and batch occupancy under ``"models"``,
+    plus (optionally) the session registry's cache counters under
+    ``"registry"``.  Returns one printable string with a table per section.
     """
     sections: List[str] = []
     models = snapshot.get("models", {})
@@ -70,14 +70,17 @@ def format_serving_report(snapshot: Mapping) -> str:
     for name in sorted(models):
         m = models[name]
         rows.append((name, m["requests"], m.get("shed", 0),
-                     m.get("expired", 0), m["batches"],
+                     m.get("expired", 0),
+                     m.get("ecc_corrected", 0),
+                     m.get("ecc_uncorrectable", 0), m["batches"],
                      f"{m['mean_occupancy']:.1f}",
                      f"{m['throughput_rps']:.0f}",
                      f"{m['p50_ms']:.2f}", f"{m['p95_ms']:.2f}",
                      f"{m['p99_ms']:.2f}"))
     sections.append(format_table(
-        ["model", "requests", "shed", "expired", "batches", "occupancy",
-         "req/s", "p50 ms", "p95 ms", "p99 ms"],
+        ["model", "requests", "shed", "expired", "corrected",
+         "uncorrectable", "batches", "occupancy", "req/s", "p50 ms",
+         "p95 ms", "p99 ms"],
         rows, title="Serving telemetry"))
     registry = snapshot.get("registry")
     if registry is not None:

@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.dram.device import ApproximateDram, DramOperatingPoint
 from repro.dram.error_models import ErrorModel
 from repro.dram.injection import BitErrorInjector, Corrector, DeviceBackedInjector
-from repro.engine.session import InferenceSession, ReadSemantics
+from repro.engine.session import InferenceSession, ReadSemantics, _resolve_codec
 from repro.nn.datasets import Dataset
 from repro.nn.network import Network
 
@@ -148,6 +148,7 @@ class ExperimentRunner:
     # -- model-driven sweeps ------------------------------------------------------
     def ber_sweep(self, error_model: ErrorModel, bers: Sequence[float], *,
                   bits: int = 32, corrector: Optional[Corrector] = None,
+                  correction=None,
                   repeats: Optional[int] = None, seed: Optional[int] = None,
                   stride: Optional[int] = None) -> Dict[float, float]:
         """Score at each bit error rate in ``bers`` (the Figure 8/10 x-axis).
@@ -156,19 +157,24 @@ class ExperimentRunner:
         restarts the injection stream (``repeats`` streams from ``seed``
         spaced by ``stride``), injecting at ``bits``-bit precision through
         the optional ``corrector`` — so points are order-independent, which
-        is what makes the executor fan-out below legal.  Returns a
-        ``{ber: score}`` dict.
+        is what makes the executor fan-out below legal.  ``correction``
+        (a codec name from :data:`repro.core.ecc.CODECS` or an
+        :class:`~repro.core.ecc.RsCodecModel`) layers symbol-level ECC over
+        every injected load, scoring the post-correction weights; see
+        :meth:`ecc_sweep` for the variant that also returns the decode
+        accounting.  Returns a ``{ber: score}`` dict.
         """
         repeats = self.repeats if repeats is None else int(repeats)
         seed = self.seed if seed is None else int(seed)
         stride = self.reseed_stride if stride is None else int(stride)
+        codec = _resolve_codec(correction)
 
         if self.processes > 1 and len(bers) > 1:
             # One fresh injector per point, pickled into its task — the
             # stream each worker restarts is exactly the serial one.
             injectors = [
                 BitErrorInjector(error_model.with_ber(ber), bits=bits,
-                                 corrector=corrector, seed=seed)
+                                 corrector=corrector, seed=seed, ecc=codec)
                 for ber in bers
             ]
             scores = self._sweep_executor().score_many(
@@ -177,12 +183,54 @@ class ExperimentRunner:
 
         # Serial path: one injector object, reused across all points.
         injector = BitErrorInjector(error_model, bits=bits, corrector=corrector,
-                                    seed=seed)
+                                    seed=seed, ecc=codec)
         results: Dict[float, float] = {}
         for ber in bers:
             injector.set_error_model(error_model.with_ber(ber))
             results[float(ber)] = self.score(injector, repeats=repeats, seed=seed,
                                              stride=stride)
+        return results
+
+    def ecc_sweep(self, error_model: ErrorModel, bers: Sequence[float], *,
+                  bits: int = 32, correction="rs72_64",
+                  repeats: Optional[int] = None, seed: Optional[int] = None,
+                  stride: Optional[int] = None) -> Dict[float, Dict[str, float]]:
+        """Raw vs ECC-corrected score plus decode accounting per BER point.
+
+        At every rate in ``bers`` the base ``error_model`` is rescaled and
+        scored twice under identical injection streams (``repeats`` streams
+        from ``seed`` spaced by ``stride``, ``bits``-bit precision): once
+        raw, once decoding each load through the ``correction`` codec (name
+        or :class:`~repro.core.ecc.RsCodecModel`).  Points always run
+        serially so the codec accounting stays in-process.  Returns
+        ``{ber: {"raw", "corrected", "codewords", "corrected_codewords",
+        "corrected_symbols", "uncorrectable_codewords",
+        "miscorrected_codewords"}}``.
+        """
+        repeats = self.repeats if repeats is None else int(repeats)
+        seed = self.seed if seed is None else int(seed)
+        stride = self.reseed_stride if stride is None else int(stride)
+        codec = _resolve_codec(correction)
+
+        counters = ("codewords", "corrected_codewords", "corrected_symbols",
+                    "uncorrectable_codewords", "miscorrected_codewords")
+        raw_injector = BitErrorInjector(error_model, bits=bits, seed=seed)
+        ecc_injector = BitErrorInjector(error_model, bits=bits, seed=seed,
+                                        ecc=codec)
+        results: Dict[float, Dict[str, float]] = {}
+        for ber in bers:
+            point_model = error_model.with_ber(ber)
+            raw_injector.set_error_model(point_model)
+            ecc_injector.set_error_model(point_model)
+            raw = self.session.score(raw_injector, repeats=repeats,
+                                     seed=seed, stride=stride)
+            before = {key: ecc_injector.ecc_stats[key] for key in counters}
+            corrected = self.session.score(ecc_injector, repeats=repeats,
+                                           seed=seed, stride=stride)
+            point = {"raw": raw, "corrected": corrected}
+            for key in counters:
+                point[key] = int(ecc_injector.ecc_stats[key]) - int(before[key])
+            results[float(ber)] = point
         return results
 
     # -- device-backed sweeps -----------------------------------------------------

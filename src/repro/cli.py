@@ -21,6 +21,7 @@ parallel-bench     shared-memory executor: serial vs N-worker sweeps, bit-identi
 serve-bench        serving gateway: micro-batched vs batch-1 serial, registry, telemetry
 serve              HTTP/JSON inference server with admission control (Ctrl-C drains)
 loadgen            deterministic traffic scenarios against a serve URL (or self-hosted)
+ecc-sweep          raw vs ECC-corrected accuracy over a BER grid, with decode counts
 perf               performance history: trend report, CI gate check, run listing
 """
 
@@ -194,6 +195,33 @@ def cmd_memsys(args: argparse.Namespace) -> int:
     print(format_table(["metric", "nominal", "reduced"], rows,
                        title=(f"{workload.name} ({args.bits}-bit): cycle-level memory system, "
                               f"dVDD={args.delta_vdd}V dtRCD={args.delta_trcd}ns")))
+    return 0
+
+
+def cmd_ecc_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import ExperimentRunner
+    from repro.dram.error_models import make_error_model
+    from repro.engine.session import ReadSemantics
+    from repro.nn.models import build_model_with_dataset
+    from repro.nn.training import Trainer
+
+    network, dataset, spec = build_model_with_dataset(args.model, seed=args.seed)
+    Trainer(network, dataset, spec.training_config(epochs=args.epochs)).fit()
+    bers = sorted(args.bers)
+    error_model = make_error_model(args.error_model, bers[0], seed=args.seed)
+    with ExperimentRunner(network, dataset, metric=spec.metric, seed=args.seed,
+                          semantics=ReadSemantics.STATIC_STORE) as runner:
+        sweep = runner.ecc_sweep(error_model, bers, bits=args.bits,
+                                 correction=args.correction)
+    rows = [(f"{ber:.1e}", f"{point['raw']:.3f}", f"{point['corrected']:.3f}",
+             int(point["corrected_codewords"]),
+             int(point["uncorrectable_codewords"]))
+            for ber, point in sweep.items()]
+    print(format_table(
+        ["BER", "raw", "corrected", "corrected cw", "uncorrectable cw"],
+        rows,
+        title=(f"{args.model}: Error Model {args.error_model} weight store, "
+               f"{args.correction} correction in the loop")))
     return 0
 
 
@@ -634,6 +662,22 @@ def build_parser() -> argparse.ArgumentParser:
     memsys.add_argument("--delta-trcd", type=float, default=5.5)
     memsys.add_argument("--seed", type=int, default=0)
     memsys.set_defaults(handler=cmd_memsys)
+
+    ecc = subparsers.add_parser(
+        "ecc-sweep",
+        help="raw vs ECC-corrected accuracy over a BER grid (decode counts)")
+    _add_common_model_arguments(ecc)
+    ecc.add_argument("--bers", nargs="+", type=float,
+                     default=[1e-4, 1e-3, 1e-2],
+                     help="weight-store bit error rates to sweep")
+    ecc.add_argument("--error-model", type=int, default=4,
+                     choices=[0, 1, 2, 3, 4],
+                     help="EDEN error model id (4 = burst mixture)")
+    ecc.add_argument("--bits", type=int, default=32, choices=[4, 8, 16, 32],
+                     help="stored precision in bits")
+    ecc.add_argument("--correction", default="rs72_64",
+                     help="registered ECC codec name")
+    ecc.set_defaults(handler=cmd_ecc_sweep)
 
     bench = subparsers.add_parser(
         "bench", help="inference-engine throughput (static-store vs per-read)")

@@ -25,13 +25,16 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.dram.error_models import BurstProfile
 from repro.dram.geometry import DramGeometry
 from repro.dram.packed import (
     _hash_uniform,
+    hash_keys,
     iter_bit_chunks,
     make_bit_gather,
     sample_flip_positions,
     skip_stream,
+    uniform_threshold,
     xor_mask_from_positions,
 )
 from repro.dram.timing import NOMINAL_DDR4_TIMING, TimingParameters
@@ -76,12 +79,19 @@ class ApproximateDram:
 
     def __init__(self, vendor: str = "A", geometry: Optional[DramGeometry] = None,
                  seed: int = 0, nominal_vdd: float = NOMINAL_VDD,
-                 nominal_timing: TimingParameters = NOMINAL_DDR4_TIMING):
+                 nominal_timing: TimingParameters = NOMINAL_DDR4_TIMING,
+                 burst_profile: Optional[BurstProfile] = None):
         self.vendor: VendorProfile = get_vendor(vendor) if isinstance(vendor, str) else vendor
         self.geometry = geometry or DramGeometry()
         self.seed = int(seed)
         self.nominal_vdd = float(nominal_vdd)
         self.nominal_timing = nominal_timing
+        # Optional correlated-burst overlay: the voltage/tRCD mechanisms keep
+        # producing their single-bit flips, and weak aligned spans (stream
+        # 17+k per class) fire on top so the single/burst mix approaches
+        # burst_profile.single_fraction.  None (the default) adds no draws
+        # and leaves every existing read bit-identical.
+        self.burst_profile = burst_profile
         # per-bank caches of the bitline spatial factors (seed-determined, so
         # they never invalidate for the lifetime of the device object).
         self._bitline_factor_cache: Dict[int, np.ndarray] = {}
@@ -254,6 +264,49 @@ class ApproximateDram:
         probabilities = np.concatenate(probability_chunks)
         return sample_flip_positions(rng, num_bits, positions, probabilities)
 
+    def _burst_flip_positions(self, num_bits: int, start_bit_address: int,
+                              op_point: DramOperatingPoint,
+                              rng: np.random.Generator) -> np.ndarray:
+        """Flat positions covered by the burst spans that fire on one read.
+
+        Weak spans are deterministic per (seed, geometry): class ``k``'s
+        aligned span indices hash (stream ``17 + k``) against a threshold
+        derived from the operating point's BER and the profile's burst share.
+        Each weak span in range consumes exactly one uniform — classes in
+        profile order, spans ascending — and, when it fires, contributes
+        every bit it covers (clipped to the run).  Positions may repeat when
+        classes overlap; callers must apply them with XOR-toggle semantics.
+        Returns an empty array when no profile is configured, drawing
+        nothing.
+        """
+        profile = self.burst_profile
+        if profile is None:
+            return np.empty(0, dtype=np.int64)
+        fail_prob = self.vendor.weak_cell_failure_probability
+        base_ber = self.expected_ber(op_point)
+        single = max(profile.single_fraction, 1e-12)
+        burst_share = base_ber * (1.0 - profile.single_fraction) / single
+        parts = []
+        for k, ((span_bits, _), weight) in enumerate(
+                zip(profile.span_weights, profile.normalized_weights())):
+            span_bits = int(span_bits)
+            fraction = float(np.clip(burst_share * weight / fail_prob, 0.0, 1.0))
+            first = start_bit_address // span_bits
+            last = (start_bit_address + num_bits - 1) // span_bits
+            spans = np.arange(first, last + 1, dtype=np.uint64)
+            weak = spans[hash_keys(spans, self.seed, stream=17 + k)
+                         < uniform_threshold(fraction)].astype(np.int64)
+            if weak.size == 0:
+                continue
+            hit = weak[rng.random(weak.size) < fail_prob]
+            for span in hit.tolist():
+                lo = max(span * span_bits - start_bit_address, 0)
+                hi = min((span + 1) * span_bits - start_bit_address, num_bits)
+                parts.append(np.arange(lo, hi, dtype=np.int64))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
     def read_bits(self, stored_bits: np.ndarray, start_bit_address: int,
                   op_point: DramOperatingPoint,
                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
@@ -276,6 +329,12 @@ class ApproximateDram:
         observed = stored_bits.copy()
         if flips.size:
             observed[flips] ^= True
+        bursts = self._burst_flip_positions(stored_bits.size, start_bit_address,
+                                            op_point, rng)
+        if bursts.size:
+            # XOR-toggle: overlapping span classes cancel, exactly like the
+            # packed path's xor_mask_from_positions.
+            np.bitwise_xor.at(observed, bursts, True)
         return observed
 
     def read_words(self, words: np.ndarray, bits_per_word: int, start_bit_address: int,
@@ -299,7 +358,12 @@ class ApproximateDram:
         rng = rng or np.random.default_rng(self.seed)
         flips = self._flip_positions(num_bits, start_bit_address, op_point, rng,
                                      make_bit_gather(words, bits_per_word))
-        return words ^ xor_mask_from_positions(flips, words.size, bits_per_word)
+        observed = words ^ xor_mask_from_positions(flips, words.size, bits_per_word)
+        bursts = self._burst_flip_positions(num_bits, start_bit_address, op_point, rng)
+        if bursts.size:
+            observed = observed ^ xor_mask_from_positions(bursts, words.size,
+                                                          bits_per_word)
+        return observed
 
     # -- partition-level aggregate behaviour --------------------------------------------
     def partition_ber(self, op_point: DramOperatingPoint, bank: int,

@@ -13,6 +13,12 @@ land when DRAM is operated with reduced voltage/latency:
 * **Error Model 3** — uniform-random but *data-dependent*: stored 1s and 0s
   fail with different probabilities (``FV1`` / ``FV0``).
 
+Beyond the paper's four, **Error Model 4** (:class:`BurstErrorModel`) mixes
+single-bit flips with aligned multi-bit *burst* spans (byte / 2-byte / 4-byte
+symbol runs, per :class:`BurstProfile`) — the ~90%/10% single/burst split
+real DRAM fleets report, and the fault class ECC codecs are designed around
+(see :mod:`repro.core.ecc`).
+
 A model exposes per-bit flip probabilities for a tensor laid out in DRAM
 (:class:`DramLayout` maps flat bit indices to wordline/bitline coordinates),
 can generate flip masks, report its expected BER for a data pattern, and can
@@ -503,12 +509,216 @@ class DataDependentErrorModel(ErrorModel):
         }
 
 
-#: model id -> class, matching the paper's numbering.
+@dataclass(frozen=True)
+class BurstProfile:
+    """Mixture weights converting a scalar BER into singles + burst spans.
+
+    ``single_fraction`` of the raw BER lands as independent single-bit flips;
+    the remainder is split across aligned burst classes per ``span_weights``,
+    a tuple of ``(span_bits, weight)`` pairs.  A burst flips *every* bit of
+    one aligned span (absolute bit index // span_bits), modelling the
+    multi-symbol upsets that ECC symbol codes are sized against.  Weights are
+    normalized internally, so only their ratios matter.
+    """
+
+    single_fraction: float = 0.9
+    span_weights: Tuple[Tuple[int, float], ...] = ((8, 0.5), (16, 0.3), (32, 0.2))
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.single_fraction <= 1.0:
+            raise ValueError("single_fraction must be within [0, 1]")
+        for span_bits, weight in self.span_weights:
+            if int(span_bits) <= 0:
+                raise ValueError("span sizes must be positive bit counts")
+            if weight < 0:
+                raise ValueError("span weights must be non-negative")
+        total = sum(weight for _, weight in self.span_weights)
+        if self.single_fraction < 1.0 and total <= 0:
+            raise ValueError("burst share is non-zero but no span class has "
+                             "positive weight")
+
+    def normalized_weights(self) -> Tuple[float, ...]:
+        """Return the span-class weights normalized to sum to 1 (or empty)."""
+        total = sum(weight for _, weight in self.span_weights)
+        if total <= 0:
+            return tuple(0.0 for _ in self.span_weights)
+        return tuple(weight / total for _, weight in self.span_weights)
+
+
+class BurstErrorModel(ErrorModel):
+    """Error Model 4 (extension): single-bit flips plus aligned burst spans.
+
+    A scalar ``ber`` is split by a :class:`BurstProfile` into a single-bit
+    component (drawn exactly like :class:`UniformErrorModel`, hash stream
+    501) and per-class burst components (streams ``502 + k``).  Burst *span
+    positions* are deterministic per (seed, layout) — a span is "weak" when
+    its aligned index hashes below the class threshold — and each weak span
+    fires per access with probability ``failure_probability``, flipping every
+    bit it covers via XOR so bursts compose with (and can cancel against)
+    single-bit flips, exactly the same in the boolean reference and packed
+    paths.
+
+    Constructor parameters: ``ber`` is the target aggregate bit error rate,
+    ``profile`` the mixture (defaults to 90% singles, 8/16/32-bit spans at
+    0.5/0.3/0.2), ``failure_probability`` the per-access firing probability
+    shared by weak cells and weak spans, and ``seed`` freezes the weak
+    cell/span positions.
+    """
+
+    model_id = 4
+
+    def __init__(self, ber: float, profile: Optional[BurstProfile] = None,
+                 failure_probability: float = 0.5, seed: int = 0):
+        super().__init__(seed)
+        if ber < 0:
+            raise ValueError("ber must be non-negative")
+        self.ber = float(ber)
+        self.profile = profile if profile is not None else BurstProfile()
+        self.failure_probability = _clip_probability(failure_probability)
+        if self.failure_probability <= 0.0:
+            raise ValueError("failure_probability must be positive")
+        failure = self.failure_probability
+        self.single_weak_fraction = _clip_probability(
+            self.ber * self.profile.single_fraction / failure)
+        burst_share = self.ber * (1.0 - self.profile.single_fraction)
+        self.span_weak_fractions = tuple(
+            _clip_probability(burst_share * weight / failure)
+            for weight in self.profile.normalized_weights())
+        self._span_cache: Dict[Tuple[int, int], list] = {}
+
+    # -- weak cells (single-bit phase, identical structure to model 0) -------------
+    def _weak_positions(self, num_bits: int, layout: DramLayout) -> np.ndarray:
+        threshold = uniform_threshold(self.single_weak_fraction)
+        return scan_weak_positions(
+            num_bits, layout.start_bit,
+            lambda absolute: hash_keys(absolute, self.seed, stream=501) < threshold,
+        )
+
+    def _failure_probabilities(self, positions: np.ndarray,
+                               bit_at: BitGather) -> np.ndarray:
+        return np.full(positions.size, self.failure_probability)
+
+    # -- weak spans (burst phase) --------------------------------------------------
+    def _weak_spans(self, num_bits: int, layout: DramLayout) -> list:
+        """Per span class: (lo, hi) bit ranges of deterministic weak spans.
+
+        Spans are aligned on absolute bit addresses (``absolute //
+        span_bits``), clipped to the tensor's bit range, and returned in
+        ascending order.  Cached per tensor geometry, like weak cells.
+        """
+        key = (num_bits, layout.start_bit)
+        cached = self._span_cache.get(key)
+        if cached is not None:
+            return cached
+        start = layout.start_bit
+        cached = []
+        for k, ((span_bits, _), fraction) in enumerate(
+                zip(self.profile.span_weights, self.span_weak_fractions)):
+            span_bits = int(span_bits)
+            first = start // span_bits
+            last = (start + num_bits - 1) // span_bits
+            spans = np.arange(first, last + 1, dtype=np.uint64)
+            weak = spans[hash_keys(spans, self.seed, stream=502 + k)
+                         < uniform_threshold(fraction)].astype(np.int64)
+            lo = np.maximum(weak * span_bits - start, 0)
+            hi = np.minimum((weak + 1) * span_bits - start, num_bits)
+            cached.append((lo, hi))
+        if len(self._span_cache) >= _MAX_CACHE_ENTRIES:
+            self._span_cache.pop(next(iter(self._span_cache)))
+        self._span_cache[key] = cached
+        return cached
+
+    def _fired_spans(self, num_bits: int, layout: DramLayout,
+                     rng: np.random.Generator) -> list:
+        """(lo, hi) ranges of the weak spans that fire on this access.
+
+        Consumes exactly one uniform per weak span — classes in profile
+        order, spans ascending — so the boolean and packed paths stay on the
+        same stream by construction.
+        """
+        fired = []
+        for los, his in self._weak_spans(num_bits, layout):
+            if los.size == 0:
+                continue
+            hit = rng.random(los.size) < self.failure_probability
+            fired.extend(zip(los[hit].tolist(), his[hit].tolist()))
+        return fired
+
+    # -- sampling ------------------------------------------------------------------
+    def flip_probabilities(self, stored_bits: np.ndarray, layout: DramLayout) -> np.ndarray:
+        """Approximate per-bit flip marginals (singles + covering spans).
+
+        Span/single overlaps cancel under XOR, a second-order effect this
+        summary ignores; sampling goes through :meth:`flip_mask` /
+        :meth:`flip_word_mask`, which are exact.
+        """
+        stored_bits = np.asarray(stored_bits)
+        indices = np.arange(stored_bits.size, dtype=np.uint64) + np.uint64(layout.start_bit)
+        weak = _hash_uniform(indices, self.seed, stream=501) < self.single_weak_fraction
+        probabilities = weak * self.failure_probability
+        for k, ((span_bits, _), fraction) in enumerate(
+                zip(self.profile.span_weights, self.span_weak_fractions)):
+            span_keys = indices // np.uint64(int(span_bits))
+            weak_span = _hash_uniform(span_keys, self.seed, stream=502 + k) < fraction
+            probabilities = probabilities + weak_span * self.failure_probability
+        return np.minimum(probabilities, 1.0).reshape(stored_bits.shape)
+
+    def flip_mask(self, stored_bits: np.ndarray, layout: DramLayout,
+                  rng: np.random.Generator) -> np.ndarray:
+        """Boolean reference path: per-bit draws, then XOR whole fired spans."""
+        stored_bits = np.asarray(stored_bits)
+        num_bits = stored_bits.size
+        indices = np.arange(num_bits, dtype=np.uint64) + np.uint64(layout.start_bit)
+        weak = _hash_uniform(indices, self.seed, stream=501) < self.single_weak_fraction
+        mask = rng.random(num_bits) < weak * self.failure_probability
+        for lo, hi in self._fired_spans(num_bits, layout, rng):
+            mask[lo:hi] ^= True
+        return mask.reshape(stored_bits.shape)
+
+    def flip_word_mask(self, words: np.ndarray, bits_per_word: int, layout: DramLayout,
+                       rng: np.random.Generator) -> np.ndarray:
+        """Packed path: sparse single-bit sampling, then sparse span XORs."""
+        words = np.asarray(words, dtype=np.uint64)
+        num_bits = words.size * bits_per_word
+        bit_at = make_bit_gather(words, bits_per_word)
+        positions, probabilities = self._packed_candidates(num_bits, layout, bit_at)
+        flips = sample_flip_positions(rng, num_bits, positions, probabilities)
+        xor = xor_mask_from_positions(flips, words.size, bits_per_word)
+        spans = self._fired_spans(num_bits, layout, rng)
+        if spans:
+            span_positions = np.concatenate(
+                [np.arange(lo, hi, dtype=np.int64) for lo, hi in spans])
+            xor ^= xor_mask_from_positions(span_positions, words.size, bits_per_word)
+        return xor
+
+    # -- rescaling / reporting -----------------------------------------------------
+    def expected_ber(self, ones_fraction: float = 0.5) -> float:
+        per_bit = self.single_weak_fraction + sum(self.span_weak_fractions)
+        return min(1.0, per_bit * self.failure_probability)
+
+    def with_ber(self, target_ber: float) -> "BurstErrorModel":
+        if target_ber < 0:
+            raise ValueError("target BER must be non-negative")
+        return BurstErrorModel(target_ber, profile=self.profile,
+                               failure_probability=self.failure_probability,
+                               seed=self.seed)
+
+    def parameters(self) -> Dict[str, float]:
+        return {
+            "ber": self.ber,
+            "F": self.failure_probability,
+            "single_fraction": self.profile.single_fraction,
+        }
+
+
+#: model id -> class; 0..3 match the paper's numbering, 4 is the burst
+#: extension used by the ECC characterization axis.
 ERROR_MODEL_CLASSES = {
     0: UniformErrorModel,
     1: BitlineErrorModel,
     2: WordlineErrorModel,
     3: DataDependentErrorModel,
+    4: BurstErrorModel,
 }
 
 
@@ -532,4 +742,6 @@ def make_error_model(model_id: int, target_ber: float, seed: int = 0) -> ErrorMo
     if model_id == 3:
         base = DataDependentErrorModel(min(1.0, 2.0 * target_ber), 0.8, 0.2, seed=seed)
         return base.with_ber(target_ber)
-    raise ValueError(f"unknown error model id {model_id}; expected 0..3")
+    if model_id == 4:
+        return BurstErrorModel(target_ber, seed=seed)
+    raise ValueError(f"unknown error model id {model_id}; expected 0..4")

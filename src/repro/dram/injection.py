@@ -28,7 +28,8 @@ with the original boolean expansion, which survives as
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional
+import zlib
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional
 
 import numpy as np
 
@@ -36,6 +37,9 @@ from repro.dram.device import ApproximateDram, DramOperatingPoint
 from repro.dram.error_models import DramLayout, ErrorModel
 from repro.nn.quantization import bits_to_tensor, tensor_to_bits
 from repro.nn.tensor import DataKind, TensorSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ecc import RsCodecModel
 
 #: signature of a post-load value corrector (implausible-value correction).
 Corrector = Callable[[np.ndarray, TensorSpec], np.ndarray]
@@ -88,6 +92,36 @@ def _new_stats() -> Dict[str, int]:
     return {"loads": 0, "values_loaded": 0}
 
 
+def _new_ecc_stats() -> Dict[str, object]:
+    return {"codewords": 0, "corrected_codewords": 0, "corrected_symbols": 0,
+            "uncorrectable_codewords": 0, "miscorrected_codewords": 0,
+            "per_tensor": {}}
+
+
+def _record_ecc(stats: Dict[str, object], name: str, report) -> None:
+    """Fold one tensor's :class:`~repro.core.ecc.EccReport` into injector stats."""
+    counts = report.as_dict()
+    for key, value in counts.items():
+        stats[key] += value
+    tensor = stats["per_tensor"].setdefault(
+        name, {key: 0 for key in counts})
+    for key, value in counts.items():
+        tensor[key] += value
+
+
+def _consume_ecc_delta(stats: Dict[str, object],
+                       reported: Dict[str, int]) -> Dict[str, int]:
+    """Return corrected/uncorrectable counter deltas since the last consume."""
+    corrected = int(stats["corrected_codewords"])
+    uncorrectable = int(stats["uncorrectable_codewords"]) + int(
+        stats["miscorrected_codewords"])
+    delta = {"corrected": corrected - reported["corrected"],
+             "uncorrectable": uncorrectable - reported["uncorrectable"]}
+    reported["corrected"] = corrected
+    reported["uncorrectable"] = uncorrectable
+    return delta
+
+
 class BitErrorInjector:
     """Injects model-driven bit errors into every weight/IFM load.
 
@@ -103,6 +137,12 @@ class BitErrorInjector:
         mapping exposes different partitions' error rates to the DNN.
     corrector:
         Optional implausible-value corrector applied after injection.
+    ecc:
+        Optional :class:`~repro.core.ecc.RsCodecModel`.  When set, every
+        injected load is decoded through the codec before it reaches the
+        network: correctable codewords are reverted to the stored bits,
+        uncorrectable ones stay corrupted, and per-tensor counts accumulate
+        in :attr:`ecc_stats` (drain deltas via :meth:`consume_ecc_stats`).
     data_kinds:
         Optional subset of :class:`~repro.nn.tensor.DataKind` to inject into;
         loads of any other kind pass through untouched.  ``{DataKind.WEIGHT}``
@@ -119,7 +159,7 @@ class BitErrorInjector:
                  corrector: Optional[Corrector] = None,
                  layout: Optional[DramLayout] = None,
                  data_kinds: Optional[Iterable[DataKind]] = None,
-                 seed: int = 0):
+                 seed: int = 0, ecc: Optional["RsCodecModel"] = None):
         self.error_model = error_model
         self.bits = int(bits)
         self.per_tensor_ber = dict(per_tensor_ber or {})
@@ -127,6 +167,9 @@ class BitErrorInjector:
         self.layout = layout or DramLayout()
         self.data_kinds = frozenset(data_kinds) if data_kinds is not None else None
         self.enabled = True
+        self.ecc = ecc
+        self.ecc_stats = _new_ecc_stats()
+        self._ecc_reported = {"corrected": 0, "uncorrectable": 0}
         self._rng = np.random.default_rng(seed)
         self._model_cache: Dict[float, ErrorModel] = {}
         self.stats = _new_stats()
@@ -173,11 +216,28 @@ class BitErrorInjector:
         model = self._model_for(spec)
         if model.expected_ber() <= 0.0:
             out = array
+        elif self.ecc is not None:
+            values = np.asarray(array, dtype=np.float32)
+            words, codec_state = tensor_to_bits(values.ravel(), self.bits)
+            xor_mask = model.flip_word_mask(words, self.bits, self.layout, self._rng)
+            corrected, report = self.ecc.correct_words(
+                words, words ^ xor_mask, self.bits,
+                key=zlib.crc32(spec.name.encode()))
+            _record_ecc(self.ecc_stats, spec.name, report)
+            out = bits_to_tensor(corrected, self.bits, codec_state).reshape(values.shape)
         else:
             out = inject_bit_errors(array, self.bits, model, self.layout, self._rng)
         if self.corrector is not None:
             out = self.corrector(out, spec)
         return out
+
+    def consume_ecc_stats(self) -> Dict[str, int]:
+        """Return corrected/uncorrectable deltas since the last call.
+
+        Telemetry harvesters call this on every snapshot; the delta contract
+        means repeated snapshots never double-count a codeword.
+        """
+        return _consume_ecc_delta(self.ecc_stats, self._ecc_reported)
 
 
 class DeviceBackedInjector:
@@ -186,18 +246,24 @@ class DeviceBackedInjector:
     Each tensor is assigned a stable base address in the device (tensors are
     packed sequentially from the start of a bank), so its elements always map
     to the same cells: the same weak cells corrupt the same tensor elements
-    across inference runs, matching real-device behaviour.
+    across inference runs, matching real-device behaviour.  An optional
+    ``ecc`` codec decodes every read like
+    :class:`BitErrorInjector`'s, with the same :attr:`ecc_stats` accounting.
     """
 
     def __init__(self, device: ApproximateDram, op_point: DramOperatingPoint,
                  bits: int = 32, corrector: Optional[Corrector] = None,
-                 bank: int = 0, seed: int = 0):
+                 bank: int = 0, seed: int = 0,
+                 ecc: Optional["RsCodecModel"] = None):
         self.device = device
         self.op_point = op_point
         self.bits = int(bits)
         self.corrector = corrector
         self.bank = int(bank)
         self.enabled = True
+        self.ecc = ecc
+        self.ecc_stats = _new_ecc_stats()
+        self._ecc_reported = {"corrected": 0, "uncorrectable": 0}
         self._rng = np.random.default_rng(seed)
         self._addresses: Dict[str, int] = {}
         self._next_bit = bank * device.geometry.bank_size_bytes * 8
@@ -234,7 +300,20 @@ class DeviceBackedInjector:
         address = self._address_of(spec)
         read_back = self.device.read_words(words, self.bits, address, self.op_point,
                                            rng=self._rng)
+        if self.ecc is not None:
+            read_back, report = self.ecc.correct_words(
+                words, read_back, self.bits, key=zlib.crc32(spec.name.encode()))
+            _record_ecc(self.ecc_stats, spec.name, report)
         out = bits_to_tensor(read_back, self.bits, codec_state).reshape(values.shape)
         if self.corrector is not None:
             out = self.corrector(out, spec)
         return out
+
+    def consume_ecc_stats(self) -> Dict[str, int]:
+        """Return corrected/uncorrectable deltas since the last call.
+
+        Same delta contract as
+        :meth:`BitErrorInjector.consume_ecc_stats`: repeated telemetry
+        snapshots never double-count a codeword.
+        """
+        return _consume_ecc_delta(self.ecc_stats, self._ecc_reported)

@@ -150,7 +150,7 @@ def _injector_fingerprint(injector) -> tuple:
     per_tensor = getattr(injector, "per_tensor_ber", None)
     if per_tensor is not None:
         parts.append(tuple(sorted(per_tensor.items())))
-    for attr in ("device", "op_point", "bank", "layout"):
+    for attr in ("device", "op_point", "bank", "layout", "ecc"):
         value = getattr(injector, attr, None)
         if value is not None:
             parts.append(value)
@@ -180,6 +180,22 @@ def injector_fingerprint(injector) -> tuple:
     compared by identity).  Returns a hashable tuple.
     """
     return _injector_fingerprint(injector)
+
+
+def _resolve_codec(correction):
+    """Resolve a ``correction=`` argument to an ECC codec model (or None).
+
+    Accepts None (no correction), a codec name registered in
+    :data:`repro.core.ecc.CODECS`, or an already-built
+    :class:`~repro.core.ecc.RsCodecModel`.
+    """
+    if correction is None:
+        return None
+    if isinstance(correction, str):
+        from repro.core.ecc import make_codec
+
+        return make_codec(correction)
+    return correction
 
 
 def _reseed(injector, seed: int) -> None:
@@ -284,8 +300,15 @@ class InferenceSession:
                          ber: Optional[float] = None, bits: int = 32,
                          per_tensor_ber: Optional[Dict[str, float]] = None,
                          corrector=None, data_kinds=None, seed: int = 0,
-                         **kwargs) -> "InferenceSession":
-        """Session driving injection from a fitted/parametric error model."""
+                         correction=None, **kwargs) -> "InferenceSession":
+        """Session driving injection from a fitted/parametric error model.
+
+        ``correction`` layers symbol-level ECC over the injected loads: pass
+        a codec name from :data:`repro.core.ecc.CODECS` (e.g. ``"rs72_64"``)
+        or an :class:`~repro.core.ecc.RsCodecModel` instance, and the
+        compiled store serves post-correction weights with
+        corrected/uncorrectable accounting on the injector.
+        """
         from repro.dram.injection import BitErrorInjector
 
         if ber is not None:
@@ -293,18 +316,23 @@ class InferenceSession:
         injector = BitErrorInjector(error_model, bits=bits,
                                     per_tensor_ber=per_tensor_ber,
                                     corrector=corrector, data_kinds=data_kinds,
-                                    seed=seed)
+                                    seed=seed, ecc=_resolve_codec(correction))
         return cls(network, dataset, injector=injector, seed=seed, **kwargs)
 
     @classmethod
     def from_device(cls, network: Network, dataset, device, op_point, *,
                     bits: int = 32, corrector=None, seed: int = 0,
-                    **kwargs) -> "InferenceSession":
-        """Session reading tensors from an ApproximateDram operating point."""
+                    correction=None, **kwargs) -> "InferenceSession":
+        """Session reading tensors from an ApproximateDram operating point.
+
+        ``correction`` accepts the same codec name / instance as
+        :meth:`from_error_model`, decoding every device read through ECC.
+        """
         from repro.dram.injection import DeviceBackedInjector
 
         injector = DeviceBackedInjector(device, op_point, bits=bits,
-                                        corrector=corrector, seed=seed)
+                                        corrector=corrector, seed=seed,
+                                        ecc=_resolve_codec(correction))
         return cls(network, dataset, injector=injector, seed=seed, **kwargs)
 
     # -- configuration ------------------------------------------------------------

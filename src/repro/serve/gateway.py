@@ -271,12 +271,35 @@ class ServingGateway:
         for endpoint in targets:
             endpoint.batcher.flush()
 
+    def _harvest_ecc(self) -> None:
+        """Fold each endpoint's pending ECC decode deltas into telemetry.
+
+        Endpoints whose session injector carries a codec
+        (``correction="rs72_64"`` sessions) accumulate corrected /
+        uncorrectable codeword counts as stores materialize; this drains the
+        un-reported delta from each such injector and records it under the
+        endpoint's name, so snapshots and reports stay cumulative without
+        double counting.
+        """
+        with self._lock:
+            endpoints = list(self._endpoints.values())
+        for endpoint in endpoints:
+            consume = getattr(endpoint.session.injector,
+                              "consume_ecc_stats", None)
+            if consume is None:
+                continue
+            delta = consume()
+            if delta["corrected"] or delta["uncorrectable"]:
+                self.telemetry.record_ecc(endpoint.name, **delta)
+
     def snapshot(self) -> Dict:
         """Return the telemetry snapshot plus the registry's cache counters."""
+        self._harvest_ecc()
         return self.telemetry.snapshot(self.registry.stats)
 
     def report(self) -> str:
         """Return the serving report (latency, throughput, cache) as text."""
+        self._harvest_ecc()
         return self.telemetry.report(self.registry.stats)
 
     def close(self) -> None:

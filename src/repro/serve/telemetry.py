@@ -4,7 +4,8 @@ Every request that passes through a :class:`~repro.serve.gateway.ServingGateway`
 is timed end to end (enqueue to result) and every dispatched batch records its
 occupancy and service time; requests refused by admission control (shed) or
 dropped past their deadline (expired) are counted per model alongside the
-served traffic.  :class:`ServingTelemetry` aggregates these per
+served traffic, as are ECC decode counters harvested from each endpoint's
+weight-store codec (corrected / uncorrectable codewords).  :class:`ServingTelemetry` aggregates these per
 model; :meth:`ServingTelemetry.report` renders the aggregate through
 :func:`repro.analysis.reporting.format_serving_report`, next to the registry's
 cache hit/miss counters.
@@ -50,7 +51,8 @@ class _ModelStats:
     """Mutable per-model counters behind the telemetry lock."""
 
     __slots__ = ("requests", "batches", "samples", "service_seconds",
-                 "latencies", "first_ts", "last_ts", "shed", "expired")
+                 "latencies", "first_ts", "last_ts", "shed", "expired",
+                 "ecc_corrected", "ecc_uncorrectable")
 
     def __init__(self) -> None:
         self.requests = 0
@@ -62,6 +64,8 @@ class _ModelStats:
         self.last_ts: Optional[float] = None
         self.shed = 0
         self.expired = 0
+        self.ecc_corrected = 0
+        self.ecc_uncorrectable = 0
 
 
 class ServingTelemetry:
@@ -136,6 +140,20 @@ class ServingTelemetry:
         with self._lock:
             self._stats_for(model).expired += 1
 
+    def record_ecc(self, model: str, corrected: int = 0,
+                   uncorrectable: int = 0) -> None:
+        """Accumulate ECC decode counters for ``model``'s weight store.
+
+        ``corrected`` counts codewords the store's codec reverted exactly
+        and ``uncorrectable`` the codewords flagged (or silently
+        miscorrected) beyond correction strength; both are cumulative and
+        surface in :meth:`snapshot` and the serving report.
+        """
+        with self._lock:
+            stats = self._stats_for(model)
+            stats.ecc_corrected += int(corrected)
+            stats.ecc_uncorrectable += int(uncorrectable)
+
     def record_batch(self, model: str, occupancy: int,
                      service_seconds: float) -> None:
         """Record one dispatched batch for ``model``.
@@ -166,6 +184,8 @@ class ServingTelemetry:
                     "requests": stats.requests,
                     "shed": stats.shed,
                     "expired": stats.expired,
+                    "ecc_corrected": stats.ecc_corrected,
+                    "ecc_uncorrectable": stats.ecc_uncorrectable,
                     "batches": stats.batches,
                     "mean_occupancy": (stats.samples / stats.batches
                                        if stats.batches else 0.0),

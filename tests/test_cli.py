@@ -13,7 +13,7 @@ class TestParser:
         expected = {"list-models", "profile-dram", "fit-error-model", "characterize",
                     "boost", "evaluate-cpu", "evaluate-accel", "memsys",
                     "bench", "parallel-bench", "serve-bench", "serve",
-                    "loadgen", "route", "perf"}
+                    "loadgen", "route", "ecc-sweep", "perf"}
         assert expected <= set(subparsers.choices)
 
     def test_perf_subcommands_registered(self):
@@ -119,6 +119,21 @@ class TestCommands:
                      "--queue-depth", "2", "--max-batch", "4"]) == 0
         out = capsys.readouterr().out
         assert "burst" in out
+
+    def test_ecc_sweep_registered_with_defaults(self):
+        args = build_parser().parse_args(["ecc-sweep"])
+        assert args.model == "lenet"
+        assert args.error_model == 4
+        assert args.correction == "rs72_64"
+        assert args.bers == [1e-4, 1e-3, 1e-2]
+        assert args.handler is not None
+
+    def test_ecc_sweep_smoke(self, capsys):
+        assert main(["ecc-sweep", "--model", "lenet", "--epochs", "1",
+                     "--bers", "1e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "corrected" in out and "uncorrectable" in out
+        assert "rs72_64" in out
 
     def test_characterize_parallel_matches_serial(self, capsys):
         assert main(["characterize", "--model", "lenet", "--epochs", "1"]) == 0

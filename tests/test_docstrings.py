@@ -38,6 +38,7 @@ AUDITED_MODULES = [
     "repro/analysis/reporting.py",
     "repro/analysis/perfhistory.py",
     "repro/core/pipeline.py",
+    "repro/core/ecc.py",
     "repro/parallel/__init__.py",
     "repro/parallel/shm.py",
     "repro/parallel/plan.py",

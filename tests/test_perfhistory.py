@@ -225,10 +225,10 @@ class TestDegradationDetector:
 
 
 class TestRegistry:
-    def test_all_seven_benchmarks_registered(self):
+    def test_all_eight_benchmarks_registered(self):
         assert set(ph.BENCHMARKS) == {"injection", "inference", "serving",
                                       "quantized", "parallel", "server",
-                                      "router"}
+                                      "router", "ecc"}
 
     def test_every_script_exists_and_uses_the_harness(self):
         for spec in ph.BENCHMARKS.values():

@@ -557,6 +557,39 @@ class TestTelemetry:
         report = format_serving_report(telemetry.snapshot())
         assert "shed" in report and "expired" in report
 
+    def test_ecc_counters_surface_in_report(self):
+        from repro.analysis.reporting import format_serving_report
+
+        telemetry = ServingTelemetry()
+        telemetry.record_request("m", 0.010)
+        telemetry.record_ecc("m", corrected=5, uncorrectable=2)
+        telemetry.record_ecc("m", corrected=3)
+        stats = telemetry.snapshot()["models"]["m"]
+        assert stats["ecc_corrected"] == 8       # cumulative across records
+        assert stats["ecc_uncorrectable"] == 2
+        assert stats["requests"] == 1            # decode counts are not traffic
+        report = format_serving_report(telemetry.snapshot())
+        assert "corrected" in report and "uncorrectable" in report
+
+    def test_gateway_harvests_ecc_counters_from_codec_session(self, lenet_clone):
+        from repro.core.ecc import make_codec
+
+        network, dataset, _ = lenet_clone
+        injector = BitErrorInjector(make_error_model(4, 1e-3, seed=0),
+                                    data_kinds={DataKind.WEIGHT}, seed=0,
+                                    ecc=make_codec("rs72_64"))
+        with ServingGateway(ServeConfig(auto_flush=False)) as gateway:
+            gateway.register("m", network, dataset, injector=injector,
+                             semantics=ReadSemantics.STATIC_STORE)
+            gateway.predict("m", dataset.val_x[0])
+            snapshot = gateway.snapshot()
+            stats = snapshot["models"]["m"]
+            assert stats["ecc_corrected"] > 0
+            # A second snapshot must not double-count the same codewords.
+            assert (gateway.snapshot()["models"]["m"]["ecc_corrected"]
+                    == stats["ecc_corrected"])
+            assert "corrected" in gateway.report()
+
     def test_shed_only_model_renders(self):
         """A model that only ever shed (never served) must still render a
         row without NaN crashes in the report path."""
